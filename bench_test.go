@@ -1,0 +1,277 @@
+// Package repro's root benchmark suite regenerates every evaluation
+// artifact of the APTQ paper — one testing.B per table and figure, plus the
+// repository's ablations (experiments E1-E5 and A1-A3 of DESIGN.md §5) and
+// micro-benchmarks of the underlying kernels.
+//
+// The macro benchmarks run the full experiment per iteration; use
+//
+//	go test -bench=. -benchmem
+//
+// (each settles at b.N == 1) and read the reported ppl/acc metrics. The
+// experiment environment (pretrained nano models, fixed eval sets) is built
+// once per process and shared.
+package repro
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/eval"
+	"repro/internal/gptq"
+	"repro/internal/harness"
+	"repro/internal/model"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+var benchEnv = sync.OnceValue(func() *harness.Env { return harness.NewEnv(harness.Quick) })
+
+// BenchmarkTable1 regenerates Table 1: perplexity of nano-7B under FP,
+// GPTQ, OWQ, LLM-QAT, PB-LLM and APTQ at 4.0/3.5/3.0 average bits.
+func BenchmarkTable1(b *testing.B) {
+	e := benchEnv()
+	e.Model(model.Nano7B())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := e.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		b.Log("\n" + t.Render())
+		b.StartTimer()
+	}
+}
+
+// BenchmarkFigure2 regenerates Figure 2: the APTQ perplexity-vs-ratio sweep
+// with reference lines.
+func BenchmarkFigure2(b *testing.B) {
+	e := benchEnv()
+	e.Model(model.Nano7B())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, xs, ys, err := e.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		b.Log("\n" + t.Render())
+		b.Log("\n" + harness.AsciiChart("Figure 2", xs, ys, 60, 10, "ratio %", "ppl"))
+		b.StartTimer()
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: zero-shot accuracy of nano-7B and
+// nano-13B across the full method roster.
+func BenchmarkTable2(b *testing.B) {
+	e := benchEnv()
+	e.Model(model.Nano7B())
+	e.Model(model.Nano13B())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := e.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		b.Log("\n" + t.Render())
+		b.StartTimer()
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3: APTQ vs manual block-wise mixed
+// precision.
+func BenchmarkTable3(b *testing.B) {
+	e := benchEnv()
+	e.Model(model.Nano7B())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := e.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		b.Log("\n" + t.Render())
+		b.StartTimer()
+	}
+}
+
+// BenchmarkFigure1Profile regenerates the Figure 1 sensitivity inset
+// (per-block Hessian trace profile).
+func BenchmarkFigure1Profile(b *testing.B) {
+	e := benchEnv()
+	e.Model(model.Nano7B())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := e.Figure1Profile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		b.Log("\n" + t.Render())
+		b.StartTimer()
+	}
+}
+
+// BenchmarkAblationProbes regenerates ablation A1 (probe count).
+func BenchmarkAblationProbes(b *testing.B) {
+	e := benchEnv()
+	e.Model(model.Nano7B())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := e.AblationProbes()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		b.Log("\n" + t.Render())
+		b.StartTimer()
+	}
+}
+
+// BenchmarkAblationGroupSize regenerates ablation A2 (group size).
+func BenchmarkAblationGroupSize(b *testing.B) {
+	e := benchEnv()
+	e.Model(model.Nano7B())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := e.AblationGroupSize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		b.Log("\n" + t.Render())
+		b.StartTimer()
+	}
+}
+
+// BenchmarkAblationSensitivity regenerates ablation A3 (sensitivity
+// metric).
+func BenchmarkAblationSensitivity(b *testing.B) {
+	e := benchEnv()
+	e.Model(model.Nano7B())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := e.AblationSensitivity()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		b.Log("\n" + t.Render())
+		b.StartTimer()
+	}
+}
+
+// BenchmarkCrossArch evaluates APTQ on both supported architectures
+// (LLaMA-style and GPT-style nano models).
+func BenchmarkCrossArch(b *testing.B) {
+	e := benchEnv()
+	e.Model(model.Nano7B())
+	e.Model(model.NanoGPT())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := e.CrossArch()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		b.Log("\n" + t.Render())
+		b.StartTimer()
+	}
+}
+
+// --- micro-benchmarks of the underlying kernels ---
+
+func BenchmarkMatMul64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Randn(rng, 64, 64, 1)
+	y := tensor.Randn(rng, 64, 64, 1)
+	out := tensor.New(64, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulInto(out, x, y)
+	}
+}
+
+func BenchmarkGram(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Randn(rng, 256, 48, 1)
+	out := tensor.New(48, 48)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.Zero()
+		tensor.AccumGram(out, x)
+	}
+}
+
+func BenchmarkGPTQQuantizeLayer(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	w := tensor.Randn(rng, 48, 48, 0.1)
+	x := tensor.Randn(rng, 256, 48, 1)
+	h := tensor.Gram(x)
+	cfg := gptq.Config{Bits: 4, GroupSize: 16, BlockSize: 16, PercDamp: 0.01}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gptq.Quantize(w, h, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelForward(b *testing.B) {
+	m := model.New(model.Tiny(), 1)
+	src := data.NewC4Like(m.Cfg.Vocab)
+	ids := src.Generate(rand.New(rand.NewSource(1)), 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(ids)
+	}
+}
+
+func BenchmarkModelTrainStep(b *testing.B) {
+	m := model.New(model.Tiny(), 1)
+	src := data.NewC4Like(m.Cfg.Vocab)
+	batch := data.NextTokenBatch(src.Generate(rand.New(rand.NewSource(1)), 32))
+	opt := train.NewAdam(m.Params(), 1e-3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ZeroGrad()
+		m.LossAndBackward(batch.IDs, batch.Targets)
+		opt.Step()
+	}
+}
+
+func BenchmarkCollectStats(b *testing.B) {
+	m := model.New(model.Tiny(), 1)
+	src := data.NewC4Like(m.Cfg.Vocab)
+	calib := data.SampleCalibration(rand.New(rand.NewSource(42)), src, 4, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CollectStats(m, calib, core.CollectOptions{Probes: 2, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPerplexityEval(b *testing.B) {
+	m := model.New(model.Tiny(), 1)
+	src := data.NewC4Like(m.Cfg.Vocab)
+	rng := rand.New(rand.NewSource(1))
+	segs := make([][]int, 8)
+	for i := range segs {
+		segs[i] = src.Generate(rng, 24)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.PerplexityOnSegments(m, segs)
+	}
+}

@@ -1,0 +1,112 @@
+// Command aptq-experiments regenerates every table and figure of the
+// paper's evaluation section on the nano substrate: Table 1 (perplexity),
+// Figure 2 (perplexity vs 4-bit ratio), Table 2 (zero-shot accuracy),
+// Table 3 (allocation ablation) and the Figure 1 sensitivity profile.
+//
+// Usage:
+//
+//	aptq-experiments                 # run everything at full scale
+//	aptq-experiments -quick          # reduced evaluation budgets
+//	aptq-experiments -only table1    # a single artifact
+//	aptq-experiments -csv out/       # additionally write CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aptq-experiments: ")
+
+	var (
+		quick     = flag.Bool("quick", false, "reduced evaluation budgets")
+		only      = flag.String("only", "", "run a single artifact: table1|table2|table3|figure1|figure2")
+		ablations = flag.Bool("ablations", false, "also run the repository's ablation studies (A1-A3)")
+		csvDir    = flag.String("csv", "", "directory to write CSV copies of each artifact")
+	)
+	flag.Parse()
+
+	scale := harness.Full
+	if *quick {
+		scale = harness.Quick
+	}
+	env := harness.NewEnv(scale)
+
+	start := time.Now()
+	log.Printf("pretraining substrate models (cached per process)...")
+	env.Model(model.Nano7B())
+	if *only == "" || *only == "table2" {
+		env.Model(model.Nano13B())
+	}
+	log.Printf("models ready in %v", time.Since(start).Round(time.Second))
+
+	var tables []*harness.Table
+	run := func(id string, f func() (*harness.Table, error)) {
+		if *only != "" && *only != id {
+			return
+		}
+		if *only == "ablations" {
+			return
+		}
+		t0 := time.Now()
+		t, err := f()
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		log.Printf("%s done in %v", id, time.Since(t0).Round(time.Second))
+		tables = append(tables, t)
+	}
+
+	run("table1", env.Table1)
+	if (*only == "" || *only == "figure2") && *only != "ablations" {
+		t0 := time.Now()
+		t, xs, ys, err := env.Figure2()
+		if err != nil {
+			log.Fatalf("figure2: %v", err)
+		}
+		log.Printf("figure2 done in %v", time.Since(t0).Round(time.Second))
+		tables = append(tables, t)
+		fmt.Println(harness.AsciiChart("Figure 2: APTQ C4 perplexity vs 4-bit ratio", xs, ys, 60, 12, "ratio %", "ppl"))
+	}
+	run("table2", env.Table2)
+	run("table3", env.Table3)
+	run("figure1", env.Figure1Profile)
+	run("crossarch", env.CrossArch)
+
+	if *ablations || *only == "ablations" {
+		t0 := time.Now()
+		abl, err := env.RunAblations()
+		if err != nil {
+			log.Fatalf("ablations: %v", err)
+		}
+		log.Printf("ablations done in %v", time.Since(t0).Round(time.Second))
+		tables = append(tables, abl...)
+	}
+
+	for _, t := range tables {
+		fmt.Println(t.Render())
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for _, t := range tables {
+			path := filepath.Join(*csvDir, t.ID+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote %s", path)
+		}
+	}
+	log.Printf("all experiments finished in %v", time.Since(start).Round(time.Second))
+}

@@ -1,0 +1,144 @@
+// Command aptq-quantize quantizes a trained checkpoint with APTQ or one of
+// the baseline methods and writes the quantized checkpoint plus a per-layer
+// report.
+//
+// Usage:
+//
+//	aptq-quantize -in nano7b.ckpt -out nano7b-q.ckpt -method aptq -ratio 0.75
+//	aptq-quantize -in nano7b.ckpt -method gptq -bits 4
+//	aptq-quantize -in nano7b.ckpt -method rtn -bits 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aptq-quantize: ")
+
+	var (
+		in        = flag.String("in", "", "input checkpoint (from aptq-train)")
+		out       = flag.String("out", "", "output checkpoint (optional, dequantized float64)")
+		packed    = flag.String("packed", "", "output compressed checkpoint with bit-packed codes (APTQ/manual only)")
+		method    = flag.String("method", "aptq", "aptq | manual | gptq | rtn | smoothquant | owq | pbllm | fpq | qat")
+		ratio     = flag.Float64("ratio", 1.0, "APTQ 4-bit ratio R")
+		bits      = flag.Int("bits", 4, "bit width for single-precision methods")
+		groupSize = flag.Int("group", 16, "quantization group size")
+		calibN    = flag.Int("calib", 32, "calibration segments")
+		calibLen  = flag.Int("caliblen", 48, "calibration segment length")
+		keepFrac  = flag.Float64("keep", 0.3, "PB-LLM salient fraction / OWQ outlier fraction")
+		probes    = flag.Int("probes", 4, "Q/K Jacobian probes per segment")
+		seq       = flag.Bool("sequential", false, "recollect statistics per block")
+		verbose   = flag.Bool("v", false, "print per-layer report")
+	)
+	flag.Parse()
+
+	if *in == "" {
+		log.Fatal("missing -in checkpoint; run aptq-train first")
+	}
+	m, err := model.LoadFile(*in)
+	if err != nil {
+		log.Fatalf("load: %v", err)
+	}
+	src := data.NewC4Like(m.Cfg.Vocab)
+	calib := data.SampleCalibration(rand.New(rand.NewSource(42)), src, *calibN, *calibLen)
+
+	var quantized *model.Model
+	switch *method {
+	case "aptq", "manual":
+		opts := core.DefaultOptions(*ratio)
+		opts.GroupSize = *groupSize
+		opts.BlockSize = *groupSize
+		opts.Probes = *probes
+		opts.Sequential = *seq
+		if *method == "manual" {
+			opts.Allocator = core.ManualBlockwise
+		}
+		res, err := core.Quantize(m, calib, opts)
+		if err != nil {
+			log.Fatalf("quantize: %v", err)
+		}
+		quantized = res.Model
+		log.Printf("method=%s ratio=%.2f avg_bits=%.2f (with metadata %.2f)", *method, res.Allocation.Ratio(), res.AvgBits, res.AvgBitsWithOverhead)
+		if *packed != "" {
+			if err := res.WriteCompressedFile(*packed); err != nil {
+				log.Fatalf("write packed: %v", err)
+			}
+			fi, _ := os.Stat(*packed)
+			log.Printf("wrote packed checkpoint %s (%d bytes)", *packed, fi.Size())
+		}
+		if *verbose {
+			fmt.Printf("%-30s %4s %12s %12s\n", "layer", "bits", "avg_trace", "proxy_loss")
+			for _, lr := range res.Layers {
+				fmt.Printf("%-30s %4d %12.4g %12.4g\n", lr.Name, lr.Bits, lr.AvgTrace, lr.ProxyLoss)
+			}
+		}
+	default:
+		rep, err := runBaseline(m, calib, *method, *bits, *groupSize, *keepFrac, *probes)
+		if err != nil {
+			log.Fatalf("quantize: %v", err)
+		}
+		quantized = rep.Model
+		log.Printf("method=%s avg_bits=%.2f", rep.Method, rep.AvgBits)
+	}
+
+	if *out != "" {
+		if err := quantized.SaveFile(*out); err != nil {
+			log.Fatalf("save: %v", err)
+		}
+		fi, _ := os.Stat(*out)
+		log.Printf("wrote %s (%d bytes)", *out, fi.Size())
+	}
+}
+
+func runBaseline(m *model.Model, calib *data.CalibrationSet, method string, bits, groupSize int, keepFrac float64, probes int) (*baselines.Report, error) {
+	needStats := func() (*core.Stats, error) {
+		return core.CollectStats(m, calib, core.CollectOptions{Probes: probes, Seed: 1})
+	}
+	switch method {
+	case "rtn":
+		return baselines.RTN(m, bits, groupSize), nil
+	case "fpq":
+		return baselines.FPQ(m, groupSize), nil
+	case "gptq":
+		st, err := needStats()
+		if err != nil {
+			return nil, err
+		}
+		return baselines.GPTQ(m, st, bits, groupSize)
+	case "smoothquant":
+		st, err := needStats()
+		if err != nil {
+			return nil, err
+		}
+		return baselines.SmoothQuant(m, st, bits, groupSize, 0.5)
+	case "owq":
+		st, err := needStats()
+		if err != nil {
+			return nil, err
+		}
+		return baselines.OWQ(m, st, bits, groupSize, keepFrac)
+	case "pbllm":
+		st, err := needStats()
+		if err != nil {
+			return nil, err
+		}
+		return baselines.PBLLM(m, st, keepFrac, groupSize)
+	case "qat":
+		cfg := baselines.DefaultQATConfig(bits)
+		cfg.GroupSize = groupSize
+		return baselines.QAT(m, data.NewC4Like(m.Cfg.Vocab), cfg)
+	default:
+		return nil, fmt.Errorf("unknown method %q", method)
+	}
+}

@@ -1,0 +1,76 @@
+// Command aptq-train pretrains one of the nano LLaMA stand-ins on the
+// synthetic corpus mixture and writes a gob checkpoint, so the other tools
+// (aptq-quantize, aptq-eval) can operate on a fixed model.
+//
+// Usage:
+//
+//	aptq-train -model nano-7B -out nano7b.ckpt [-steps 700] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/train"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aptq-train: ")
+
+	var (
+		modelName = flag.String("model", "nano-7B", "model config: nano-7B, nano-13B or tiny")
+		out       = flag.String("out", "model.ckpt", "checkpoint output path")
+		steps     = flag.Int("steps", 0, "training steps (0 = recipe default)")
+		seed      = flag.Int64("seed", 1, "training seed")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	cfg, err := configByName(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	vocab := cfg.Vocab
+	mix := data.NewMixture(48, data.NewC4Like(vocab), data.NewWikiLike(vocab))
+
+	tc := train.DefaultConfig()
+	tc.Seed = *seed
+	tc.SeqLen = cfg.MaxSeq * 3 / 4
+	if *steps > 0 {
+		tc.Steps = *steps
+	}
+	if !*quiet {
+		tc.LogEvery = 50
+		tc.Logf = func(format string, args ...any) { log.Printf(format, args...) }
+	}
+
+	m := model.New(cfg, *seed)
+	log.Printf("training %s (%d params) for %d steps", cfg.Name, m.NumParams(), tc.Steps)
+	hist := train.Train(m, mix, tc)
+	log.Printf("final training loss %.4f", hist.Final)
+
+	if err := m.SaveFile(*out); err != nil {
+		log.Fatalf("save: %v", err)
+	}
+	fi, _ := os.Stat(*out)
+	log.Printf("wrote %s (%d bytes)", *out, fi.Size())
+}
+
+func configByName(name string) (model.Config, error) {
+	switch name {
+	case "nano-7B":
+		return model.Nano7B(), nil
+	case "nano-13B":
+		return model.Nano13B(), nil
+	case "tiny":
+		return model.Tiny(), nil
+	default:
+		return model.Config{}, fmt.Errorf("unknown model %q (want nano-7B, nano-13B or tiny)", name)
+	}
+}

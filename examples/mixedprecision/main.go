@@ -1,0 +1,74 @@
+// Mixed precision: sweep the 4-bit ratio R of APTQ's 2/4-bit scheme and
+// chart perplexity against average bits — the experiment behind Figure 2 of
+// the paper, on a small model so it runs in about a minute.
+//
+// Run with:
+//
+//	go run ./examples/mixedprecision
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/eval"
+	"repro/internal/model"
+	"repro/internal/train"
+)
+
+func main() {
+	src := data.NewC4Like(64)
+	cfg := model.Config{Name: "sweep", Vocab: 64, Dim: 32, Heads: 4, Layers: 4, FF: 64, MaxSeq: 48, RopeBase: 10000}
+	m := model.New(cfg, 1)
+	fmt.Println("pretraining...")
+	train.Train(m, src, train.Config{Steps: 400, BatchSize: 4, SeqLen: 32, LR: 3e-3, Warmup: 20, ClipNorm: 1, Seed: 1})
+
+	calib := data.SampleCalibration(rand.New(rand.NewSource(42)), src, 24, 32)
+
+	// Collect statistics once; they are shared across the whole sweep.
+	stats, err := core.CollectStats(m, calib, core.CollectOptions{Probes: 4, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	segs := make([][]int, 60)
+	for i := range segs {
+		segs[i] = src.Generate(rng, 48)
+	}
+	fp := eval.PerplexityOnSegments(m, segs)
+	fmt.Printf("\n%-8s %-9s %-10s %s\n", "ratio", "avg bits", "ppl", "degradation")
+
+	worst := fp
+	type pt struct{ ratio, ppl float64 }
+	var pts []pt
+	for _, ratio := range []float64{1.0, 0.9, 0.8, 0.75, 0.7, 0.6, 0.5, 0.25, 0.0} {
+		opts := core.DefaultOptions(ratio)
+		opts.GroupSize = 16
+		res, err := core.QuantizeWithStats(m, stats, calib, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ppl := eval.PerplexityOnSegments(res.Model, segs)
+		if ppl > worst {
+			worst = ppl
+		}
+		pts = append(pts, pt{ratio, ppl})
+		fmt.Printf("%-8.0f %-9.2f %-10.3f %+.2f%%\n", ratio*100, res.AvgBits, ppl, (ppl/fp-1)*100)
+	}
+	fmt.Printf("%-8s %-9s %-10.3f (reference)\n", "FP", "16", fp)
+
+	// Terminal bar chart of degradation vs ratio.
+	fmt.Println("\nperplexity vs 4-bit ratio (each # = 1% over FP):")
+	for _, p := range pts {
+		bars := int((p.ppl/fp - 1) * 100)
+		if bars < 0 {
+			bars = 0
+		}
+		fmt.Printf("R=%3.0f%% | %s\n", p.ratio*100, strings.Repeat("#", bars))
+	}
+}

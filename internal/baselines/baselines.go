@@ -1,0 +1,315 @@
+// Package baselines implements the comparison methods of the paper's
+// Tables 1 and 2: round-to-nearest (RTN), GPTQ, SmoothQuant, OWQ, PB-LLM,
+// LLM-QAT and FPQ (LLM-FP4). Each quantizes a copy of the model and reports
+// the achieved average bit width so rows are comparable with APTQ's.
+//
+// Where a method's full system is out of scope for a weight-only CPU
+// reproduction (activation quantization in SmoothQuant, fp16 kernels in
+// OWQ/PB-LLM), the implementation keeps the method's *weight-side decision
+// procedure* — the part that differentiates the methods on the paper's
+// metrics — and documents the substitution (DESIGN.md §2).
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/gptq"
+	"repro/internal/model"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// Report is the outcome of one baseline quantization.
+type Report struct {
+	Method string
+	Model  *model.Model
+	// AvgBits counts code bits per quantizable weight (16 for weights kept
+	// in full precision), excluding group metadata.
+	AvgBits float64
+}
+
+// bitAccounting accumulates the average-bits numerator/denominator.
+type bitAccounting struct {
+	bits    float64
+	weights float64
+}
+
+func (b *bitAccounting) add(numWeights int, avgBits float64) {
+	b.bits += float64(numWeights) * avgBits
+	b.weights += float64(numWeights)
+}
+
+func (b *bitAccounting) avg() float64 {
+	if b.weights == 0 {
+		return 0
+	}
+	return b.bits / b.weights
+}
+
+// RTN quantizes every layer with plain round-to-nearest group quantization —
+// the "RTN" row of Table 2.
+func RTN(m *model.Model, bits, groupSize int) *Report {
+	clone := m.Clone()
+	var acct bitAccounting
+	for _, ref := range clone.QuantizableLayers() {
+		q := quant.RTN(ref.Linear.P.W, bits, groupSize, false)
+		ref.Linear.P.W.CopyFrom(q.Dequantize())
+		acct.add(ref.NumWeights(), float64(bits))
+	}
+	return &Report{Method: fmt.Sprintf("RTN-%dbit", bits), Model: clone, AvgBits: acct.avg()}
+}
+
+// GPTQ quantizes every layer with the OBQ engine against the plain input
+// Hessian 2XᵀX — the method APTQ extends. Statistics come from a
+// core.CollectStats pass (the GPTQHessian field).
+func GPTQ(m *model.Model, st *core.Stats, bits, groupSize int) (*Report, error) {
+	clone := m.Clone()
+	layers := clone.QuantizableLayers()
+	var acct bitAccounting
+	for i, ref := range layers {
+		cfg := gptq.Config{Bits: bits, GroupSize: groupSize, BlockSize: groupSize, PercDamp: 0.01}
+		q, err := gptq.Quantize(ref.Linear.P.W, st.Layers[i].GPTQHessian(), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("baselines: gptq %s: %w", ref.Name(), err)
+		}
+		ref.Linear.P.W.CopyFrom(q.Dequantize())
+		acct.add(ref.NumWeights(), float64(bits))
+	}
+	return &Report{Method: fmt.Sprintf("GPTQ-%dbit", bits), Model: clone, AvgBits: acct.avg()}, nil
+}
+
+// SmoothQuant applies per-input-channel magnitude smoothing
+// s_j = max(|X_j|)^α / max(|W_:,j|)^(1−α) before round-to-nearest
+// quantization (Xiao et al., ICML 2023). In the full system the activation
+// is divided by s and quantized too; in this weight-only reproduction the
+// smoothing is applied and folded back after quantization, preserving the
+// method's weight-grid redistribution. Channel activation magnitudes come
+// from the calibration statistics (sqrt of diag XᵀX).
+func SmoothQuant(m *model.Model, st *core.Stats, bits, groupSize int, alpha float64) (*Report, error) {
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("baselines: smoothquant alpha %v outside [0,1]", alpha)
+	}
+	clone := m.Clone()
+	layers := clone.QuantizableLayers()
+	var acct bitAccounting
+	for i, ref := range layers {
+		w := ref.Linear.P.W
+		h := st.Layers[i].GPTQHessian()
+		scales := make([]float64, w.Cols)
+		for j := range scales {
+			actMag := math.Sqrt(math.Abs(h.At(j, j)))
+			wMag := 0.0
+			for r := 0; r < w.Rows; r++ {
+				if a := math.Abs(w.At(r, j)); a > wMag {
+					wMag = a
+				}
+			}
+			if actMag == 0 || wMag == 0 {
+				scales[j] = 1
+				continue
+			}
+			scales[j] = math.Pow(actMag, alpha) / math.Pow(wMag, 1-alpha)
+			if scales[j] < 1e-6 {
+				scales[j] = 1e-6
+			}
+		}
+		smoothed := w.Clone()
+		for r := 0; r < w.Rows; r++ {
+			row := smoothed.Row(r)
+			for j := range row {
+				row[j] *= scales[j]
+			}
+		}
+		q := quant.RTN(smoothed, bits, groupSize, false)
+		dq := q.Dequantize()
+		for r := 0; r < w.Rows; r++ {
+			row := dq.Row(r)
+			for j := range row {
+				row[j] /= scales[j]
+			}
+		}
+		w.CopyFrom(dq)
+		acct.add(ref.NumWeights(), float64(bits))
+	}
+	return &Report{Method: fmt.Sprintf("SmoothQuant-%dbit", bits), Model: clone, AvgBits: acct.avg()}, nil
+}
+
+// OWQ implements outlier-aware weight quantization (Lee et al. 2023): input
+// channels whose activation-scaled saliency diag(H)_j·||W_:,j||² is largest
+// stay in full precision; the rest are GPTQ-quantized with those columns
+// frozen (their Hessian columns removed from the compensation problem by
+// quantizing the reduced matrix). outlierFrac is the fraction of input
+// channels kept at 16 bits.
+func OWQ(m *model.Model, st *core.Stats, bits, groupSize int, outlierFrac float64) (*Report, error) {
+	if outlierFrac < 0 || outlierFrac >= 1 {
+		return nil, fmt.Errorf("baselines: owq outlier fraction %v outside [0,1)", outlierFrac)
+	}
+	clone := m.Clone()
+	layers := clone.QuantizableLayers()
+	var acct bitAccounting
+	for i, ref := range layers {
+		w := ref.Linear.P.W
+		h := st.Layers[i].GPTQHessian()
+		nOut := int(outlierFrac * float64(w.Cols))
+		keep := topSaliencyColumns(w, h, nOut)
+
+		// Quantize the non-outlier columns with GPTQ on the reduced
+		// problem; outlier columns pass through at full precision.
+		rest := make([]int, 0, w.Cols-len(keep))
+		inKeep := make(map[int]bool, len(keep))
+		for _, c := range keep {
+			inKeep[c] = true
+		}
+		for c := 0; c < w.Cols; c++ {
+			if !inKeep[c] {
+				rest = append(rest, c)
+			}
+		}
+		sub := tensor.New(w.Rows, len(rest))
+		for r := 0; r < w.Rows; r++ {
+			for k, c := range rest {
+				sub.Set(r, k, w.At(r, c))
+			}
+		}
+		subH := tensor.New(len(rest), len(rest))
+		for a, ca := range rest {
+			for b, cb := range rest {
+				subH.Set(a, b, h.At(ca, cb))
+			}
+		}
+		gs := groupSize
+		if gs > len(rest) {
+			gs = len(rest)
+		}
+		q, err := gptq.Quantize(sub, subH, gptq.Config{Bits: bits, GroupSize: gs, BlockSize: gs, PercDamp: 0.01})
+		if err != nil {
+			return nil, fmt.Errorf("baselines: owq %s: %w", ref.Name(), err)
+		}
+		dq := q.Dequantize()
+		for r := 0; r < w.Rows; r++ {
+			for k, c := range rest {
+				w.Set(r, c, dq.At(r, k))
+			}
+		}
+		nW := ref.NumWeights()
+		fpWeights := w.Rows * len(keep)
+		acct.add(nW-fpWeights, float64(bits))
+		acct.add(fpWeights, 16)
+	}
+	return &Report{Method: fmt.Sprintf("OWQ-%dbit", bits), Model: clone, AvgBits: acct.avg()}, nil
+}
+
+// topSaliencyColumns returns the indices of the n columns with the largest
+// diag(H)_j · ||W_:,j||² saliency.
+func topSaliencyColumns(w, h *tensor.Mat, n int) []int {
+	type cs struct {
+		col int
+		s   float64
+	}
+	scores := make([]cs, w.Cols)
+	for j := 0; j < w.Cols; j++ {
+		colNorm := 0.0
+		for r := 0; r < w.Rows; r++ {
+			v := w.At(r, j)
+			colNorm += v * v
+		}
+		scores[j] = cs{col: j, s: h.At(j, j) * colNorm}
+	}
+	// Partial selection sort for the top n (n is small).
+	out := make([]int, 0, n)
+	for k := 0; k < n && k < len(scores); k++ {
+		best := k
+		for i := k + 1; i < len(scores); i++ {
+			if scores[i].s > scores[best].s {
+				best = i
+			}
+		}
+		scores[k], scores[best] = scores[best], scores[k]
+		out = append(out, scores[k].col)
+	}
+	return out
+}
+
+// PBLLM implements partial binarization (Shang et al. 2023): the keepFrac
+// most salient weights (by Hessian-diagonal-weighted magnitude, the paper's
+// Hessian criterion) stay at 16 bits, the rest are binarized to 1 bit with
+// per-group sign-mean scaling. The paper's rows "PB-LLM 30%" / "PB-LLM 10%"
+// correspond to keepFrac 0.3 / 0.1.
+func PBLLM(m *model.Model, st *core.Stats, keepFrac float64, groupSize int) (*Report, error) {
+	if keepFrac < 0 || keepFrac >= 1 {
+		return nil, fmt.Errorf("baselines: pb-llm keep fraction %v outside [0,1)", keepFrac)
+	}
+	clone := m.Clone()
+	layers := clone.QuantizableLayers()
+	var acct bitAccounting
+	for i, ref := range layers {
+		w := ref.Linear.P.W
+		h := st.Layers[i].GPTQHessian()
+		keep := saliencyMask(w, h, keepFrac)
+		b := quant.BinarizeSelective(w, keep, groupSize)
+		w.CopyFrom(b)
+		nW := ref.NumWeights()
+		kept := 0
+		for _, k := range keep {
+			if k {
+				kept++
+			}
+		}
+		acct.add(kept, 16)
+		acct.add(nW-kept, 1)
+	}
+	return &Report{Method: fmt.Sprintf("PB-LLM-%d%%", int(keepFrac*100)), Model: clone, AvgBits: acct.avg()}, nil
+}
+
+// saliencyMask marks the top keepFrac weights by |w|·sqrt(diag(H)) within
+// each layer.
+func saliencyMask(w, h *tensor.Mat, keepFrac float64) []bool {
+	n := w.Rows * w.Cols
+	type ws struct {
+		idx int
+		s   float64
+	}
+	scores := make([]ws, n)
+	for r := 0; r < w.Rows; r++ {
+		for c := 0; c < w.Cols; c++ {
+			i := r*w.Cols + c
+			scores[i] = ws{idx: i, s: math.Abs(w.At(r, c)) * math.Sqrt(math.Abs(h.At(c, c)))}
+		}
+	}
+	kth := int(keepFrac * float64(n))
+	mask := make([]bool, n)
+	if kth == 0 {
+		return mask
+	}
+	// Threshold via quickselect-free approach: sort a copy of scores.
+	sorted := make([]float64, n)
+	for i, s := range scores {
+		sorted[i] = s.s
+	}
+	sort.Float64s(sorted)
+	thresh := sorted[n-kth]
+	kept := 0
+	for _, s := range scores {
+		if s.s >= thresh && kept < kth {
+			mask[s.idx] = true
+			kept++
+		}
+	}
+	return mask
+}
+
+// FPQ quantizes every layer to the e2m1 FP4 grid with per-group scales —
+// the stand-in for LLM-FP4 ("FPQ" in Table 2).
+func FPQ(m *model.Model, groupSize int) *Report {
+	clone := m.Clone()
+	var acct bitAccounting
+	for _, ref := range clone.QuantizableLayers() {
+		dq, _ := quant.FP4Matrix(ref.Linear.P.W, groupSize)
+		ref.Linear.P.W.CopyFrom(dq)
+		acct.add(ref.NumWeights(), 4)
+	}
+	return &Report{Method: "FPQ-4bit", Model: clone, AvgBits: acct.avg()}
+}

@@ -1,0 +1,244 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/eval"
+	"repro/internal/model"
+	"repro/internal/train"
+)
+
+var testModel = sync.OnceValue(func() *model.Model {
+	src := data.NewC4Like(32)
+	m := model.New(model.Tiny(), 1)
+	train.Train(m, src, train.Config{Steps: 250, BatchSize: 2, SeqLen: 16, LR: 3e-3, Warmup: 15, ClipNorm: 1, Seed: 1})
+	return m
+})
+
+var testStats = sync.OnceValue(func() *core.Stats {
+	src := data.NewC4Like(32)
+	calib := data.SampleCalibration(rand.New(rand.NewSource(42)), src, 16, 16)
+	st, err := core.CollectStats(testModel(), calib, core.CollectOptions{Probes: 2, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	return st
+})
+
+func evalSegs() [][]int {
+	src := data.NewC4Like(32)
+	rng := rand.New(rand.NewSource(77))
+	segs := make([][]int, 25)
+	for i := range segs {
+		segs[i] = src.Generate(rng, 16)
+	}
+	return segs
+}
+
+func TestRTNPreservesQualityAt8Bit(t *testing.T) {
+	m := testModel()
+	segs := evalSegs()
+	fp := eval.PerplexityOnSegments(m, segs)
+	r := RTN(m, 8, 8)
+	if r.AvgBits != 8 {
+		t.Fatalf("avg bits %v", r.AvgBits)
+	}
+	q := eval.PerplexityOnSegments(r.Model, segs)
+	if math.Abs(q-fp)/fp > 0.02 {
+		t.Fatalf("8-bit RTN PPL %v vs FP %v", q, fp)
+	}
+}
+
+func TestRTNDegradesMonotonically(t *testing.T) {
+	m := testModel()
+	segs := evalSegs()
+	p8 := eval.PerplexityOnSegments(RTN(m, 8, 8).Model, segs)
+	p4 := eval.PerplexityOnSegments(RTN(m, 4, 8).Model, segs)
+	p2 := eval.PerplexityOnSegments(RTN(m, 2, 8).Model, segs)
+	if !(p8 <= p4 && p4 < p2) {
+		t.Fatalf("RTN PPL not monotone: 8→%v 4→%v 2→%v", p8, p4, p2)
+	}
+}
+
+func TestGPTQBeatsRTNAtLowBits(t *testing.T) {
+	m := testModel()
+	segs := evalSegs()
+	g, err := GPTQ(m, testStats(), 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := eval.PerplexityOnSegments(g.Model, segs)
+	pr := eval.PerplexityOnSegments(RTN(m, 2, 8).Model, segs)
+	if pg >= pr {
+		t.Fatalf("GPTQ 2-bit PPL %v not better than RTN %v", pg, pr)
+	}
+}
+
+func TestSmoothQuantRuns(t *testing.T) {
+	m := testModel()
+	r, err := SmoothQuant(m, testStats(), 4, 8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AvgBits != 4 {
+		t.Fatalf("avg bits %v", r.AvgBits)
+	}
+	segs := evalSegs()
+	fp := eval.PerplexityOnSegments(m, segs)
+	q := eval.PerplexityOnSegments(r.Model, segs)
+	if q > fp*2 {
+		t.Fatalf("SmoothQuant 4-bit PPL %v vs FP %v", q, fp)
+	}
+	if _, err := SmoothQuant(m, testStats(), 4, 8, 1.5); err == nil {
+		t.Fatal("alpha out of range must error")
+	}
+}
+
+func TestOWQKeepsOutliersExact(t *testing.T) {
+	m := testModel()
+	r, err := OWQ(m, testStats(), 4, 8, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average bits must exceed 4 because of the fp16 outlier columns.
+	if r.AvgBits <= 4 || r.AvgBits >= 6 {
+		t.Fatalf("OWQ avg bits %v", r.AvgBits)
+	}
+	// Some weights must be bit-exact copies of the originals (the outlier
+	// columns).
+	orig := m.QuantizableLayers()[0].Linear.P.W
+	got := r.Model.QuantizableLayers()[0].Linear.P.W
+	exact := 0
+	for i := range orig.Data {
+		if orig.Data[i] == got.Data[i] {
+			exact++
+		}
+	}
+	if exact == 0 {
+		t.Fatal("OWQ kept no weights at full precision")
+	}
+	if exact == len(orig.Data) {
+		t.Fatal("OWQ quantized nothing")
+	}
+	if _, err := OWQ(m, testStats(), 4, 8, 1.0); err == nil {
+		t.Fatal("outlier fraction 1.0 must error")
+	}
+}
+
+func TestPBLLMAccounting(t *testing.T) {
+	m := testModel()
+	r, err := PBLLM(m, testStats(), 0.3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30% at 16 bits + 70% at 1 bit = 5.5 avg.
+	if math.Abs(r.AvgBits-5.5) > 0.2 {
+		t.Fatalf("PB-LLM-30%% avg bits %v, want ~5.5", r.AvgBits)
+	}
+	r10, err := PBLLM(m, testStats(), 0.1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r10.AvgBits-2.5) > 0.2 {
+		t.Fatalf("PB-LLM-10%% avg bits %v, want ~2.5", r10.AvgBits)
+	}
+	if _, err := PBLLM(m, testStats(), -0.1, 8); err == nil {
+		t.Fatal("negative keep fraction must error")
+	}
+}
+
+func TestPBLLMDegradesMoreThanGPTQ4(t *testing.T) {
+	// The paper's motivating comparison: binarizing most weights hurts more
+	// than 4-bit quantization even when the average bit width is higher.
+	m := testModel()
+	segs := evalSegs()
+	pb, err := PBLLM(m, testStats(), 0.1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := GPTQ(m, testStats(), 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppb := eval.PerplexityOnSegments(pb.Model, segs)
+	pg := eval.PerplexityOnSegments(g.Model, segs)
+	if ppb <= pg {
+		t.Fatalf("PB-LLM-10%% PPL %v unexpectedly better than GPTQ-4bit %v", ppb, pg)
+	}
+}
+
+func TestFPQRuns(t *testing.T) {
+	m := testModel()
+	segs := evalSegs()
+	r := FPQ(m, 8)
+	if r.AvgBits != 4 {
+		t.Fatalf("avg bits %v", r.AvgBits)
+	}
+	fp := eval.PerplexityOnSegments(m, segs)
+	q := eval.PerplexityOnSegments(r.Model, segs)
+	if q > fp*2 {
+		t.Fatalf("FPQ PPL %v vs FP %v", q, fp)
+	}
+}
+
+func TestQATImprovesOverPlainRTN(t *testing.T) {
+	m := testModel()
+	src := data.NewC4Like(32)
+	segs := evalSegs()
+	cfg := DefaultQATConfig(2)
+	cfg.Steps = 40
+	cfg.GroupSize = 8
+	r, err := QAT(m, src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AvgBits != 2 {
+		t.Fatalf("avg bits %v", r.AvgBits)
+	}
+	pq := eval.PerplexityOnSegments(r.Model, segs)
+	pr := eval.PerplexityOnSegments(RTN(m, 2, 8).Model, segs)
+	if pq >= pr {
+		t.Fatalf("QAT 2-bit PPL %v not better than RTN 2-bit %v", pq, pr)
+	}
+}
+
+func TestQATValidation(t *testing.T) {
+	if _, err := QAT(testModel(), data.NewC4Like(32), QATConfig{Bits: 0}); err == nil {
+		t.Fatal("bits 0 must error")
+	}
+}
+
+func TestSampleFromModelShape(t *testing.T) {
+	m := testModel()
+	rng := rand.New(rand.NewSource(5))
+	seq := sampleFromModel(m, rng, 12)
+	if len(seq) != 12 {
+		t.Fatalf("sampled %d tokens", len(seq))
+	}
+	for _, tok := range seq {
+		if tok < 0 || tok >= m.Cfg.Vocab {
+			t.Fatalf("token %d out of range", tok)
+		}
+	}
+}
+
+func TestBaselinesDoNotMutateInput(t *testing.T) {
+	m := testModel()
+	before := m.Blocks[0].Attn.WQ.P.W.Clone()
+	RTN(m, 2, 8)
+	FPQ(m, 8)
+	if _, err := GPTQ(m, testStats(), 4, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PBLLM(m, testStats(), 0.2, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Blocks[0].Attn.WQ.P.W.Equal(before, 0) {
+		t.Fatal("baseline mutated the input model")
+	}
+}

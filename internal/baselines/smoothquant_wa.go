@@ -1,0 +1,73 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/quant"
+)
+
+// SmoothQuantWA is the full weight+activation SmoothQuant system: the
+// per-channel smoothing scale s_j = max|X_j|^α / max|W_:,j|^(1−α) is folded
+// into the weights (W ← W·diag(s)) before weight quantization, and its
+// inverse is applied to the activations at runtime (x ← x/s) followed by
+// dynamic per-token activation fake quantization — W8A8 when wBits = aBits
+// = 8. This exercises the deployment-time input transforms on nn.Linear.
+//
+// The returned model carries runtime transforms; it supports Forward-only
+// use (perplexity / zero-shot eval, generation), not further training.
+func SmoothQuantWA(m *model.Model, st *core.Stats, wBits, aBits, groupSize int, alpha float64) (*Report, error) {
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("baselines: smoothquant alpha %v outside [0,1]", alpha)
+	}
+	if aBits < 2 || aBits > 16 {
+		return nil, fmt.Errorf("baselines: activation bits %d", aBits)
+	}
+	clone := m.Clone()
+	layers := clone.QuantizableLayers()
+	var acct bitAccounting
+	for i, ref := range layers {
+		w := ref.Linear.P.W
+		h := st.Layers[i].GPTQHessian()
+		scales := make([]float64, w.Cols)
+		for j := range scales {
+			actMag := math.Sqrt(math.Abs(h.At(j, j)))
+			wMag := 0.0
+			for r := 0; r < w.Rows; r++ {
+				if a := math.Abs(w.At(r, j)); a > wMag {
+					wMag = a
+				}
+			}
+			if actMag == 0 || wMag == 0 {
+				scales[j] = 1
+				continue
+			}
+			scales[j] = math.Pow(actMag, alpha) / math.Pow(wMag, 1-alpha)
+			if scales[j] < 1e-6 {
+				scales[j] = 1e-6
+			}
+		}
+		// Fold the scale into the weights, quantize, keep the folded form:
+		// at runtime the layer divides its input by the same scales.
+		for r := 0; r < w.Rows; r++ {
+			row := w.Row(r)
+			for j := range row {
+				row[j] *= scales[j]
+			}
+		}
+		q := quant.RTN(w, wBits, groupSize, false)
+		w.CopyFrom(q.Dequantize())
+		ref.Linear.InScale = scales
+		ref.Linear.ActQuant = &quant.ActQuantizer{Bits: aBits, PerToken: true}
+		acct.add(ref.NumWeights(), float64(wBits))
+	}
+	return &Report{
+		Method: fmt.Sprintf("SmoothQuant-W%dA%d", wBits, aBits),
+		Model:  clone,
+		AvgBits: func() float64 {
+			return acct.avg()
+		}(),
+	}, nil
+}

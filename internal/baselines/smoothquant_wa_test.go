@@ -1,0 +1,69 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/eval"
+)
+
+func TestSmoothQuantWAForwardOnly(t *testing.T) {
+	m := testModel()
+	r, err := SmoothQuantWA(m, testStats(), 8, 8, 8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := evalSegs()
+	fp := eval.PerplexityOnSegments(m, segs)
+	q := eval.PerplexityOnSegments(r.Model, segs)
+	// W8A8 must be nearly lossless.
+	if q > fp*1.05 {
+		t.Fatalf("W8A8 PPL %v vs FP %v", q, fp)
+	}
+	// The returned model carries runtime transforms.
+	l := r.Model.QuantizableLayers()[0].Linear
+	if l.InScale == nil || l.ActQuant == nil {
+		t.Fatal("W8A8 model missing runtime transforms")
+	}
+}
+
+func TestSmoothQuantWAActivationBitsMatter(t *testing.T) {
+	m := testModel()
+	segs := evalSegs()
+	ppl := func(aBits int) float64 {
+		r, err := SmoothQuantWA(m, testStats(), 8, aBits, 8, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eval.PerplexityOnSegments(r.Model, segs)
+	}
+	p8, p3 := ppl(8), ppl(3)
+	if p3 <= p8 {
+		t.Fatalf("3-bit activations PPL %v not worse than 8-bit %v", p3, p8)
+	}
+}
+
+func TestSmoothQuantWAValidation(t *testing.T) {
+	m := testModel()
+	if _, err := SmoothQuantWA(m, testStats(), 8, 0, 8, 0.5); err == nil {
+		t.Fatal("activation bits 0 must error")
+	}
+	if _, err := SmoothQuantWA(m, testStats(), 8, 8, 8, 2); err == nil {
+		t.Fatal("alpha out of range must error")
+	}
+}
+
+func TestSmoothQuantWABackwardPanics(t *testing.T) {
+	m := testModel()
+	r, err := SmoothQuantWA(m, testStats(), 8, 8, 8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward through deployment transforms must panic")
+		}
+	}()
+	batchIDs := []int{1, 2, 3, 4}
+	targets := []int{2, 3, 4, 5}
+	r.Model.LossAndBackward(batchIDs, targets)
+}

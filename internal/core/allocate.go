@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Allocation maps each quantizable layer to a bit width under the 2/4-bit
+// mixed-precision scheme of Section 3.3 (or a multi-width ladder when
+// produced by AllocateKnapsack).
+type Allocation struct {
+	// Bits[layerName] is the assigned width.
+	Bits map[string]int
+	// FourBitWeights / TotalWeights give the achieved ratio R (weights at
+	// the highest width over all weights).
+	FourBitWeights int
+	TotalWeights   int
+	HighBits       int
+	LowBits        int
+	// weightedAvgBits, when set (multi-width allocations), is the exact
+	// Σ w_l·b_l / Σ w_l; otherwise AverageBits uses eq. (18).
+	weightedAvgBits float64
+}
+
+// Ratio returns the achieved fraction of weights at the high bit width —
+// the R of eq. (18).
+func (a *Allocation) Ratio() float64 {
+	if a.TotalWeights == 0 {
+		return 0
+	}
+	return float64(a.FourBitWeights) / float64(a.TotalWeights)
+}
+
+// AverageBits evaluates eq. (18): avg = high·R + low·(1−R). For
+// multi-width allocations it returns the exact weighted average.
+func (a *Allocation) AverageBits() float64 {
+	if a.weightedAvgBits != 0 {
+		return a.weightedAvgBits
+	}
+	r := a.Ratio()
+	return float64(a.HighBits)*r + float64(a.LowBits)*(1-r)
+}
+
+// Allocate implements Step 2 of Algorithm 1: order layers by sensitivity
+// (highest first) and keep assigning the high bit width until at least
+// ratio·totalWeights scalar weights are covered; every remaining layer
+// drops to the low width. Allocation is by whole layers, mirroring the
+// paper's per-layer precision assignment; because layer sizes are discrete
+// the achieved ratio is the closest reachable value >= the request (or all
+// layers, whichever is first).
+func Allocate(sens []Sensitivity, ratio float64, highBits, lowBits int) (*Allocation, error) {
+	if ratio < 0 || ratio > 1 {
+		return nil, fmt.Errorf("core: 4-bit ratio %v outside [0,1]", ratio)
+	}
+	if highBits <= lowBits {
+		return nil, fmt.Errorf("core: highBits %d must exceed lowBits %d", highBits, lowBits)
+	}
+	order := make([]Sensitivity, len(sens))
+	copy(order, sens)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Score > order[j].Score })
+
+	total := 0
+	for _, s := range order {
+		total += s.Weights
+	}
+	alloc := &Allocation{
+		Bits:         make(map[string]int, len(order)),
+		TotalWeights: total,
+		HighBits:     highBits,
+		LowBits:      lowBits,
+	}
+	budget := int(ratio * float64(total))
+	covered := 0
+	for _, s := range order {
+		if covered < budget {
+			alloc.Bits[s.Name] = highBits
+			covered += s.Weights
+		} else {
+			alloc.Bits[s.Name] = lowBits
+		}
+	}
+	alloc.FourBitWeights = covered
+	return alloc, nil
+}
+
+// ManualBlockwise is the ablation baseline of Table 3: instead of
+// sensitivity ordering, whole transformer blocks are kept at the high width
+// front-to-back until the ratio budget is met. It mirrors the "most
+// intuitive mixed-precision strategy" the paper compares against.
+func ManualBlockwise(sens []Sensitivity, ratio float64, highBits, lowBits int) (*Allocation, error) {
+	if ratio < 0 || ratio > 1 {
+		return nil, fmt.Errorf("core: 4-bit ratio %v outside [0,1]", ratio)
+	}
+	order := make([]Sensitivity, len(sens))
+	copy(order, sens)
+	// Stable order by (block, original index): front blocks first.
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Block < order[j].Block })
+
+	total := 0
+	for _, s := range order {
+		total += s.Weights
+	}
+	alloc := &Allocation{
+		Bits:         make(map[string]int, len(order)),
+		TotalWeights: total,
+		HighBits:     highBits,
+		LowBits:      lowBits,
+	}
+	budget := int(ratio * float64(total))
+	covered := 0
+	currentBlock := -1
+	blockOpen := false
+	for _, s := range order {
+		if s.Block != currentBlock {
+			currentBlock = s.Block
+			blockOpen = covered < budget
+		}
+		if blockOpen {
+			alloc.Bits[s.Name] = highBits
+			covered += s.Weights
+		} else {
+			alloc.Bits[s.Name] = lowBits
+		}
+	}
+	alloc.FourBitWeights = covered
+	return alloc, nil
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/quant"
+)
+
+// Multi-width allocation extends the paper's 2/4-bit scheme to an arbitrary
+// width ladder (e.g. {2,3,4}) under an average-bits budget, in the spirit
+// of HAWQ-V3's integer-programming formulation. A greedy marginal-benefit
+// knapsack is provably near-optimal here because layer upgrade benefits are
+// independent and the budget is one-dimensional:
+//
+//  1. every layer starts at the smallest width;
+//  2. candidate upgrades (layer, next width) are ranked by
+//     Δscore / (weights·Δbits) — loss reduction per bit of budget;
+//  3. upgrades are applied while the average-bits budget allows.
+//
+// Scores are the same second-order estimates as the 2/4-bit allocator:
+// for MetricFisherDelta, Σ_i F_ii·δ_i(b)² at each candidate width b.
+
+// AllocateKnapsack allocates widths to layers so that the weighted average
+// bit width does not exceed targetAvgBits.
+func (st *Stats) AllocateKnapsack(metric SensitivityMetric, targetAvgBits float64, widths []int, groupSize int, seed int64) (*Allocation, error) {
+	if len(widths) < 2 {
+		return nil, fmt.Errorf("core: knapsack needs >= 2 widths, got %v", widths)
+	}
+	ws := append([]int(nil), widths...)
+	sort.Ints(ws)
+	for i := 1; i < len(ws); i++ {
+		if ws[i] == ws[i-1] {
+			return nil, fmt.Errorf("core: duplicate width %d", ws[i])
+		}
+	}
+	lo, hi := ws[0], ws[len(ws)-1]
+	if targetAvgBits < float64(lo) || targetAvgBits > float64(hi) {
+		return nil, fmt.Errorf("core: target %.2f bits outside [%d,%d]", targetAvgBits, lo, hi)
+	}
+
+	// scores[l][k]: estimated loss increase of layer l at width ws[k].
+	n := len(st.Layers)
+	scores := make([][]float64, n)
+	for l := range st.Layers {
+		ls := &st.Layers[l]
+		scores[l] = make([]float64, len(ws))
+		for k, b := range ws {
+			switch metric {
+			case MetricFisherDelta:
+				scores[l][k] = fisherDelta(ls, b, groupSize)
+			case MetricGPTQTrace:
+				scores[l][k] = ls.XtX.MeanDiag() * quantPerturbation(ls.Ref.Linear.P.W, b, groupSize)
+			default:
+				scores[l][k] = ls.Hessian().MeanDiag() * quantPerturbation(ls.Ref.Linear.P.W, b, groupSize)
+			}
+		}
+	}
+
+	level := make([]int, n) // index into ws per layer
+	totalWeights := 0
+	for l := range st.Layers {
+		totalWeights += st.Layers[l].Ref.NumWeights()
+	}
+	budgetBits := targetAvgBits * float64(totalWeights)
+	usedBits := float64(lo * totalWeights)
+
+	type upgrade struct {
+		layer   int
+		benefit float64 // Δscore per bit of budget
+	}
+	nextBenefit := func(l int) (upgrade, bool) {
+		k := level[l]
+		if k+1 >= len(ws) {
+			return upgrade{}, false
+		}
+		w := float64(st.Layers[l].Ref.NumWeights())
+		dBits := float64(ws[k+1]-ws[k]) * w
+		dScore := scores[l][k] - scores[l][k+1]
+		if dScore < 0 {
+			dScore = 0
+		}
+		return upgrade{layer: l, benefit: dScore / dBits}, true
+	}
+
+	for {
+		best, ok := upgrade{layer: -1}, false
+		for l := range level {
+			if u, has := nextBenefit(l); has {
+				w := float64(st.Layers[l].Ref.NumWeights())
+				cost := float64(ws[level[l]+1]-ws[level[l]]) * w
+				if usedBits+cost <= budgetBits+1e-9 && (!ok || u.benefit > best.benefit) {
+					best, ok = u, true
+				}
+			}
+		}
+		if !ok {
+			break
+		}
+		l := best.layer
+		w := float64(st.Layers[l].Ref.NumWeights())
+		usedBits += float64(ws[level[l]+1]-ws[level[l]]) * w
+		level[l]++
+	}
+
+	alloc := &Allocation{
+		Bits:         make(map[string]int, n),
+		TotalWeights: totalWeights,
+		HighBits:     hi,
+		LowBits:      lo,
+	}
+	var weightedBits float64
+	for l := range st.Layers {
+		b := ws[level[l]]
+		alloc.Bits[st.Layers[l].Ref.Name()] = b
+		w := st.Layers[l].Ref.NumWeights()
+		weightedBits += float64(b * w)
+		if b == hi {
+			alloc.FourBitWeights += w
+		}
+	}
+	alloc.weightedAvgBits = weightedBits / float64(totalWeights)
+	return alloc, nil
+}
+
+// quantErrAtWidth is a test seam exposing the RTN perturbation used by the
+// knapsack scores.
+func quantErrAtWidth(ls *LayerStats, bits, groupSize int) float64 {
+	w := ls.Ref.Linear.P.W
+	q := quant.RTN(w, bits, groupSize, false)
+	mse, _ := quant.QuantizationError(w, q)
+	return mse * float64(w.Rows*w.Cols)
+}

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/eval"
+	"repro/internal/model"
+)
+
+func TestSensitivityScoresPositive(t *testing.T) {
+	st := collectTestStats(t)
+	for _, metric := range []SensitivityMetric{MetricTrace, MetricTraceQuantErr, MetricGPTQTrace} {
+		sens := st.Sensitivities(metric, 2, 8, 1)
+		if len(sens) != len(st.Layers) {
+			t.Fatalf("%v: %d scores", metric, len(sens))
+		}
+		for _, s := range sens {
+			if s.Score <= 0 || math.IsNaN(s.Score) {
+				t.Fatalf("%v: layer %s score %v", metric, s.Name, s.Score)
+			}
+			if s.Weights <= 0 {
+				t.Fatalf("layer %s has %d weights", s.Name, s.Weights)
+			}
+		}
+	}
+}
+
+func TestSensitivityMetricsDiffer(t *testing.T) {
+	st := collectTestStats(t)
+	a := st.Sensitivities(MetricTraceQuantErr, 2, 8, 1)
+	b := st.Sensitivities(MetricRandom, 2, 8, 1)
+	same := true
+	for i := range a {
+		ra := rankOf(a, a[i].Name)
+		rb := rankOf(b, b[i].Name)
+		if ra != rb {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("random metric produced identical ordering to structured metric")
+	}
+}
+
+func rankOf(ss []Sensitivity, name string) int {
+	better := 0
+	var self float64
+	for _, s := range ss {
+		if s.Name == name {
+			self = s.Score
+		}
+	}
+	for _, s := range ss {
+		if s.Score > self {
+			better++
+		}
+	}
+	return better
+}
+
+func TestNormalizeScores(t *testing.T) {
+	ss := []Sensitivity{{Name: "a", Score: 4}, {Name: "b", Score: 2}}
+	n := NormalizeScores(ss)
+	if n[0].Score != 1 || n[1].Score != 0.5 {
+		t.Fatalf("normalized scores %v", n)
+	}
+	if ss[0].Score != 4 {
+		t.Fatal("NormalizeScores must not mutate input")
+	}
+}
+
+func TestAllocateExtremes(t *testing.T) {
+	sens := []Sensitivity{
+		{Name: "a", Score: 3, Weights: 100},
+		{Name: "b", Score: 2, Weights: 100},
+		{Name: "c", Score: 1, Weights: 100},
+	}
+	all4, err := Allocate(sens, 1.0, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, bits := range all4.Bits {
+		if bits != 4 {
+			t.Fatalf("ratio 1.0: layer %s got %d bits", name, bits)
+		}
+	}
+	if all4.AverageBits() != 4 {
+		t.Fatalf("avg bits %v", all4.AverageBits())
+	}
+	all2, err := Allocate(sens, 0, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, bits := range all2.Bits {
+		if bits != 2 {
+			t.Fatalf("ratio 0: layer %s got %d bits", name, bits)
+		}
+	}
+	if all2.AverageBits() != 2 {
+		t.Fatalf("avg bits %v", all2.AverageBits())
+	}
+}
+
+func TestAllocatePrefersHighScores(t *testing.T) {
+	sens := []Sensitivity{
+		{Name: "low", Score: 1, Weights: 100},
+		{Name: "high", Score: 10, Weights: 100},
+		{Name: "mid", Score: 5, Weights: 100},
+	}
+	a, err := Allocate(sens, 0.34, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Bits["high"] != 4 {
+		t.Fatal("highest-score layer must stay at 4 bits")
+	}
+	if a.Bits["low"] != 2 {
+		t.Fatal("lowest-score layer must drop to 2 bits")
+	}
+	// eq. (18) check: R ≈ 1/3 at whole-layer granularity → achieved after
+	// covering the first layer that crosses the budget.
+	wantAvg := 4*a.Ratio() + 2*(1-a.Ratio())
+	if math.Abs(a.AverageBits()-wantAvg) > 1e-12 {
+		t.Fatalf("eq 18 violated: %v vs %v", a.AverageBits(), wantAvg)
+	}
+}
+
+func TestAllocateValidation(t *testing.T) {
+	if _, err := Allocate(nil, -0.1, 4, 2); err == nil {
+		t.Fatal("negative ratio must error")
+	}
+	if _, err := Allocate(nil, 0.5, 2, 4); err == nil {
+		t.Fatal("highBits <= lowBits must error")
+	}
+}
+
+func TestManualBlockwiseFrontFirst(t *testing.T) {
+	sens := []Sensitivity{
+		{Name: "b0.x", Block: 0, Score: 1, Weights: 100},
+		{Name: "b1.x", Block: 1, Score: 100, Weights: 100},
+		{Name: "b2.x", Block: 2, Score: 50, Weights: 100},
+	}
+	a, err := ManualBlockwise(sens, 0.3, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Front block gets 4 bits regardless of (high) score elsewhere.
+	if a.Bits["b0.x"] != 4 || a.Bits["b1.x"] != 2 || a.Bits["b2.x"] != 2 {
+		t.Fatalf("blockwise allocation %v", a.Bits)
+	}
+}
+
+func TestManualBlockwiseWholeBlocks(t *testing.T) {
+	// A block must not be split: once open it stays at high bits even past
+	// the budget.
+	sens := []Sensitivity{
+		{Name: "b0.x", Block: 0, Weights: 60},
+		{Name: "b0.y", Block: 0, Weights: 60},
+		{Name: "b1.x", Block: 1, Weights: 60},
+	}
+	a, err := ManualBlockwise(sens, 0.4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Bits["b0.x"] != 4 || a.Bits["b0.y"] != 4 {
+		t.Fatal("block 0 must be uniformly 4-bit")
+	}
+	if a.Bits["b1.x"] != 2 {
+		t.Fatal("block 1 must be 2-bit")
+	}
+}
+
+func TestQuantizeEndToEnd(t *testing.T) {
+	m := testModel()
+	calib := testCalib(6)
+	res, err := Quantize(m, calib, DefaultOptions(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Layers) != len(m.QuantizableLayers()) {
+		t.Fatalf("%d layer reports", len(res.Layers))
+	}
+	if math.Abs(res.AvgBits-4) > 1e-9 {
+		t.Fatalf("uniform 4-bit run reports %v avg bits", res.AvgBits)
+	}
+	if res.AvgBitsWithOverhead <= res.AvgBits {
+		t.Fatal("overhead accounting must exceed code bits")
+	}
+	// The original model must be untouched.
+	src := data.NewC4Like(32)
+	ids := src.Generate(rand.New(rand.NewSource(1)), 12)
+	if m.Forward(ids).Equal(res.Model.Forward(ids), 1e-12) {
+		t.Fatal("quantized model output identical to FP — nothing was quantized?")
+	}
+}
+
+func TestQuantizePreservesQuality4Bit(t *testing.T) {
+	m := testModel()
+	calib := testCalib(6)
+	res, err := Quantize(m, calib, DefaultOptions(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := data.NewC4Like(32)
+	rng := rand.New(rand.NewSource(7))
+	segs := make([][]int, 25)
+	for i := range segs {
+		segs[i] = src.Generate(rng, 16)
+	}
+	fp := eval.PerplexityOnSegments(m, segs)
+	q4 := eval.PerplexityOnSegments(res.Model, segs)
+	if q4 < fp*0.98 {
+		t.Fatalf("4-bit PPL %v suspiciously below FP %v", q4, fp)
+	}
+	if q4 > fp*1.5 {
+		t.Fatalf("4-bit PPL %v degraded too much from FP %v", q4, fp)
+	}
+}
+
+func TestQuantizeMixedPrecisionDegradesGracefully(t *testing.T) {
+	m := testModel()
+	calib := testCalib(6)
+	src := data.NewC4Like(32)
+	rng := rand.New(rand.NewSource(8))
+	segs := make([][]int, 25)
+	for i := range segs {
+		segs[i] = src.Generate(rng, 16)
+	}
+	ppl := func(ratio float64) float64 {
+		res, err := Quantize(m, calib, DefaultOptions(ratio))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 4*res.Allocation.Ratio() + 2*(1-res.Allocation.Ratio())
+		if math.Abs(res.AvgBits-want) > 1e-9 {
+			t.Fatalf("ratio %v: avg bits %v != eq18 %v", ratio, res.AvgBits, want)
+		}
+		return eval.PerplexityOnSegments(res.Model, segs)
+	}
+	p100, p0 := ppl(1.0), ppl(0.0)
+	if p0 <= p100 {
+		t.Fatalf("all-2-bit PPL %v not worse than all-4-bit %v", p0, p100)
+	}
+}
+
+func TestQuantizeWithManualAllocator(t *testing.T) {
+	m := testModel()
+	calib := testCalib(4)
+	opts := DefaultOptions(0.5)
+	opts.Allocator = ManualBlockwise
+	res, err := Quantize(m, calib, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Front blocks 4-bit, back blocks 2-bit.
+	bitsOfBlock := map[string]int{}
+	for _, lr := range res.Layers {
+		bitsOfBlock[lr.Name[:7]] = lr.Bits // "blockNN"
+	}
+	if bitsOfBlock["block00"] != 4 {
+		t.Fatal("block 0 should be 4-bit under front-first manual allocation")
+	}
+	last := len(testModel().Blocks) - 1
+	if bitsOfBlock[fmt.Sprintf("block%02d", last)] != 2 {
+		t.Fatal("last block should be 2-bit under front-first manual allocation")
+	}
+}
+
+func TestQuantizeSequentialMode(t *testing.T) {
+	m := testModel()
+	calib := testCalib(4)
+	opts := DefaultOptions(1.0)
+	opts.Sequential = true
+	res, err := Quantize(m, calib, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := data.NewC4Like(32)
+	rng := rand.New(rand.NewSource(9))
+	segs := make([][]int, 15)
+	for i := range segs {
+		segs[i] = src.Generate(rng, 16)
+	}
+	fp := eval.PerplexityOnSegments(m, segs)
+	q := eval.PerplexityOnSegments(res.Model, segs)
+	if q > fp*1.6 {
+		t.Fatalf("sequential 4-bit PPL %v too far above FP %v", q, fp)
+	}
+}
+
+func TestQuantizeRejectsZeroOptions(t *testing.T) {
+	m := testModel()
+	st := collectTestStats(t)
+	if _, err := QuantizeWithStats(m, st, nil, Options{}); err == nil {
+		t.Fatal("zero options must be rejected")
+	}
+}
+
+func TestEntropyOfScoresHelper(t *testing.T) {
+	uniform := []Sensitivity{{Score: 1}, {Score: 1}}
+	peaked := []Sensitivity{{Score: 100}, {Score: 0.0001}}
+	if entropyOfScores(uniform) <= entropyOfScores(peaked) {
+		t.Fatal("uniform scores must have higher entropy")
+	}
+	if entropyOfScores(nil) != 0 {
+		t.Fatal("empty scores entropy must be 0")
+	}
+}
+
+func TestTinyModelHelpers(t *testing.T) {
+	// Guard the index assumptions used in other tests (block0 order).
+	layers := testModel().QuantizableLayers()
+	if layers[2].Role != model.RoleV || layers[4].Role != model.RoleGate {
+		t.Fatal("layer ordering assumption violated")
+	}
+}

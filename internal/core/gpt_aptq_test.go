@@ -1,0 +1,100 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/eval"
+	"repro/internal/model"
+	"repro/internal/train"
+)
+
+// gptModel trains one shared tiny GPT-architecture model, verifying the
+// whole pipeline is architecture-agnostic.
+var gptModel = sync.OnceValue(func() *model.Model {
+	src := data.NewC4Like(32)
+	m := model.New(model.TinyGPT(), 1)
+	train.Train(m, src, train.Config{Steps: 250, BatchSize: 2, SeqLen: 16, LR: 3e-3, Warmup: 15, ClipNorm: 1, Seed: 1})
+	return m
+})
+
+func TestGPTTrainingLearns(t *testing.T) {
+	m := gptModel()
+	src := data.NewC4Like(32)
+	ppl := eval.Perplexity(m, src, rand.New(rand.NewSource(1)), 30, 16)
+	if ppl > 25 {
+		t.Fatalf("trained GPT model PPL %v did not improve on uniform 32", ppl)
+	}
+}
+
+func TestGPTCollectStats(t *testing.T) {
+	m := gptModel()
+	st, err := CollectStats(m, testCalib(6), CollectOptions{Probes: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Layers) != len(m.QuantizableLayers()) {
+		t.Fatalf("%d stats", len(st.Layers))
+	}
+	for i := range st.Layers {
+		ls := &st.Layers[i]
+		if ls.Hessian().MeanDiag() <= 0 {
+			t.Fatalf("%s: non-positive Hessian trace", ls.Ref.Name())
+		}
+		if math.IsNaN(ls.FisherDiag.MaxAbs()) {
+			t.Fatalf("%s: NaN Fisher", ls.Ref.Name())
+		}
+	}
+}
+
+func TestGPTAPTQEndToEnd(t *testing.T) {
+	m := gptModel()
+	calib := testCalib(6)
+	res, err := Quantize(m, calib, DefaultOptions(0.75))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := data.NewC4Like(32)
+	rng := rand.New(rand.NewSource(12))
+	segs := make([][]int, 25)
+	for i := range segs {
+		segs[i] = src.Generate(rng, 16)
+	}
+	fp := eval.PerplexityOnSegments(m, segs)
+	q := eval.PerplexityOnSegments(res.Model, segs)
+	if q > fp*1.5 {
+		t.Fatalf("APTQ-3.5bit on GPT arch: PPL %v vs FP %v", q, fp)
+	}
+	if math.Abs(res.AvgBits-res.Allocation.AverageBits()) > 1e-9 {
+		t.Fatal("avg bits accounting inconsistent")
+	}
+}
+
+func TestGPTCompressedRoundTrip(t *testing.T) {
+	m := gptModel()
+	calib := testCalib(6)
+	res, err := Quantize(m, calib, DefaultOptions(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCompressed(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCompressed(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []int{1, 2, 3, 4}
+	a := res.Model.Forward(ids)
+	b := got.Forward(ids)
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > 1e-3 {
+			t.Fatalf("logit %d differs: %v vs %v", i, a.Data[i], b.Data[i])
+		}
+	}
+}

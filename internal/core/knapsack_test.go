@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/eval"
+)
+
+func TestKnapsackRespectsBudget(t *testing.T) {
+	st := collectTestStats(t)
+	for _, target := range []float64{2.0, 2.5, 3.0, 3.5, 4.0} {
+		alloc, err := st.AllocateKnapsack(MetricFisherDelta, target, []int{2, 3, 4}, 8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alloc.AverageBits() > target+1e-9 {
+			t.Fatalf("target %.2f: achieved %.4f bits over budget", target, alloc.AverageBits())
+		}
+		for name, b := range alloc.Bits {
+			if b != 2 && b != 3 && b != 4 {
+				t.Fatalf("layer %s got width %d outside ladder", name, b)
+			}
+		}
+	}
+}
+
+func TestKnapsackSaturatesAtExtremes(t *testing.T) {
+	st := collectTestStats(t)
+	low, err := st.AllocateKnapsack(MetricFisherDelta, 2.0, []int{2, 4}, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, b := range low.Bits {
+		if b != 2 {
+			t.Fatalf("target 2.0: layer %s at %d bits", name, b)
+		}
+	}
+	high, err := st.AllocateKnapsack(MetricFisherDelta, 4.0, []int{2, 4}, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, b := range high.Bits {
+		if b != 4 {
+			t.Fatalf("target 4.0: layer %s at %d bits", name, b)
+		}
+	}
+}
+
+func TestKnapsackValidation(t *testing.T) {
+	st := collectTestStats(t)
+	if _, err := st.AllocateKnapsack(MetricFisherDelta, 3, []int{4}, 8, 1); err == nil {
+		t.Fatal("single width must error")
+	}
+	if _, err := st.AllocateKnapsack(MetricFisherDelta, 3, []int{4, 4}, 8, 1); err == nil {
+		t.Fatal("duplicate widths must error")
+	}
+	if _, err := st.AllocateKnapsack(MetricFisherDelta, 5, []int{2, 4}, 8, 1); err == nil {
+		t.Fatal("target above max width must error")
+	}
+	if _, err := st.AllocateKnapsack(MetricFisherDelta, 1, []int{2, 4}, 8, 1); err == nil {
+		t.Fatal("target below min width must error")
+	}
+}
+
+func TestKnapsackBudgetUsedEffectively(t *testing.T) {
+	// At a 3.0-bit budget on a {2,3,4} ladder, the allocator should spend
+	// most of the budget: achieved average within 0.5 bits of the target.
+	st := collectTestStats(t)
+	alloc, err := st.AllocateKnapsack(MetricFisherDelta, 3.0, []int{2, 3, 4}, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.AverageBits() < 2.5 {
+		t.Fatalf("achieved only %.3f bits of a 3.0 budget", alloc.AverageBits())
+	}
+}
+
+func TestKnapsackEndToEndMatchesOrBeats24(t *testing.T) {
+	// With a {2,3,4} ladder the allocator has strictly more freedom than
+	// the 2/4 scheme at the same 3.0-bit budget; the resulting PPL should
+	// be comparable or better (allow a small noise band).
+	m := testModel()
+	calib := testCalib(6)
+	st, err := CollectStats(m, calib, CollectOptions{Probes: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := data.NewC4Like(32)
+	rng := rand.New(rand.NewSource(11))
+	segs := make([][]int, 30)
+	for i := range segs {
+		segs[i] = src.Generate(rng, 16)
+	}
+
+	twoFour, err := QuantizeWithStats(m, st, calib, DefaultOptions(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(0)
+	opts.Widths = []int{2, 3, 4}
+	opts.TargetAvgBits = 3.0
+	ladder, err := QuantizeWithStats(m, st, calib, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ladder.AvgBits > 3.0+1e-9 {
+		t.Fatalf("ladder run exceeded budget: %.3f bits", ladder.AvgBits)
+	}
+	p24 := eval.PerplexityOnSegments(twoFour.Model, segs)
+	pl := eval.PerplexityOnSegments(ladder.Model, segs)
+	if pl > p24*1.10 {
+		t.Fatalf("{2,3,4} ladder PPL %.3f much worse than 2/4 scheme %.3f", pl, p24)
+	}
+}
+
+func TestQuantErrAtWidthMonotone(t *testing.T) {
+	st := collectTestStats(t)
+	ls := &st.Layers[0]
+	e2 := quantErrAtWidth(ls, 2, 8)
+	e3 := quantErrAtWidth(ls, 3, 8)
+	e4 := quantErrAtWidth(ls, 4, 8)
+	if !(e2 > e3 && e3 > e4) {
+		t.Fatalf("perturbation not monotone: %v %v %v", e2, e3, e4)
+	}
+	if math.IsNaN(e2) || e4 <= 0 {
+		t.Fatal("invalid perturbation values")
+	}
+}

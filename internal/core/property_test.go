@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestAllocateInvariants property-checks the mixed-precision allocator on
+// random sensitivity profiles: every layer gets exactly one of {low, high}
+// bits, the high-bit weight mass meets the requested ratio (or saturates),
+// and eq. (18) holds for the achieved ratio.
+func TestAllocateInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		sens := make([]Sensitivity, n)
+		total := 0
+		for i := range sens {
+			w := 1 + rng.Intn(500)
+			total += w
+			sens[i] = Sensitivity{
+				Name:    string(rune('a'+i%26)) + string(rune('0'+i/26)),
+				Weights: w,
+				Score:   rng.Float64() * 100,
+			}
+		}
+		ratio := rng.Float64()
+		a, err := Allocate(sens, ratio, 4, 2)
+		if err != nil {
+			return false
+		}
+		covered := 0
+		for _, s := range sens {
+			bits, ok := a.Bits[s.Name]
+			if !ok || (bits != 2 && bits != 4) {
+				return false
+			}
+			if bits == 4 {
+				covered += s.Weights
+			}
+		}
+		if covered != a.FourBitWeights || a.TotalWeights != total {
+			return false
+		}
+		// Budget: covered mass must be >= floor(ratio*total) unless every
+		// layer is already at 4 bits.
+		budget := int(ratio * float64(total))
+		if covered < budget && covered != total {
+			return false
+		}
+		// eq. (18) for the achieved ratio.
+		r := a.Ratio()
+		want := 4*r + 2*(1-r)
+		return abs(a.AverageBits()-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllocateMonotoneInRatio property-checks that raising the ratio never
+// removes 4-bit status from a layer (the allocation order is fixed by
+// scores).
+func TestAllocateMonotoneInRatio(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		sens := make([]Sensitivity, n)
+		for i := range sens {
+			sens[i] = Sensitivity{
+				Name:    string(rune('a' + i)),
+				Weights: 1 + rng.Intn(100),
+				Score:   rng.Float64(),
+			}
+		}
+		r1 := rng.Float64() * 0.5
+		r2 := r1 + rng.Float64()*(1-r1)
+		a1, err1 := Allocate(sens, r1, 4, 2)
+		a2, err2 := Allocate(sens, r2, 4, 2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for name, bits := range a1.Bits {
+			if bits == 4 && a2.Bits[name] != 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestManualBlockwiseUniformWithinBlock property-checks the Table 3
+// baseline: all layers of one block share one bit width.
+func TestManualBlockwiseUniformWithinBlock(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		blocks := 1 + rng.Intn(8)
+		perBlock := 1 + rng.Intn(7)
+		var sens []Sensitivity
+		for b := 0; b < blocks; b++ {
+			for l := 0; l < perBlock; l++ {
+				sens = append(sens, Sensitivity{
+					Name:    string(rune('a'+b)) + string(rune('0'+l)),
+					Block:   b,
+					Weights: 1 + rng.Intn(50),
+					Score:   rng.Float64(),
+				})
+			}
+		}
+		a, err := ManualBlockwise(sens, rng.Float64(), 4, 2)
+		if err != nil {
+			return false
+		}
+		blockBits := map[int]int{}
+		for _, s := range sens {
+			bits := a.Bits[s.Name]
+			if prev, ok := blockBits[s.Block]; ok && prev != bits {
+				return false
+			}
+			blockBits[s.Block] = bits
+		}
+		// Blocks at 4 bits must be a prefix: no 4-bit block after a 2-bit
+		// one.
+		seen2 := false
+		for b := 0; b < blocks; b++ {
+			if blockBits[b] == 2 {
+				seen2 = true
+			} else if seen2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,262 @@
+// Package core implements APTQ — Attention-aware Post-Training
+// Mixed-Precision Quantization (Guan et al., DAC 2024). It contains the
+// three pieces the paper contributes on top of GPTQ:
+//
+//  1. attention-aware Hessian construction (eqs. 5-13): the quantization
+//     objective is ||F(W) − F(Ŵ)||² with F the attention-block output, and
+//     the Levenberg-Marquardt Hessian H = 2·F′(Ŵ)F′(Ŵ)ᵀ is assembled from
+//     the Jacobians of F with respect to each projection (stats.go),
+//  2. Hessian-trace-based layer sensitivity (sensitivity.go), and
+//  3. mixed 2/4-bit precision allocation under a 4-bit-ratio budget R with
+//     avg bits = 4R + 2(1−R), eq. (18) (allocate.go),
+//
+// glued together by the Algorithm-1 pipeline in aptq.go, with the shared
+// OBQ/Cholesky update rules (eqs. 16/17) provided by internal/gptq.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// LayerStats holds the calibration statistics of one quantizable layer.
+type LayerStats struct {
+	Ref model.LayerRef
+
+	// XtX accumulates Σ XᵀX of the layer's own input — the GPTQ statistic,
+	// collected for every layer (it is both the MLP Hessian and the
+	// baseline for ablations).
+	XtX *tensor.Mat
+
+	// AttnH is the attention-aware Hessian accumulator for W_Q, W_K
+	// (probe-based Jacobians, eqs. 12/13) and W_O (analytic effective
+	// input Concat(heads), eq. 9). Nil for W_V and MLP layers.
+	AttnH *tensor.Mat
+
+	// HeadH are the per-head attention-aware Hessian accumulators for W_V:
+	// head h's effective input is M_h = A_h·X (eqs. 10/11), so rows of W_V
+	// belonging to head h get Hessian 2·M_hᵀM_h. Nil for other roles.
+	HeadH []*tensor.Mat
+
+	// FisherDiag accumulates the diagonal empirical Fisher of the LM loss,
+	// Σ_seg (∂L/∂W)², per weight. This is the loss-Hessian trace statistic
+	// in the HAWQ-V2 sense (the work the paper builds its trace metric on):
+	// unlike the layer-local attention-output trace, it sees how much a
+	// layer's error is amplified by everything downstream, which dominates
+	// true layer importance in deep stacks. It drives the default
+	// mixed-precision sensitivity metric (MetricFisherDelta).
+	FisherDiag *tensor.Mat
+}
+
+// Stats is the full calibration statistics set for a model.
+type Stats struct {
+	Layers []LayerStats
+	// Tokens is the total number of calibration tokens processed.
+	Tokens int
+	// Probes is the number of Rademacher probes per segment used for the
+	// W_Q / W_K Jacobian estimates.
+	Probes int
+	// finalized guards against double normalization.
+	finalized bool
+}
+
+// CollectOptions controls calibration statistics collection.
+type CollectOptions struct {
+	// Probes per calibration segment for the Q/K Jacobian estimator
+	// (default 4).
+	Probes int
+	// Seed drives the Rademacher probe sampling.
+	Seed int64
+}
+
+// CollectStats runs the model over the calibration set and accumulates all
+// Hessian statistics in one pass per segment:
+//
+//   - every linear layer's input Gram XᵀX,
+//   - W_O's effective-input Gram Concat(heads)ᵀConcat(heads),
+//   - W_V's per-head effective-input Grams (A_h·X)ᵀ(A_h·X),
+//   - W_Q/W_K probe Jacobian Grams: for Rademacher probes R over the
+//     attention output F, backpropagate s = ⟨R, F⟩ through the softmax and
+//     matmuls (eqs. 12/13) to get G = ∂s/∂W and accumulate GᵀG.
+//
+// After the pass, accumulators are normalized to Hessians:
+// H = 2·Σ(stat)/tokens, with the probe statistic additionally divided by
+// (probes · d_out) so that for a *linear* layer it converges to the same
+// 2·XᵀX/tokens scale as the analytic statistic (E[GᵀG] = d_out·XᵀX for
+// Rademacher probes). This keeps traces comparable across layer roles,
+// which the mixed-precision allocator requires.
+func CollectStats(m *model.Model, calib *data.CalibrationSet, opts CollectOptions) (*Stats, error) {
+	if len(calib.Segments) == 0 {
+		return nil, fmt.Errorf("core: empty calibration set")
+	}
+	if opts.Probes <= 0 {
+		opts.Probes = 4
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	layers := m.QuantizableLayers()
+	st := &Stats{Probes: opts.Probes}
+	for _, ref := range layers {
+		ls := LayerStats{
+			Ref:        ref,
+			XtX:        tensor.New(ref.Linear.In(), ref.Linear.In()),
+			FisherDiag: tensor.New(ref.Linear.Out(), ref.Linear.In()),
+		}
+		switch ref.Role {
+		case model.RoleQ, model.RoleK, model.RoleO:
+			ls.AttnH = tensor.New(ref.Linear.In(), ref.Linear.In())
+		case model.RoleV:
+			ls.HeadH = make([]*tensor.Mat, ref.Attn.Heads)
+			for h := range ls.HeadH {
+				ls.HeadH[h] = tensor.New(ref.Linear.In(), ref.Linear.In())
+			}
+		}
+		st.Layers = append(st.Layers, ls)
+	}
+
+	for _, seg := range calib.Segments {
+		m.Forward(seg)
+		st.Tokens += len(seg)
+		for i := range st.Layers {
+			ls := &st.Layers[i]
+			// GPTQ statistic for every layer.
+			tensor.AccumGram(ls.XtX, ls.Ref.Linear.LastInput())
+			switch ls.Ref.Role {
+			case model.RoleO:
+				// eq. (9): effective input of W_O is Concat(head_1..H).
+				tensor.AccumGram(ls.AttnH, ls.Ref.Attn.LastContext())
+			case model.RoleV:
+				// eqs. (10)/(11): per-head effective input M_h = A_h·X.
+				x := ls.Ref.Attn.LastInput()
+				for h := 0; h < ls.Ref.Attn.Heads; h++ {
+					mh := tensor.MatMul(ls.Ref.Attn.HeadAttn(h), x)
+					tensor.AccumGram(ls.HeadH[h], mh)
+				}
+			}
+		}
+		// Probe backprop for W_Q / W_K of every block, reusing this
+		// segment's forward caches.
+		accumProbeGrams(m, st, rng, opts.Probes, len(seg))
+
+		// Diagonal empirical Fisher of the LM loss on this segment (runs
+		// its own forward, so it comes after all cache consumers).
+		batch := data.NextTokenBatch(seg)
+		m.ZeroGrad()
+		m.LossAndBackward(batch.IDs, batch.Targets)
+		for i := range st.Layers {
+			ls := &st.Layers[i]
+			g := ls.Ref.Linear.P.Grad
+			for j, gv := range g.Data {
+				ls.FisherDiag.Data[j] += gv * gv
+			}
+		}
+	}
+	m.ZeroGrad()
+
+	st.finalize(m)
+	return st, nil
+}
+
+// accumProbeGrams implements the probe-based Jacobian path of eqs. (12)/(13):
+// sample R with iid ±1 entries over the attention output, compute
+// G = ∂⟨R,F⟩/∂W via the attention backward pass, and accumulate GᵀG.
+func accumProbeGrams(m *model.Model, st *Stats, rng *rand.Rand, probes, seqLen int) {
+	// Locate each block's Q and K stat entries by role (blocks have 7
+	// quantizable layers in the LLaMA architecture, 6 in GPT).
+	qIdx := make([]int, len(m.Blocks))
+	kIdx := make([]int, len(m.Blocks))
+	for i := range st.Layers {
+		switch st.Layers[i].Ref.Role {
+		case model.RoleQ:
+			qIdx[st.Layers[i].Ref.Block] = i
+		case model.RoleK:
+			kIdx[st.Layers[i].Ref.Block] = i
+		}
+	}
+	for p := 0; p < probes; p++ {
+		// One probe drives all blocks simultaneously (independent
+		// Rademacher draws per block).
+		for bi, b := range m.Blocks {
+			attn := b.Attn
+			r := rademacher(rng, seqLen, m.Cfg.Dim)
+			attn.WQ.P.ZeroGrad()
+			attn.WK.P.ZeroGrad()
+			attn.WV.P.ZeroGrad()
+			attn.WO.P.ZeroGrad()
+			attn.Backward(r)
+			gq := attn.WQ.P.Grad
+			gk := attn.WK.P.Grad
+			tensor.AddInPlace(st.Layers[qIdx[bi]].AttnH, tensor.MatMulTN(gq, gq))
+			tensor.AddInPlace(st.Layers[kIdx[bi]].AttnH, tensor.MatMulTN(gk, gk))
+		}
+	}
+}
+
+func rademacher(rng *rand.Rand, rows, cols int) *tensor.Mat {
+	r := tensor.New(rows, cols)
+	for i := range r.Data {
+		if rng.Intn(2) == 0 {
+			r.Data[i] = 1
+		} else {
+			r.Data[i] = -1
+		}
+	}
+	return r
+}
+
+// finalize converts raw accumulators into Hessians with a common scale.
+func (st *Stats) finalize(m *model.Model) {
+	if st.finalized {
+		return
+	}
+	st.finalized = true
+	invTok := 1 / float64(st.Tokens)
+	for i := range st.Layers {
+		ls := &st.Layers[i]
+		ls.XtX.Scale(2 * invTok)
+		switch ls.Ref.Role {
+		case model.RoleQ, model.RoleK:
+			// Probe estimator: E[GᵀG] = d_out·XᵀX for linear layers, so
+			// divide by probes·d_out to land on the 2·XᵀX/tokens scale.
+			ls.AttnH.Scale(2 * invTok / float64(st.Probes) / float64(ls.Ref.Linear.Out()))
+		case model.RoleO:
+			ls.AttnH.Scale(2 * invTok)
+		case model.RoleV:
+			for _, h := range ls.HeadH {
+				h.Scale(2 * invTok)
+			}
+		}
+	}
+}
+
+// Hessian returns the attention-aware Hessian for single-Hessian roles
+// (Q, K, O) and the GPTQ Hessian 2XᵀX for MLP roles. For W_V (per-head
+// Hessians) use HeadHessians; calling Hessian on a V layer returns the
+// head-averaged matrix, which sensitivity scoring uses.
+func (ls *LayerStats) Hessian() *tensor.Mat {
+	switch {
+	case ls.AttnH != nil:
+		return ls.AttnH
+	case ls.HeadH != nil:
+		avg := tensor.New(ls.HeadH[0].Rows, ls.HeadH[0].Cols)
+		for _, h := range ls.HeadH {
+			tensor.AddInPlace(avg, h)
+		}
+		avg.Scale(1 / float64(len(ls.HeadH)))
+		return avg
+	default:
+		return ls.XtX
+	}
+}
+
+// HeadHessians returns the per-head Hessians for a V-role layer, nil
+// otherwise.
+func (ls *LayerStats) HeadHessians() []*tensor.Mat { return ls.HeadH }
+
+// GPTQHessian returns the plain 2XᵀX statistic regardless of role, used by
+// the GPTQ baseline and the sensitivity-metric ablation.
+func (ls *LayerStats) GPTQHessian() *tensor.Mat { return ls.XtX }

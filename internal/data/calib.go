@@ -1,0 +1,49 @@
+package data
+
+import "math/rand"
+
+// CalibrationSet is a batch of fixed-length token segments used to collect
+// quantization statistics — the stand-in for the paper's "128 segments of
+// 2048 tokens randomly sampled from C4".
+type CalibrationSet struct {
+	Segments [][]int
+}
+
+// SampleCalibration draws count segments of seqLen tokens from src.
+func SampleCalibration(rng *rand.Rand, src Source, count, seqLen int) *CalibrationSet {
+	cs := &CalibrationSet{Segments: make([][]int, count)}
+	for i := range cs.Segments {
+		cs.Segments[i] = src.Generate(rng, seqLen)
+	}
+	return cs
+}
+
+// Batch is one training example: input ids and next-token targets.
+type Batch struct {
+	IDs     []int
+	Targets []int
+}
+
+// NextTokenBatch converts a token segment into a (inputs, shifted targets)
+// training pair: targets[t] = segment[t+1], with the final position masked.
+func NextTokenBatch(segment []int) Batch {
+	ids := make([]int, len(segment))
+	copy(ids, segment)
+	targets := make([]int, len(segment))
+	for t := 0; t < len(segment)-1; t++ {
+		targets[t] = segment[t+1]
+	}
+	if len(segment) > 0 {
+		targets[len(segment)-1] = -1
+	}
+	return Batch{IDs: ids, Targets: targets}
+}
+
+// SampleBatches draws count next-token training batches of seqLen tokens.
+func SampleBatches(rng *rand.Rand, src Source, count, seqLen int) []Batch {
+	out := make([]Batch, count)
+	for i := range out {
+		out[i] = NextTokenBatch(src.Generate(rng, seqLen))
+	}
+	return out
+}

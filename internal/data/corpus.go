@@ -1,0 +1,211 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Source generates token streams from a fixed stochastic language process.
+// Implementations must be deterministic given the rng state, so corpora are
+// reproducible across runs.
+type Source interface {
+	// Name identifies the source ("c4like", "wikilike", ...).
+	Name() string
+	// Vocab returns the vocabulary size tokens are drawn from.
+	Vocab() int
+	// Generate appends n tokens sampled from the process to a fresh slice.
+	Generate(rng *rand.Rand, n int) []int
+	// Continue extends context by n tokens according to the process
+	// conditioned on the context's last token.
+	Continue(rng *rand.Rand, context []int, n int) []int
+}
+
+// MarkovSource is a first-order Markov token process with a structured,
+// seeded transition matrix. The amount of probability mass on the top
+// successors controls the entropy (and hence the achievable perplexity
+// floor) of the language.
+type MarkovSource struct {
+	name  string
+	vocab int
+	// cdf[i] is the cumulative distribution over the next token given
+	// current token i.
+	cdf [][]float64
+	// start is the cumulative distribution over the first token.
+	start []float64
+}
+
+// markovSpec controls the construction of a MarkovSource.
+type markovSpec struct {
+	name       string
+	vocab      int
+	successors int       // number of preferred successors per token
+	weights    []float64 // probability of each preferred successor (sums < 1)
+	seed       int64     // structure seed (not the sampling seed)
+}
+
+// NewC4Like builds the stand-in for the C4 corpus: a broad, noisy webtext
+// process. Each token prefers 4 successors with a Zipf-ish profile and
+// keeps 12% of mass as uniform noise.
+func NewC4Like(vocab int) *MarkovSource {
+	return newMarkov(markovSpec{
+		name: "c4like", vocab: vocab, successors: 4,
+		weights: []float64{0.34, 0.25, 0.19, 0.10},
+		seed:    99991,
+	})
+}
+
+// NewWikiLike builds the stand-in for WikiText-2: cleaner, more templated
+// prose with a different transition structure (3 successors, 10% noise).
+func NewWikiLike(vocab int) *MarkovSource {
+	return newMarkov(markovSpec{
+		name: "wikilike", vocab: vocab, successors: 3,
+		weights: []float64{0.42, 0.30, 0.18},
+		seed:    77771,
+	})
+}
+
+func newMarkov(spec markovSpec) *MarkovSource {
+	rng := rand.New(rand.NewSource(spec.seed))
+	s := &MarkovSource{name: spec.name, vocab: spec.vocab}
+	structured := 0.0
+	for _, w := range spec.weights {
+		structured += w
+	}
+	noise := (1 - structured) / float64(spec.vocab)
+	s.cdf = make([][]float64, spec.vocab)
+	probs := make([]float64, spec.vocab)
+	for i := 0; i < spec.vocab; i++ {
+		for j := range probs {
+			probs[j] = noise
+		}
+		// Pick distinct preferred successors for token i.
+		perm := rng.Perm(spec.vocab)
+		for k, w := range spec.weights {
+			probs[perm[k]] += w
+		}
+		s.cdf[i] = toCDF(probs)
+	}
+	// Stationary-ish start distribution: uniform over vocabulary.
+	for j := range probs {
+		probs[j] = 1 / float64(spec.vocab)
+	}
+	s.start = toCDF(probs)
+	return s
+}
+
+func toCDF(probs []float64) []float64 {
+	cdf := make([]float64, len(probs))
+	run := 0.0
+	for i, p := range probs {
+		run += p
+		cdf[i] = run
+	}
+	// Guard against accumulated round-off.
+	cdf[len(cdf)-1] = 1
+	return cdf
+}
+
+func sampleCDF(rng *rand.Rand, cdf []float64) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(cdf, u)
+}
+
+// Name implements Source.
+func (s *MarkovSource) Name() string { return s.name }
+
+// Vocab implements Source.
+func (s *MarkovSource) Vocab() int { return s.vocab }
+
+// Generate implements Source.
+func (s *MarkovSource) Generate(rng *rand.Rand, n int) []int {
+	out := make([]int, 0, n)
+	if n == 0 {
+		return out
+	}
+	cur := sampleCDF(rng, s.start)
+	out = append(out, cur)
+	for len(out) < n {
+		cur = sampleCDF(rng, s.cdf[cur])
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Continue implements Source.
+func (s *MarkovSource) Continue(rng *rand.Rand, context []int, n int) []int {
+	out := make([]int, 0, n)
+	cur := sampleCDF(rng, s.start)
+	if len(context) > 0 {
+		cur = context[len(context)-1]
+	} else if n > 0 {
+		out = append(out, cur)
+	}
+	for len(out) < n {
+		cur = sampleCDF(rng, s.cdf[cur])
+		out = append(out, cur)
+	}
+	return out
+}
+
+// TransitionEntropy returns the mean per-token conditional entropy of the
+// process in nats — the theoretical cross-entropy floor for any model, and
+// therefore the floor of achievable perplexity exp(H).
+func (s *MarkovSource) TransitionEntropy() float64 {
+	total := 0.0
+	for i := range s.cdf {
+		prev := 0.0
+		h := 0.0
+		for _, c := range s.cdf[i] {
+			p := c - prev
+			prev = c
+			if p > 0 {
+				h -= p * math.Log(p)
+			}
+		}
+		total += h
+	}
+	return total / float64(len(s.cdf))
+}
+
+// Mixture interleaves segments from several sources — the pretraining
+// corpus, mirroring LLaMA's mixed webtext+wiki training data so the model
+// is evaluated in-distribution on both eval sets.
+type Mixture struct {
+	Sources []Source
+	// SegmentLen tokens are drawn from one source before switching.
+	SegmentLen int
+}
+
+// NewMixture builds a mixture with the given segment length.
+func NewMixture(segmentLen int, sources ...Source) *Mixture {
+	if len(sources) == 0 {
+		panic("data: mixture needs at least one source")
+	}
+	return &Mixture{Sources: sources, SegmentLen: segmentLen}
+}
+
+// Name implements Source.
+func (m *Mixture) Name() string { return "mixture" }
+
+// Vocab implements Source.
+func (m *Mixture) Vocab() int { return m.Sources[0].Vocab() }
+
+// Generate implements Source.
+func (m *Mixture) Generate(rng *rand.Rand, n int) []int {
+	out := make([]int, 0, n)
+	for len(out) < n {
+		src := m.Sources[rng.Intn(len(m.Sources))]
+		take := m.SegmentLen
+		if rem := n - len(out); take > rem {
+			take = rem
+		}
+		out = append(out, src.Generate(rng, take)...)
+	}
+	return out
+}
+
+// Continue implements Source by delegating to a random component source.
+func (m *Mixture) Continue(rng *rand.Rand, context []int, n int) []int {
+	return m.Sources[rng.Intn(len(m.Sources))].Continue(rng, context, n)
+}

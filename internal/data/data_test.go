@@ -1,0 +1,268 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestVocabularyDeterministic(t *testing.T) {
+	a := NewVocabulary(64)
+	b := NewVocabulary(64)
+	for i := 0; i < 64; i++ {
+		if a.Word(i) != b.Word(i) {
+			t.Fatal("vocabulary must be deterministic")
+		}
+	}
+}
+
+func TestVocabularyUniqueWords(t *testing.T) {
+	v := NewVocabulary(128)
+	seen := map[string]bool{}
+	for i := 0; i < v.Size(); i++ {
+		w := v.Word(i)
+		if seen[w] {
+			t.Fatalf("duplicate word %q", w)
+		}
+		seen[w] = true
+	}
+}
+
+func TestVocabularyEncodeDecodeRoundTrip(t *testing.T) {
+	v := NewVocabulary(32)
+	ids := []int{0, 5, 31, 7}
+	text := v.Decode(ids)
+	words := []string{}
+	for _, id := range ids {
+		words = append(words, v.Word(id))
+	}
+	got, err := v.Encode(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Fatalf("round trip failed: %v -> %q -> %v", ids, text, got)
+		}
+	}
+	if _, err := v.Encode([]string{"definitely-not-a-word"}); err == nil {
+		t.Fatal("expected encode error for unknown word")
+	}
+}
+
+func TestMarkovGenerateInRangeAndDeterministic(t *testing.T) {
+	src := NewC4Like(128)
+	a := src.Generate(rand.New(rand.NewSource(1)), 500)
+	b := src.Generate(rand.New(rand.NewSource(1)), 500)
+	if len(a) != 500 {
+		t.Fatalf("generated %d tokens", len(a))
+	}
+	for i, tok := range a {
+		if tok < 0 || tok >= 128 {
+			t.Fatalf("token %d out of range", tok)
+		}
+		if tok != b[i] {
+			t.Fatal("generation must be deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestMarkovStructureIsLearnable(t *testing.T) {
+	// The process must have much lower entropy than uniform, otherwise the
+	// model can learn nothing and quantization effects would be invisible.
+	for _, src := range []*MarkovSource{NewC4Like(128), NewWikiLike(128)} {
+		h := src.TransitionEntropy()
+		uniform := math.Log(128)
+		if h >= uniform*0.8 {
+			t.Fatalf("%s: entropy %.3f too close to uniform %.3f", src.Name(), h, uniform)
+		}
+		if h <= 0.5 {
+			t.Fatalf("%s: entropy %.3f suspiciously low", src.Name(), h)
+		}
+	}
+}
+
+func TestC4AndWikiDiffer(t *testing.T) {
+	c4 := NewC4Like(128)
+	wiki := NewWikiLike(128)
+	if math.Abs(c4.TransitionEntropy()-wiki.TransitionEntropy()) < 1e-6 {
+		t.Fatal("the two corpora should have different entropies")
+	}
+	rng := rand.New(rand.NewSource(2))
+	a := c4.Generate(rng, 200)
+	rng = rand.New(rand.NewSource(2))
+	b := wiki.Generate(rng, 200)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("identical streams from different sources")
+	}
+}
+
+func TestMarkovBigramFrequenciesMatchProcess(t *testing.T) {
+	// Empirical successor frequencies of a long stream must reflect the
+	// transition structure: the most frequent successor of a common token
+	// should carry roughly its designed probability.
+	src := NewC4Like(64)
+	rng := rand.New(rand.NewSource(3))
+	stream := src.Generate(rng, 200000)
+	counts := map[[2]int]int{}
+	first := map[int]int{}
+	for i := 0; i+1 < len(stream); i++ {
+		counts[[2]int{stream[i], stream[i+1]}]++
+		first[stream[i]]++
+	}
+	// Find the most common token and its most common successor.
+	bestTok, bestN := 0, 0
+	for tok, n := range first {
+		if n > bestN {
+			bestTok, bestN = tok, n
+		}
+	}
+	topP := 0.0
+	for pair, n := range counts {
+		if pair[0] == bestTok {
+			if p := float64(n) / float64(bestN); p > topP {
+				topP = p
+			}
+		}
+	}
+	if topP < 0.25 || topP > 0.45 {
+		t.Fatalf("top successor probability %.3f outside designed band around 0.34", topP)
+	}
+}
+
+func TestContinueStartsFromContext(t *testing.T) {
+	src := NewWikiLike(64)
+	rng := rand.New(rand.NewSource(4))
+	ctx := src.Generate(rng, 10)
+	cont := src.Continue(rng, ctx, 20)
+	if len(cont) != 20 {
+		t.Fatalf("continuation length %d", len(cont))
+	}
+	// Statistically, continuations should follow the transition structure:
+	// regenerate with same rng state comparison is tricky; at minimum ensure
+	// tokens are in range and the call is deterministic under a fixed seed.
+	rng2 := rand.New(rand.NewSource(4))
+	_ = src.Generate(rng2, 10)
+	cont2 := src.Continue(rng2, ctx, 20)
+	for i := range cont {
+		if cont[i] != cont2[i] {
+			t.Fatal("Continue must be deterministic")
+		}
+	}
+}
+
+func TestMixtureCoversSources(t *testing.T) {
+	c4 := NewC4Like(32)
+	wiki := NewWikiLike(32)
+	mix := NewMixture(16, c4, wiki)
+	if mix.Vocab() != 32 {
+		t.Fatal("mixture vocab")
+	}
+	out := mix.Generate(rand.New(rand.NewSource(5)), 100)
+	if len(out) != 100 {
+		t.Fatalf("mixture generated %d tokens", len(out))
+	}
+}
+
+func TestNextTokenBatch(t *testing.T) {
+	b := NextTokenBatch([]int{3, 1, 4, 1})
+	if len(b.IDs) != 4 || len(b.Targets) != 4 {
+		t.Fatal("batch shape")
+	}
+	if b.Targets[0] != 1 || b.Targets[1] != 4 || b.Targets[2] != 1 {
+		t.Fatalf("targets = %v", b.Targets)
+	}
+	if b.Targets[3] != -1 {
+		t.Fatal("final target must be masked")
+	}
+}
+
+func TestSampleCalibration(t *testing.T) {
+	src := NewC4Like(64)
+	cs := SampleCalibration(rand.New(rand.NewSource(6)), src, 8, 32)
+	if len(cs.Segments) != 8 {
+		t.Fatalf("%d segments", len(cs.Segments))
+	}
+	for _, seg := range cs.Segments {
+		if len(seg) != 32 {
+			t.Fatalf("segment length %d", len(seg))
+		}
+	}
+}
+
+func TestGenerateTaskShapes(t *testing.T) {
+	src := NewC4Like(64)
+	rng := rand.New(rand.NewSource(7))
+	for _, spec := range StandardTasks() {
+		task := GenerateTask(rng, src, spec, 20)
+		if len(task.Items) != 20 {
+			t.Fatalf("%s: %d items", spec.Name, len(task.Items))
+		}
+		for _, item := range task.Items {
+			if len(item.Options) != spec.Options {
+				t.Fatalf("%s: %d options", spec.Name, len(item.Options))
+			}
+			if item.Answer < 0 || item.Answer >= spec.Options {
+				t.Fatalf("%s: answer index %d", spec.Name, item.Answer)
+			}
+			if len(item.Context) != spec.ContextLen {
+				t.Fatalf("%s: context length %d", spec.Name, len(item.Context))
+			}
+			for _, opt := range item.Options {
+				if len(opt) != spec.ContLen {
+					t.Fatalf("%s: option length %d, want %d", spec.Name, len(opt), spec.ContLen)
+				}
+			}
+		}
+	}
+}
+
+func TestWinograndeMinimalPairs(t *testing.T) {
+	src := NewC4Like(64)
+	rng := rand.New(rand.NewSource(8))
+	spec := StandardTasks()[4]
+	if !spec.SingleToken {
+		t.Fatal("expected WinoGrande spec to be single-token")
+	}
+	task := GenerateTask(rng, src, spec, 30)
+	for _, item := range task.Items {
+		correct := item.Options[item.Answer]
+		for o, opt := range item.Options {
+			if o == item.Answer {
+				continue
+			}
+			diff := 0
+			for j := range opt {
+				if opt[j] != correct[j] {
+					diff++
+				}
+			}
+			if diff != 1 {
+				t.Fatalf("minimal pair differs in %d tokens", diff)
+			}
+		}
+	}
+}
+
+func TestTaskAnswerPositionsUniform(t *testing.T) {
+	// Guard against answer-position bias, which would let a trivial
+	// position-picker score above chance.
+	src := NewC4Like(64)
+	rng := rand.New(rand.NewSource(9))
+	task := GenerateTask(rng, src, TaskSpec{Name: "t", Options: 4, ContextLen: 8, ContLen: 4}, 400)
+	counts := make([]int, 4)
+	for _, item := range task.Items {
+		counts[item.Answer]++
+	}
+	for pos, n := range counts {
+		if n < 50 || n > 150 {
+			t.Fatalf("answer position %d chosen %d/400 times", pos, n)
+		}
+	}
+}

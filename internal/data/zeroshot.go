@@ -1,0 +1,114 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MCItem is one multiple-choice zero-shot item: a context, candidate
+// continuations, and the index of the correct one. Models score each option
+// by length-normalized log-likelihood, exactly as lm-evaluation-harness
+// does for PIQA / HellaSwag / ARC / WinoGrande.
+type MCItem struct {
+	Context []int
+	Options [][]int
+	Answer  int
+}
+
+// Task is a named collection of zero-shot items.
+type Task struct {
+	Name  string
+	Items []MCItem
+}
+
+// TaskSpec parameterizes a synthetic multiple-choice task generator. The
+// five benchmark stand-ins differ in option count, continuation length and
+// distractor hardness, emulating the difficulty ordering of the real suite
+// (ARC-Challenge harder than ARC-Easy, etc.).
+type TaskSpec struct {
+	Name       string
+	Options    int
+	ContextLen int
+	ContLen    int
+	// Hardness in [0,1]: probability that a distractor is drawn from the
+	// same language process (plausible but wrong) rather than uniform
+	// noise. Harder tasks have more plausible distractors.
+	Hardness float64
+	// SingleToken makes options differ in exactly one token
+	// (WinoGrande-style minimal pairs).
+	SingleToken bool
+}
+
+// StandardTasks returns the five stand-ins for the paper's zero-shot suite
+// in Table 2 order: PIQA, HellaSwag, ARC-Easy, ARC-Challenge, WinoGrande.
+func StandardTasks() []TaskSpec {
+	return []TaskSpec{
+		{Name: "PIQA", Options: 2, ContextLen: 20, ContLen: 8, Hardness: 0.55},
+		{Name: "Hellaswag", Options: 4, ContextLen: 24, ContLen: 10, Hardness: 0.70},
+		{Name: "Arc-E", Options: 4, ContextLen: 16, ContLen: 6, Hardness: 0.35},
+		{Name: "Arc-C", Options: 4, ContextLen: 16, ContLen: 6, Hardness: 0.85},
+		{Name: "WinoGrande", Options: 2, ContextLen: 18, ContLen: 5, Hardness: 0.6, SingleToken: true},
+	}
+}
+
+// GenerateTask builds n items of the given spec from src. The correct
+// option is the process's true continuation of the context; distractors are
+// either plausible off-context continuations (hard) or uniform-noise
+// continuations (easy), per spec.Hardness.
+func GenerateTask(rng *rand.Rand, src Source, spec TaskSpec, n int) Task {
+	if spec.Options < 2 {
+		panic(fmt.Sprintf("data: task %q needs >= 2 options", spec.Name))
+	}
+	task := Task{Name: spec.Name, Items: make([]MCItem, n)}
+	for i := 0; i < n; i++ {
+		ctx := src.Generate(rng, spec.ContextLen)
+		correct := src.Continue(rng, ctx, spec.ContLen)
+		item := MCItem{
+			Context: ctx,
+			Options: make([][]int, spec.Options),
+			Answer:  rng.Intn(spec.Options),
+		}
+		for o := range item.Options {
+			if o == item.Answer {
+				item.Options[o] = correct
+				continue
+			}
+			item.Options[o] = makeDistractor(rng, src, spec, correct)
+		}
+		task.Items[i] = item
+	}
+	return task
+}
+
+func makeDistractor(rng *rand.Rand, src Source, spec TaskSpec, correct []int) []int {
+	if spec.SingleToken {
+		// Minimal pair: copy the correct continuation and replace one token
+		// with a *plausible* alternative — a sample from the language
+		// process conditioned on the preceding token — so telling the
+		// options apart requires real next-token knowledge (as WinoGrande's
+		// near-duplicate sentence pairs do).
+		d := append([]int(nil), correct...)
+		pos := 1 + rng.Intn(len(d)-1)
+		repl := d[pos]
+		for attempt := 0; repl == d[pos] && attempt < 8; attempt++ {
+			repl = src.Continue(rng, d[:pos], 1)[0]
+		}
+		if repl == d[pos] {
+			repl = (d[pos] + 1 + rng.Intn(src.Vocab()-1)) % src.Vocab()
+		}
+		d[pos] = repl
+		return d
+	}
+	if rng.Float64() < spec.Hardness {
+		// Plausible text that does not follow the context: a continuation
+		// of an unrelated prefix.
+		other := src.Generate(rng, 4)
+		return src.Continue(rng, other, spec.ContLen)
+	}
+	// Uniform noise continuation.
+	d := make([]int, spec.ContLen)
+	for j := range d {
+		d[j] = rng.Intn(src.Vocab())
+	}
+	return d
+}

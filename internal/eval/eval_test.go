@@ -1,0 +1,137 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/train"
+)
+
+// trainedTiny trains one shared tiny model for the eval tests.
+var trainedTiny = sync.OnceValue(func() *model.Model {
+	src := data.NewC4Like(32)
+	m := model.New(model.Tiny(), 1)
+	train.Train(m, src, train.Config{Steps: 250, BatchSize: 2, SeqLen: 16, LR: 3e-3, Warmup: 15, ClipNorm: 1, Seed: 1})
+	return m
+})
+
+func TestPerplexityUntrainedNearUniform(t *testing.T) {
+	m := model.New(model.Tiny(), 2)
+	src := data.NewC4Like(32)
+	ppl := Perplexity(m, src, rand.New(rand.NewSource(1)), 20, 16)
+	if ppl < 20 || ppl > 50 {
+		t.Fatalf("untrained PPL %v, expected near vocab size 32", ppl)
+	}
+}
+
+func TestPerplexityTrainedBelowUniform(t *testing.T) {
+	m := trainedTiny()
+	src := data.NewC4Like(32)
+	ppl := Perplexity(m, src, rand.New(rand.NewSource(2)), 30, 16)
+	floor := math.Exp(src.TransitionEntropy())
+	if ppl > 25 {
+		t.Fatalf("trained PPL %v did not improve on uniform 32", ppl)
+	}
+	if ppl < floor*0.9 {
+		t.Fatalf("trained PPL %v below the entropy floor %v — scoring bug", ppl, floor)
+	}
+}
+
+func TestPerplexityOnSegmentsFixedSet(t *testing.T) {
+	m := trainedTiny()
+	src := data.NewC4Like(32)
+	rng := rand.New(rand.NewSource(3))
+	segs := make([][]int, 10)
+	for i := range segs {
+		segs[i] = src.Generate(rng, 16)
+	}
+	a := PerplexityOnSegments(m, segs)
+	b := PerplexityOnSegments(m, segs)
+	if a != b {
+		t.Fatal("fixed-set perplexity must be deterministic")
+	}
+	if math.IsInf(a, 1) || a <= 1 {
+		t.Fatalf("PPL = %v", a)
+	}
+}
+
+func TestPerplexityEmptyIsInf(t *testing.T) {
+	m := model.New(model.Tiny(), 4)
+	if !math.IsInf(PerplexityOnSegments(m, nil), 1) {
+		t.Fatal("empty evaluation set must give +Inf perplexity")
+	}
+}
+
+func TestScoreOptionPrefersLikelyContinuation(t *testing.T) {
+	m := trainedTiny()
+	src := data.NewC4Like(32)
+	rng := rand.New(rand.NewSource(5))
+	wins := 0
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		ctx := src.Generate(rng, 12)
+		good := src.Continue(rng, ctx, 6)
+		bad := make([]int, 6)
+		for j := range bad {
+			bad[j] = rng.Intn(32)
+		}
+		if ScoreOption(m, ctx, good) > ScoreOption(m, ctx, bad) {
+			wins++
+		}
+	}
+	if wins < trials*3/4 {
+		t.Fatalf("true continuation preferred only %d/%d times", wins, trials)
+	}
+}
+
+func TestTaskAccuracyAboveChance(t *testing.T) {
+	m := trainedTiny()
+	src := data.NewC4Like(32)
+	rng := rand.New(rand.NewSource(6))
+	spec := data.TaskSpec{Name: "easy", Options: 4, ContextLen: 12, ContLen: 6, Hardness: 0}
+	task := data.GenerateTask(rng, src, spec, 60)
+	acc := TaskAccuracy(m, task)
+	if acc < 0.45 { // chance = 0.25
+		t.Fatalf("accuracy %v barely above chance", acc)
+	}
+}
+
+func TestUntrainedModelNearChance(t *testing.T) {
+	m := model.New(model.Tiny(), 7)
+	src := data.NewC4Like(32)
+	rng := rand.New(rand.NewSource(7))
+	spec := data.TaskSpec{Name: "hard", Options: 2, ContextLen: 12, ContLen: 6, Hardness: 1}
+	task := data.GenerateTask(rng, src, spec, 80)
+	acc := TaskAccuracy(m, task)
+	if acc < 0.25 || acc > 0.75 {
+		t.Fatalf("untrained accuracy %v too far from chance 0.5", acc)
+	}
+}
+
+func TestEvaluateSuiteAndMean(t *testing.T) {
+	m := trainedTiny()
+	src := data.NewC4Like(32)
+	rng := rand.New(rand.NewSource(8))
+	var tasks []data.Task
+	for _, spec := range data.StandardTasks()[:2] {
+		tasks = append(tasks, data.GenerateTask(rng, src, spec, 10))
+	}
+	r := EvaluateSuite(m, tasks)
+	if len(r.Names) != 2 || len(r.Accuracies) != 2 {
+		t.Fatalf("suite result %v", r)
+	}
+	want := (r.Accuracies[0] + r.Accuracies[1]) / 2
+	if math.Abs(r.Mean()-want) > 1e-12 {
+		t.Fatalf("mean %v, want %v", r.Mean(), want)
+	}
+}
+
+func TestSuiteResultEmptyMean(t *testing.T) {
+	if (SuiteResult{}).Mean() != 0 {
+		t.Fatal("empty suite mean must be 0")
+	}
+}

@@ -1,0 +1,51 @@
+// Package eval implements the two metrics the paper reports: perplexity on
+// held-out corpora (Table 1, Figure 2, Table 3) and zero-shot
+// multiple-choice accuracy via length-normalized log-likelihood scoring
+// (Table 2), mirroring lm-evaluation-harness semantics.
+package eval
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/nn"
+)
+
+// Perplexity computes exp(mean NLL) of m over token segments drawn from
+// src: `segments` sequences of `seqLen` tokens each, scored with the usual
+// shift-by-one next-token protocol.
+func Perplexity(m *model.Model, src data.Source, rng *rand.Rand, segments, seqLen int) float64 {
+	totalNLL := 0.0
+	totalTok := 0
+	for s := 0; s < segments; s++ {
+		batch := data.NextTokenBatch(src.Generate(rng, seqLen))
+		logits := m.Forward(batch.IDs)
+		nll, n := nn.SequenceNLL(logits, batch.Targets)
+		totalNLL += nll
+		totalTok += n
+	}
+	if totalTok == 0 {
+		return math.Inf(1)
+	}
+	return math.Exp(totalNLL / float64(totalTok))
+}
+
+// PerplexityOnSegments scores a fixed, pre-sampled evaluation set, so
+// different quantized models are compared on identical text.
+func PerplexityOnSegments(m *model.Model, segments [][]int) float64 {
+	totalNLL := 0.0
+	totalTok := 0
+	for _, seg := range segments {
+		batch := data.NextTokenBatch(seg)
+		logits := m.Forward(batch.IDs)
+		nll, n := nn.SequenceNLL(logits, batch.Targets)
+		totalNLL += nll
+		totalTok += n
+	}
+	if totalTok == 0 {
+		return math.Inf(1)
+	}
+	return math.Exp(totalNLL / float64(totalTok))
+}

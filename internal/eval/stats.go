@@ -1,0 +1,83 @@
+package eval
+
+import (
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/nn"
+)
+
+// Interval is a point estimate with a ±1.96-sigma (95%) half-width.
+type Interval struct {
+	Value float64
+	// Half is the 95% confidence half-width; [Value-Half, Value+Half].
+	Half float64
+}
+
+// Contains reports whether v lies inside the interval.
+func (i Interval) Contains(v float64) bool {
+	return v >= i.Value-i.Half && v <= i.Value+i.Half
+}
+
+// Overlaps reports whether two intervals intersect — the quick test for
+// "is this method difference resolvable at this evaluation budget?".
+func (i Interval) Overlaps(o Interval) bool {
+	return i.Value-i.Half <= o.Value+o.Half && o.Value-o.Half <= i.Value+i.Half
+}
+
+// TaskAccuracyCI scores a task and returns accuracy with a binomial normal
+// approximation interval: half = 1.96·sqrt(p(1−p)/n).
+func TaskAccuracyCI(m *model.Model, task data.Task) Interval {
+	n := len(task.Items)
+	if n == 0 {
+		return Interval{}
+	}
+	p := TaskAccuracy(m, task)
+	return Interval{Value: p, Half: 1.96 * math.Sqrt(p*(1-p)/float64(n))}
+}
+
+// PerplexityCI evaluates perplexity over fixed segments and derives a 95%
+// interval from the across-segment variance of per-token NLL means (the
+// delta method maps the NLL interval through exp).
+func PerplexityCI(m *model.Model, segments [][]int) Interval {
+	if len(segments) == 0 {
+		return Interval{Value: math.Inf(1)}
+	}
+	nlls := make([]float64, 0, len(segments))
+	var totalNLL float64
+	var totalTok int
+	for _, seg := range segments {
+		batch := data.NextTokenBatch(seg)
+		logits := m.Forward(batch.IDs)
+		nll, n := nn.SequenceNLL(logits, batch.Targets)
+		if n == 0 {
+			continue
+		}
+		nlls = append(nlls, nll/float64(n))
+		totalNLL += nll
+		totalTok += n
+	}
+	if totalTok == 0 {
+		return Interval{Value: math.Inf(1)}
+	}
+	mean := totalNLL / float64(totalTok)
+	// Across-segment variance of segment-mean NLL.
+	var v float64
+	segMean := 0.0
+	for _, x := range nlls {
+		segMean += x
+	}
+	segMean /= float64(len(nlls))
+	for _, x := range nlls {
+		d := x - segMean
+		v += d * d
+	}
+	if len(nlls) > 1 {
+		v /= float64(len(nlls) - 1)
+	}
+	se := math.Sqrt(v / float64(len(nlls)))
+	ppl := math.Exp(mean)
+	// d/dx exp(x) = exp(x): half-width maps through the derivative.
+	return Interval{Value: ppl, Half: 1.96 * se * ppl}
+}

@@ -1,0 +1,91 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/model"
+)
+
+func TestIntervalHelpers(t *testing.T) {
+	a := Interval{Value: 10, Half: 1}
+	if !a.Contains(9.5) || a.Contains(8.9) {
+		t.Fatal("Contains broken")
+	}
+	b := Interval{Value: 11.5, Half: 1}
+	if !a.Overlaps(b) {
+		t.Fatal("overlapping intervals reported disjoint")
+	}
+	c := Interval{Value: 20, Half: 1}
+	if a.Overlaps(c) {
+		t.Fatal("disjoint intervals reported overlapping")
+	}
+}
+
+func TestTaskAccuracyCIBinomial(t *testing.T) {
+	m := trainedTiny()
+	src := data.NewC4Like(32)
+	rng := rand.New(rand.NewSource(21))
+	task := data.GenerateTask(rng, src, data.TaskSpec{Name: "t", Options: 2, ContextLen: 10, ContLen: 4, Hardness: 0.5}, 100)
+	ci := TaskAccuracyCI(m, task)
+	if ci.Value != TaskAccuracy(m, task) {
+		t.Fatal("CI point estimate must equal TaskAccuracy")
+	}
+	want := 1.96 * math.Sqrt(ci.Value*(1-ci.Value)/100)
+	if math.Abs(ci.Half-want) > 1e-12 {
+		t.Fatalf("half-width %v, want %v", ci.Half, want)
+	}
+	if TaskAccuracyCI(m, data.Task{}).Value != 0 {
+		t.Fatal("empty task CI")
+	}
+}
+
+func TestTaskAccuracyCIShrinksWithItems(t *testing.T) {
+	m := trainedTiny()
+	src := data.NewC4Like(32)
+	rng := rand.New(rand.NewSource(22))
+	spec := data.TaskSpec{Name: "t", Options: 2, ContextLen: 10, ContLen: 4, Hardness: 0.5}
+	small := TaskAccuracyCI(m, data.GenerateTask(rng, src, spec, 30))
+	large := TaskAccuracyCI(m, data.GenerateTask(rng, src, spec, 300))
+	if large.Half >= small.Half {
+		t.Fatalf("CI did not shrink: %v -> %v", small.Half, large.Half)
+	}
+}
+
+func TestPerplexityCIConsistent(t *testing.T) {
+	m := trainedTiny()
+	src := data.NewC4Like(32)
+	rng := rand.New(rand.NewSource(23))
+	segs := make([][]int, 40)
+	for i := range segs {
+		segs[i] = src.Generate(rng, 16)
+	}
+	ci := PerplexityCI(m, segs)
+	point := PerplexityOnSegments(m, segs)
+	if math.Abs(ci.Value-point) > 1e-9 {
+		t.Fatalf("CI point %v != PerplexityOnSegments %v", ci.Value, point)
+	}
+	if ci.Half <= 0 || ci.Half > point {
+		t.Fatalf("implausible half-width %v for ppl %v", ci.Half, point)
+	}
+	// The true model's eval on its own distribution should cover repeat
+	// draws most of the time: re-evaluate on a fresh sample.
+	segs2 := make([][]int, 40)
+	for i := range segs2 {
+		segs2[i] = src.Generate(rng, 16)
+	}
+	p2 := PerplexityOnSegments(m, segs2)
+	wide := Interval{Value: ci.Value, Half: ci.Half * 2}
+	if !wide.Contains(p2) {
+		t.Fatalf("fresh-sample ppl %v far outside interval %v±%v", p2, ci.Value, ci.Half)
+	}
+}
+
+func TestPerplexityCIEmpty(t *testing.T) {
+	m := model.New(model.Tiny(), 3)
+	if !math.IsInf(PerplexityCI(m, nil).Value, 1) {
+		t.Fatal("empty segments must give +Inf")
+	}
+}

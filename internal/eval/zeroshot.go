@@ -1,0 +1,83 @@
+package eval
+
+import (
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/nn"
+)
+
+// ScoreOption returns the length-normalized log-likelihood of a candidate
+// continuation given a context — the acc_norm scoring rule of
+// lm-evaluation-harness used for the paper's zero-shot suite.
+func ScoreOption(m *model.Model, context, option []int) float64 {
+	ids := make([]int, 0, len(context)+len(option))
+	ids = append(ids, context...)
+	ids = append(ids, option...)
+	targets := make([]int, len(ids))
+	for t := range targets {
+		targets[t] = -1
+	}
+	// Score only the option tokens: position t predicts token t+1, so the
+	// option tokens are predicted by positions len(context)-1 ...
+	// len(ids)-2.
+	for t := len(context) - 1; t < len(ids)-1; t++ {
+		targets[t] = ids[t+1]
+	}
+	logits := m.Forward(ids)
+	nll, n := nn.SequenceNLL(logits, targets)
+	if n == 0 {
+		return 0
+	}
+	return -nll / float64(n)
+}
+
+// TaskAccuracy scores every item of a task and returns the fraction where
+// the correct option receives the highest normalized log-likelihood.
+func TaskAccuracy(m *model.Model, task data.Task) float64 {
+	if len(task.Items) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, item := range task.Items {
+		best, bestScore := -1, 0.0
+		for o, opt := range item.Options {
+			s := ScoreOption(m, item.Context, opt)
+			if best == -1 || s > bestScore {
+				best, bestScore = o, s
+			}
+		}
+		if best == item.Answer {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(task.Items))
+}
+
+// SuiteResult holds per-task accuracies and their mean, in task order.
+type SuiteResult struct {
+	Names      []string
+	Accuracies []float64
+}
+
+// Mean returns the average accuracy across tasks (the Acc% column of
+// Table 2).
+func (r SuiteResult) Mean() float64 {
+	if len(r.Accuracies) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, a := range r.Accuracies {
+		s += a
+	}
+	return s / float64(len(r.Accuracies))
+}
+
+// EvaluateSuite runs a model over a fixed set of tasks.
+func EvaluateSuite(m *model.Model, tasks []data.Task) SuiteResult {
+	var r SuiteResult
+	for _, task := range tasks {
+		r.Names = append(r.Names, task.Name)
+		r.Accuracies = append(r.Accuracies, TaskAccuracy(m, task))
+	}
+	return r
+}

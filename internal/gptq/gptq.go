@@ -1,0 +1,194 @@
+// Package gptq implements the GPTQ post-training quantization engine
+// (Frantar et al., ICLR 2023): blocked optimal-brain-quantization with a
+// Cholesky-reformulated inverse Hessian, fixed left-to-right column order,
+// group-wise quantization grids, and error feedback into not-yet-quantized
+// columns.
+//
+// The engine is deliberately agnostic about where the Hessian comes from:
+// GPTQ feeds it H = 2·XᵀX of the layer input, while APTQ (internal/core)
+// feeds attention-aware Hessians per eqs. (9)-(13) of the paper. Both then
+// share the update rules of eqs. (16)/(17).
+package gptq
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// Config controls one quantization run.
+type Config struct {
+	// Bits is the target integer width (2, 3, 4, 8).
+	Bits int
+	// GroupSize is the number of input-dim columns sharing one scale/zero;
+	// <= 0 means one group per row.
+	GroupSize int
+	// BlockSize is the lazy-batch width B of Algorithm 1; error feedback is
+	// applied inside a block immediately and to the trailing columns once
+	// per block. <= 0 defaults to 32.
+	BlockSize int
+	// PercDamp is the dampening fraction λ of mean(diag(H)) added to H's
+	// diagonal; GPTQ's default is 0.01.
+	PercDamp float64
+	// Sym selects a symmetric quantization grid.
+	Sym bool
+}
+
+// DefaultConfig returns GPTQ defaults at the given bit width.
+func DefaultConfig(bits int) Config {
+	return Config{Bits: bits, GroupSize: 16, BlockSize: 32, PercDamp: 0.01}
+}
+
+func (c Config) withDefaults(cols int) Config {
+	if c.GroupSize <= 0 || c.GroupSize > cols {
+		c.GroupSize = cols
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 32
+	}
+	if c.PercDamp <= 0 {
+		c.PercDamp = 0.01
+	}
+	return c
+}
+
+// Quantize runs GPTQ on the weight matrix w (out x in) against the Hessian
+// h (in x in), returning the quantized representation. w itself is not
+// modified; install the result with q.Dequantize().
+func Quantize(w, h *tensor.Mat, cfg Config) (*quant.QuantizedMatrix, error) {
+	if h.Rows != w.Cols || h.Cols != w.Cols {
+		return nil, fmt.Errorf("gptq: Hessian %dx%d does not match %d input dims", h.Rows, h.Cols, w.Cols)
+	}
+	cfg = cfg.withDefaults(w.Cols)
+	qm := newQuantizedMatrix(w, cfg)
+	if err := quantizeRowsInto(qm, w, 0, h, cfg); err != nil {
+		return nil, err
+	}
+	return qm, nil
+}
+
+// QuantizePerRowGroups runs GPTQ independently on horizontal row bands of
+// w, each with its own Hessian. APTQ uses this for W_V, whose effective
+// input M_h = A_h·X (eq. 11) differs per attention head, making the exact
+// Levenberg-Marquardt Hessian row-band-specific.
+//
+// bands[i] covers rows [starts[i], starts[i+1]) with Hessian hs[i];
+// starts must begin at 0 and end at w.Rows.
+func QuantizePerRowGroups(w *tensor.Mat, starts []int, hs []*tensor.Mat, cfg Config) (*quant.QuantizedMatrix, error) {
+	if len(starts) != len(hs)+1 || starts[0] != 0 || starts[len(starts)-1] != w.Rows {
+		return nil, fmt.Errorf("gptq: invalid row bands %v for %d rows", starts, w.Rows)
+	}
+	cfg = cfg.withDefaults(w.Cols)
+	qm := newQuantizedMatrix(w, cfg)
+	for i, h := range hs {
+		lo, hi := starts[i], starts[i+1]
+		if lo >= hi {
+			continue
+		}
+		band := w.SliceRows(lo, hi).Clone()
+		if err := quantizeRowsInto(qm, band, lo, h, cfg); err != nil {
+			return nil, fmt.Errorf("gptq: band %d: %w", i, err)
+		}
+	}
+	return qm, nil
+}
+
+func newQuantizedMatrix(w *tensor.Mat, cfg Config) *quant.QuantizedMatrix {
+	ng := (w.Cols + cfg.GroupSize - 1) / cfg.GroupSize
+	return &quant.QuantizedMatrix{
+		Rows: w.Rows, Cols: w.Cols, GroupSize: cfg.GroupSize, Bits: cfg.Bits,
+		Codes:  make([]uint16, w.Rows*w.Cols),
+		Params: make([]quant.GroupParams, w.Rows*ng),
+	}
+}
+
+// quantizeRowsInto quantizes all rows of w (a band of the full matrix
+// starting at rowOffset) against h, writing codes and group parameters into
+// qm. w is cloned internally, so callers may pass views.
+func quantizeRowsInto(qm *quant.QuantizedMatrix, w *tensor.Mat, rowOffset int, h *tensor.Mat, cfg Config) error {
+	if h.Rows != w.Cols || h.Cols != w.Cols {
+		return fmt.Errorf("gptq: Hessian %dx%d for %d columns", h.Rows, h.Cols, w.Cols)
+	}
+	u, err := linalg.DampedInverseUpper(h, cfg.PercDamp)
+	if err != nil {
+		return err
+	}
+
+	wc := w.Clone() // error-compensated working copy
+	rows, cols := wc.Rows, wc.Cols
+	ng := qm.NumGroups()
+	// errBlock[r][j-i] holds E of eq. (16) for the current lazy block.
+	errBlock := tensor.New(rows, cfg.BlockSize)
+	groupParams := make([]quant.GroupParams, rows)
+
+	for i := 0; i < cols; i += cfg.BlockSize {
+		blockEnd := i + cfg.BlockSize
+		if blockEnd > cols {
+			blockEnd = cols
+		}
+		for j := i; j < blockEnd; j++ {
+			if j%cfg.GroupSize == 0 {
+				// Refit the quantization grid per row over the group's
+				// current (error-compensated) values.
+				hi := j + cfg.GroupSize
+				if hi > cols {
+					hi = cols
+				}
+				for r := 0; r < rows; r++ {
+					groupParams[r] = quant.FitGroup(wc.Row(r)[j:hi], cfg.Bits, cfg.Sym)
+					qm.Params[(rowOffset+r)*ng+j/cfg.GroupSize] = groupParams[r]
+				}
+			}
+			d := u.At(j, j)
+			for r := 0; r < rows; r++ {
+				wrow := wc.Row(r)
+				p := groupParams[r]
+				code := p.Encode(wrow[j], cfg.Bits)
+				qv := p.Decode(code)
+				qm.Codes[(rowOffset+r)*cols+j] = uint16(code)
+				// eq. (16): E = (w_q − quant(w_q)) / [H⁻¹]_qq^(1/2).
+				e := (wrow[j] - qv) / d
+				errBlock.Set(r, j-i, e)
+				// eq. (17), inside the block: immediate feedback.
+				urow := u.Row(j)
+				for k := j + 1; k < blockEnd; k++ {
+					wrow[k] -= e * urow[k]
+				}
+			}
+		}
+		// eq. (17), lazy batch: propagate the whole block's error to the
+		// remaining columns at once.
+		if blockEnd < cols {
+			for r := 0; r < rows; r++ {
+				wrow := wc.Row(r)
+				for j := i; j < blockEnd; j++ {
+					e := errBlock.At(r, j-i)
+					if e == 0 {
+						continue
+					}
+					urow := u.Row(j)
+					for k := blockEnd; k < cols; k++ {
+						wrow[k] -= e * urow[k]
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ProxyLoss computes trace((W−Ŵ)·H·(W−Ŵ)ᵀ) — the quadratic model of the
+// reconstruction error ||WX − ŴX||² that GPTQ minimizes (and its
+// attention-aware generalization, eq. (5), when H comes from APTQ). Tests
+// and ablations use it to verify the engine beats round-to-nearest.
+func ProxyLoss(w, wq, h *tensor.Mat) float64 {
+	d := tensor.Sub(w, wq)
+	dh := tensor.MatMul(d, h)
+	s := 0.0
+	for i := range d.Data {
+		s += d.Data[i] * dh.Data[i]
+	}
+	return s
+}

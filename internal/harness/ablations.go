@@ -1,0 +1,227 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/model"
+)
+
+// AblationProbes studies the Q/K Jacobian probe count (experiment A1):
+// more probes sharpen the attention-aware Hessian estimate of eqs. (12/13).
+// Reported at a low-bit operating point where Hessian quality matters.
+func (e *Env) AblationProbes() (*Table, error) {
+	cfg := model.Nano7B()
+	m := e.Model(cfg)
+	calib := e.Calibration(cfg)
+	segs := e.EvalSegments(e.C4, cfg)
+
+	t := &Table{
+		ID:      "ablation-probes",
+		Title:   "Probe count vs APTQ quality (nano-7B, R=50%, C4-like PPL)",
+		Columns: []string{"Probes", "C4 PPL"},
+	}
+	for _, probes := range []int{1, 2, 4, 8, 16} {
+		opts := e.aptqOptions(cfg, 0.5)
+		opts.Probes = probes
+		st, err := core.CollectStats(m, calib, core.CollectOptions{Probes: probes, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.QuantizeWithStats(m, st, calib, opts)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", probes), fmt.Sprintf("%.3f", eval.PerplexityOnSegments(res.Model, segs)))
+	}
+	return t, nil
+}
+
+// AblationGroupSize sweeps the quantization group size (experiment A2):
+// smaller groups adapt better but cost more scale/zero metadata.
+func (e *Env) AblationGroupSize() (*Table, error) {
+	cfg := model.Nano7B()
+	m := e.Model(cfg)
+	calib := e.Calibration(cfg)
+	segs := e.EvalSegments(e.C4, cfg)
+	st, err := core.CollectStats(m, calib, core.CollectOptions{Probes: 4, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:      "ablation-groupsize",
+		Title:   "Group size vs APTQ-4bit quality and storage (nano-7B)",
+		Columns: []string{"Group size", "C4 PPL", "Avg bits incl. metadata"},
+	}
+	for _, gs := range []int{8, 16, 32, 48} {
+		opts := e.aptqOptions(cfg, 1.0)
+		opts.GroupSize = gs
+		opts.BlockSize = gs
+		res, err := core.QuantizeWithStats(m, st, calib, opts)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", gs),
+			fmt.Sprintf("%.3f", eval.PerplexityOnSegments(res.Model, segs)),
+			fmt.Sprintf("%.2f", res.AvgBitsWithOverhead))
+	}
+	return t, nil
+}
+
+// AblationSensitivity compares mixed-precision allocation metrics
+// (experiment A3): the default Fisher-weighted score, the paper's
+// attention-aware trace score, the GPTQ-Hessian trace score and random
+// allocation, all at R=50%.
+func (e *Env) AblationSensitivity() (*Table, error) {
+	cfg := model.Nano7B()
+	m := e.Model(cfg)
+	calib := e.Calibration(cfg)
+	segs := e.EvalSegments(e.C4, cfg)
+	st, err := core.CollectStats(m, calib, core.CollectOptions{Probes: 4, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:      "ablation-sensitivity",
+		Title:   "Sensitivity metric vs mixed-precision quality (nano-7B, R=50%, C4-like PPL)",
+		Columns: []string{"Metric", "C4 PPL"},
+	}
+	for _, metric := range []core.SensitivityMetric{
+		core.MetricFisherDelta, core.MetricTraceQuantErr, core.MetricGPTQTrace, core.MetricRandom,
+	} {
+		opts := e.aptqOptions(cfg, 0.5)
+		opts.Metric = metric
+		res, err := core.QuantizeWithStats(m, st, calib, opts)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(metric.String(), fmt.Sprintf("%.3f", eval.PerplexityOnSegments(res.Model, segs)))
+	}
+	return t, nil
+}
+
+// AblationSequential compares one-shot statistics against per-block
+// recollection (GPTQ-style error propagation) at 4 bit and 2 bit.
+func (e *Env) AblationSequential() (*Table, error) {
+	cfg := model.Nano7B()
+	m := e.Model(cfg)
+	calib := e.Calibration(cfg)
+	segs := e.EvalSegments(e.C4, cfg)
+
+	t := &Table{
+		ID:      "ablation-sequential",
+		Title:   "One-shot vs per-block recollected statistics (nano-7B, C4-like PPL)",
+		Columns: []string{"Mode", "Ratio", "C4 PPL"},
+	}
+	for _, ratio := range []float64{1.0, 0.0} {
+		for _, sequential := range []bool{false, true} {
+			opts := e.aptqOptions(cfg, ratio)
+			opts.Sequential = sequential
+			res, err := core.Quantize(m, calib, opts)
+			if err != nil {
+				return nil, err
+			}
+			mode := "one-shot"
+			if sequential {
+				mode = "sequential"
+			}
+			t.AddRow(mode, fmt.Sprintf("%.0f%%", ratio*100),
+				fmt.Sprintf("%.3f", eval.PerplexityOnSegments(res.Model, segs)))
+		}
+	}
+	return t, nil
+}
+
+// AblationActOrder compares natural column order against activation
+// ordering (GPTQ's act_order flag) at low bit widths.
+func (e *Env) AblationActOrder() (*Table, error) {
+	cfg := model.Nano7B()
+	m := e.Model(cfg)
+	calib := e.Calibration(cfg)
+	segs := e.EvalSegments(e.C4, cfg)
+	st, err := core.CollectStats(m, calib, core.CollectOptions{Probes: 4, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:      "ablation-actorder",
+		Title:   "Column order: natural vs activation-ordered (nano-7B, C4-like PPL)",
+		Columns: []string{"Ratio", "Natural order", "Act order"},
+	}
+	for _, ratio := range []float64{1.0, 0.0} {
+		row := []string{fmt.Sprintf("%.0f%%", ratio*100)}
+		for _, actOrder := range []bool{false, true} {
+			opts := e.aptqOptions(cfg, ratio)
+			opts.ActOrder = actOrder
+			res, err := core.QuantizeWithStats(m, st, calib, opts)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.3f", eval.PerplexityOnSegments(res.Model, segs)))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// AblationKnapsack compares the paper's 2/4-bit scheme against the
+// {2,3,4}-width greedy knapsack extension at matched average-bit budgets.
+func (e *Env) AblationKnapsack() (*Table, error) {
+	cfg := model.Nano7B()
+	m := e.Model(cfg)
+	calib := e.Calibration(cfg)
+	segs := e.EvalSegments(e.C4, cfg)
+	st, err := core.CollectStats(m, calib, core.CollectOptions{Probes: 4, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:      "ablation-knapsack",
+		Title:   "2/4-bit scheme vs {2,3,4} greedy knapsack at matched budgets (nano-7B)",
+		Columns: []string{"Budget (avg bits)", "2/4 scheme PPL", "2/4 achieved bits", "{2,3,4} knapsack PPL", "knapsack achieved bits"},
+	}
+	for _, budget := range []float64{3.5, 3.0, 2.5} {
+		// 2/4 scheme: the ratio hitting the same average, eq. (18)
+		// inverted: R = (budget − 2) / 2.
+		ratio := (budget - 2) / 2
+		twoFour, err := core.QuantizeWithStats(m, st, calib, e.aptqOptions(cfg, ratio))
+		if err != nil {
+			return nil, err
+		}
+		opts := e.aptqOptions(cfg, 0)
+		opts.Widths = []int{2, 3, 4}
+		opts.TargetAvgBits = budget
+		ladder, err := core.QuantizeWithStats(m, st, calib, opts)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%.1f", budget),
+			fmt.Sprintf("%.3f", eval.PerplexityOnSegments(twoFour.Model, segs)),
+			fmt.Sprintf("%.2f", twoFour.AvgBits),
+			fmt.Sprintf("%.3f", eval.PerplexityOnSegments(ladder.Model, segs)),
+			fmt.Sprintf("%.2f", ladder.AvgBits))
+	}
+	return t, nil
+}
+
+// RunAblations executes the repository's own ablation studies (A1-A3 plus
+// the sequential-statistics, act-order and knapsack studies).
+func (e *Env) RunAblations() ([]*Table, error) {
+	var out []*Table
+	for _, f := range []func() (*Table, error){
+		e.AblationProbes, e.AblationGroupSize, e.AblationSensitivity,
+		e.AblationSequential, e.AblationActOrder, e.AblationKnapsack,
+	} {
+		t, err := f()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

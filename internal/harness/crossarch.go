@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/model"
+)
+
+// CrossArch evaluates APTQ on the GPT/OPT-architecture stand-in alongside
+// the LLaMA-architecture model — the paper's introduction motivates both
+// families; this table shows the pipeline is architecture-agnostic.
+func (e *Env) CrossArch() (*Table, error) {
+	t := &Table{
+		ID:      "crossarch",
+		Title:   "APTQ across architectures (C4-like PPL)",
+		Columns: []string{"Model", "Arch", "FP", "GPTQ-4bit", "APTQ-4bit", "APTQ-75% (3.5b)", "APTQ-50% (3.0b)"},
+	}
+	for _, cfg := range []model.Config{model.Nano7B(), model.NanoGPT()} {
+		m := e.Model(cfg)
+		calib := e.Calibration(cfg)
+		segs := e.EvalSegments(e.C4, cfg)
+		st, err := core.CollectStats(m, calib, core.CollectOptions{Probes: 4, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		g, err := baselines.GPTQ(m, st, 4, groupSizeFor(cfg))
+		if err != nil {
+			return nil, err
+		}
+		row := []string{cfg.Name, cfg.Arch.String(),
+			fmt.Sprintf("%.2f", eval.PerplexityOnSegments(m, segs)),
+			fmt.Sprintf("%.2f", eval.PerplexityOnSegments(g.Model, segs)),
+		}
+		for _, ratio := range []float64{1.0, 0.75, 0.5} {
+			res, err := core.QuantizeWithStats(m, st, calib, e.aptqOptions(cfg, ratio))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.2f", eval.PerplexityOnSegments(res.Model, segs)))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

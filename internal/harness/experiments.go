@@ -1,0 +1,368 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/eval"
+	"repro/internal/model"
+)
+
+// groupSizeFor scales the paper's group size 128 (on d_model 4096) to the
+// nano models.
+func groupSizeFor(cfg model.Config) int {
+	gs := cfg.Dim / 3
+	if gs < 8 {
+		gs = 8
+	}
+	return roundPow2(gs)
+}
+
+func roundPow2(v int) int {
+	p := 8
+	for p*2 <= v {
+		p *= 2
+	}
+	return p
+}
+
+// aptqOptions returns the standard APTQ options for a model config at
+// ratio R.
+func (e *Env) aptqOptions(cfg model.Config, ratio float64) core.Options {
+	opts := core.DefaultOptions(ratio)
+	opts.GroupSize = groupSizeFor(cfg)
+	opts.BlockSize = opts.GroupSize
+	return opts
+}
+
+// pplPair evaluates a model on the fixed C4-like and Wiki-like eval sets.
+func (e *Env) pplPair(m *model.Model, cfg model.Config) (c4, wiki float64) {
+	return eval.PerplexityOnSegments(m, e.EvalSegments(e.C4, cfg)),
+		eval.PerplexityOnSegments(m, e.EvalSegments(e.Wiki, cfg))
+}
+
+// Table1 reproduces Table 1: perplexity of quantized nano-7B on the C4-like
+// and WikiText-like corpora for FP, GPTQ, OWQ, LLM-QAT, PB-LLM and APTQ at
+// 4.0 / 3.5 / 3.0 average bits.
+func (e *Env) Table1() (*Table, error) {
+	cfg := model.Nano7B()
+	m := e.Model(cfg)
+	calib := e.Calibration(cfg)
+	gs := groupSizeFor(cfg)
+	st, err := core.CollectStats(m, calib, core.CollectOptions{Probes: 4, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:      "table1",
+		Title:   "Perplexity of quantized nano-7B on C4-like and WikiText-like corpora",
+		Columns: []string{"Method", "Avg bit", "C4", "WikiText-2"},
+		Notes: []string{
+			"substrate: nano-7B on synthetic corpora (DESIGN.md §2); compare shapes, not absolute values",
+			"PB-LLM avg bits follow this repo's accounting (16-bit salient + 1-bit binarized)",
+		},
+	}
+	addRow := func(method string, avgBits float64, m2 *model.Model, cfg model.Config) {
+		c4, wiki := e.pplPair(m2, cfg)
+		t.AddRow(method, fmt.Sprintf("%.1f", avgBits), fmt.Sprintf("%.2f", c4), fmt.Sprintf("%.2f", wiki))
+	}
+
+	addRow("FP (float64)", 16, m, cfg)
+
+	g, err := baselines.GPTQ(m, st, 4, gs)
+	if err != nil {
+		return nil, err
+	}
+	addRow(g.Method, g.AvgBits, g.Model, cfg)
+
+	owq, err := baselines.OWQ(m, st, 4, gs, 0.01)
+	if err != nil {
+		return nil, err
+	}
+	addRow(owq.Method, owq.AvgBits, owq.Model, cfg)
+
+	qat, err := baselines.QAT(m, e.C4, e.qatConfig(4, gs))
+	if err != nil {
+		return nil, err
+	}
+	addRow(qat.Method, qat.AvgBits, qat.Model, cfg)
+
+	pb, err := baselines.PBLLM(m, st, 0.2, gs)
+	if err != nil {
+		return nil, err
+	}
+	addRow(pb.Method, pb.AvgBits, pb.Model, cfg)
+
+	for _, ratio := range []float64{1.0, 0.75, 0.5} {
+		res, err := core.QuantizeWithStats(m, st, calib, e.aptqOptions(cfg, ratio))
+		if err != nil {
+			return nil, err
+		}
+		name := "APTQ"
+		if ratio < 1 {
+			name = fmt.Sprintf("APTQ-%d%%", int(ratio*100))
+		}
+		addRow(name, res.AvgBits, res.Model, cfg)
+	}
+	return t, nil
+}
+
+func (e *Env) qatConfig(bits, gs int) baselines.QATConfig {
+	qc := baselines.DefaultQATConfig(bits)
+	qc.GroupSize = gs
+	if e.Scale == Quick {
+		qc.Steps = 30
+	}
+	return qc
+}
+
+// Figure2 reproduces Figure 2: APTQ perplexity on the C4-like corpus as a
+// function of the 4-bit ratio R, with the FP / OWQ / GPTQ / LLM-QAT
+// reference levels.
+func (e *Env) Figure2() (*Table, []float64, []float64, error) {
+	cfg := model.Nano7B()
+	m := e.Model(cfg)
+	calib := e.Calibration(cfg)
+	gs := groupSizeFor(cfg)
+	st, err := core.CollectStats(m, calib, core.CollectOptions{Probes: 4, Seed: 1})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	segs := e.EvalSegments(e.C4, cfg)
+
+	t := &Table{
+		ID:      "figure2",
+		Title:   "APTQ perplexity vs 4-bit ratio R on C4-like corpus (nano-7B)",
+		Columns: []string{"Series", "Ratio %", "Avg bit", "C4 PPL"},
+	}
+	var xs, ys []float64
+	for _, ratio := range []float64{0.5, 0.6, 0.7, 0.75, 0.8, 0.9, 1.0} {
+		res, err := core.QuantizeWithStats(m, st, calib, e.aptqOptions(cfg, ratio))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ppl := eval.PerplexityOnSegments(res.Model, segs)
+		t.AddRow("APTQ", fmt.Sprintf("%.0f", ratio*100), fmt.Sprintf("%.1f", res.AvgBits), fmt.Sprintf("%.2f", ppl))
+		xs = append(xs, ratio*100)
+		ys = append(ys, ppl)
+	}
+	t.AddRow("FP (float64)", "-", "16.0", fmt.Sprintf("%.2f", eval.PerplexityOnSegments(m, segs)))
+	g, err := baselines.GPTQ(m, st, 4, gs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	t.AddRow("GPTQ-4bit", "-", "4.0", fmt.Sprintf("%.2f", eval.PerplexityOnSegments(g.Model, segs)))
+	owq, err := baselines.OWQ(m, st, 4, gs, 0.01)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	t.AddRow("OWQ-4bit", "-", fmt.Sprintf("%.1f", owq.AvgBits), fmt.Sprintf("%.2f", eval.PerplexityOnSegments(owq.Model, segs)))
+	qat, err := baselines.QAT(m, e.C4, e.qatConfig(4, gs))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	t.AddRow("LLM-QAT-4bit", "-", "4.0", fmt.Sprintf("%.2f", eval.PerplexityOnSegments(qat.Model, segs)))
+	return t, xs, ys, nil
+}
+
+// Table2 reproduces Table 2: zero-shot accuracy of quantized nano-7B and
+// nano-13B on the five-task suite for the full method roster.
+func (e *Env) Table2() (*Table, error) {
+	t := &Table{
+		ID:    "table2",
+		Title: "Zero-shot accuracy (%) on PIQA/Hellaswag/Arc-E/Arc-C/WinoGrande stand-ins",
+		Columns: []string{"Model", "Method", "Avg bit",
+			"PIQA", "Hellaswag", "Arc-E", "Arc-C", "WinoGrande", "Acc%"},
+		Notes: []string{"tasks are seeded synthetic multiple-choice suites scored by length-normalized log-likelihood (DESIGN.md §2)"},
+	}
+	for _, cfg := range []model.Config{model.Nano7B(), model.Nano13B()} {
+		if err := e.table2ForModel(t, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func (e *Env) table2ForModel(t *Table, cfg model.Config) error {
+	m := e.Model(cfg)
+	calib := e.Calibration(cfg)
+	gs := groupSizeFor(cfg)
+	st, err := core.CollectStats(m, calib, core.CollectOptions{Probes: 4, Seed: 1})
+	if err != nil {
+		return err
+	}
+	tasks := e.ZeroShotSuite(cfg)
+
+	addRow := func(method string, avgBits float64, qm *model.Model) {
+		r := eval.EvaluateSuite(qm, tasks)
+		cells := []string{cfg.Name, method, fmt.Sprintf("%.1f", avgBits)}
+		for _, a := range r.Accuracies {
+			cells = append(cells, fmt.Sprintf("%.1f", a*100))
+		}
+		cells = append(cells, fmt.Sprintf("%.2f", r.Mean()*100))
+		t.AddRow(cells...)
+	}
+
+	addRow("FP (float64)", 16, m)
+	addRow("RTN", 4, baselines.RTN(m, 4, gs).Model)
+
+	sq, err := baselines.SmoothQuant(m, st, 4, gs, 0.5)
+	if err != nil {
+		return err
+	}
+	addRow("SmoothQuant", 4, sq.Model)
+
+	addRow("FPQ", 4, baselines.FPQ(m, gs).Model)
+
+	qat, err := baselines.QAT(m, e.C4, e.qatConfig(4, gs))
+	if err != nil {
+		return err
+	}
+	addRow("LLM-QAT", 4, qat.Model)
+
+	g, err := baselines.GPTQ(m, st, 4, gs)
+	if err != nil {
+		return err
+	}
+	addRow("GPTQ", 4, g.Model)
+
+	for _, frac := range []float64{0.3, 0.1} {
+		pb, err := baselines.PBLLM(m, st, frac, gs)
+		if err != nil {
+			return err
+		}
+		addRow(pb.Method, pb.AvgBits, pb.Model)
+	}
+
+	for _, ratio := range []float64{1.0, 0.9, 0.8, 0.75, 0.7, 0.6, 0.5} {
+		res, err := core.QuantizeWithStats(m, st, calib, e.aptqOptions(cfg, ratio))
+		if err != nil {
+			return err
+		}
+		name := "APTQ"
+		if ratio < 1 {
+			name = fmt.Sprintf("APTQ-%d%%", int(ratio*100))
+		}
+		addRow(name, res.AvgBits, res.Model)
+	}
+	return nil
+}
+
+// Table3 reproduces Table 3: the allocation ablation — APTQ's
+// sensitivity-ordered mixed precision vs manual whole-block quantization at
+// matched average bits.
+func (e *Env) Table3() (*Table, error) {
+	cfg := model.Nano7B()
+	m := e.Model(cfg)
+	calib := e.Calibration(cfg)
+	st, err := core.CollectStats(m, calib, core.CollectOptions{Probes: 4, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	segs := e.EvalSegments(e.C4, cfg)
+
+	t := &Table{
+		ID:      "table3",
+		Title:   "Ablation: APTQ vs manual block-wise mixed precision (nano-7B, C4-like PPL)",
+		Columns: []string{"Method", "Ratio of 4-bit", "Avg bit", "Perplexity"},
+		Notes:   []string{"manual block-wise rounds to whole transformer blocks, so its achieved ratio is block-quantized"},
+	}
+	for _, ratio := range []float64{0.75, 0.5} {
+		manual := e.aptqOptions(cfg, ratio)
+		manual.Allocator = core.ManualBlockwise
+		mres, err := core.QuantizeWithStats(m, st, calib, manual)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("Manual Block-wise", fmt.Sprintf("%.0f%%", mres.Allocation.Ratio()*100),
+			fmt.Sprintf("%.1f", mres.AvgBits),
+			fmt.Sprintf("%.2f", eval.PerplexityOnSegments(mres.Model, segs)))
+
+		ares, err := core.QuantizeWithStats(m, st, calib, e.aptqOptions(cfg, ratio))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("APTQ-%d%%", int(ratio*100)), fmt.Sprintf("%.0f%%", ares.Allocation.Ratio()*100),
+			fmt.Sprintf("%.1f", ares.AvgBits),
+			fmt.Sprintf("%.2f", eval.PerplexityOnSegments(ares.Model, segs)))
+	}
+	return t, nil
+}
+
+// Figure1Profile reproduces the sensitivity inset of Figure 1: per-block
+// average Hessian trace for attention Q, attention V and MLP weights.
+func (e *Env) Figure1Profile() (*Table, error) {
+	cfg := model.Nano7B()
+	m := e.Model(cfg)
+	calib := e.Calibration(cfg)
+	st, err := core.CollectStats(m, calib, core.CollectOptions{Probes: 4, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "figure1",
+		Title:   "Per-block sensitivity profile (normalized avg Hessian trace x quant perturbation)",
+		Columns: []string{"Block", "Attn_Q_Weight", "Attn_V_Weight", "MLP_Weight"},
+	}
+	sens := st.Sensitivities(core.DefaultOptions(1).Metric, 2, groupSizeFor(cfg), 1)
+	norm := core.NormalizeScores(sens)
+	byRole := map[string][]float64{}
+	for _, s := range norm {
+		byRole[s.Role] = append(byRole[s.Role], s.Score)
+	}
+	mlp := make([]float64, cfg.Layers)
+	for _, role := range []string{"gate_proj", "up_proj", "down_proj"} {
+		for b, v := range byRole[role] {
+			mlp[b] += v / 3
+		}
+	}
+	for b := 0; b < cfg.Layers; b++ {
+		t.AddRow(fmt.Sprintf("%d", b),
+			fmt.Sprintf("%.3f", byRole["q_proj"][b]),
+			fmt.Sprintf("%.3f", byRole["v_proj"][b]),
+			fmt.Sprintf("%.3f", mlp[b]))
+	}
+	return t, nil
+}
+
+// RunAll executes every experiment and returns the artifacts in paper
+// order. Figure 2's chart data is folded into its table.
+func (e *Env) RunAll() ([]*Table, error) {
+	var out []*Table
+	t1, err := e.Table1()
+	if err != nil {
+		return nil, fmt.Errorf("harness: table1: %w", err)
+	}
+	out = append(out, t1)
+
+	f2, _, _, err := e.Figure2()
+	if err != nil {
+		return nil, fmt.Errorf("harness: figure2: %w", err)
+	}
+	out = append(out, f2)
+
+	t2, err := e.Table2()
+	if err != nil {
+		return nil, fmt.Errorf("harness: table2: %w", err)
+	}
+	out = append(out, t2)
+
+	t3, err := e.Table3()
+	if err != nil {
+		return nil, fmt.Errorf("harness: table3: %w", err)
+	}
+	out = append(out, t3)
+
+	f1, err := e.Figure1Profile()
+	if err != nil {
+		return nil, fmt.Errorf("harness: figure1: %w", err)
+	}
+	out = append(out, f1)
+	return out, nil
+}
+
+// ensure data package stays linked for doc references.
+var _ = data.StandardTasks

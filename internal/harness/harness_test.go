@@ -1,0 +1,151 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// sharedEnv is one Quick-scale environment per test process; models are
+// trained once and reused across tests.
+var sharedEnv = sync.OnceValue(func() *Env { return NewEnv(Quick) })
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		ID:      "t",
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Notes:   []string{"a note"},
+	}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	out := tbl.Render()
+	for _, want := range []string{"T — demo", "a    bb", "333", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tbl := &Table{ID: "t", Columns: []string{"x"}}
+	tbl.AddRow(`va"l,ue`)
+	csv := tbl.CSV()
+	if !strings.Contains(csv, `"va""l,ue"`) {
+		t.Fatalf("CSV quoting wrong: %q", csv)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := &Table{ID: "t1", Title: "x", Columns: []string{"a", "b"}}
+	tbl.AddRow("1", "2")
+	md := tbl.Markdown()
+	if !strings.Contains(md, "| a | b |") || !strings.Contains(md, "| 1 | 2 |") {
+		t.Fatalf("markdown:\n%s", md)
+	}
+}
+
+func TestAsciiChart(t *testing.T) {
+	out := AsciiChart("test", []float64{0, 50, 100}, []float64{1, 2, 3}, 30, 8, "x", "y")
+	if !strings.Contains(out, "*") || !strings.Contains(out, "test") {
+		t.Fatalf("chart:\n%s", out)
+	}
+	if AsciiChart("empty", nil, nil, 10, 5, "x", "y") == "" {
+		t.Fatal("empty chart must still render a header")
+	}
+}
+
+func TestGroupSizeFor(t *testing.T) {
+	if gs := groupSizeFor(model.Nano7B()); gs != 16 {
+		t.Fatalf("nano-7B group size %d, want 16", gs)
+	}
+	if gs := groupSizeFor(model.Nano13B()); gs != 16 {
+		t.Fatalf("nano-13B group size %d, want 16", gs)
+	}
+	if gs := groupSizeFor(model.Config{Dim: 8}); gs != 8 {
+		t.Fatalf("minimum group size %d, want 8", gs)
+	}
+}
+
+func TestEnvModelCaching(t *testing.T) {
+	e := sharedEnv()
+	a := e.Model(model.Nano7B())
+	b := e.Model(model.Nano7B())
+	if a != b {
+		t.Fatal("models must be cached per config")
+	}
+}
+
+func TestEnvFixedEvalSets(t *testing.T) {
+	e := sharedEnv()
+	cfg := model.Nano7B()
+	s1 := e.EvalSegments(e.C4, cfg)
+	s2 := e.EvalSegments(e.C4, cfg)
+	if len(s1) == 0 || len(s1) != len(s2) {
+		t.Fatal("eval sets must be non-empty and stable")
+	}
+	for i := range s1 {
+		for j := range s1[i] {
+			if s1[i][j] != s2[i][j] {
+				t.Fatal("eval segments must be deterministic")
+			}
+		}
+	}
+}
+
+func TestTable3ShapeAPTQBeatsManual(t *testing.T) {
+	// The key ablation claim of the paper: sensitivity-ordered allocation
+	// beats whole-block allocation at matched (or fewer) bits.
+	if testing.Short() {
+		t.Skip("table3 takes ~1 minute")
+	}
+	e := sharedEnv()
+	tbl, err := e.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("%d rows", len(tbl.Rows))
+	}
+	// Rows alternate Manual, APTQ at each ratio; compare the 50% pair
+	// (equal achieved bits at whole-block granularity).
+	manual50 := mustFloat(t, tbl.Rows[2][3])
+	aptq50 := mustFloat(t, tbl.Rows[3][3])
+	if aptq50 > manual50 {
+		t.Fatalf("APTQ-50%% PPL %.3f worse than manual block-wise %.3f", aptq50, manual50)
+	}
+}
+
+func TestFigure1ProfileShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs trained model")
+	}
+	e := sharedEnv()
+	tbl, err := e.Figure1Profile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != model.Nano7B().Layers {
+		t.Fatalf("%d profile rows", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		for _, cell := range row[1:] {
+			v := mustFloat(t, cell)
+			if v < 0 || v > 1 {
+				t.Fatalf("normalized score %v outside [0,1]", v)
+			}
+		}
+	}
+}
+
+func mustFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}

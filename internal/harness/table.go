@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment artifact: one per paper table/figure.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes carry caveats (substitutions, granularity) that belong next to
+	// the numbers.
+	Notes []string
+}
+
+// AddRow appends a row of pre-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render produces an aligned, boxless text table.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", strings.ToUpper(t.ID), t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values (cells containing commas
+// are quoted).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				sb.WriteString(`"` + strings.ReplaceAll(cell, `"`, `""`) + `"`)
+			} else {
+				sb.WriteString(cell)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Markdown renders the table as GitHub-flavored markdown (used by
+// EXPERIMENTS.md generation).
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s — %s\n\n", strings.ToUpper(t.ID), t.Title)
+	sb.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "\n*Note: %s*\n", n)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// AsciiChart renders (x, y) series as a simple scatter line chart for
+// terminal display — used for the Figure 2 perplexity-vs-ratio curve.
+func AsciiChart(title string, xs, ys []float64, width, height int, xlabel, ylabel string) string {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return title + ": (no data)\n"
+	}
+	xmin, xmax := xs[0], xs[0]
+	ymin, ymax := ys[0], ys[0]
+	for i := range xs {
+		if xs[i] < xmin {
+			xmin = xs[i]
+		}
+		if xs[i] > xmax {
+			xmax = xs[i]
+		}
+		if ys[i] < ymin {
+			ymin = ys[i]
+		}
+		if ys[i] > ymax {
+			ymax = ys[i]
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range xs {
+		c := int((xs[i] - xmin) / (xmax - xmin) * float64(width-1))
+		r := height - 1 - int((ys[i]-ymin)/(ymax-ymin)*float64(height-1))
+		grid[r][c] = '*'
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%8.2f ┤%s\n", ymax, string(grid[0]))
+	for r := 1; r < height-1; r++ {
+		fmt.Fprintf(&sb, "%8s │%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&sb, "%8.2f ┤%s\n", ymin, string(grid[height-1]))
+	fmt.Fprintf(&sb, "%8s  %-*s%s\n", "", width-len(xlabel), fmt.Sprintf("%.0f", xmin), fmt.Sprintf("%.0f", xmax))
+	fmt.Fprintf(&sb, "%8s  %s / %s\n", "", xlabel, ylabel)
+	return sb.String()
+}

@@ -1,0 +1,143 @@
+// Package harness wires the whole reproduction together: it pretrains and
+// caches the nano LLaMA stand-ins, holds the fixed evaluation sets, runs
+// each of the paper's experiments (Tables 1-3, Figures 1-2, plus the
+// repository's own ablations) and renders the results as text tables — the
+// same rows and series the paper reports.
+package harness
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/train"
+)
+
+// Scale selects evaluation effort. Quick keeps unit tests and -short
+// benchmarks fast; Full is the publication-quality setting used by
+// cmd/aptq-experiments.
+type Scale int
+
+// Scales.
+const (
+	Quick Scale = iota
+	Full
+)
+
+// evalBudget returns (ppl segments, zero-shot items per task) for a scale.
+func (s Scale) evalBudget() (segments, items int) {
+	if s == Full {
+		return 200, 250
+	}
+	return 60, 40
+}
+
+// calibBudget returns (calibration segments, segment length).
+func (s Scale) calibBudget() (count, seqLen int) {
+	if s == Full {
+		return 32, 48
+	}
+	return 16, 32
+}
+
+// Env is the shared experimental environment: trained models, corpora and
+// fixed evaluation sets. Construct once per process via NewEnv; models are
+// trained lazily on first use and cached.
+type Env struct {
+	Scale Scale
+
+	C4   data.Source
+	Wiki data.Source
+	// TrainMix is the pretraining corpus (C4-like + Wiki-like mixture).
+	TrainMix data.Source
+
+	mu     sync.Mutex
+	models map[string]*model.Model
+}
+
+// NewEnv constructs the environment at the given scale.
+func NewEnv(scale Scale) *Env {
+	vocab := 128
+	c4 := data.NewC4Like(vocab)
+	wiki := data.NewWikiLike(vocab)
+	return &Env{
+		Scale:    scale,
+		C4:       c4,
+		Wiki:     wiki,
+		TrainMix: data.NewMixture(48, c4, wiki),
+		models:   make(map[string]*model.Model),
+	}
+}
+
+// trainRecipe returns the pretraining configuration for a model config at
+// the environment's scale.
+func (e *Env) trainRecipe(cfg model.Config) train.Config {
+	tc := train.DefaultConfig()
+	if e.Scale == Quick {
+		tc.Steps = 300
+	}
+	if cfg.Name == "nano-13B" {
+		// The larger stand-in gets proportionally more optimization, as
+		// 13B did relative to 7B.
+		tc.Steps = tc.Steps * 5 / 4
+	}
+	tc.SeqLen = cfg.MaxSeq * 3 / 4
+	return tc
+}
+
+// Model returns the pretrained model for cfg, training it on first use.
+// The returned model is shared; callers must not mutate it (quantizers
+// clone internally).
+func (e *Env) Model(cfg model.Config) *model.Model {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if m, ok := e.models[cfg.Name]; ok {
+		return m
+	}
+	m := model.New(cfg, 1)
+	train.Train(m, e.TrainMix, e.trainRecipe(cfg))
+	e.models[cfg.Name] = m
+	return m
+}
+
+// SetModel injects a pre-trained model (used by cmd tools that load
+// checkpoints, and by tests).
+func (e *Env) SetModel(m *model.Model) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.models[m.Cfg.Name] = m
+}
+
+// Calibration returns the calibration set for a model config, sampled from
+// the C4-like corpus as in the paper.
+func (e *Env) Calibration(cfg model.Config) *data.CalibrationSet {
+	count, seqLen := e.Scale.calibBudget()
+	if seqLen > cfg.MaxSeq {
+		seqLen = cfg.MaxSeq
+	}
+	return data.SampleCalibration(rand.New(rand.NewSource(42)), e.C4, count, seqLen)
+}
+
+// EvalSegments returns the fixed held-out evaluation segments for a source.
+func (e *Env) EvalSegments(src data.Source, cfg model.Config) [][]int {
+	segments, _ := e.Scale.evalBudget()
+	seqLen := cfg.MaxSeq
+	rng := rand.New(rand.NewSource(4242))
+	out := make([][]int, segments)
+	for i := range out {
+		out[i] = src.Generate(rng, seqLen)
+	}
+	return out
+}
+
+// ZeroShotSuite returns the five fixed tasks for a model config.
+func (e *Env) ZeroShotSuite(cfg model.Config) []data.Task {
+	_, items := e.Scale.evalBudget()
+	rng := rand.New(rand.NewSource(777))
+	var tasks []data.Task
+	for _, spec := range data.StandardTasks() {
+		tasks = append(tasks, data.GenerateTask(rng, e.C4, spec, items))
+	}
+	return tasks
+}

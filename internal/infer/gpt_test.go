@@ -1,0 +1,35 @@
+package infer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/train"
+)
+
+func TestGPTStepMatchesBatchForward(t *testing.T) {
+	src := data.NewC4Like(32)
+	m := model.New(model.TinyGPT(), 1)
+	train.Train(m, src, train.Config{Steps: 40, BatchSize: 2, SeqLen: 16, LR: 3e-3, Warmup: 5, ClipNorm: 1, Seed: 1})
+
+	ids := src.Generate(rand.New(rand.NewSource(3)), 10)
+	batchLogits := m.Forward(ids)
+
+	s := NewSession(m)
+	for pos, tok := range ids {
+		stepLogits, err := s.Step(tok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brow := batchLogits.Row(pos)
+		srow := stepLogits.Row(0)
+		for j := range brow {
+			if math.Abs(brow[j]-srow[j]) > 1e-9 {
+				t.Fatalf("GPT pos %d logit %d: batch %v vs step %v", pos, j, brow[j], srow[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package infer provides an incremental-decoding path for the model: a
+// KV-cached forward pass that processes one token at a time, plus sampling
+// utilities. This is the code path an edge deployment of an APTQ-quantized
+// model would actually run — the paper's motivating use case — and it is
+// verified token-for-token against the batch forward pass.
+package infer
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// kvCache stores the per-block key/value history of one sequence.
+type kvCache struct {
+	k, v *tensor.Mat // (len x dim), rows 0..len-1 are valid
+	len  int
+}
+
+func newKVCache(maxSeq, dim int) *kvCache {
+	return &kvCache{k: tensor.New(maxSeq, dim), v: tensor.New(maxSeq, dim)}
+}
+
+// Session is an incremental decoding session over a fixed model. It is not
+// safe for concurrent use.
+type Session struct {
+	m      *model.Model
+	caches []*kvCache
+	pos    int
+	// kvQuant, when non-nil, fake-quantizes each key/value row as it
+	// enters the cache — KV-cache quantization, the other large memory
+	// consumer on edge devices beside the weights. Per-row (per-token,
+	// per-layer) dynamic grids.
+	kvQuant *quant.ActQuantizer
+}
+
+// NewSession creates a decoding session with empty caches.
+func NewSession(m *model.Model) *Session {
+	s := &Session{m: m}
+	for range m.Blocks {
+		s.caches = append(s.caches, newKVCache(m.Cfg.MaxSeq, m.Cfg.Dim))
+	}
+	return s
+}
+
+// NewSessionKVQuant creates a decoding session whose KV cache is stored at
+// the given bit width (e.g. 4 for a 4-bit KV cache).
+func NewSessionKVQuant(m *model.Model, kvBits int) *Session {
+	s := NewSession(m)
+	s.kvQuant = &quant.ActQuantizer{Bits: kvBits, PerToken: true}
+	return s
+}
+
+// Pos returns the number of tokens consumed so far.
+func (s *Session) Pos() int { return s.pos }
+
+// Reset clears the caches for a new sequence.
+func (s *Session) Reset() {
+	s.pos = 0
+	for _, c := range s.caches {
+		c.len = 0
+	}
+}
+
+// Step consumes one token and returns the next-token logits (1 x vocab).
+func (s *Session) Step(token int) (*tensor.Mat, error) {
+	if s.pos >= s.m.Cfg.MaxSeq {
+		return nil, fmt.Errorf("infer: sequence length %d exceeds MaxSeq %d", s.pos+1, s.m.Cfg.MaxSeq)
+	}
+	x := s.m.Embed.Forward([]int{token}) // 1 x dim
+	if s.m.PosEmbed != nil {
+		tensor.AddInPlace(x, s.m.PosEmbed.Forward([]int{s.pos}))
+	}
+	for bi, b := range s.m.Blocks {
+		x = s.stepBlock(b, s.caches[bi], x)
+	}
+	s.pos++
+	return s.m.Head.Forward(s.m.Norm.Forward(x)), nil
+}
+
+// stepBlock runs one decoder block for a single position with KV caching.
+func (s *Session) stepBlock(b *nn.Block, c *kvCache, x *tensor.Mat) *tensor.Mat {
+	attnIn := b.AttnNorm.Forward(x)
+	attnOut := s.stepAttention(b, c, attnIn)
+	h := tensor.Add(x, attnOut)
+	return tensor.Add(h, b.MLP.Forward(b.MLPNorm.Forward(h)))
+}
+
+// stepAttention computes causal attention for the newest position against
+// the cached keys/values.
+func (s *Session) stepAttention(b *nn.Block, c *kvCache, x *tensor.Mat) *tensor.Mat {
+	attn := b.Attn
+	dim, heads, hd := attn.Dim, attn.Heads, attn.HeadDim
+
+	q := attn.WQ.Forward(x) // 1 x dim
+	k := attn.WK.Forward(x)
+	v := attn.WV.Forward(x)
+	applyRoPEAt(attn, q, s.pos)
+	applyRoPEAt(attn, k, s.pos)
+
+	if s.kvQuant != nil {
+		s.kvQuant.QuantizeInPlace(k)
+		s.kvQuant.QuantizeInPlace(v)
+	}
+	copy(c.k.Row(c.len), k.Row(0))
+	copy(c.v.Row(c.len), v.Row(0))
+	c.len++
+
+	ctx := tensor.New(1, dim)
+	invSqrt := 1 / math.Sqrt(float64(hd))
+	scores := make([]float64, c.len)
+	probs := make([]float64, c.len)
+	for h := 0; h < heads; h++ {
+		lo := h * hd
+		qh := q.Row(0)[lo : lo+hd]
+		for t := 0; t < c.len; t++ {
+			scores[t] = tensor.Dot(qh, c.k.Row(t)[lo:lo+hd]) * invSqrt
+		}
+		tensor.Softmax(probs[:c.len], scores[:c.len])
+		out := ctx.Row(0)[lo : lo+hd]
+		for t := 0; t < c.len; t++ {
+			tensor.Axpy(probs[t], c.v.Row(t)[lo:lo+hd], out)
+		}
+	}
+	return attn.WO.Forward(ctx)
+}
+
+// applyRoPEAt rotates a single-row matrix as if it sat at sequence
+// position pos (RoPE.Apply assumes row index == position, so we embed the
+// row in a padded matrix view). No-op for non-rotary architectures.
+func applyRoPEAt(attn *nn.Attention, row *tensor.Mat, pos int) {
+	if attn.Rope == nil {
+		return
+	}
+	padded := tensor.New(pos+1, row.Cols)
+	copy(padded.Row(pos), row.Row(0))
+	attn.Rope.Apply(padded)
+	copy(row.Row(0), padded.Row(pos))
+}
+
+// Prefill consumes a prompt and returns the logits after its last token.
+func (s *Session) Prefill(prompt []int) (*tensor.Mat, error) {
+	var logits *tensor.Mat
+	var err error
+	for _, tok := range prompt {
+		logits, err = s.Step(tok)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return logits, nil
+}
+
+// Generate samples n tokens after the prompt at the given temperature
+// (0 = greedy argmax) and returns just the generated tokens.
+func (s *Session) Generate(rng *rand.Rand, prompt []int, n int, temperature float64) ([]int, error) {
+	logits, err := s.Prefill(prompt)
+	if err != nil {
+		return nil, err
+	}
+	if logits == nil {
+		return nil, fmt.Errorf("infer: empty prompt")
+	}
+	out := make([]int, 0, n)
+	for len(out) < n {
+		tok := SampleLogits(rng, logits.Row(0), temperature)
+		out = append(out, tok)
+		if len(out) == n {
+			break
+		}
+		logits, err = s.Step(tok)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SampleLogits draws a token from softmax(logits/temperature); a
+// temperature of 0 returns the argmax.
+func SampleLogits(rng *rand.Rand, logits []float64, temperature float64) int {
+	if temperature <= 0 {
+		best := 0
+		for i, v := range logits {
+			if v > logits[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	scaled := make([]float64, len(logits))
+	for i, v := range logits {
+		scaled[i] = v / temperature
+	}
+	probs := make([]float64, len(scaled))
+	tensor.Softmax(probs, scaled)
+	u := rng.Float64()
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if u <= acc {
+			return i
+		}
+	}
+	return len(probs) - 1
+}

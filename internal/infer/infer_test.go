@@ -1,0 +1,176 @@
+package infer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/train"
+)
+
+func tinyModel(t *testing.T) *model.Model {
+	t.Helper()
+	src := data.NewC4Like(32)
+	m := model.New(model.Tiny(), 1)
+	train.Train(m, src, train.Config{Steps: 60, BatchSize: 2, SeqLen: 16, LR: 3e-3, Warmup: 10, ClipNorm: 1, Seed: 1})
+	return m
+}
+
+func TestStepMatchesBatchForward(t *testing.T) {
+	// The defining correctness property of KV-cached decoding: logits at
+	// every position must match the batch forward pass bit-for-bit (same
+	// float64 operations up to associativity; tolerance covers reordering).
+	m := tinyModel(t)
+	src := data.NewC4Like(32)
+	ids := src.Generate(rand.New(rand.NewSource(2)), 12)
+
+	batchLogits := m.Forward(ids)
+
+	s := NewSession(m)
+	for pos, tok := range ids {
+		stepLogits, err := s.Step(tok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brow := batchLogits.Row(pos)
+		srow := stepLogits.Row(0)
+		for j := range brow {
+			if math.Abs(brow[j]-srow[j]) > 1e-9 {
+				t.Fatalf("pos %d logit %d: batch %v vs step %v", pos, j, brow[j], srow[j])
+			}
+		}
+	}
+}
+
+func TestResetStartsFresh(t *testing.T) {
+	m := tinyModel(t)
+	s := NewSession(m)
+	first, err := s.Step(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(7); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	if s.Pos() != 0 {
+		t.Fatal("Reset must zero the position")
+	}
+	again, err := s.Step(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Equal(again, 0) {
+		t.Fatal("post-reset step must match a fresh session")
+	}
+}
+
+func TestStepRejectsOverflow(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	s := NewSession(m)
+	for i := 0; i < m.Cfg.MaxSeq; i++ {
+		if _, err := s.Step(1); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if _, err := s.Step(1); err == nil {
+		t.Fatal("expected overflow error past MaxSeq")
+	}
+}
+
+func TestPrefillEquivalentToSteps(t *testing.T) {
+	m := tinyModel(t)
+	prompt := []int{3, 1, 4, 1, 5}
+	a := NewSession(m)
+	la, err := a.Prefill(prompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewSession(m)
+	var lb = la
+	for _, tok := range prompt {
+		lb, err = b.Step(tok)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !la.Equal(lb, 0) {
+		t.Fatal("Prefill must equal sequential Steps")
+	}
+}
+
+func TestGenerateGreedyDeterministic(t *testing.T) {
+	m := tinyModel(t)
+	a := NewSession(m)
+	ga, err := a.Generate(rand.New(rand.NewSource(1)), []int{2, 3}, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewSession(m)
+	gb, err := b.Generate(rand.New(rand.NewSource(99)), []int{2, 3}, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ga {
+		if ga[i] != gb[i] {
+			t.Fatal("greedy generation must not depend on the rng")
+		}
+	}
+	if len(ga) != 8 {
+		t.Fatalf("generated %d tokens", len(ga))
+	}
+}
+
+func TestGenerateEmptyPromptErrors(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	s := NewSession(m)
+	if _, err := s.Generate(rand.New(rand.NewSource(1)), nil, 4, 0); err == nil {
+		t.Fatal("empty prompt must error")
+	}
+}
+
+func TestSampleLogitsGreedy(t *testing.T) {
+	if SampleLogits(rand.New(rand.NewSource(1)), []float64{0.1, 5, -3}, 0) != 1 {
+		t.Fatal("greedy must pick the argmax")
+	}
+}
+
+func TestSampleLogitsTemperatureDistribution(t *testing.T) {
+	// At temperature 1, a logit gap of ln(9) gives a 9:1 preference.
+	rng := rand.New(rand.NewSource(3))
+	logits := []float64{0, math.Log(9)}
+	counts := [2]int{}
+	for i := 0; i < 4000; i++ {
+		counts[SampleLogits(rng, logits, 1)]++
+	}
+	frac := float64(counts[1]) / 4000
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("sampled the 0.9-probability token %.3f of the time", frac)
+	}
+	// Very low temperature approaches greedy.
+	cold := 0
+	for i := 0; i < 200; i++ {
+		if SampleLogits(rng, logits, 0.05) == 1 {
+			cold++
+		}
+	}
+	if cold < 198 {
+		t.Fatalf("cold sampling picked argmax only %d/200 times", cold)
+	}
+}
+
+func TestGenerationFromQuantizedModelStaysInVocab(t *testing.T) {
+	m := tinyModel(t)
+	s := NewSession(m)
+	out, err := s.Generate(rand.New(rand.NewSource(4)), []int{1}, 20, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range out {
+		if tok < 0 || tok >= m.Cfg.Vocab {
+			t.Fatalf("token %d out of vocab", tok)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package infer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/nn"
+)
+
+func TestKVQuant8BitNearLossless(t *testing.T) {
+	m := tinyModel(t)
+	src := data.NewC4Like(32)
+	ids := src.Generate(rand.New(rand.NewSource(5)), 14)
+
+	full := NewSession(m)
+	kv8 := NewSessionKVQuant(m, 8)
+	for _, tok := range ids {
+		a, err := full.Step(tok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := kv8.Step(tok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range a.Row(0) {
+			if math.Abs(a.At(0, j)-b.At(0, j)) > 0.05*(1+math.Abs(a.At(0, j))) {
+				t.Fatalf("8-bit KV cache diverged at logit %d: %v vs %v", j, a.At(0, j), b.At(0, j))
+			}
+		}
+	}
+}
+
+func TestKVQuantDegradesWithBits(t *testing.T) {
+	// Lower KV bit widths must increase NLL of a held-out continuation.
+	m := tinyModel(t)
+	src := data.NewC4Like(32)
+	rng := rand.New(rand.NewSource(6))
+
+	nllAt := func(kvBits int) float64 {
+		total := 0.0
+		rng := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 10; trial++ {
+			seg := src.Generate(rng, 16)
+			var s *Session
+			if kvBits == 0 {
+				s = NewSession(m)
+			} else {
+				s = NewSessionKVQuant(m, kvBits)
+			}
+			for i := 0; i+1 < len(seg); i++ {
+				logits, err := s.Step(seg[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				nll, _ := nn.SequenceNLL(logits, []int{seg[i+1]})
+				total += nll
+			}
+		}
+		return total
+	}
+	_ = rng
+	full := nllAt(0)
+	kv8 := nllAt(8)
+	kv2 := nllAt(2)
+	if math.Abs(kv8-full)/full > 0.02 {
+		t.Fatalf("8-bit KV NLL %v too far from full %v", kv8, full)
+	}
+	if kv2 <= kv8 {
+		t.Fatalf("2-bit KV NLL %v not worse than 8-bit %v", kv2, kv8)
+	}
+}
+
+func TestKVQuantGenerationStaysValid(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	s := NewSessionKVQuant(m, 4)
+	out, err := s.Generate(rand.New(rand.NewSource(8)), []int{1, 2}, 10, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 10 {
+		t.Fatalf("generated %d tokens", len(out))
+	}
+	for _, tok := range out {
+		if tok < 0 || tok >= m.Cfg.Vocab {
+			t.Fatalf("token %d out of range", tok)
+		}
+	}
+}

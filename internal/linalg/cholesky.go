@@ -1,0 +1,165 @@
+// Package linalg provides the symmetric-matrix factorizations used by the
+// GPTQ/APTQ quantization engines: Cholesky decomposition, triangular solves,
+// symmetric positive-definite inversion, and Hutchinson trace estimation.
+package linalg
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ErrNotPositiveDefinite is returned when a Cholesky factorization encounters
+// a non-positive pivot. Callers typically respond by increasing damping.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular factor L with a = L·Lᵀ for a
+// symmetric positive-definite matrix a. a is not modified.
+func Cholesky(a *tensor.Mat) (*tensor.Mat, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: Cholesky of non-square matrix")
+	}
+	n := a.Rows
+	l := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		lrow := l.Row(i)
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			ljrow := l.Row(j)
+			for k := 0; k < j; k++ {
+				s -= lrow[k] * ljrow[k]
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, ErrNotPositiveDefinite
+				}
+				lrow[j] = math.Sqrt(s)
+			} else {
+				lrow[j] = s / ljrow[j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// CholeskyUpper computes the upper-triangular factor U with a = Uᵀ·U.
+// It is the transpose of the lower factor and is the form the GPTQ update
+// rule consumes.
+func CholeskyUpper(a *tensor.Mat) (*tensor.Mat, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return l.T(), nil
+}
+
+// SolveLowerTriangular solves L·x = b for lower-triangular L in place on a
+// copy of b and returns x.
+func SolveLowerTriangular(l *tensor.Mat, b []float64) []float64 {
+	n := l.Rows
+	if len(b) != n {
+		panic("linalg: SolveLowerTriangular length mismatch")
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	for i := 0; i < n; i++ {
+		row := l.Row(i)
+		s := x[i]
+		for k := 0; k < i; k++ {
+			s -= row[k] * x[k]
+		}
+		x[i] = s / row[i]
+	}
+	return x
+}
+
+// SolveUpperTriangular solves U·x = b for upper-triangular U.
+func SolveUpperTriangular(u *tensor.Mat, b []float64) []float64 {
+	n := u.Rows
+	if len(b) != n {
+		panic("linalg: SolveUpperTriangular length mismatch")
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	for i := n - 1; i >= 0; i-- {
+		row := u.Row(i)
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= row[k] * x[k]
+		}
+		x[i] = s / row[i]
+	}
+	return x
+}
+
+// CholeskySolve solves a·x = b given the lower Cholesky factor L of a,
+// via the two triangular solves L·y = b, Lᵀ·x = y.
+func CholeskySolve(l *tensor.Mat, b []float64) []float64 {
+	y := SolveLowerTriangular(l, b)
+	return SolveUpperTriangular(l.T(), y)
+}
+
+// SymInverse inverts a symmetric positive-definite matrix via Cholesky.
+// a is not modified.
+func SymInverse(a *tensor.Mat) (*tensor.Mat, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	inv := tensor.New(n, n)
+	e := make([]float64, n)
+	lt := l.T()
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		y := SolveLowerTriangular(l, e)
+		x := SolveUpperTriangular(lt, y)
+		inv.SetCol(j, x)
+	}
+	// Symmetrize to wash out round-off asymmetry.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := 0.5 * (inv.At(i, j) + inv.At(j, i))
+			inv.Set(i, j, v)
+			inv.Set(j, i, v)
+		}
+	}
+	return inv, nil
+}
+
+// DampedInverseUpper implements the GPTQ preprocessing step: add
+// percdamp·mean(diag(h)) to the diagonal of h, invert, and return the upper
+// Cholesky factor U of h⁻¹ (so that h⁻¹ = Uᵀ·U... the GPTQ update consumes
+// U's rows). Damping is retried with exponentially growing strength until
+// the factorization succeeds, mirroring the reference implementation's
+// robustness behaviour.
+//
+// The returned matrix is the upper-triangular Cholesky factor of the damped
+// inverse Hessian; its diagonal entries are the [H⁻¹]_qq^(1/2) terms of
+// eqs. (2)/(16) after the Cholesky reformulation.
+func DampedInverseUpper(h *tensor.Mat, percdamp float64) (*tensor.Mat, error) {
+	if h.Rows != h.Cols {
+		return nil, errors.New("linalg: DampedInverseUpper of non-square matrix")
+	}
+	mean := h.MeanDiag()
+	if mean <= 0 {
+		mean = 1
+	}
+	damp := percdamp * mean
+	for attempt := 0; attempt < 12; attempt++ {
+		hd := h.Clone()
+		hd.AddDiag(damp)
+		inv, err := SymInverse(hd)
+		if err == nil {
+			if u, err := CholeskyUpper(inv); err == nil {
+				return u, nil
+			}
+		}
+		damp *= 10
+	}
+	return nil, ErrNotPositiveDefinite
+}

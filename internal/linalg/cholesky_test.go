@@ -1,0 +1,218 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+// randSPD returns a random symmetric positive-definite matrix XᵀX + εI.
+func randSPD(rng *rand.Rand, n int) *tensor.Mat {
+	x := tensor.Randn(rng, n+4, n, 1)
+	g := tensor.Gram(x)
+	g.AddDiag(0.1)
+	return g
+}
+
+func TestCholeskyReconstructs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := randSPD(rng, n)
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		return tensor.MatMulNT(l, l).Equal(a, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyLowerTriangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randSPD(rng, 5)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			if l.At(i, j) != 0 {
+				t.Fatalf("upper part not zero at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := tensor.FromSlice(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("expected ErrNotPositiveDefinite")
+	}
+}
+
+func TestCholeskyUpperReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randSPD(rng, 6)
+	u, err := CholeskyUpper(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.MatMulTN(u, u).Equal(a, 1e-8) {
+		t.Fatal("UᵀU != A")
+	}
+}
+
+func TestTriangularSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randSPD(rng, 7)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 7)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := SolveLowerTriangular(l, b)
+	if got := l.MulVec(x); !vecClose(got, b, 1e-9) {
+		t.Fatalf("L·x = %v, want %v", got, b)
+	}
+	u := l.T()
+	y := SolveUpperTriangular(u, b)
+	if got := u.MulVec(y); !vecClose(got, b, 1e-9) {
+		t.Fatalf("U·y = %v, want %v", got, b)
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randSPD(rng, 6)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 6)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := CholeskySolve(l, b)
+	if got := a.MulVec(x); !vecClose(got, b, 1e-8) {
+		t.Fatalf("A·x = %v, want %v", got, b)
+	}
+}
+
+func TestSymInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := randSPD(rng, n)
+		inv, err := SymInverse(a)
+		if err != nil {
+			return false
+		}
+		return tensor.MatMul(a, inv).Equal(tensor.Eye(n), 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymInverseSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	inv, err := SymInverse(randSPD(rng, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.Equal(inv.T(), 1e-12) {
+		t.Fatal("inverse not symmetric")
+	}
+}
+
+func TestDampedInverseUpper(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := randSPD(rng, 8)
+	u, err := DampedInverseUpper(h, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// UᵀU must equal the inverse of the damped H.
+	hd := h.Clone()
+	hd.AddDiag(0.01 * h.MeanDiag())
+	inv, err := SymInverse(hd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.MatMulTN(u, u).Equal(inv, 1e-7) {
+		t.Fatal("UᵀU != (H+λI)⁻¹")
+	}
+}
+
+func TestDampedInverseUpperRecoversFromSingular(t *testing.T) {
+	// A rank-deficient Hessian (all-zero row/col) must still factorize after
+	// damping escalation.
+	h := tensor.New(4, 4)
+	h.Set(0, 0, 1)
+	h.Set(1, 1, 1)
+	u, err := DampedInverseUpper(h, 0.01)
+	if err != nil {
+		t.Fatalf("expected damping to rescue singular H: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if u.At(i, i) <= 0 {
+			t.Fatal("factor diagonal must be positive")
+		}
+	}
+}
+
+func TestHutchinsonTraceConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randSPD(rng, 12)
+	exact := a.Trace()
+	est := HutchinsonTrace(rng, a, 4096)
+	if rel := math.Abs(est-exact) / exact; rel > 0.1 {
+		t.Fatalf("Hutchinson estimate %v vs exact %v (rel err %v)", est, exact, rel)
+	}
+}
+
+func TestHutchinsonTraceFnMatchesMatrixForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randSPD(rng, 10)
+	rngA := rand.New(rand.NewSource(42))
+	rngB := rand.New(rand.NewSource(42))
+	ea := HutchinsonTrace(rngA, a, 64)
+	eb := HutchinsonTraceFn(rngB, 10, 64, a.MulVec)
+	if math.Abs(ea-eb) > 1e-9 {
+		t.Fatalf("matrix and fn estimators disagree: %v vs %v", ea, eb)
+	}
+}
+
+func TestPowerIterationMaxEig(t *testing.T) {
+	// Diagonal matrix: top eigenvalue is the max diagonal entry.
+	a := tensor.New(4, 4)
+	for i, v := range []float64{1, 5, 2, 3} {
+		a.Set(i, i, v)
+	}
+	rng := rand.New(rand.NewSource(10))
+	got := PowerIterationMaxEig(rng, a, 200)
+	if math.Abs(got-5) > 1e-6 {
+		t.Fatalf("PowerIterationMaxEig = %v, want 5", got)
+	}
+}
+
+func vecClose(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,91 @@
+package linalg
+
+import (
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// HutchinsonTrace estimates trace(a) for a square matrix using the
+// Hutchinson estimator tr(A) ≈ (1/P)·Σ_p z_pᵀ A z_p with Rademacher probes
+// z_p ∈ {−1,+1}ⁿ. HAWQ-V2 uses this estimator for Hessian traces when the
+// matrix is only available through matrix-vector products; we expose it both
+// for parity with that baseline and to cross-check the exact traces used by
+// APTQ's sensitivity metric.
+func HutchinsonTrace(rng *rand.Rand, a *tensor.Mat, probes int) float64 {
+	if a.Rows != a.Cols {
+		panic("linalg: HutchinsonTrace of non-square matrix")
+	}
+	if probes <= 0 {
+		probes = 16
+	}
+	n := a.Rows
+	z := make([]float64, n)
+	sum := 0.0
+	for p := 0; p < probes; p++ {
+		for i := range z {
+			if rng.Intn(2) == 0 {
+				z[i] = 1
+			} else {
+				z[i] = -1
+			}
+		}
+		az := a.MulVec(z)
+		sum += tensor.Dot(z, az)
+	}
+	return sum / float64(probes)
+}
+
+// HutchinsonTraceFn estimates the trace of an implicit linear operator
+// given only through its matrix-vector product mv. dim is the operator's
+// dimension.
+func HutchinsonTraceFn(rng *rand.Rand, dim, probes int, mv func(v []float64) []float64) float64 {
+	if probes <= 0 {
+		probes = 16
+	}
+	z := make([]float64, dim)
+	sum := 0.0
+	for p := 0; p < probes; p++ {
+		for i := range z {
+			if rng.Intn(2) == 0 {
+				z[i] = 1
+			} else {
+				z[i] = -1
+			}
+		}
+		sum += tensor.Dot(z, mv(z))
+	}
+	return sum / float64(probes)
+}
+
+// PowerIterationMaxEig estimates the largest eigenvalue of a symmetric
+// matrix by power iteration. Used in tests and in the sensitivity ablation
+// (HAWQ-V1 used the top eigenvalue where HAWQ-V2 switched to the trace).
+func PowerIterationMaxEig(rng *rand.Rand, a *tensor.Mat, iters int) float64 {
+	if a.Rows != a.Cols {
+		panic("linalg: PowerIterationMaxEig of non-square matrix")
+	}
+	n := a.Rows
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	norm := tensor.Norm2(v)
+	if norm == 0 {
+		v[0] = 1
+		norm = 1
+	}
+	tensor.ScaleVec(v, 1/norm)
+	lambda := 0.0
+	for it := 0; it < iters; it++ {
+		av := a.MulVec(v)
+		lambda = tensor.Dot(v, av)
+		norm = tensor.Norm2(av)
+		if norm == 0 {
+			return 0
+		}
+		tensor.ScaleVec(av, 1/norm)
+		v = av
+	}
+	return lambda
+}

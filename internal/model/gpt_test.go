@@ -1,0 +1,102 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGPTConfigValidates(t *testing.T) {
+	for _, cfg := range []Config{TinyGPT(), NanoGPT()} {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+	}
+	// GPT has no RoPE, so odd head dims are allowed.
+	odd := Config{Name: "odd", Arch: ArchGPT, Vocab: 16, Dim: 9, Heads: 3, Layers: 1, FF: 12, MaxSeq: 8}
+	if err := odd.Validate(); err != nil {
+		t.Fatalf("odd head dim must validate for GPT: %v", err)
+	}
+	oddLlama := odd
+	oddLlama.Arch = ArchLLaMA
+	if oddLlama.Validate() == nil {
+		t.Fatal("odd head dim must be rejected for LLaMA/RoPE")
+	}
+}
+
+func TestGPTForwardShape(t *testing.T) {
+	m := New(TinyGPT(), 1)
+	if m.PosEmbed == nil {
+		t.Fatal("GPT model must have a positional embedding")
+	}
+	logits := m.Forward([]int{1, 2, 3})
+	if logits.Rows != 3 || logits.Cols != 32 {
+		t.Fatalf("logits %dx%d", logits.Rows, logits.Cols)
+	}
+}
+
+func TestGPTPositionSensitivity(t *testing.T) {
+	// Unlike a positionless transformer, the GPT model must distinguish
+	// the same token at different positions via the learned embedding.
+	m := New(TinyGPT(), 2)
+	a := m.Forward([]int{5, 5})
+	if vecEqual(a.Row(0), a.Row(1)) {
+		t.Fatal("identical tokens at different positions produced identical logits")
+	}
+}
+
+func vecEqual(a, b []float64) bool {
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGPTGradCheck(t *testing.T) {
+	m := New(TinyGPT(), 3)
+	ids := []int{1, 5, 9, 2}
+	targets := []int{5, 9, 2, 7}
+	m.ZeroGrad()
+	m.LossAndBackward(ids, targets)
+
+	rng := rand.New(rand.NewSource(4))
+	const eps = 1e-5
+	for _, p := range m.Params() {
+		for trial := 0; trial < 2; trial++ {
+			i := rng.Intn(len(p.W.Data))
+			orig := p.W.Data[i]
+			p.W.Data[i] = orig + eps
+			lp := m.Loss(ids, targets)
+			p.W.Data[i] = orig - eps
+			lm := m.Loss(ids, targets)
+			p.W.Data[i] = orig
+			num := (lp - lm) / (2 * eps)
+			if diff := math.Abs(num - p.Grad.Data[i]); diff > 1e-4*(1+math.Abs(num)) {
+				t.Fatalf("%s[%d]: analytic %v vs numeric %v", p.Name, i, p.Grad.Data[i], num)
+			}
+		}
+	}
+}
+
+func TestGPTQuantizableLayers(t *testing.T) {
+	m := New(TinyGPT(), 5)
+	layers := m.QuantizableLayers()
+	// GPT blocks contribute 6 layers each (Q,K,V,O,fc1,fc2).
+	if len(layers) != 6*m.Cfg.Layers {
+		t.Fatalf("%d quantizable layers, want %d", len(layers), 6*m.Cfg.Layers)
+	}
+	if layers[4].Role != RoleUp || layers[5].Role != RoleDown {
+		t.Fatalf("GPT MLP roles: %v %v", layers[4].Role, layers[5].Role)
+	}
+}
+
+func TestGPTCloneAndSaveLoad(t *testing.T) {
+	m := New(TinyGPT(), 6)
+	c := m.Clone()
+	ids := []int{2, 4, 6}
+	if !m.Forward(ids).Equal(c.Forward(ids), 1e-12) {
+		t.Fatal("GPT clone differs")
+	}
+}

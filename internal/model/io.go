@@ -1,0 +1,74 @@
+package model
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// checkpoint is the gob-serialized model state.
+type checkpoint struct {
+	Cfg     Config
+	Weights [][]float64
+	Names   []string
+}
+
+// Save writes the model configuration and weights to w.
+func (m *Model) Save(w io.Writer) error {
+	ck := checkpoint{Cfg: m.Cfg}
+	for _, p := range m.Params() {
+		ck.Weights = append(ck.Weights, p.W.Data)
+		ck.Names = append(ck.Names, p.Name)
+	}
+	return gob.NewEncoder(w).Encode(ck)
+}
+
+// Load reads a model previously written with Save.
+func Load(r io.Reader) (*Model, error) {
+	var ck checkpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("model: decode checkpoint: %w", err)
+	}
+	if err := ck.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := New(ck.Cfg, 0)
+	ps := m.Params()
+	if len(ps) != len(ck.Weights) {
+		return nil, fmt.Errorf("model: checkpoint has %d tensors, model has %d", len(ck.Weights), len(ps))
+	}
+	for i, p := range ps {
+		if ck.Names[i] != p.Name {
+			return nil, fmt.Errorf("model: checkpoint tensor %d is %q, expected %q", i, ck.Names[i], p.Name)
+		}
+		if len(ck.Weights[i]) != len(p.W.Data) {
+			return nil, fmt.Errorf("model: tensor %q has %d values, expected %d", p.Name, len(ck.Weights[i]), len(p.W.Data))
+		}
+		copy(p.W.Data, ck.Weights[i])
+	}
+	return m, nil
+}
+
+// SaveFile writes the model to path.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a model from path.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

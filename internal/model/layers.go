@@ -1,0 +1,115 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+)
+
+// Role identifies which projection a quantizable layer implements. The
+// attention roles determine which attention-aware Hessian formula APTQ
+// applies (eqs. 9, 10, 12, 13); MLP roles use the GPTQ Hessian.
+type Role int
+
+// Quantizable layer roles, in per-block order.
+const (
+	RoleQ Role = iota
+	RoleK
+	RoleV
+	RoleO
+	RoleGate
+	RoleUp
+	RoleDown
+)
+
+// String returns the lowercase role name used in layer identifiers.
+func (r Role) String() string {
+	switch r {
+	case RoleQ:
+		return "q_proj"
+	case RoleK:
+		return "k_proj"
+	case RoleV:
+		return "v_proj"
+	case RoleO:
+		return "o_proj"
+	case RoleGate:
+		return "gate_proj"
+	case RoleUp:
+		return "up_proj"
+	case RoleDown:
+		return "down_proj"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// IsAttention reports whether the role belongs to the attention block.
+func (r Role) IsAttention() bool { return r <= RoleO }
+
+// LayerRef identifies one quantizable weight matrix within the model,
+// together with the structures needed to build its Hessian.
+type LayerRef struct {
+	Block  int
+	Role   Role
+	Linear *nn.Linear
+	// Attn is the owning attention module for attention roles, nil for MLP
+	// roles.
+	Attn *nn.Attention
+}
+
+// Name returns the canonical layer identifier, e.g.
+// "block03.self_attn.k_proj", matching the layerName convention of
+// Algorithm 1 in the paper.
+func (l LayerRef) Name() string {
+	group := "self_attn"
+	if !l.Role.IsAttention() {
+		group = "mlp"
+	}
+	return fmt.Sprintf("block%02d.%s.%s", l.Block, group, l.Role)
+}
+
+// NumWeights returns the number of scalar weights in the layer.
+func (l LayerRef) NumWeights() int { return l.Linear.P.NumEl() }
+
+// QuantizableLayers returns every weight matrix the quantization pipelines
+// operate on, in block order with Q, K, V, O followed by the MLP layers
+// within each block (gate/up/down for SwiGLU; fc1 as up_proj and fc2 as
+// down_proj for GELU architectures). Embedding, head, bias and norm
+// parameters stay at full precision, per the GPTQ/APTQ evaluation protocol.
+func (m *Model) QuantizableLayers() []LayerRef {
+	var out []LayerRef
+	for i, b := range m.Blocks {
+		out = append(out,
+			LayerRef{Block: i, Role: RoleQ, Linear: b.Attn.WQ, Attn: b.Attn},
+			LayerRef{Block: i, Role: RoleK, Linear: b.Attn.WK, Attn: b.Attn},
+			LayerRef{Block: i, Role: RoleV, Linear: b.Attn.WV, Attn: b.Attn},
+			LayerRef{Block: i, Role: RoleO, Linear: b.Attn.WO, Attn: b.Attn},
+		)
+		linears := b.MLP.QuantizableLinears()
+		var roles []Role
+		switch len(linears) {
+		case 3:
+			roles = []Role{RoleGate, RoleUp, RoleDown}
+		case 2:
+			roles = []Role{RoleUp, RoleDown}
+		default:
+			panic(fmt.Sprintf("model: unsupported MLP with %d quantizable linears", len(linears)))
+		}
+		for j, l := range linears {
+			out = append(out, LayerRef{Block: i, Role: roles[j], Linear: l})
+		}
+	}
+	return out
+}
+
+// QuantizableWeightCount returns the total number of scalar weights subject
+// to quantization — the denominator of the average-bits accounting in
+// eq. (18).
+func (m *Model) QuantizableWeightCount() int {
+	n := 0
+	for _, l := range m.QuantizableLayers() {
+		n += l.NumWeights()
+	}
+	return n
+}

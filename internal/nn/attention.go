@@ -1,0 +1,188 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Attention is causal multi-head self-attention with rotary position
+// embeddings — the F(W, X) = MultiHead(Q, K, V) of eq. (8). Beyond Forward
+// and Backward it exposes the intermediate quantities APTQ's Hessian
+// construction needs:
+//
+//   - LastInput: the block input X (GPTQ statistic for W_Q / W_K and the
+//     probe path),
+//   - HeadAttn(h): the softmax matrix A_h, whose product with X forms the
+//     effective input M_h = A_h·X of eq. (11) for quantizing W_V,
+//   - LastContext: Concat(head_1..H), the effective input of eq. (9) for
+//     quantizing W_O.
+type Attention struct {
+	Dim, Heads, HeadDim int
+
+	WQ, WK, WV, WO *Linear
+	// Rope is nil for architectures using learned positional embeddings
+	// (GPT/OPT); attention is then position-agnostic.
+	Rope *RoPE
+
+	// Forward caches.
+	x, q, k, v *tensor.Mat
+	attn       []*tensor.Mat // per-head softmax matrices, n x n causal
+	ctx        *tensor.Mat   // concat of head outputs, input to WO
+}
+
+// NewAttention constructs an attention block with square projections
+// (dim x dim) split across heads.
+func NewAttention(rng *rand.Rand, name string, dim, heads, maxSeq int, ropeBase float64) *Attention {
+	if dim%heads != 0 {
+		panic("nn: dim must be divisible by heads")
+	}
+	hd := dim / heads
+	return &Attention{
+		Dim: dim, Heads: heads, HeadDim: hd,
+		WQ:   NewLinear(rng, name+".wq", dim, dim, false),
+		WK:   NewLinear(rng, name+".wk", dim, dim, false),
+		WV:   NewLinear(rng, name+".wv", dim, dim, false),
+		WO:   NewLinear(rng, name+".wo", dim, dim, false),
+		Rope: NewRoPE(hd, maxSeq, ropeBase),
+	}
+}
+
+// NewAttentionGPT constructs a GPT/OPT-style attention block: biased
+// projections and no rotary embedding.
+func NewAttentionGPT(rng *rand.Rand, name string, dim, heads int) *Attention {
+	if dim%heads != 0 {
+		panic("nn: dim must be divisible by heads")
+	}
+	return &Attention{
+		Dim: dim, Heads: heads, HeadDim: dim / heads,
+		WQ: NewLinear(rng, name+".wq", dim, dim, true),
+		WK: NewLinear(rng, name+".wk", dim, dim, true),
+		WV: NewLinear(rng, name+".wv", dim, dim, true),
+		WO: NewLinear(rng, name+".wo", dim, dim, true),
+	}
+}
+
+// Forward runs causal self-attention over x (n x dim).
+func (a *Attention) Forward(x *tensor.Mat) *tensor.Mat {
+	n := x.Rows
+	a.x = x
+	a.q = a.WQ.Forward(x)
+	a.k = a.WK.Forward(x)
+	a.v = a.WV.Forward(x)
+	if a.Rope != nil {
+		a.Rope.Apply(a.q)
+		a.Rope.Apply(a.k)
+	}
+
+	a.ctx = tensor.New(n, a.Dim)
+	a.attn = make([]*tensor.Mat, a.Heads)
+	invSqrt := 1 / math.Sqrt(float64(a.HeadDim))
+	for h := 0; h < a.Heads; h++ {
+		lo := h * a.HeadDim
+		hi := lo + a.HeadDim
+		qh := a.q.SliceCols(lo, hi)
+		kh := a.k.SliceCols(lo, hi)
+		vh := a.v.SliceCols(lo, hi)
+
+		// Causal scaled dot-product scores and row softmax.
+		s := tensor.MatMulNT(qh, kh) // n x n
+		s.Scale(invSqrt)
+		att := tensor.New(n, n)
+		for i := 0; i < n; i++ {
+			srow := s.Row(i)[:i+1]
+			arow := att.Row(i)[:i+1]
+			tensor.Softmax(arow, srow)
+		}
+		a.attn[h] = att
+
+		ctxh := tensor.MatMul(att, vh)
+		a.ctx.SetSliceCols(lo, ctxh)
+	}
+	return a.WO.Forward(a.ctx)
+}
+
+// Backward propagates dOut (n x dim) through the attention block, returning
+// dX and accumulating all projection gradients.
+func (a *Attention) Backward(dOut *tensor.Mat) *tensor.Mat {
+	if a.x == nil {
+		panic("nn: Attention.Backward before Forward")
+	}
+	n := a.x.Rows
+	invSqrt := 1 / math.Sqrt(float64(a.HeadDim))
+
+	dCtx := a.WO.Backward(dOut) // n x dim
+	dQ := tensor.New(n, a.Dim)
+	dK := tensor.New(n, a.Dim)
+	dV := tensor.New(n, a.Dim)
+
+	for h := 0; h < a.Heads; h++ {
+		lo := h * a.HeadDim
+		hi := lo + a.HeadDim
+		qh := a.q.SliceCols(lo, hi)
+		kh := a.k.SliceCols(lo, hi)
+		vh := a.v.SliceCols(lo, hi)
+		att := a.attn[h]
+		dCtxh := dCtx.SliceCols(lo, hi)
+
+		// dV_h = A_hᵀ · dCtx_h ; dA = dCtx_h · V_hᵀ
+		dVh := tensor.MatMulTN(att, dCtxh)
+		dA := tensor.MatMulNT(dCtxh, vh)
+
+		// Softmax backward per causal row:
+		// dS_ij = A_ij · (dA_ij − Σ_k A_ik dA_ik), j <= i.
+		dS := tensor.New(n, n)
+		for i := 0; i < n; i++ {
+			arow := att.Row(i)[:i+1]
+			darow := dA.Row(i)[:i+1]
+			dot := tensor.Dot(arow, darow)
+			dsrow := dS.Row(i)[:i+1]
+			for j := range arow {
+				dsrow[j] = arow[j] * (darow[j] - dot)
+			}
+		}
+
+		// dQ_h = dS·K_h·invSqrt ; dK_h = dSᵀ·Q_h·invSqrt
+		dQh := tensor.MatMul(dS, kh)
+		dQh.Scale(invSqrt)
+		dKh := tensor.MatMulTN(dS, qh)
+		dKh.Scale(invSqrt)
+
+		dQ.SetSliceCols(lo, dQh)
+		dK.SetSliceCols(lo, dKh)
+		dV.SetSliceCols(lo, dVh)
+	}
+
+	// Undo the rotary embedding on the gradients.
+	if a.Rope != nil {
+		a.Rope.ApplyInverse(dQ)
+		a.Rope.ApplyInverse(dK)
+	}
+
+	dx := a.WQ.Backward(dQ)
+	tensor.AddInPlace(dx, a.WK.Backward(dK))
+	tensor.AddInPlace(dx, a.WV.Backward(dV))
+	return dx
+}
+
+// LastInput returns the cached block input X.
+func (a *Attention) LastInput() *tensor.Mat { return a.x }
+
+// LastContext returns the cached Concat(head_1..H) — the effective input of
+// W_O per eq. (9).
+func (a *Attention) LastContext() *tensor.Mat { return a.ctx }
+
+// HeadAttn returns the cached softmax matrix A_h of head h (n x n, causal
+// rows). Combined with the block input it yields eq. (11)'s M_h = A_h·X.
+func (a *Attention) HeadAttn(h int) *tensor.Mat { return a.attn[h] }
+
+// Params returns the projection parameters in Q, K, V, O order (including
+// biases for biased variants).
+func (a *Attention) Params() []*Param {
+	var ps []*Param
+	for _, l := range []*Linear{a.WQ, a.WK, a.WV, a.WO} {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}

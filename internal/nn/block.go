@@ -1,0 +1,64 @@
+package nn
+
+import (
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Block is one pre-norm transformer decoder block:
+// x = x + Attn(RMSNorm(x)); x = x + MLP(RMSNorm(x)).
+type Block struct {
+	AttnNorm Norm
+	Attn     *Attention
+	MLPNorm  Norm
+	MLP      FeedForward
+}
+
+// NewBlock constructs a LLaMA-style decoder block (RMSNorm + rotary
+// attention + SwiGLU).
+func NewBlock(rng *rand.Rand, name string, dim, heads, ff, maxSeq int, ropeBase float64) *Block {
+	return &Block{
+		AttnNorm: NewRMSNorm(name+".attn_norm", dim),
+		Attn:     NewAttention(rng, name+".attn", dim, heads, maxSeq, ropeBase),
+		MLPNorm:  NewRMSNorm(name+".mlp_norm", dim),
+		MLP:      NewMLP(rng, name+".mlp", dim, ff),
+	}
+}
+
+// NewGPTBlock constructs a GPT/OPT-style pre-norm decoder block (LayerNorm
+// + biased non-rotary attention + GELU MLP); position information comes
+// from the model's learned positional embedding instead of RoPE.
+func NewGPTBlock(rng *rand.Rand, name string, dim, heads, ff int) *Block {
+	return &Block{
+		AttnNorm: NewLayerNorm(name+".attn_norm", dim),
+		Attn:     NewAttentionGPT(rng, name+".attn", dim, heads),
+		MLPNorm:  NewLayerNorm(name+".mlp_norm", dim),
+		MLP:      NewGELUMLP(rng, name+".mlp", dim, ff),
+	}
+}
+
+// Forward runs the block over x (n x dim).
+func (b *Block) Forward(x *tensor.Mat) *tensor.Mat {
+	h := tensor.Add(x, b.Attn.Forward(b.AttnNorm.Forward(x)))
+	return tensor.Add(h, b.MLP.Forward(b.MLPNorm.Forward(h)))
+}
+
+// Backward propagates dOut through both residual branches.
+func (b *Block) Backward(dOut *tensor.Mat) *tensor.Mat {
+	dh := dOut.Clone()
+	tensor.AddInPlace(dh, b.MLPNorm.Backward(b.MLP.Backward(dOut)))
+	dx := dh.Clone()
+	tensor.AddInPlace(dx, b.AttnNorm.Backward(b.Attn.Backward(dh)))
+	return dx
+}
+
+// Params returns all trainable parameters of the block.
+func (b *Block) Params() []*Param {
+	var ps []*Param
+	ps = append(ps, b.AttnNorm.Params()...)
+	ps = append(ps, b.Attn.Params()...)
+	ps = append(ps, b.MLPNorm.Params()...)
+	ps = append(ps, b.MLP.Params()...)
+	return ps
+}

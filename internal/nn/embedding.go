@@ -1,0 +1,53 @@
+package nn
+
+import (
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Embedding maps token ids to d-dimensional vectors via a (vocab x dim)
+// lookup table. Following common PTQ practice (and GPTQ/APTQ's evaluation
+// protocol) the embedding table is left in full precision.
+type Embedding struct {
+	P       *Param
+	lastIDs []int
+}
+
+// NewEmbedding constructs a N(0, 0.02²)-initialized embedding table.
+func NewEmbedding(rng *rand.Rand, name string, vocab, dim int) *Embedding {
+	w := tensor.Randn(rng, vocab, dim, 0.02)
+	return &Embedding{P: NewParam(name, w)}
+}
+
+// Vocab returns the vocabulary size.
+func (e *Embedding) Vocab() int { return e.P.W.Rows }
+
+// Dim returns the embedding dimension.
+func (e *Embedding) Dim() int { return e.P.W.Cols }
+
+// Forward gathers the embedding rows for ids into an (n x dim) matrix.
+func (e *Embedding) Forward(ids []int) *tensor.Mat {
+	e.lastIDs = ids
+	out := tensor.New(len(ids), e.Dim())
+	for t, id := range ids {
+		if id < 0 || id >= e.Vocab() {
+			panic("nn: embedding id out of range")
+		}
+		copy(out.Row(t), e.P.W.Row(id))
+	}
+	return out
+}
+
+// Backward scatters dy rows into the gradient of the looked-up ids.
+func (e *Embedding) Backward(dy *tensor.Mat) {
+	if e.lastIDs == nil {
+		panic("nn: Embedding.Backward before Forward")
+	}
+	for t, id := range e.lastIDs {
+		tensor.Axpy(1, dy.Row(t), e.P.Grad.Row(id))
+	}
+}
+
+// Params returns the layer's trainable parameters.
+func (e *Embedding) Params() []*Param { return []*Param{e.P} }

@@ -1,0 +1,89 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// FeedForward is the MLP contract shared by the SwiGLU block (LLaMA) and
+// the GELU block (GPT/OPT).
+type FeedForward interface {
+	Forward(x *tensor.Mat) *tensor.Mat
+	Backward(dy *tensor.Mat) *tensor.Mat
+	Params() []*Param
+	// QuantizableLinears returns the weight matrices subject to
+	// quantization, in a stable order.
+	QuantizableLinears() []*Linear
+}
+
+// Compile-time interface checks.
+var (
+	_ FeedForward = (*MLP)(nil)
+	_ FeedForward = (*GELUMLP)(nil)
+)
+
+// QuantizableLinears returns gate, up, down.
+func (m *MLP) QuantizableLinears() []*Linear { return []*Linear{m.Gate, m.Up, m.Down} }
+
+// GELUMLP is the two-layer GELU feed-forward block of GPT-2/OPT:
+// y = W_fc2·gelu(W_fc1·x + b1) + b2.
+type GELUMLP struct {
+	FC1, FC2 *Linear
+
+	hiddenPre *tensor.Mat // pre-activation cache
+}
+
+// NewGELUMLP constructs a GELU MLP with hidden width ff and biases.
+func NewGELUMLP(rng *rand.Rand, name string, dim, ff int) *GELUMLP {
+	return &GELUMLP{
+		FC1: NewLinear(rng, name+".fc1", dim, ff, true),
+		FC2: NewLinear(rng, name+".fc2", ff, dim, true),
+	}
+}
+
+// gelu computes the tanh approximation of the Gaussian error linear unit,
+// the form used by GPT-2.
+func gelu(x float64) float64 {
+	return 0.5 * x * (1 + math.Tanh(math.Sqrt(2/math.Pi)*(x+0.044715*x*x*x)))
+}
+
+// geluGrad computes d gelu / dx for the tanh approximation.
+func geluGrad(x float64) float64 {
+	c := math.Sqrt(2 / math.Pi)
+	inner := c * (x + 0.044715*x*x*x)
+	t := math.Tanh(inner)
+	dInner := c * (1 + 3*0.044715*x*x)
+	return 0.5*(1+t) + 0.5*x*(1-t*t)*dInner
+}
+
+// Forward runs the GELU MLP for x (n x dim).
+func (m *GELUMLP) Forward(x *tensor.Mat) *tensor.Mat {
+	m.hiddenPre = m.FC1.Forward(x)
+	h := tensor.New(m.hiddenPre.Rows, m.hiddenPre.Cols)
+	for i, v := range m.hiddenPre.Data {
+		h.Data[i] = gelu(v)
+	}
+	return m.FC2.Forward(h)
+}
+
+// Backward propagates dOut through the block, returning dX.
+func (m *GELUMLP) Backward(dOut *tensor.Mat) *tensor.Mat {
+	if m.hiddenPre == nil {
+		panic("nn: GELUMLP.Backward before Forward")
+	}
+	dh := m.FC2.Backward(dOut)
+	for i := range dh.Data {
+		dh.Data[i] *= geluGrad(m.hiddenPre.Data[i])
+	}
+	return m.FC1.Backward(dh)
+}
+
+// Params returns fc1 and fc2 parameters (weights and biases).
+func (m *GELUMLP) Params() []*Param {
+	return append(m.FC1.Params(), m.FC2.Params()...)
+}
+
+// QuantizableLinears returns fc1, fc2.
+func (m *GELUMLP) QuantizableLinears() []*Linear { return []*Linear{m.FC1, m.FC2} }

@@ -1,0 +1,213 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestRoPEIsNormPreserving(t *testing.T) {
+	r := NewRoPE(8, 16, 10000)
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Randn(rng, 10, 16, 1) // 2 heads of dim 8
+	before := make([]float64, 10)
+	for i := range before {
+		before[i] = tensor.Norm2(x.Row(i))
+	}
+	r.Apply(x)
+	for i := range before {
+		if math.Abs(tensor.Norm2(x.Row(i))-before[i]) > 1e-9 {
+			t.Fatal("RoPE must preserve per-row norms (it is a rotation)")
+		}
+	}
+}
+
+func TestRoPEInverseRoundTrip(t *testing.T) {
+	r := NewRoPE(4, 8, 10000)
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.Randn(rng, 6, 8, 1)
+	orig := x.Clone()
+	r.Apply(x)
+	r.ApplyInverse(x)
+	if !x.Equal(orig, 1e-10) {
+		t.Fatal("ApplyInverse must undo Apply")
+	}
+}
+
+func TestRoPEPositionZeroIsIdentity(t *testing.T) {
+	r := NewRoPE(4, 4, 10000)
+	x := tensor.FromSlice(1, 4, []float64{1, 2, 3, 4})
+	orig := x.Clone()
+	r.Apply(x)
+	if !x.Equal(orig, 1e-12) {
+		t.Fatal("position 0 must be unrotated")
+	}
+}
+
+func TestRoPERelativePhase(t *testing.T) {
+	// The defining property: ⟨RoPE(q,m), RoPE(k,n)⟩ depends only on m−n for
+	// single-pair vectors.
+	r := NewRoPE(2, 32, 10000)
+	q := []float64{1, 0.5}
+	k := []float64{-0.3, 0.8}
+	dotAt := func(m, n int) float64 {
+		qm := tensor.New(m+1, 2)
+		copy(qm.Row(m), q)
+		kn := tensor.New(n+1, 2)
+		copy(kn.Row(n), k)
+		r.Apply(qm)
+		r.Apply(kn)
+		return tensor.Dot(qm.Row(m), kn.Row(n))
+	}
+	if math.Abs(dotAt(5, 3)-dotAt(12, 10)) > 1e-9 {
+		t.Fatal("RoPE dot products must depend only on relative position")
+	}
+}
+
+func TestRoPEGrowsBeyondInitialSeq(t *testing.T) {
+	r := NewRoPE(4, 2, 10000)
+	x := tensor.New(10, 4) // longer than maxSeq=2
+	r.Apply(x)             // must not panic
+}
+
+func TestRoPEOddHeadDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for odd head dim")
+		}
+	}()
+	NewRoPE(3, 4, 10000)
+}
+
+func TestAttentionCausality(t *testing.T) {
+	// Changing a future token must not change past outputs.
+	rng := rand.New(rand.NewSource(3))
+	a := NewAttention(rng, "a", 8, 2, 16, 10000)
+	x := tensor.Randn(rng, 6, 8, 1)
+	y1 := a.Forward(x).Clone()
+	x2 := x.Clone()
+	for j := 0; j < 8; j++ {
+		x2.Set(5, j, x2.At(5, j)+1)
+	}
+	y2 := a.Forward(x2)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 8; j++ {
+			if math.Abs(y1.At(i, j)-y2.At(i, j)) > 1e-10 {
+				t.Fatalf("output at position %d changed after future-token edit", i)
+			}
+		}
+	}
+}
+
+func TestAttentionRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := NewAttention(rng, "a", 8, 2, 16, 10000)
+	x := tensor.Randn(rng, 5, 8, 1)
+	a.Forward(x)
+	for h := 0; h < 2; h++ {
+		att := a.HeadAttn(h)
+		for i := 0; i < 5; i++ {
+			row := att.Row(i)
+			sum := 0.0
+			for j := 0; j <= i; j++ {
+				sum += row[j]
+			}
+			if math.Abs(sum-1) > 1e-10 {
+				t.Fatalf("head %d row %d sums to %v", h, i, sum)
+			}
+			for j := i + 1; j < 5; j++ {
+				if row[j] != 0 {
+					t.Fatalf("non-causal attention at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestAttentionCacheExposure(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := NewAttention(rng, "a", 8, 2, 16, 10000)
+	x := tensor.Randn(rng, 4, 8, 1)
+	out := a.Forward(x)
+	if a.LastInput() != x {
+		t.Fatal("LastInput must expose the forward input")
+	}
+	ctx := a.LastContext()
+	if ctx == nil || ctx.Rows != 4 || ctx.Cols != 8 {
+		t.Fatal("LastContext missing or wrong shape")
+	}
+	// out must equal WO applied to ctx.
+	want := tensor.MatMulNT(ctx, a.WO.P.W)
+	if !out.Equal(want, 1e-10) {
+		t.Fatal("output != WO(context)")
+	}
+}
+
+func TestMLPSwiGLUZeroGateIsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := NewMLP(rng, "m", 4, 8)
+	m.Gate.P.W.Zero() // silu(0) = 0 ⇒ hidden = 0 ⇒ output = 0
+	x := tensor.Randn(rng, 3, 4, 1)
+	y := m.Forward(x)
+	if y.MaxAbs() > 1e-12 {
+		t.Fatal("zero gate must produce zero output")
+	}
+}
+
+func TestSiluValues(t *testing.T) {
+	if math.Abs(silu(0)) > 1e-12 {
+		t.Fatal("silu(0) != 0")
+	}
+	if math.Abs(silu(10)-10/(1+math.Exp(-10))) > 1e-12 {
+		t.Fatal("silu(10)")
+	}
+	// siluGrad via finite differences.
+	const eps = 1e-6
+	for _, x := range []float64{-2, -0.5, 0, 0.7, 3} {
+		num := (silu(x+eps) - silu(x-eps)) / (2 * eps)
+		if math.Abs(num-siluGrad(x)) > 1e-6 {
+			t.Fatalf("siluGrad(%v) = %v, numeric %v", x, siluGrad(x), num)
+		}
+	}
+}
+
+func TestBlockResidualPath(t *testing.T) {
+	// With zeroed attention output proj and zeroed down proj, the block must
+	// be the identity.
+	rng := rand.New(rand.NewSource(7))
+	b := NewBlock(rng, "b", 8, 2, 12, 16, 10000)
+	b.Attn.WO.P.W.Zero()
+	b.MLP.(*MLP).Down.P.W.Zero()
+	x := tensor.Randn(rng, 4, 8, 1)
+	y := b.Forward(x)
+	if !y.Equal(x, 1e-12) {
+		t.Fatal("residual-only block must be identity")
+	}
+}
+
+func TestEmbeddingOutOfRangePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	e := NewEmbedding(rng, "e", 4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Forward([]int{4})
+}
+
+func TestParamCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := NewBlock(rng, "b", 8, 2, 12, 16, 10000)
+	total := 0
+	for _, p := range b.Params() {
+		total += p.NumEl()
+	}
+	// 2 norms (8 each) + 4 attn projections (64 each) + gate/up (96 each) + down (96)
+	want := 2*8 + 4*64 + 3*96
+	if total != want {
+		t.Fatalf("param count = %d, want %d", total, want)
+	}
+}

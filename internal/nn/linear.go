@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"math/rand"
+
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// Linear is a fully connected layer computing y = x·Wᵀ (+ bias), with W laid
+// out (out x in) per the GPTQ convention so that quantizers operate on it
+// directly. LLaMA-style models use no biases; bias support exists for
+// completeness and is exercised in tests.
+type Linear struct {
+	P    *Param
+	Bias *Param // nil if the layer has no bias
+
+	// InScale, when non-nil, divides each input channel before the matmul
+	// — the runtime half of SmoothQuant's per-channel smoothing transform
+	// (the matching multiplication is folded into W by the quantizer).
+	// Deployment-time only: Backward panics when set.
+	InScale []float64
+	// ActQuant, when non-nil, fake-quantizes the (scaled) input — the
+	// activation side of W·A quantization schemes. Deployment-time only.
+	ActQuant *quant.ActQuantizer
+
+	// lastInput is the most recent forward input, cached for Backward and
+	// harvested by internal/core as the GPTQ Hessian statistic (H = 2XᵀX).
+	// With deployment transforms active it holds the transformed input.
+	lastInput *tensor.Mat
+}
+
+// NewLinear constructs a Glorot-initialized linear layer.
+func NewLinear(rng *rand.Rand, name string, in, out int, bias bool) *Linear {
+	w := tensor.New(out, in)
+	InitXavier(rng, w, in, out)
+	l := &Linear{P: NewParam(name, w)}
+	if bias {
+		l.Bias = NewParam(name+".bias", tensor.New(1, out))
+	}
+	return l
+}
+
+// In returns the input dimension of the layer.
+func (l *Linear) In() int { return l.P.W.Cols }
+
+// Out returns the output dimension of the layer.
+func (l *Linear) Out() int { return l.P.W.Rows }
+
+// Forward computes y = x·Wᵀ (+ bias) for x (n x in) and caches x.
+func (l *Linear) Forward(x *tensor.Mat) *tensor.Mat {
+	if l.InScale != nil || l.ActQuant != nil {
+		x = x.Clone()
+		if l.InScale != nil {
+			if len(l.InScale) != x.Cols {
+				panic("nn: InScale length mismatch")
+			}
+			for i := 0; i < x.Rows; i++ {
+				row := x.Row(i)
+				for j, s := range l.InScale {
+					row[j] /= s
+				}
+			}
+		}
+		if l.ActQuant != nil {
+			l.ActQuant.QuantizeInPlace(x)
+		}
+	}
+	l.lastInput = x
+	y := tensor.MatMulNT(x, l.P.W)
+	if l.Bias != nil {
+		b := l.Bias.W.Row(0)
+		for i := 0; i < y.Rows; i++ {
+			row := y.Row(i)
+			for j := range row {
+				row[j] += b[j]
+			}
+		}
+	}
+	return y
+}
+
+// Backward accumulates dW += dyᵀ·x (and db) and returns dx = dy·W.
+func (l *Linear) Backward(dy *tensor.Mat) *tensor.Mat {
+	if l.InScale != nil || l.ActQuant != nil {
+		panic("nn: Backward through deployment-time input transforms")
+	}
+	if l.lastInput == nil {
+		panic("nn: Linear.Backward before Forward")
+	}
+	// dW (out x in) += dyᵀ (out x n) · x (n x in)
+	dw := tensor.MatMulTN(dy, l.lastInput)
+	tensor.AddInPlace(l.P.Grad, dw)
+	if l.Bias != nil {
+		g := l.Bias.Grad.Row(0)
+		for i := 0; i < dy.Rows; i++ {
+			row := dy.Row(i)
+			for j := range row {
+				g[j] += row[j]
+			}
+		}
+	}
+	return tensor.MatMul(dy, l.P.W)
+}
+
+// LastInput exposes the cached forward input for Hessian collection.
+func (l *Linear) LastInput() *tensor.Mat { return l.lastInput }
+
+// Params returns the layer's trainable parameters.
+func (l *Linear) Params() []*Param {
+	if l.Bias != nil {
+		return []*Param{l.P, l.Bias}
+	}
+	return []*Param{l.P}
+}

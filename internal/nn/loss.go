@@ -1,0 +1,59 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// CrossEntropy computes the mean token-level negative log-likelihood of
+// targets under logits (n x vocab) and the gradient dLogits =
+// (softmax − onehot)/n. Targets of -1 are ignored (masked).
+func CrossEntropy(logits *tensor.Mat, targets []int) (loss float64, dLogits *tensor.Mat) {
+	if len(targets) != logits.Rows {
+		panic("nn: CrossEntropy target length mismatch")
+	}
+	dLogits = tensor.New(logits.Rows, logits.Cols)
+	count := 0
+	for _, tgt := range targets {
+		if tgt >= 0 {
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, dLogits
+	}
+	inv := 1 / float64(count)
+	for t, tgt := range targets {
+		if tgt < 0 {
+			continue
+		}
+		row := logits.Row(t)
+		lse := tensor.LogSumExp(row)
+		loss += lse - row[tgt]
+		drow := dLogits.Row(t)
+		for j, v := range row {
+			drow[j] = math.Exp(v-lse) * inv
+		}
+		drow[tgt] -= inv
+	}
+	return loss * inv, dLogits
+}
+
+// SequenceNLL returns the summed negative log-likelihood of targets under
+// logits and the number of scored tokens, without computing gradients.
+// This is the primitive the perplexity evaluator aggregates.
+func SequenceNLL(logits *tensor.Mat, targets []int) (nll float64, tokens int) {
+	if len(targets) != logits.Rows {
+		panic("nn: SequenceNLL target length mismatch")
+	}
+	for t, tgt := range targets {
+		if tgt < 0 {
+			continue
+		}
+		row := logits.Row(t)
+		nll += tensor.LogSumExp(row) - row[tgt]
+		tokens++
+	}
+	return nll, tokens
+}

@@ -1,0 +1,68 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// MLP is LLaMA's SwiGLU feed-forward block:
+// y = W_down · (silu(W_gate·x) ⊙ (W_up·x)).
+// Per the paper, feed-forward weights are quantized with the plain GPTQ
+// Hessian H = 2XᵀX of their own layer inputs.
+type MLP struct {
+	Gate, Up, Down *Linear
+
+	gateOut, upOut, hidden *tensor.Mat
+}
+
+// NewMLP constructs a SwiGLU MLP with hidden width ff.
+func NewMLP(rng *rand.Rand, name string, dim, ff int) *MLP {
+	return &MLP{
+		Gate: NewLinear(rng, name+".gate", dim, ff, false),
+		Up:   NewLinear(rng, name+".up", dim, ff, false),
+		Down: NewLinear(rng, name+".down", ff, dim, false),
+	}
+}
+
+// silu computes x·sigmoid(x).
+func silu(x float64) float64 { return x / (1 + math.Exp(-x)) }
+
+// siluGrad computes d silu / dx = sigmoid(x)·(1 + x·(1−sigmoid(x))).
+func siluGrad(x float64) float64 {
+	s := 1 / (1 + math.Exp(-x))
+	return s * (1 + x*(1-s))
+}
+
+// Forward runs the SwiGLU computation for x (n x dim).
+func (m *MLP) Forward(x *tensor.Mat) *tensor.Mat {
+	m.gateOut = m.Gate.Forward(x)
+	m.upOut = m.Up.Forward(x)
+	m.hidden = tensor.New(m.gateOut.Rows, m.gateOut.Cols)
+	for i := range m.hidden.Data {
+		m.hidden.Data[i] = silu(m.gateOut.Data[i]) * m.upOut.Data[i]
+	}
+	return m.Down.Forward(m.hidden)
+}
+
+// Backward propagates dOut through the block, returning dX.
+func (m *MLP) Backward(dOut *tensor.Mat) *tensor.Mat {
+	if m.hidden == nil {
+		panic("nn: MLP.Backward before Forward")
+	}
+	dHidden := m.Down.Backward(dOut)
+	dGate := tensor.New(dHidden.Rows, dHidden.Cols)
+	dUp := tensor.New(dHidden.Rows, dHidden.Cols)
+	for i := range dHidden.Data {
+		g := m.gateOut.Data[i]
+		dGate.Data[i] = dHidden.Data[i] * m.upOut.Data[i] * siluGrad(g)
+		dUp.Data[i] = dHidden.Data[i] * silu(g)
+	}
+	dx := m.Gate.Backward(dGate)
+	tensor.AddInPlace(dx, m.Up.Backward(dUp))
+	return dx
+}
+
+// Params returns gate, up and down parameters.
+func (m *MLP) Params() []*Param { return []*Param{m.Gate.P, m.Up.P, m.Down.P} }

@@ -1,0 +1,117 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Norm is the normalization-layer contract shared by RMSNorm (LLaMA) and
+// LayerNorm (GPT/OPT), letting Block compose either architecture.
+type Norm interface {
+	Forward(x *tensor.Mat) *tensor.Mat
+	Backward(dy *tensor.Mat) *tensor.Mat
+	Params() []*Param
+}
+
+// Compile-time interface checks.
+var (
+	_ Norm = (*RMSNorm)(nil)
+	_ Norm = (*LayerNorm)(nil)
+)
+
+// LayerNorm is the classic transformer normalization used by GPT-2/OPT:
+// y_i = g_i·(x_i − mean(x))/sqrt(var(x) + eps) + b_i.
+type LayerNorm struct {
+	Gain *Param // (1 x dim), ones
+	Bias *Param // (1 x dim), zeros
+	Eps  float64
+
+	lastInput *tensor.Mat
+	lastMean  []float64
+	lastInv   []float64 // 1/sqrt(var+eps) per row
+}
+
+// NewLayerNorm constructs a LayerNorm with unit gain and zero bias.
+func NewLayerNorm(name string, dim int) *LayerNorm {
+	g := tensor.New(1, dim)
+	for i := range g.Data {
+		g.Data[i] = 1
+	}
+	return &LayerNorm{
+		Gain: NewParam(name+".gain", g),
+		Bias: NewParam(name+".bias", tensor.New(1, dim)),
+		Eps:  1e-5,
+	}
+}
+
+// Forward normalizes each row of x.
+func (l *LayerNorm) Forward(x *tensor.Mat) *tensor.Mat {
+	l.lastInput = x
+	l.lastMean = make([]float64, x.Rows)
+	l.lastInv = make([]float64, x.Rows)
+	g := l.Gain.W.Row(0)
+	b := l.Bias.W.Row(0)
+	out := tensor.New(x.Rows, x.Cols)
+	n := float64(x.Cols)
+	for t := 0; t < x.Rows; t++ {
+		row := x.Row(t)
+		mean := tensor.MeanVec(row)
+		variance := 0.0
+		for _, v := range row {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= n
+		inv := 1 / math.Sqrt(variance+l.Eps)
+		l.lastMean[t] = mean
+		l.lastInv[t] = inv
+		orow := out.Row(t)
+		for j, v := range row {
+			orow[j] = g[j]*(v-mean)*inv + b[j]
+		}
+	}
+	return out
+}
+
+// Backward computes dx and accumulates gain/bias gradients.
+//
+// With u_j = (x_j − μ)·inv: dg += dy ⊙ u, db += dy, and
+// dx_j = inv·(dŷ_j − mean(dŷ) − u_j·mean(dŷ ⊙ u)) where dŷ = g ⊙ dy.
+func (l *LayerNorm) Backward(dy *tensor.Mat) *tensor.Mat {
+	if l.lastInput == nil {
+		panic("nn: LayerNorm.Backward before Forward")
+	}
+	x := l.lastInput
+	g := l.Gain.W.Row(0)
+	gg := l.Gain.Grad.Row(0)
+	bg := l.Bias.Grad.Row(0)
+	dx := tensor.New(x.Rows, x.Cols)
+	n := float64(x.Cols)
+	for t := 0; t < x.Rows; t++ {
+		mean, inv := l.lastMean[t], l.lastInv[t]
+		xrow := x.Row(t)
+		dyrow := dy.Row(t)
+		dxrow := dx.Row(t)
+		sumDg := 0.0
+		sumDgu := 0.0
+		for j := range xrow {
+			u := (xrow[j] - mean) * inv
+			dg := dyrow[j] * g[j]
+			sumDg += dg
+			sumDgu += dg * u
+			gg[j] += dyrow[j] * u
+			bg[j] += dyrow[j]
+		}
+		mDg := sumDg / n
+		mDgu := sumDgu / n
+		for j := range xrow {
+			u := (xrow[j] - mean) * inv
+			dxrow[j] = inv * (dyrow[j]*g[j] - mDg - u*mDgu)
+		}
+	}
+	return dx
+}
+
+// Params returns gain and bias.
+func (l *LayerNorm) Params() []*Param { return []*Param{l.Gain, l.Bias} }

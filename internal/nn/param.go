@@ -1,0 +1,46 @@
+// Package nn implements the neural-network layers of a LLaMA-style
+// decoder-only transformer, each with an explicit forward and backward pass.
+// The backward passes serve two masters: the pretraining loop
+// (internal/train) and APTQ's attention-aware Hessian construction
+// (internal/core), which backpropagates probe matrices through the softmax /
+// matmul path of the attention block to realize eqs. (12) and (13) of the
+// paper.
+//
+// Layers are single-goroutine objects: Forward caches activations in the
+// layer, Backward consumes them. Weight matrices follow the GPTQ (out x in)
+// convention, so a linear layer computes y = x·Wᵀ + b.
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Param is a named trainable tensor and its gradient accumulator.
+type Param struct {
+	Name string
+	W    *tensor.Mat
+	Grad *tensor.Mat
+}
+
+// NewParam allocates a parameter and a zeroed gradient of the same shape.
+func NewParam(name string, w *tensor.Mat) *Param {
+	return &Param{Name: name, W: w, Grad: tensor.New(w.Rows, w.Cols)}
+}
+
+// ZeroGrad resets the gradient accumulator.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// NumEl returns the number of scalar weights in the parameter.
+func (p *Param) NumEl() int { return p.W.Rows * p.W.Cols }
+
+// InitXavier fills w with U(-a, a), a = sqrt(6/(fanIn+fanOut)) — the
+// standard Glorot initialization for linear layers.
+func InitXavier(rng *rand.Rand, w *tensor.Mat, fanIn, fanOut int) {
+	a := math.Sqrt(6 / float64(fanIn+fanOut))
+	for i := range w.Data {
+		w.Data[i] = (rng.Float64()*2 - 1) * a
+	}
+}

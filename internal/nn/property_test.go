@@ -1,0 +1,130 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+// TestRoPEPreservesPairNorms property-checks that rotation never changes
+// the norm of any (even, odd) channel pair, for random head dims and
+// positions.
+func TestRoPEPreservesPairNorms(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		hd := 2 * (1 + rng.Intn(6))
+		heads := 1 + rng.Intn(3)
+		n := 1 + rng.Intn(12)
+		r := NewRoPE(hd, n, 10000)
+		x := tensor.Randn(rng, n, hd*heads, 1)
+		before := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			row := x.Row(i)
+			for p := 0; p < len(row); p += 2 {
+				before[i] = append(before[i], math.Hypot(row[p], row[p+1]))
+			}
+		}
+		r.Apply(x)
+		for i := 0; i < n; i++ {
+			row := x.Row(i)
+			for pi, p := 0, 0; p < len(row); pi, p = pi+1, p+2 {
+				if math.Abs(math.Hypot(row[p], row[p+1])-before[i][pi]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLinearityOfLinear property-checks the linear layer: f(ax+by) =
+// a·f(x) + b·f(y) for bias-free layers.
+func TestLinearityOfLinear(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in, out, n := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(5)
+		l := NewLinear(rng, "l", in, out, false)
+		x := tensor.Randn(rng, n, in, 1)
+		y := tensor.Randn(rng, n, in, 1)
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+
+		mix := tensor.New(n, in)
+		for i := range mix.Data {
+			mix.Data[i] = a*x.Data[i] + b*y.Data[i]
+		}
+		got := l.Forward(mix)
+		fx := l.Forward(x).Clone()
+		fy := l.Forward(y)
+		want := tensor.New(n, out)
+		for i := range want.Data {
+			want.Data[i] = a*fx.Data[i] + b*fy.Data[i]
+		}
+		return got.Equal(want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRMSNormScaleInvariance property-checks that RMSNorm output is
+// invariant to positive rescaling of its input (the defining property).
+func TestRMSNormScaleInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 2 + rng.Intn(16)
+		r := NewRMSNorm("n", dim)
+		x := tensor.Randn(rng, 3, dim, 1)
+		// Keep inputs away from zero so eps is negligible.
+		for i := range x.Data {
+			x.Data[i] += math.Copysign(0.5, x.Data[i])
+		}
+		y1 := r.Forward(x).Clone()
+		scaled := x.Clone()
+		scaled.Scale(1 + rng.Float64()*10)
+		y2 := r.Forward(scaled)
+		// Tolerance accounts for the eps term in rms(x), which breaks
+		// exact invariance by O(eps/ms).
+		return y1.Equal(y2, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAttentionPermutationOfHeads property-checks that attention output is
+// within-head local: zeroing one head's V columns only suppresses that
+// head's contribution, leaving context columns of other heads intact.
+func TestAttentionHeadLocality(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := NewAttention(rng, "a", 12, 3, 16, 10000)
+	x := tensor.Randn(rng, 5, 12, 1)
+	a.Forward(x)
+	base := a.LastContext().Clone()
+
+	// Zero V rows for head 1 (rows 4..8 of WV in (out x in) layout).
+	for r := 4; r < 8; r++ {
+		for c := 0; c < 12; c++ {
+			a.WV.P.W.Set(r, c, 0)
+		}
+	}
+	a.Forward(x)
+	got := a.LastContext()
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 12; j++ {
+			inHead1 := j >= 4 && j < 8
+			if inHead1 {
+				if got.At(i, j) != 0 {
+					t.Fatalf("zeroed head still produced context at (%d,%d)", i, j)
+				}
+			} else if math.Abs(got.At(i, j)-base.At(i, j)) > 1e-12 {
+				t.Fatalf("other head context changed at (%d,%d)", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// RMSNorm implements LLaMA's root-mean-square layer normalization:
+// y_i = g_i * x_i / rms(x), rms(x) = sqrt(mean(x²) + eps).
+type RMSNorm struct {
+	P   *Param // gain, shape (1 x dim), initialized to ones
+	Eps float64
+
+	lastInput *tensor.Mat
+	lastInv   []float64 // cached 1/rms per row
+}
+
+// NewRMSNorm constructs an RMSNorm with unit gain.
+func NewRMSNorm(name string, dim int) *RMSNorm {
+	w := tensor.New(1, dim)
+	for i := range w.Data {
+		w.Data[i] = 1
+	}
+	return &RMSNorm{P: NewParam(name, w), Eps: 1e-6}
+}
+
+// Forward normalizes each row of x.
+func (r *RMSNorm) Forward(x *tensor.Mat) *tensor.Mat {
+	r.lastInput = x
+	r.lastInv = make([]float64, x.Rows)
+	g := r.P.W.Row(0)
+	out := tensor.New(x.Rows, x.Cols)
+	for t := 0; t < x.Rows; t++ {
+		row := x.Row(t)
+		ms := 0.0
+		for _, v := range row {
+			ms += v * v
+		}
+		ms = ms/float64(x.Cols) + r.Eps
+		inv := 1 / math.Sqrt(ms)
+		r.lastInv[t] = inv
+		orow := out.Row(t)
+		for j, v := range row {
+			orow[j] = g[j] * v * inv
+		}
+	}
+	return out
+}
+
+// Backward computes dx and accumulates the gain gradient.
+//
+// With u = x·inv, y = g ⊙ u: dg += Σ_t dy ⊙ u and
+// dx = inv · (g⊙dy − u · mean(u ⊙ g ⊙ dy) · (something)) — concretely,
+// d(inv)/dx_k = −inv³·x_k/n, giving
+// dx_k = inv·g_k·dy_k − inv³·x_k/n · Σ_j dy_j·g_j·x_j.
+func (r *RMSNorm) Backward(dy *tensor.Mat) *tensor.Mat {
+	if r.lastInput == nil {
+		panic("nn: RMSNorm.Backward before Forward")
+	}
+	x := r.lastInput
+	g := r.P.W.Row(0)
+	gg := r.P.Grad.Row(0)
+	dx := tensor.New(x.Rows, x.Cols)
+	n := float64(x.Cols)
+	for t := 0; t < x.Rows; t++ {
+		inv := r.lastInv[t]
+		xrow := x.Row(t)
+		dyrow := dy.Row(t)
+		dxrow := dx.Row(t)
+		dot := 0.0
+		for j := range xrow {
+			dot += dyrow[j] * g[j] * xrow[j]
+			gg[j] += dyrow[j] * xrow[j] * inv
+		}
+		c := inv * inv * inv * dot / n
+		for j := range xrow {
+			dxrow[j] = inv*g[j]*dyrow[j] - c*xrow[j]
+		}
+	}
+	return dx
+}
+
+// Params returns the layer's trainable parameters.
+func (r *RMSNorm) Params() []*Param { return []*Param{r.P} }

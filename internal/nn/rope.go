@@ -1,0 +1,81 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// RoPE implements rotary position embeddings (the positional encoding used
+// by LLaMA). For each attention head, consecutive pairs of channels
+// (2i, 2i+1) are rotated by angle pos·θ_i with θ_i = base^(−2i/headDim).
+//
+// RoPE is a pure rotation, so the backward pass is the inverse rotation
+// applied to the gradient.
+type RoPE struct {
+	HeadDim int
+	Base    float64
+	// cos/sin caches indexed [pos][pair].
+	cos, sin [][]float64
+}
+
+// NewRoPE precomputes rotation tables for sequences up to maxSeq.
+func NewRoPE(headDim, maxSeq int, base float64) *RoPE {
+	if headDim%2 != 0 {
+		panic("nn: RoPE head dimension must be even")
+	}
+	r := &RoPE{HeadDim: headDim, Base: base}
+	r.grow(maxSeq)
+	return r
+}
+
+func (r *RoPE) grow(maxSeq int) {
+	pairs := r.HeadDim / 2
+	for pos := len(r.cos); pos < maxSeq; pos++ {
+		c := make([]float64, pairs)
+		s := make([]float64, pairs)
+		for i := 0; i < pairs; i++ {
+			theta := float64(pos) * math.Pow(r.Base, -2*float64(i)/float64(r.HeadDim))
+			c[i] = math.Cos(theta)
+			s[i] = math.Sin(theta)
+		}
+		r.cos = append(r.cos, c)
+		r.sin = append(r.sin, s)
+	}
+}
+
+// Apply rotates x (n x dim, dim a multiple of HeadDim) in place, head by
+// head, with the rotation for each row's position (row index = position).
+func (r *RoPE) Apply(x *tensor.Mat) {
+	r.rotate(x, 1)
+}
+
+// ApplyInverse applies the inverse rotation; this is the gradient transform
+// for the backward pass.
+func (r *RoPE) ApplyInverse(x *tensor.Mat) {
+	r.rotate(x, -1)
+}
+
+func (r *RoPE) rotate(x *tensor.Mat, dir float64) {
+	if x.Cols%r.HeadDim != 0 {
+		panic("nn: RoPE input dim not a multiple of head dim")
+	}
+	if x.Rows > len(r.cos) {
+		r.grow(x.Rows)
+	}
+	heads := x.Cols / r.HeadDim
+	pairs := r.HeadDim / 2
+	for t := 0; t < x.Rows; t++ {
+		row := x.Row(t)
+		c, s := r.cos[t], r.sin[t]
+		for h := 0; h < heads; h++ {
+			off := h * r.HeadDim
+			for i := 0; i < pairs; i++ {
+				a, b := row[off+2*i], row[off+2*i+1]
+				sn := dir * s[i]
+				row[off+2*i] = a*c[i] - b*sn
+				row[off+2*i+1] = a*sn + b*c[i]
+			}
+		}
+	}
+}

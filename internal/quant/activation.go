@@ -1,0 +1,38 @@
+package quant
+
+import "repro/internal/tensor"
+
+// ActQuantizer performs dynamic fake quantization of activations — the
+// runtime half of weight+activation schemes like SmoothQuant's W8A8.
+// Quantization is "fake" in the simulation sense: values are rounded to the
+// integer grid and immediately dequantized, so downstream float math sees
+// exactly the precision an integer kernel would.
+type ActQuantizer struct {
+	// Bits of the activation grid (8 for W8A8).
+	Bits int
+	// PerToken fits one scale/zero per row (token); otherwise one pair per
+	// tensor. Per-token is the standard choice for LLM activations because
+	// token magnitudes vary widely.
+	PerToken bool
+	// Sym selects a symmetric grid.
+	Sym bool
+}
+
+// Quantize returns the fake-quantized copy of x.
+func (a *ActQuantizer) Quantize(x *tensor.Mat) *tensor.Mat {
+	out := x.Clone()
+	a.QuantizeInPlace(out)
+	return out
+}
+
+// QuantizeInPlace fake-quantizes x in place.
+func (a *ActQuantizer) QuantizeInPlace(x *tensor.Mat) {
+	if a.PerToken {
+		for i := 0; i < x.Rows; i++ {
+			row := x.Row(i)
+			QuantizeSlice(row, row, a.Bits, a.Sym)
+		}
+		return
+	}
+	QuantizeSlice(x.Data, x.Data, a.Bits, a.Sym)
+}

@@ -1,0 +1,88 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestActQuantizerPerTokenErrorBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := tensor.Randn(rng, 1+rng.Intn(8), 2+rng.Intn(16), 2)
+		a := &ActQuantizer{Bits: 8, PerToken: true}
+		q := a.Quantize(x)
+		for i := 0; i < x.Rows; i++ {
+			row := x.Row(i)
+			min, max := tensor.MinMax(row)
+			if min > 0 {
+				min = 0
+			}
+			if max < 0 {
+				max = 0
+			}
+			scale := (max - min) / 255
+			for j := range row {
+				if math.Abs(q.At(i, j)-row[j]) > scale/2+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActQuantizerDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Randn(rng, 4, 8, 1)
+	orig := x.Clone()
+	(&ActQuantizer{Bits: 4, PerToken: true}).Quantize(x)
+	if !x.Equal(orig, 0) {
+		t.Fatal("Quantize must not mutate its input")
+	}
+}
+
+func TestActQuantizerPerTensorVsPerToken(t *testing.T) {
+	// A tensor with one huge-magnitude token: per-token quantization must
+	// preserve the small tokens far better than per-tensor.
+	x := tensor.New(2, 4)
+	copy(x.Row(0), []float64{100, -100, 50, -50})
+	copy(x.Row(1), []float64{0.1, -0.1, 0.05, -0.05})
+	perToken := (&ActQuantizer{Bits: 4, PerToken: true}).Quantize(x)
+	perTensor := (&ActQuantizer{Bits: 4, PerToken: false}).Quantize(x)
+	errTok, errTen := 0.0, 0.0
+	for j, v := range x.Row(1) {
+		errTok += math.Abs(perToken.At(1, j) - v)
+		errTen += math.Abs(perTensor.At(1, j) - v)
+	}
+	if errTok >= errTen {
+		t.Fatalf("per-token error %v not better than per-tensor %v on outlier-dominated batch", errTok, errTen)
+	}
+}
+
+func TestActQuantizerInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.Randn(rng, 3, 6, 1)
+	want := (&ActQuantizer{Bits: 6, PerToken: true}).Quantize(x)
+	(&ActQuantizer{Bits: 6, PerToken: true}).QuantizeInPlace(x)
+	if !x.Equal(want, 0) {
+		t.Fatal("QuantizeInPlace differs from Quantize")
+	}
+}
+
+func TestActQuantizerIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.Randn(rng, 3, 6, 1)
+	a := &ActQuantizer{Bits: 5, PerToken: true}
+	once := a.Quantize(x)
+	twice := a.Quantize(once)
+	if !once.Equal(twice, 1e-12) {
+		t.Fatal("activation quantization must be idempotent")
+	}
+}

@@ -1,0 +1,93 @@
+package quant
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Binarize performs 1-bit sign-mean quantization of w per (row, group):
+// ŵ = sign(w) · mean(|w| over the group). This is the binarized portion of
+// PB-LLM (Partially Binarized LLMs), which keeps a "salient" fraction of
+// weights in high precision and binarizes the rest; see
+// internal/baselines.PBLLM for the full method.
+//
+// The returned mask reports which entries were binarized (all of them here;
+// PB-LLM composes this with a saliency mask).
+func Binarize(w *tensor.Mat, groupSize int) *tensor.Mat {
+	if groupSize <= 0 || groupSize > w.Cols {
+		groupSize = w.Cols
+	}
+	out := tensor.New(w.Rows, w.Cols)
+	ng := (w.Cols + groupSize - 1) / groupSize
+	for r := 0; r < w.Rows; r++ {
+		row := w.Row(r)
+		orow := out.Row(r)
+		for g := 0; g < ng; g++ {
+			lo := g * groupSize
+			hi := lo + groupSize
+			if hi > w.Cols {
+				hi = w.Cols
+			}
+			mean := 0.0
+			for _, v := range row[lo:hi] {
+				mean += math.Abs(v)
+			}
+			mean /= float64(hi - lo)
+			for c := lo; c < hi; c++ {
+				if row[c] >= 0 {
+					orow[c] = mean
+				} else {
+					orow[c] = -mean
+				}
+			}
+		}
+	}
+	return out
+}
+
+// BinarizeSelective binarizes only the entries where keep[i] is false,
+// copying kept entries through at full precision. keep is row-major with
+// len == Rows*Cols. The per-group |w| mean is computed over the binarized
+// entries only, matching PB-LLM's treatment.
+func BinarizeSelective(w *tensor.Mat, keep []bool, groupSize int) *tensor.Mat {
+	if len(keep) != w.Rows*w.Cols {
+		panic("quant: BinarizeSelective mask length mismatch")
+	}
+	if groupSize <= 0 || groupSize > w.Cols {
+		groupSize = w.Cols
+	}
+	out := tensor.New(w.Rows, w.Cols)
+	ng := (w.Cols + groupSize - 1) / groupSize
+	for r := 0; r < w.Rows; r++ {
+		row := w.Row(r)
+		orow := out.Row(r)
+		for g := 0; g < ng; g++ {
+			lo := g * groupSize
+			hi := lo + groupSize
+			if hi > w.Cols {
+				hi = w.Cols
+			}
+			mean, n := 0.0, 0
+			for c := lo; c < hi; c++ {
+				if !keep[r*w.Cols+c] {
+					mean += math.Abs(row[c])
+					n++
+				}
+			}
+			if n > 0 {
+				mean /= float64(n)
+			}
+			for c := lo; c < hi; c++ {
+				if keep[r*w.Cols+c] {
+					orow[c] = row[c]
+				} else if row[c] >= 0 {
+					orow[c] = mean
+				} else {
+					orow[c] = -mean
+				}
+			}
+		}
+	}
+	return out
+}

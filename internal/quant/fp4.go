@@ -1,0 +1,90 @@
+package quant
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// fp4Levels are the non-negative magnitudes of the e2m1 FP4 format
+// (1 sign bit, 2 exponent bits, 1 mantissa bit): {0, .5, 1, 1.5, 2, 3, 4, 6}.
+// LLM-FP4 ("FPQ" in the paper's Table 2) quantizes weights onto this grid
+// with a per-group scale; this file is its documented stand-in.
+var fp4Levels = [8]float64{0, 0.5, 1, 1.5, 2, 3, 4, 6}
+
+// FP4Quantize rounds v (assumed pre-scaled so |v| <= 6) to the nearest FP4
+// value and returns the 4-bit code (sign in bit 3) and the decoded value.
+func FP4Quantize(v float64) (code uint16, out float64) {
+	sign := uint16(0)
+	a := v
+	if a < 0 {
+		sign = 8
+		a = -a
+	}
+	best, bestDist := 0, math.Inf(1)
+	for i, lv := range fp4Levels {
+		if d := math.Abs(a - lv); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	out = fp4Levels[best]
+	if sign != 0 {
+		out = -out
+	}
+	return sign | uint16(best), out
+}
+
+// FP4Decode maps a 4-bit e2m1 code back to its real value.
+func FP4Decode(code uint16) float64 {
+	v := fp4Levels[code&7]
+	if code&8 != 0 {
+		v = -v
+	}
+	return v
+}
+
+// FP4Matrix quantizes w (out x in) to FP4 with one scale per (row, group):
+// scale = absmax/6 so the largest magnitude maps to the top FP4 level.
+// The result reuses QuantizedMatrix with Bits=4; Params.Zero is unused (0)
+// and Decode semantics are FP4-specific, so the matrix is returned already
+// dequantized alongside its size accounting.
+func FP4Matrix(w *tensor.Mat, groupSize int) (*tensor.Mat, *QuantizedMatrix) {
+	if groupSize <= 0 || groupSize > w.Cols {
+		groupSize = w.Cols
+	}
+	ng := (w.Cols + groupSize - 1) / groupSize
+	q := &QuantizedMatrix{
+		Rows: w.Rows, Cols: w.Cols, GroupSize: groupSize, Bits: 4,
+		Codes:  make([]uint16, w.Rows*w.Cols),
+		Params: make([]GroupParams, w.Rows*ng),
+	}
+	dq := tensor.New(w.Rows, w.Cols)
+	for r := 0; r < w.Rows; r++ {
+		row := w.Row(r)
+		drow := dq.Row(r)
+		for g := 0; g < ng; g++ {
+			lo := g * groupSize
+			hi := lo + groupSize
+			if hi > w.Cols {
+				hi = w.Cols
+			}
+			absmax := 0.0
+			for _, v := range row[lo:hi] {
+				if a := math.Abs(v); a > absmax {
+					absmax = a
+				}
+			}
+			scale := absmax / 6
+			if scale == 0 {
+				scale = 1e-12
+			}
+			q.Params[r*ng+g] = GroupParams{Scale: scale}
+			for c := lo; c < hi; c++ {
+				code, val := FP4Quantize(row[c] / scale)
+				q.Codes[r*w.Cols+c] = code
+				drow[c] = val * scale
+			}
+		}
+	}
+	return dq, q
+}

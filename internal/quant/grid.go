@@ -1,0 +1,109 @@
+// Package quant implements the quantization primitives shared by every
+// method in this repository: uniform integer grids with group-wise affine
+// (scale / zero-point) parameters, bit packing, round-to-nearest (RTN)
+// matrix quantization, an FP4 (e2m1) grid for the FPQ baseline, and 1-bit
+// sign-mean binarization for the PB-LLM baseline.
+//
+// Conventions follow GPTQ: weight matrices are (out x in); quantization
+// groups run along the *input* dimension, so each (row, group-of-columns)
+// pair has its own scale and zero-point. The paper uses group size 128 on
+// LLaMA (d_model 4096); nano-scale experiments use proportionally smaller
+// groups.
+package quant
+
+import (
+	"fmt"
+	"math"
+)
+
+// GroupParams holds the affine quantization parameters of one group:
+// dequant(q) = (q - Zero) * Scale.
+type GroupParams struct {
+	Scale float64
+	Zero  float64
+}
+
+// FitGroup computes min/max affine parameters for quantizing values to the
+// given bit width. With sym=true the grid is symmetric around zero (zero
+// point fixed at the grid midpoint and scale set from the absolute maximum);
+// otherwise the full asymmetric min-max range is used, matching the
+// GPTQ/AWQ convention for weight quantization.
+func FitGroup(values []float64, bits int, sym bool) GroupParams {
+	if bits < 1 || bits > 16 {
+		panic(fmt.Sprintf("quant: unsupported bit width %d", bits))
+	}
+	if len(values) == 0 {
+		return GroupParams{Scale: 1}
+	}
+	qmax := float64(int(1)<<bits - 1)
+	min, max := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if sym {
+		absmax := math.Max(math.Abs(min), math.Abs(max))
+		if absmax == 0 {
+			absmax = 1e-12
+		}
+		// Symmetric: codes 0..qmax, zero at the midpoint.
+		scale := 2 * absmax / qmax
+		return GroupParams{Scale: scale, Zero: math.Round(qmax / 2)}
+	}
+	if min > 0 {
+		min = 0
+	}
+	if max < 0 {
+		max = 0
+	}
+	scale := (max - min) / qmax
+	if scale == 0 {
+		scale = 1e-12
+	}
+	zero := math.Round(-min / scale)
+	return GroupParams{Scale: scale, Zero: zero}
+}
+
+// Encode maps w to its nearest integer code on the grid, clamped to
+// [0, 2^bits-1].
+func (p GroupParams) Encode(w float64, bits int) int {
+	qmax := int(1)<<bits - 1
+	q := int(math.Round(w/p.Scale + p.Zero))
+	if q < 0 {
+		q = 0
+	}
+	if q > qmax {
+		q = qmax
+	}
+	return q
+}
+
+// Decode maps an integer code back to its real value.
+func (p GroupParams) Decode(q int) float64 {
+	return (float64(q) - p.Zero) * p.Scale
+}
+
+// Quantize rounds w to the nearest representable value on the grid. This is
+// the quant(w) function of eqs. (2) and (16).
+func (p GroupParams) Quantize(w float64, bits int) float64 {
+	return p.Decode(p.Encode(w, bits))
+}
+
+// QuantizeSlice writes the quantized (dequantized real) values of src into
+// dst using a single parameter fit over all of src, returning the fitted
+// parameters. dst may alias src.
+func QuantizeSlice(dst, src []float64, bits int, sym bool) GroupParams {
+	p := FitGroup(src, bits, sym)
+	for i, v := range src {
+		dst[i] = p.Quantize(v, bits)
+	}
+	return p
+}
+
+// MaxQuantError returns the worst-case rounding error of the grid, Scale/2.
+// Useful as a tolerance bound in tests and error analyses.
+func (p GroupParams) MaxQuantError() float64 { return p.Scale / 2 }

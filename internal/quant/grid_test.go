@@ -1,0 +1,138 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitGroupAsymmetricRange(t *testing.T) {
+	vals := []float64{-1, 0, 0.5, 1}
+	p := FitGroup(vals, 4, false)
+	// Grid must cover [min, max]: extremes quantize within scale/2.
+	for _, v := range vals {
+		q := p.Quantize(v, 4)
+		if math.Abs(q-v) > p.Scale/2+1e-12 {
+			t.Fatalf("quant(%v) = %v, err > scale/2", v, q)
+		}
+	}
+}
+
+func TestFitGroupSymmetricZeroExact(t *testing.T) {
+	// Symmetric grid with even code count around midpoint: zero must map to
+	// (nearly) zero.
+	p := FitGroup([]float64{-2, -1, 1, 2}, 4, true)
+	if got := p.Quantize(0, 4); math.Abs(got) > p.Scale/2 {
+		t.Fatalf("quant(0) = %v on symmetric grid", got)
+	}
+}
+
+func TestQuantizeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64()
+		}
+		for _, bits := range []int{2, 3, 4, 8} {
+			p := FitGroup(vals, bits, false)
+			for _, v := range vals {
+				q1 := p.Quantize(v, bits)
+				q2 := p.Quantize(q1, bits)
+				if math.Abs(q1-q2) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantErrorBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 3
+		}
+		for _, bits := range []int{2, 4} {
+			p := FitGroup(vals, bits, false)
+			for _, v := range vals {
+				if math.Abs(p.Quantize(v, bits)-v) > p.MaxQuantError()+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeClamps(t *testing.T) {
+	p := GroupParams{Scale: 1, Zero: 0}
+	if p.Encode(1000, 4) != 15 {
+		t.Fatal("Encode must clamp high")
+	}
+	if p.Encode(-1000, 4) != 0 {
+		t.Fatal("Encode must clamp low")
+	}
+}
+
+func TestMoreBitsNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]float64, 64)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	mse := func(bits int) float64 {
+		p := FitGroup(vals, bits, false)
+		s := 0.0
+		for _, v := range vals {
+			d := p.Quantize(v, bits) - v
+			s += d * d
+		}
+		return s
+	}
+	if !(mse(2) >= mse(3) && mse(3) >= mse(4) && mse(4) >= mse(8)) {
+		t.Fatalf("MSE not monotone in bits: 2→%v 3→%v 4→%v 8→%v", mse(2), mse(3), mse(4), mse(8))
+	}
+}
+
+func TestQuantizeSliceAliasable(t *testing.T) {
+	v := []float64{0.1, -0.7, 0.3}
+	orig := append([]float64(nil), v...)
+	p := QuantizeSlice(v, v, 4, false)
+	for i := range v {
+		if math.Abs(v[i]-orig[i]) > p.MaxQuantError()+1e-9 {
+			t.Fatal("in-place quantization exceeded error bound")
+		}
+	}
+}
+
+func TestFitGroupEmptyAndConstant(t *testing.T) {
+	p := FitGroup(nil, 4, false)
+	if p.Scale == 0 {
+		t.Fatal("empty group must not produce zero scale")
+	}
+	p = FitGroup([]float64{0, 0, 0}, 4, true)
+	if got := p.Quantize(0, 4); math.Abs(got) > 1e-9 {
+		t.Fatalf("all-zero group: quant(0) = %v", got)
+	}
+}
+
+func TestFitGroupBadBitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bits=0")
+		}
+	}()
+	FitGroup([]float64{1}, 0, false)
+}

@@ -1,0 +1,157 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// QuantizedMatrix is the storage format of a quantized weight matrix: packed
+// integer codes plus per-(row, group) affine parameters. It is the artifact
+// every quantization method in this repository produces, and its SizeBits
+// accounting is what the "Avg bit" columns of the paper's tables measure.
+type QuantizedMatrix struct {
+	Rows, Cols int
+	// GroupSize is the number of consecutive input-dimension (column)
+	// entries sharing one scale/zero pair.
+	GroupSize int
+	// Bits per code. For mixed-precision matrices built row-by-row, see
+	// RowBits; when RowBits is nil all rows use Bits.
+	Bits int
+	// RowBits optionally overrides Bits per row (mixed-precision within a
+	// matrix). len(RowBits) == Rows when non-nil.
+	RowBits []int
+	// Codes holds one integer code per weight, row-major, unpacked for
+	// simplicity of manipulation; Pack() produces the bit-exact packed form.
+	Codes []uint16
+	// Params holds one GroupParams per (row, group), row-major:
+	// Params[r*numGroups + g].
+	Params []GroupParams
+}
+
+// NumGroups returns the number of column groups per row.
+func (q *QuantizedMatrix) NumGroups() int {
+	return (q.Cols + q.GroupSize - 1) / q.GroupSize
+}
+
+// bitsForRow returns the bit width used by row r.
+func (q *QuantizedMatrix) bitsForRow(r int) int {
+	if q.RowBits != nil {
+		return q.RowBits[r]
+	}
+	return q.Bits
+}
+
+// Dequantize materializes the full real-valued weight matrix.
+func (q *QuantizedMatrix) Dequantize() *tensor.Mat {
+	m := tensor.New(q.Rows, q.Cols)
+	ng := q.NumGroups()
+	for r := 0; r < q.Rows; r++ {
+		row := m.Row(r)
+		for c := 0; c < q.Cols; c++ {
+			p := q.Params[r*ng+c/q.GroupSize]
+			row[c] = p.Decode(int(q.Codes[r*q.Cols+c]))
+		}
+	}
+	return m
+}
+
+// SizeBits returns the total storage footprint in bits: packed codes plus
+// 16-bit scale and zero-point per group (the fp16 metadata convention used
+// in GPTQ-style size accounting).
+func (q *QuantizedMatrix) SizeBits() int64 {
+	ng := q.NumGroups()
+	var bits int64
+	for r := 0; r < q.Rows; r++ {
+		bits += int64(q.Cols * q.bitsForRow(r))
+	}
+	bits += int64(q.Rows * ng * 2 * 16)
+	return bits
+}
+
+// AvgBits returns the average bits per weight including group metadata.
+func (q *QuantizedMatrix) AvgBits() float64 {
+	return float64(q.SizeBits()) / float64(q.Rows*q.Cols)
+}
+
+// Validate checks internal consistency of the quantized representation.
+func (q *QuantizedMatrix) Validate() error {
+	if q.Rows <= 0 || q.Cols <= 0 {
+		return fmt.Errorf("quant: invalid shape %dx%d", q.Rows, q.Cols)
+	}
+	if q.GroupSize <= 0 {
+		return fmt.Errorf("quant: invalid group size %d", q.GroupSize)
+	}
+	if len(q.Codes) != q.Rows*q.Cols {
+		return fmt.Errorf("quant: %d codes for %dx%d matrix", len(q.Codes), q.Rows, q.Cols)
+	}
+	if want := q.Rows * q.NumGroups(); len(q.Params) != want {
+		return fmt.Errorf("quant: %d params, want %d", len(q.Params), want)
+	}
+	if q.RowBits != nil && len(q.RowBits) != q.Rows {
+		return fmt.Errorf("quant: %d row bit widths for %d rows", len(q.RowBits), q.Rows)
+	}
+	for r := 0; r < q.Rows; r++ {
+		b := q.bitsForRow(r)
+		if b < 1 || b > 16 {
+			return fmt.Errorf("quant: row %d has invalid bit width %d", r, b)
+		}
+		qmax := uint16(1)<<b - 1
+		for c := 0; c < q.Cols; c++ {
+			if q.Codes[r*q.Cols+c] > qmax {
+				return fmt.Errorf("quant: code %d exceeds %d-bit range at (%d,%d)", q.Codes[r*q.Cols+c], b, r, c)
+			}
+		}
+	}
+	return nil
+}
+
+// RTN quantizes w (out x in) with plain round-to-nearest group quantization —
+// the "RTN" baseline row of Table 2. groupSize <= 0 means one group spanning
+// the whole row.
+func RTN(w *tensor.Mat, bits, groupSize int, sym bool) *QuantizedMatrix {
+	if groupSize <= 0 || groupSize > w.Cols {
+		groupSize = w.Cols
+	}
+	q := &QuantizedMatrix{
+		Rows:      w.Rows,
+		Cols:      w.Cols,
+		GroupSize: groupSize,
+		Bits:      bits,
+		Codes:     make([]uint16, w.Rows*w.Cols),
+		Params:    make([]GroupParams, w.Rows*((w.Cols+groupSize-1)/groupSize)),
+	}
+	ng := q.NumGroups()
+	for r := 0; r < w.Rows; r++ {
+		row := w.Row(r)
+		for g := 0; g < ng; g++ {
+			lo := g * groupSize
+			hi := lo + groupSize
+			if hi > w.Cols {
+				hi = w.Cols
+			}
+			p := FitGroup(row[lo:hi], bits, sym)
+			q.Params[r*ng+g] = p
+			for c := lo; c < hi; c++ {
+				q.Codes[r*w.Cols+c] = uint16(p.Encode(row[c], bits))
+			}
+		}
+	}
+	return q
+}
+
+// QuantizationError returns mean squared error and max absolute error
+// between w and its quantized form.
+func QuantizationError(w *tensor.Mat, q *QuantizedMatrix) (mse, maxAbs float64) {
+	dq := q.Dequantize()
+	n := float64(len(w.Data))
+	for i, v := range w.Data {
+		d := v - dq.Data[i]
+		mse += d * d
+		if a := math.Abs(d); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	return mse / n, maxAbs
+}

@@ -1,0 +1,214 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestRTNRoundTripAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := tensor.Randn(rng, 16, 32, 0.1)
+	q := RTN(w, 8, 8, false)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mse, maxAbs := QuantizationError(w, q)
+	if mse > 1e-6 || maxAbs > 0.01 {
+		t.Fatalf("8-bit RTN too lossy: mse=%v max=%v", mse, maxAbs)
+	}
+}
+
+func TestRTNGroupErrorBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := tensor.Randn(rng, 4+rng.Intn(8), 8+rng.Intn(24), 1)
+		gs := 4 + rng.Intn(8)
+		q := RTN(w, 4, gs, false)
+		dq := q.Dequantize()
+		ng := q.NumGroups()
+		for r := 0; r < w.Rows; r++ {
+			for c := 0; c < w.Cols; c++ {
+				p := q.Params[r*ng+c/gs]
+				if math.Abs(w.At(r, c)-dq.At(r, c)) > p.MaxQuantError()+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRTNSmallerGroupsNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w := tensor.Randn(rng, 8, 64, 1)
+	// Inject scale variation across the row so group adaptivity matters.
+	for r := 0; r < w.Rows; r++ {
+		row := w.Row(r)
+		for c := range row {
+			if c >= 32 {
+				row[c] *= 10
+			}
+		}
+	}
+	mse := func(gs int) float64 {
+		m, _ := QuantizationError(w, RTN(w, 3, gs, false))
+		return m
+	}
+	if !(mse(64) >= mse(32) && mse(32) >= mse(16)) {
+		t.Fatalf("group adaptivity violated: 64→%v 32→%v 16→%v", mse(64), mse(32), mse(16))
+	}
+}
+
+func TestQuantizedMatrixSizeAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := tensor.Randn(rng, 8, 32, 1)
+	q := RTN(w, 4, 16, false)
+	// 8*32 codes * 4 bits + 8 rows * 2 groups * 2 params * 16 bits
+	want := int64(8*32*4 + 8*2*2*16)
+	if q.SizeBits() != want {
+		t.Fatalf("SizeBits = %d, want %d", q.SizeBits(), want)
+	}
+	if math.Abs(q.AvgBits()-float64(want)/256) > 1e-12 {
+		t.Fatalf("AvgBits = %v", q.AvgBits())
+	}
+}
+
+func TestMixedRowBitsSize(t *testing.T) {
+	q := &QuantizedMatrix{
+		Rows: 4, Cols: 8, GroupSize: 8, Bits: 4,
+		RowBits: []int{4, 4, 2, 2},
+		Codes:   make([]uint16, 32),
+		Params:  make([]GroupParams, 4),
+	}
+	for i := range q.Params {
+		q.Params[i].Scale = 1
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(8*4+8*4+8*2+8*2) + 4*1*2*16
+	if q.SizeBits() != want {
+		t.Fatalf("SizeBits = %d, want %d", q.SizeBits(), want)
+	}
+}
+
+func TestValidateCatchesOutOfRangeCodes(t *testing.T) {
+	q := &QuantizedMatrix{
+		Rows: 1, Cols: 2, GroupSize: 2, Bits: 2,
+		Codes:  []uint16{5, 0}, // 5 > 3
+		Params: []GroupParams{{Scale: 1}},
+	}
+	if err := q.Validate(); err == nil {
+		t.Fatal("expected validation error for out-of-range code")
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, bits := range []int{1, 2, 3, 4, 7, 8, 12, 16} {
+			n := 1 + rng.Intn(100)
+			codes := make([]uint16, n)
+			max := uint16(1)<<bits - 1
+			for i := range codes {
+				codes[i] = uint16(rng.Intn(int(max) + 1))
+			}
+			packed := Pack(codes, bits)
+			if len(packed) != PackedSize(n, bits) {
+				return false
+			}
+			got := Unpack(packed, n, bits)
+			for i := range codes {
+				if got[i] != codes[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackDensity(t *testing.T) {
+	// 10 codes at 4 bits = 40 bits = 5 bytes exactly.
+	if got := len(Pack(make([]uint16, 10), 4)); got != 5 {
+		t.Fatalf("packed size = %d, want 5", got)
+	}
+}
+
+func TestFP4RoundTrip(t *testing.T) {
+	for code := uint16(0); code < 16; code++ {
+		v := FP4Decode(code)
+		got, out := FP4Quantize(v)
+		if out != v {
+			t.Fatalf("FP4 decode/quantize mismatch for code %d: %v vs %v", code, out, v)
+		}
+		// -0 and +0 share the value 0; any other code must round-trip.
+		if v != 0 && got != code {
+			t.Fatalf("code %d round-tripped to %d", code, got)
+		}
+	}
+}
+
+func TestFP4MatrixBeats2BitOnGaussians(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := tensor.Randn(rng, 16, 64, 0.5)
+	dqFP4, qm := FP4Matrix(w, 16)
+	if qm.Bits != 4 {
+		t.Fatal("FP4 must report 4 bits")
+	}
+	mseFP4 := 0.0
+	for i := range w.Data {
+		d := w.Data[i] - dqFP4.Data[i]
+		mseFP4 += d * d
+	}
+	mse2, _ := QuantizationError(w, RTN(w, 2, 16, false))
+	if mseFP4/float64(len(w.Data)) >= mse2 {
+		t.Fatal("FP4 should beat 2-bit RTN on Gaussian weights")
+	}
+}
+
+func TestBinarizePreservesSignAndScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	w := tensor.Randn(rng, 8, 32, 1)
+	b := Binarize(w, 8)
+	for i, v := range w.Data {
+		if v > 0 && b.Data[i] <= 0 || v < 0 && b.Data[i] >= 0 {
+			t.Fatal("binarization must preserve sign")
+		}
+	}
+	// Group mean magnitude must equal mean |w| of the group.
+	row := w.Row(0)[:8]
+	want := 0.0
+	for _, v := range row {
+		want += math.Abs(v)
+	}
+	want /= 8
+	if math.Abs(math.Abs(b.At(0, 0))-want) > 1e-12 {
+		t.Fatalf("binarized magnitude = %v, want %v", b.At(0, 0), want)
+	}
+}
+
+func TestBinarizeSelectiveKeepsMarked(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	w := tensor.Randn(rng, 4, 8, 1)
+	keep := make([]bool, 32)
+	keep[3] = true
+	keep[17] = true
+	b := BinarizeSelective(w, keep, 4)
+	if b.Data[3] != w.Data[3] || b.Data[17] != w.Data[17] {
+		t.Fatal("kept weights must pass through exactly")
+	}
+	if b.Data[0] == w.Data[0] && b.Data[1] == w.Data[1] && b.Data[2] == w.Data[2] {
+		t.Fatal("non-kept weights should be binarized")
+	}
+}

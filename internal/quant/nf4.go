@@ -1,0 +1,85 @@
+package quant
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// nf4Levels are the 16 levels of the NF4 (4-bit NormalFloat) data type
+// introduced by QLoRA: the quantiles of a standard normal distribution,
+// normalized to [-1, 1], with an exact zero. Gaussian-distributed weights
+// incur lower expected rounding error on this grid than on a uniform one,
+// which is why NF4 is the default in several deployment stacks; it is
+// included here as an alternative weight grid and an ablation point.
+var nf4Levels = [16]float64{
+	-1.0, -0.6961928009986877, -0.5250730514526367, -0.39491748809814453,
+	-0.28444138169288635, -0.18477343022823334, -0.09105003625154495, 0.0,
+	0.07958029955625534, 0.16093020141124725, 0.24611230194568634, 0.33791524171829224,
+	0.44070982933044434, 0.5626170039176941, 0.7229568362236023, 1.0,
+}
+
+// NF4Quantize rounds v (assumed pre-scaled to [-1, 1]) to the nearest NF4
+// level, returning the 4-bit code and the decoded value.
+func NF4Quantize(v float64) (code uint16, out float64) {
+	// Levels are sorted: binary search for the insertion point, then pick
+	// the nearer neighbour.
+	i := sort.SearchFloat64s(nf4Levels[:], v)
+	if i == 0 {
+		return 0, nf4Levels[0]
+	}
+	if i >= len(nf4Levels) {
+		return 15, nf4Levels[15]
+	}
+	if v-nf4Levels[i-1] <= nf4Levels[i]-v {
+		return uint16(i - 1), nf4Levels[i-1]
+	}
+	return uint16(i), nf4Levels[i]
+}
+
+// NF4Decode maps a 4-bit NF4 code to its real value.
+func NF4Decode(code uint16) float64 { return nf4Levels[code&15] }
+
+// NF4Matrix quantizes w (out x in) to NF4 with one absmax scale per
+// (row, group), returning the dequantized matrix and its code
+// representation (Bits = 4; Params.Zero unused).
+func NF4Matrix(w *tensor.Mat, groupSize int) (*tensor.Mat, *QuantizedMatrix) {
+	if groupSize <= 0 || groupSize > w.Cols {
+		groupSize = w.Cols
+	}
+	ng := (w.Cols + groupSize - 1) / groupSize
+	q := &QuantizedMatrix{
+		Rows: w.Rows, Cols: w.Cols, GroupSize: groupSize, Bits: 4,
+		Codes:  make([]uint16, w.Rows*w.Cols),
+		Params: make([]GroupParams, w.Rows*ng),
+	}
+	dq := tensor.New(w.Rows, w.Cols)
+	for r := 0; r < w.Rows; r++ {
+		row := w.Row(r)
+		drow := dq.Row(r)
+		for g := 0; g < ng; g++ {
+			lo := g * groupSize
+			hi := lo + groupSize
+			if hi > w.Cols {
+				hi = w.Cols
+			}
+			absmax := 0.0
+			for _, v := range row[lo:hi] {
+				if a := math.Abs(v); a > absmax {
+					absmax = a
+				}
+			}
+			if absmax == 0 {
+				absmax = 1e-12
+			}
+			q.Params[r*ng+g] = GroupParams{Scale: absmax}
+			for c := lo; c < hi; c++ {
+				code, val := NF4Quantize(row[c] / absmax)
+				q.Codes[r*w.Cols+c] = code
+				drow[c] = val * absmax
+			}
+		}
+	}
+	return dq, q
+}

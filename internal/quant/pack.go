@@ -1,0 +1,50 @@
+package quant
+
+import "fmt"
+
+// Pack serializes integer codes into a dense bit stream, bits per code,
+// little-endian within bytes. This is the on-device storage format; edge
+// deployment size numbers come from len(Pack(...)).
+func Pack(codes []uint16, bits int) []byte {
+	if bits < 1 || bits > 16 {
+		panic(fmt.Sprintf("quant: Pack with bit width %d", bits))
+	}
+	out := make([]byte, (len(codes)*bits+7)/8)
+	bitPos := 0
+	for _, c := range codes {
+		v := uint32(c)
+		for b := 0; b < bits; b++ {
+			if v&(1<<b) != 0 {
+				out[bitPos/8] |= 1 << (bitPos % 8)
+			}
+			bitPos++
+		}
+	}
+	return out
+}
+
+// Unpack reverses Pack, reading n codes of the given bit width.
+func Unpack(data []byte, n, bits int) []uint16 {
+	if bits < 1 || bits > 16 {
+		panic(fmt.Sprintf("quant: Unpack with bit width %d", bits))
+	}
+	out := make([]uint16, n)
+	bitPos := 0
+	for i := 0; i < n; i++ {
+		var v uint16
+		for b := 0; b < bits; b++ {
+			if bitPos/8 >= len(data) {
+				panic("quant: Unpack ran out of data")
+			}
+			if data[bitPos/8]&(1<<(bitPos%8)) != 0 {
+				v |= 1 << b
+			}
+			bitPos++
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// PackedSize returns the number of bytes Pack would produce for n codes.
+func PackedSize(n, bits int) int { return (n*bits + 7) / 8 }

@@ -1,0 +1,179 @@
+// Package tensor provides the dense float64 matrix type and the matrix /
+// vector primitives that every other package in this repository builds on.
+//
+// Matrices are row-major and sized at construction. All operations are
+// deterministic, allocation patterns are explicit, and there is no global
+// state; the package is safe for concurrent use as long as callers do not
+// share a destination matrix between goroutines.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Mat is a dense row-major matrix of float64 values.
+type Mat struct {
+	Rows, Cols int
+	// Data holds Rows*Cols values; element (i,j) lives at Data[i*Cols+j].
+	Data []float64
+}
+
+// New returns a zeroed Rows x Cols matrix.
+func New(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (length rows*cols, row-major) in a Mat without copying.
+func FromSlice(rows, cols int, data []float64) *Mat {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice got %d values for %dx%d", len(data), rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: data}
+}
+
+// Randn returns a rows x cols matrix with N(0, std²) entries drawn from rng.
+func Randn(rng *rand.Rand, rows, cols int, std float64) *Mat {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+	return m
+}
+
+// Eye returns the n x n identity matrix.
+func Eye(n int) *Mat {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a mutable slice view of row i.
+func (m *Mat) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Col copies column j into a new slice.
+func (m *Mat) Col(j int) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.Data[i*m.Cols+j]
+	}
+	return out
+}
+
+// SetCol overwrites column j with v (length Rows).
+func (m *Mat) SetCol(j int, v []float64) {
+	if len(v) != m.Rows {
+		panic("tensor: SetCol length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+j] = v[i]
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Mat) Clone() *Mat {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// CopyFrom overwrites m with the contents of src (same shape required).
+func (m *Mat) CopyFrom(src *Mat) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: CopyFrom shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	copy(m.Data, src.Data)
+}
+
+// Zero sets every element of m to zero.
+func (m *Mat) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// T returns a newly allocated transpose of m.
+func (m *Mat) T() *Mat {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// Equal reports whether m and b have the same shape and all elements within
+// tol of each other.
+func (m *Mat) Equal(b *Mat, tol float64) bool {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(v-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbs returns the largest absolute element of m (0 for empty matrices).
+func (m *Mat) MaxAbs() float64 {
+	max := 0.0
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Mat) FrobeniusNorm() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Trace returns the sum of diagonal elements of a square matrix.
+func (m *Mat) Trace() float64 {
+	if m.Rows != m.Cols {
+		panic("tensor: Trace of non-square matrix")
+	}
+	s := 0.0
+	for i := 0; i < m.Rows; i++ {
+		s += m.Data[i*m.Cols+i]
+	}
+	return s
+}
+
+// MeanDiag returns the mean of diagonal elements of a square matrix.
+func (m *Mat) MeanDiag() float64 {
+	if m.Rows == 0 {
+		return 0
+	}
+	return m.Trace() / float64(m.Rows)
+}
+
+// String renders a compact, shape-prefixed representation for debugging.
+func (m *Mat) String() string {
+	if m.Rows*m.Cols <= 64 {
+		return fmt.Sprintf("Mat(%dx%d)%v", m.Rows, m.Cols, m.Data)
+	}
+	return fmt.Sprintf("Mat(%dx%d)[...%d values]", m.Rows, m.Cols, len(m.Data))
+}

@@ -1,0 +1,133 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAt(t *testing.T) {
+	m := New(2, 3)
+	if m.Rows != 2 || m.Cols != 3 || len(m.Data) != 6 {
+		t.Fatalf("New(2,3) = %v", m)
+	}
+	m.Set(1, 2, 4.5)
+	if m.At(1, 2) != 4.5 {
+		t.Fatalf("At(1,2) = %v, want 4.5", m.At(1, 2))
+	}
+	if m.At(0, 0) != 0 {
+		t.Fatalf("zero value not zero")
+	}
+}
+
+func TestFromSliceNoCopy(t *testing.T) {
+	d := []float64{1, 2, 3, 4}
+	m := FromSlice(2, 2, d)
+	d[3] = 9
+	if m.At(1, 1) != 9 {
+		t.Fatal("FromSlice must wrap, not copy")
+	}
+}
+
+func TestFromSlicePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice(2, 2, []float64{1, 2, 3})
+}
+
+func TestRowIsView(t *testing.T) {
+	m := New(3, 2)
+	m.Row(1)[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Fatal("Row must be a mutable view")
+	}
+}
+
+func TestColAndSetCol(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	c := m.Col(1)
+	if c[0] != 2 || c[1] != 5 {
+		t.Fatalf("Col(1) = %v", c)
+	}
+	m.SetCol(2, []float64{9, 8})
+	if m.At(0, 2) != 9 || m.At(1, 2) != 8 {
+		t.Fatalf("SetCol failed: %v", m)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := FromSlice(1, 2, []float64{1, 2})
+	c := m.Clone()
+	c.Data[0] = 100
+	if m.Data[0] != 1 {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	tr := m.T()
+	want := FromSlice(3, 2, []float64{1, 4, 2, 5, 3, 6})
+	if !tr.Equal(want, 0) {
+		t.Fatalf("T() = %v", tr)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := Randn(rng, 1+rng.Intn(6), 1+rng.Intn(6), 1)
+		return m.T().T().Equal(m, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEye(t *testing.T) {
+	e := Eye(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if e.At(i, j) != want {
+				t.Fatalf("Eye(3)[%d,%d] = %v", i, j, e.At(i, j))
+			}
+		}
+	}
+}
+
+func TestTraceAndMeanDiag(t *testing.T) {
+	m := FromSlice(2, 2, []float64{1, 5, 5, 3})
+	if m.Trace() != 4 {
+		t.Fatalf("Trace = %v", m.Trace())
+	}
+	if m.MeanDiag() != 2 {
+		t.Fatalf("MeanDiag = %v", m.MeanDiag())
+	}
+}
+
+func TestMaxAbsAndFrobenius(t *testing.T) {
+	m := FromSlice(1, 3, []float64{-3, 2, 1})
+	if m.MaxAbs() != 3 {
+		t.Fatalf("MaxAbs = %v", m.MaxAbs())
+	}
+	if math.Abs(m.FrobeniusNorm()-math.Sqrt(14)) > 1e-12 {
+		t.Fatalf("FrobeniusNorm = %v", m.FrobeniusNorm())
+	}
+}
+
+func TestCopyFromShapeCheck(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	New(2, 2).CopyFrom(New(2, 3))
+}

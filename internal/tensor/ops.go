@@ -1,0 +1,260 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns a·b for a (r x k) and b (k x c).
+func MatMul(a, b *Mat) *Mat {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes out = a·b, reusing out's storage. out must be
+// a.Rows x b.Cols and must not alias a or b.
+func MatMulInto(out, a, b *Mat) {
+	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
+		panic("tensor: MatMulInto shape mismatch")
+	}
+	out.Zero()
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulNT returns a·bᵀ for a (r x k) and b (c x k).
+func MatMulNT(a, b *Mat) *Mat {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulNT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	MatMulNTInto(out, a, b)
+	return out
+}
+
+// MatMulNTInto computes out = a·bᵀ, reusing out's storage.
+func MatMulNTInto(out, a, b *Mat) {
+	if a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != b.Rows {
+		panic("tensor: MatMulNTInto shape mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			s := 0.0
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+}
+
+// MatMulTN returns aᵀ·b for a (k x r) and b (k x c).
+func MatMulTN(a, b *Mat) *Mat {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTN shape mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	MatMulTNInto(out, a, b)
+	return out
+}
+
+// MatMulTNInto computes out = aᵀ·b, reusing out's storage.
+func MatMulTNInto(out, a, b *Mat) {
+	if a.Rows != b.Rows || out.Rows != a.Cols || out.Cols != b.Cols {
+		panic("tensor: MatMulTNInto shape mismatch")
+	}
+	out.Zero()
+	n := b.Cols
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Data[k*n : (k+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// Gram returns xᵀ·x for x (n x d), a d x d symmetric positive semidefinite
+// matrix. It exploits symmetry to halve the work.
+func Gram(x *Mat) *Mat {
+	d := x.Cols
+	out := New(d, d)
+	AccumGram(out, x)
+	return out
+}
+
+// AccumGram adds xᵀ·x into out (out must be d x d where d = x.Cols). It is
+// the streaming building block for Hessian accumulation over calibration
+// batches.
+func AccumGram(out, x *Mat) {
+	d := x.Cols
+	if out.Rows != d || out.Cols != d {
+		panic("tensor: AccumGram shape mismatch")
+	}
+	for t := 0; t < x.Rows; t++ {
+		row := x.Row(t)
+		for i, vi := range row {
+			if vi == 0 {
+				continue
+			}
+			orow := out.Data[i*d : (i+1)*d]
+			for j := i; j < d; j++ {
+				orow[j] += vi * row[j]
+			}
+		}
+	}
+	// Mirror the upper triangle into the lower triangle.
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			out.Data[j*d+i] = out.Data[i*d+j]
+		}
+	}
+}
+
+// Add returns a + b element-wise.
+func Add(a, b *Mat) *Mat {
+	checkSameShape("Add", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a - b element-wise.
+func Sub(a, b *Mat) *Mat {
+	checkSameShape("Sub", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// AddInPlace adds b into a element-wise.
+func AddInPlace(a, b *Mat) {
+	checkSameShape("AddInPlace", a, b)
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// AddScaled adds s*b into a element-wise.
+func AddScaled(a *Mat, s float64, b *Mat) {
+	checkSameShape("AddScaled", a, b)
+	for i := range a.Data {
+		a.Data[i] += s * b.Data[i]
+	}
+}
+
+// Scale multiplies every element of m by s in place.
+func (m *Mat) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddDiag adds v to every diagonal element of a square matrix in place.
+func (m *Mat) AddDiag(v float64) {
+	if m.Rows != m.Cols {
+		panic("tensor: AddDiag of non-square matrix")
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+i] += v
+	}
+}
+
+// MulVec returns m·v for v of length m.Cols.
+func (m *Mat) MulVec(v []float64) []float64 {
+	if len(v) != m.Cols {
+		panic("tensor: MulVec length mismatch")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for j, rv := range row {
+			s += rv * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// MulVecT returns mᵀ·v for v of length m.Rows.
+func (m *Mat) MulVecT(v []float64) []float64 {
+	if len(v) != m.Rows {
+		panic("tensor: MulVecT length mismatch")
+	}
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		vi := v[i]
+		if vi == 0 {
+			continue
+		}
+		for j, rv := range row {
+			out[j] += vi * rv
+		}
+	}
+	return out
+}
+
+// SliceCols returns a copy of columns [lo, hi) of m.
+func (m *Mat) SliceCols(lo, hi int) *Mat {
+	if lo < 0 || hi > m.Cols || lo > hi {
+		panic(fmt.Sprintf("tensor: SliceCols [%d,%d) out of range for %d cols", lo, hi, m.Cols))
+	}
+	out := New(m.Rows, hi-lo)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i)[lo:hi])
+	}
+	return out
+}
+
+// SliceRows returns a view (not a copy) of rows [lo, hi) of m. The view
+// shares storage with m.
+func (m *Mat) SliceRows(lo, hi int) *Mat {
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic(fmt.Sprintf("tensor: SliceRows [%d,%d) out of range for %d rows", lo, hi, m.Rows))
+	}
+	return &Mat{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}
+
+// SetSliceCols writes src into columns [lo, lo+src.Cols) of m.
+func (m *Mat) SetSliceCols(lo int, src *Mat) {
+	if src.Rows != m.Rows || lo+src.Cols > m.Cols {
+		panic("tensor: SetSliceCols shape mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		copy(m.Row(i)[lo:lo+src.Cols], src.Row(i))
+	}
+}
+
+func checkSameShape(op string, a, b *Mat) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

@@ -1,0 +1,285 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got := MatMul(a, b)
+	want := FromSlice(2, 2, []float64{58, 64, 139, 154})
+	if !got.Equal(want, 1e-12) {
+		t.Fatalf("MatMul = %v, want %v", got, want)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := Randn(rng, 5, 5, 1)
+	if !MatMul(a, Eye(5)).Equal(a, 1e-12) {
+		t.Fatal("A·I != A")
+	}
+	if !MatMul(Eye(5), a).Equal(a, 1e-12) {
+		t.Fatal("I·A != A")
+	}
+}
+
+// naiveMul is the reference O(n³) triple loop used to validate the faster
+// kernels.
+func naiveMul(a, b *Mat) *Mat {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			s := 0.0
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func TestMatMulVariantsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, k, c := 1+rng.Intn(7), 1+rng.Intn(7), 1+rng.Intn(7)
+		a := Randn(rng, r, k, 1)
+		b := Randn(rng, k, c, 1)
+		want := naiveMul(a, b)
+		if !MatMul(a, b).Equal(want, 1e-10) {
+			return false
+		}
+		if !MatMulNT(a, b.T()).Equal(want, 1e-10) {
+			return false
+		}
+		if !MatMulTN(a.T(), b).Equal(want, 1e-10) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGramMatchesTransposeMul(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := Randn(rng, 2+rng.Intn(8), 1+rng.Intn(6), 1)
+		return Gram(x).Equal(MatMulTN(x, x), 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGramSymmetricPSD(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := Randn(rng, 12, 6, 1)
+	g := Gram(x)
+	if !g.Equal(g.T(), 1e-12) {
+		t.Fatal("Gram not symmetric")
+	}
+	// zᵀGz = ||Xz||² ≥ 0 for arbitrary z.
+	for trial := 0; trial < 10; trial++ {
+		z := make([]float64, 6)
+		for i := range z {
+			z[i] = rng.NormFloat64()
+		}
+		if Dot(z, g.MulVec(z)) < -1e-10 {
+			t.Fatal("Gram not PSD")
+		}
+	}
+}
+
+func TestAccumGramAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x1 := Randn(rng, 4, 3, 1)
+	x2 := Randn(rng, 5, 3, 1)
+	acc := New(3, 3)
+	AccumGram(acc, x1)
+	AccumGram(acc, x2)
+	want := Add(Gram(x1), Gram(x2))
+	if !acc.Equal(want, 1e-10) {
+		t.Fatal("AccumGram sum mismatch")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromSlice(1, 3, []float64{1, 2, 3})
+	b := FromSlice(1, 3, []float64{4, 5, 6})
+	if !Add(a, b).Equal(FromSlice(1, 3, []float64{5, 7, 9}), 0) {
+		t.Fatal("Add")
+	}
+	if !Sub(b, a).Equal(FromSlice(1, 3, []float64{3, 3, 3}), 0) {
+		t.Fatal("Sub")
+	}
+	c := a.Clone()
+	c.Scale(2)
+	if !c.Equal(FromSlice(1, 3, []float64{2, 4, 6}), 0) {
+		t.Fatal("Scale")
+	}
+	AddScaled(c, -2, a)
+	if !c.Equal(New(1, 3), 1e-12) {
+		t.Fatal("AddScaled")
+	}
+}
+
+func TestAddDiag(t *testing.T) {
+	m := New(3, 3)
+	m.AddDiag(2.5)
+	e := Eye(3)
+	e.Scale(2.5)
+	if !m.Equal(e, 0) {
+		t.Fatal("AddDiag")
+	}
+}
+
+func TestMulVecAndMulVecT(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	got := m.MulVec([]float64{1, 0, -1})
+	if got[0] != -2 || got[1] != -2 {
+		t.Fatalf("MulVec = %v", got)
+	}
+	gt := m.MulVecT([]float64{1, -1})
+	if gt[0] != -3 || gt[1] != -3 || gt[2] != -3 {
+		t.Fatalf("MulVecT = %v", gt)
+	}
+}
+
+func TestSliceColsAndSetSliceCols(t *testing.T) {
+	m := FromSlice(2, 4, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	s := m.SliceCols(1, 3)
+	want := FromSlice(2, 2, []float64{2, 3, 6, 7})
+	if !s.Equal(want, 0) {
+		t.Fatalf("SliceCols = %v", s)
+	}
+	s.Scale(0) // must not affect m: SliceCols copies
+	if m.At(0, 1) != 2 {
+		t.Fatal("SliceCols must copy")
+	}
+	m.SetSliceCols(2, FromSlice(2, 2, []float64{-1, -2, -3, -4}))
+	if m.At(0, 2) != -1 || m.At(1, 3) != -4 {
+		t.Fatalf("SetSliceCols failed: %v", m)
+	}
+}
+
+func TestSliceRowsIsView(t *testing.T) {
+	m := FromSlice(3, 2, []float64{1, 2, 3, 4, 5, 6})
+	v := m.SliceRows(1, 3)
+	v.Set(0, 0, 99)
+	if m.At(1, 0) != 99 {
+		t.Fatal("SliceRows must be a view")
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		src := make([]float64, n)
+		for i := range src {
+			src[i] = rng.NormFloat64() * 10
+		}
+		dst := make([]float64, n)
+		Softmax(dst, src)
+		sum := 0.0
+		for _, v := range dst {
+			if v < 0 || v > 1 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxShiftInvariance(t *testing.T) {
+	src := []float64{1, 2, 3}
+	a := make([]float64, 3)
+	b := make([]float64, 3)
+	Softmax(a, src)
+	shifted := []float64{101, 102, 103}
+	Softmax(b, shifted)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatal("softmax must be shift invariant")
+		}
+	}
+}
+
+func TestSoftmaxExtremeValues(t *testing.T) {
+	dst := make([]float64, 2)
+	Softmax(dst, []float64{1000, -1000})
+	if dst[0] < 0.999999 || math.IsNaN(dst[1]) {
+		t.Fatalf("softmax unstable: %v", dst)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	v := []float64{0, 0}
+	if math.Abs(LogSumExp(v)-math.Log(2)) > 1e-12 {
+		t.Fatalf("LogSumExp = %v", LogSumExp(v))
+	}
+	// Stability at large magnitude.
+	if got := LogSumExp([]float64{1000, 1000}); math.Abs(got-(1000+math.Log(2))) > 1e-9 {
+		t.Fatalf("LogSumExp large = %v", got)
+	}
+}
+
+func TestDotAxpy(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if Dot(a, b) != 32 {
+		t.Fatalf("Dot = %v", Dot(a, b))
+	}
+	y := []float64{0, 0, 0}
+	Axpy(2, a, y)
+	if y[2] != 6 {
+		t.Fatalf("Axpy = %v", y)
+	}
+}
+
+func TestMinMaxNorm(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 2})
+	if min != -1 || max != 3 {
+		t.Fatalf("MinMax = %v %v", min, max)
+	}
+	if math.Abs(Norm2([]float64{3, 4})-5) > 1e-12 {
+		t.Fatal("Norm2")
+	}
+	if MaxAbsVec([]float64{-7, 2}) != 7 {
+		t.Fatal("MaxAbsVec")
+	}
+	if MeanVec([]float64{1, 3}) != 2 {
+		t.Fatal("MeanVec")
+	}
+	if MeanVec(nil) != 0 {
+		t.Fatal("MeanVec empty")
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"MatMul":   func() { MatMul(New(2, 3), New(2, 3)) },
+		"MatMulNT": func() { MatMulNT(New(2, 3), New(2, 4)) },
+		"MatMulTN": func() { MatMulTN(New(2, 3), New(3, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,125 @@
+package tensor
+
+import "math"
+
+// Dot returns the inner product of a and b (equal lengths required).
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("tensor: Dot length mismatch")
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x element-wise.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("tensor: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// ScaleVec multiplies every element of v by s in place.
+func ScaleVec(v []float64, s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// SumVec returns the sum of the elements of v.
+func SumVec(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// MeanVec returns the arithmetic mean of v (0 for empty input).
+func MeanVec(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return SumVec(v) / float64(len(v))
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsVec returns the largest absolute element of v (0 for empty input).
+func MaxAbsVec(v []float64) float64 {
+	max := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// MinMax returns the minimum and maximum of v. It panics on empty input.
+func MinMax(v []float64) (min, max float64) {
+	if len(v) == 0 {
+		panic("tensor: MinMax of empty slice")
+	}
+	min, max = v[0], v[0]
+	for _, x := range v[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Softmax writes the softmax of src into dst (same length) using the
+// max-subtraction trick for numerical stability. dst may alias src.
+func Softmax(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("tensor: Softmax length mismatch")
+	}
+	max := src[0]
+	for _, v := range src[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for i, v := range src {
+		e := math.Exp(v - max)
+		dst[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// LogSumExp returns log(Σ exp(v_i)) computed stably.
+func LogSumExp(v []float64) float64 {
+	max := v[0]
+	for _, x := range v[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	s := 0.0
+	for _, x := range v {
+		s += math.Exp(x - max)
+	}
+	return max + math.Log(s)
+}

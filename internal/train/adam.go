@@ -1,0 +1,96 @@
+// Package train implements the pretraining loop that produces the "nano"
+// LLaMA stand-ins: an Adam optimizer with warmup + cosine decay, gradient
+// clipping, and a batched next-token training driver.
+package train
+
+import (
+	"math"
+
+	"repro/internal/nn"
+)
+
+// Adam is the Adam optimizer with decoupled weight decay (AdamW).
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	params []*nn.Param
+	m, v   [][]float64
+	step   int
+}
+
+// NewAdam constructs an optimizer over params with standard hyperparameters.
+func NewAdam(params []*nn.Param, lr float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params}
+	for _, p := range params {
+		a.m = append(a.m, make([]float64, len(p.W.Data)))
+		a.v = append(a.v, make([]float64, len(p.W.Data)))
+	}
+	return a
+}
+
+// Step applies one update from the gradients currently accumulated on the
+// parameters, with bias correction.
+func (a *Adam) Step() {
+	a.step++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for i, p := range a.params {
+		m, v := a.m[i], a.v[i]
+		for j, g := range p.Grad.Data {
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			mh := m[j] / bc1
+			vh := v[j] / bc2
+			upd := mh / (math.Sqrt(vh) + a.Eps)
+			if a.WeightDecay > 0 {
+				upd += a.WeightDecay * p.W.Data[j]
+			}
+			p.W.Data[j] -= a.LR * upd
+		}
+	}
+}
+
+// StepCount returns the number of updates applied so far.
+func (a *Adam) StepCount() int { return a.step }
+
+// ClipGradNorm scales all gradients so their global L2 norm does not exceed
+// maxNorm, returning the pre-clip norm.
+func ClipGradNorm(params []*nn.Param, maxNorm float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if maxNorm > 0 && norm > maxNorm {
+		scale := maxNorm / (norm + 1e-12)
+		for _, p := range params {
+			for j := range p.Grad.Data {
+				p.Grad.Data[j] *= scale
+			}
+		}
+	}
+	return norm
+}
+
+// CosineLR returns the learning rate at a given step under linear warmup
+// followed by cosine decay to 10% of the base rate.
+func CosineLR(base float64, step, warmup, total int) float64 {
+	if step < warmup {
+		return base * float64(step+1) / float64(warmup)
+	}
+	if total <= warmup {
+		return base
+	}
+	progress := float64(step-warmup) / float64(total-warmup)
+	if progress > 1 {
+		progress = 1
+	}
+	min := 0.1 * base
+	return min + 0.5*(base-min)*(1+math.Cos(math.Pi*progress))
+}

@@ -1,0 +1,114 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize ||w - target||² with gradients fed manually.
+	w := tensor.FromSlice(1, 3, []float64{5, -3, 2})
+	p := nn.NewParam("w", w)
+	target := []float64{1, 2, 3}
+	opt := NewAdam([]*nn.Param{p}, 0.1)
+	for step := 0; step < 500; step++ {
+		for j := range target {
+			p.Grad.Data[j] = 2 * (p.W.Data[j] - target[j])
+		}
+		opt.Step()
+		p.ZeroGrad()
+	}
+	for j := range target {
+		if math.Abs(p.W.Data[j]-target[j]) > 1e-3 {
+			t.Fatalf("w[%d] = %v, want %v", j, p.W.Data[j], target[j])
+		}
+	}
+	if opt.StepCount() != 500 {
+		t.Fatalf("step count %d", opt.StepCount())
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p := nn.NewParam("w", tensor.New(1, 2))
+	p.Grad.Data[0] = 3
+	p.Grad.Data[1] = 4 // norm 5
+	pre := ClipGradNorm([]*nn.Param{p}, 1.0)
+	if math.Abs(pre-5) > 1e-12 {
+		t.Fatalf("pre-clip norm %v", pre)
+	}
+	post := math.Hypot(p.Grad.Data[0], p.Grad.Data[1])
+	if math.Abs(post-1) > 1e-9 {
+		t.Fatalf("post-clip norm %v", post)
+	}
+	// Below the threshold: untouched.
+	p.Grad.Data[0], p.Grad.Data[1] = 0.3, 0.4
+	ClipGradNorm([]*nn.Param{p}, 1.0)
+	if p.Grad.Data[0] != 0.3 {
+		t.Fatal("grad below threshold must not be scaled")
+	}
+}
+
+func TestCosineLRSchedule(t *testing.T) {
+	base := 1e-3
+	// Warmup is linear.
+	if got := CosineLR(base, 0, 10, 100); math.Abs(got-base/10) > 1e-15 {
+		t.Fatalf("warmup step 0: %v", got)
+	}
+	if got := CosineLR(base, 9, 10, 100); math.Abs(got-base) > 1e-15 {
+		t.Fatalf("warmup end: %v", got)
+	}
+	// End of schedule decays to 10%.
+	if got := CosineLR(base, 100, 10, 100); math.Abs(got-0.1*base) > 1e-12 {
+		t.Fatalf("final LR: %v", got)
+	}
+	// Monotone decreasing after warmup.
+	prev := CosineLR(base, 10, 10, 100)
+	for s := 11; s <= 100; s++ {
+		cur := CosineLR(base, s, 10, 100)
+		if cur > prev+1e-15 {
+			t.Fatalf("LR increased at step %d", s)
+		}
+		prev = cur
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	src := data.NewC4Like(32)
+	m := model.New(model.Tiny(), 1)
+	cfg := Config{Steps: 120, BatchSize: 2, SeqLen: 16, LR: 3e-3, Warmup: 10, ClipNorm: 1, Seed: 1}
+	hist := Train(m, src, cfg)
+	uniform := math.Log(32)
+	if hist.Final >= uniform-0.3 {
+		t.Fatalf("final loss %.3f did not improve on uniform %.3f", hist.Final, uniform)
+	}
+	if hist.Losses[0] < hist.Final {
+		t.Fatalf("loss went up: %v -> %v", hist.Losses[0], hist.Final)
+	}
+	// Loss cannot beat the process entropy floor.
+	floor := src.TransitionEntropy()
+	if hist.Final < floor-0.2 {
+		t.Fatalf("final loss %.3f below the entropy floor %.3f — evaluation bug", hist.Final, floor)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	src := data.NewC4Like(32)
+	cfg := Config{Steps: 20, BatchSize: 1, SeqLen: 12, LR: 1e-3, Warmup: 5, ClipNorm: 1, Seed: 7}
+	m1 := model.New(model.Tiny(), 3)
+	m2 := model.New(model.Tiny(), 3)
+	h1 := Train(m1, src, cfg)
+	h2 := Train(m2, src, cfg)
+	if h1.Final != h2.Final {
+		t.Fatalf("training not deterministic: %v vs %v", h1.Final, h2.Final)
+	}
+	ids := src.Generate(rand.New(rand.NewSource(1)), 8)
+	if !m1.Forward(ids).Equal(m2.Forward(ids), 0) {
+		t.Fatal("trained weights differ across identical runs")
+	}
+}

@@ -1,0 +1,88 @@
+package train
+
+import (
+	"math/rand"
+
+	"repro/internal/data"
+	"repro/internal/model"
+)
+
+// Config controls a pretraining run.
+type Config struct {
+	Steps     int
+	BatchSize int
+	SeqLen    int
+	LR        float64
+	Warmup    int
+	ClipNorm  float64
+	Seed      int64
+	// LogEvery > 0 enables Logf progress callbacks every LogEvery steps.
+	LogEvery int
+	Logf     func(format string, args ...any)
+}
+
+// DefaultConfig returns the pretraining recipe used by the experiment
+// harness for the nano models.
+func DefaultConfig() Config {
+	return Config{
+		Steps:     700,
+		BatchSize: 4,
+		SeqLen:    48,
+		LR:        3e-3,
+		Warmup:    40,
+		ClipNorm:  1.0,
+		Seed:      1,
+	}
+}
+
+// History records the smoothed training loss trajectory.
+type History struct {
+	Steps  []int
+	Losses []float64
+	Final  float64
+}
+
+// Train pretrains m on src with next-token prediction and returns the loss
+// history. The model is updated in place.
+func Train(m *model.Model, src data.Source, cfg Config) History {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	opt := NewAdam(m.Params(), cfg.LR)
+	var hist History
+	ema := 0.0
+	for step := 0; step < cfg.Steps; step++ {
+		opt.LR = CosineLR(cfg.LR, step, cfg.Warmup, cfg.Steps)
+		m.ZeroGrad()
+		batchLoss := 0.0
+		for b := 0; b < cfg.BatchSize; b++ {
+			batch := data.NextTokenBatch(src.Generate(rng, cfg.SeqLen))
+			batchLoss += m.LossAndBackward(batch.IDs, batch.Targets)
+		}
+		batchLoss /= float64(cfg.BatchSize)
+		scaleGrads(m, 1/float64(cfg.BatchSize))
+		ClipGradNorm(m.Params(), cfg.ClipNorm)
+		opt.Step()
+
+		if ema == 0 {
+			ema = batchLoss
+		} else {
+			ema = 0.95*ema + 0.05*batchLoss
+		}
+		if cfg.LogEvery > 0 && cfg.Logf != nil && (step%cfg.LogEvery == 0 || step == cfg.Steps-1) {
+			cfg.Logf("step %4d/%d  lr %.2e  loss %.4f", step, cfg.Steps, opt.LR, ema)
+		}
+		if step%25 == 0 || step == cfg.Steps-1 {
+			hist.Steps = append(hist.Steps, step)
+			hist.Losses = append(hist.Losses, ema)
+		}
+	}
+	hist.Final = ema
+	return hist
+}
+
+func scaleGrads(m *model.Model, s float64) {
+	for _, p := range m.Params() {
+		for j := range p.Grad.Data {
+			p.Grad.Data[j] *= s
+		}
+	}
+}
