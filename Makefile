@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build test race bench bench-smoke fmt fmt-check vet ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass; -short skips the minute-scale harness table tests so
+# the job fits CI time limits (they still run in `make test`).
+race:
+	$(GO) test -race -short ./...
+
+# Full benchmark run (macro experiment benchmarks included).
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem ./...
+
+# One-iteration smoke pass over the micro benchmarks, mirroring the CI job
+# that keeps them compiling and running.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -short ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt-check vet build test race bench-smoke

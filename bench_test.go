@@ -29,10 +29,22 @@ import (
 
 var benchEnv = sync.OnceValue(func() *harness.Env { return harness.NewEnv(harness.Quick) })
 
+// macroBench gates the experiment-regenerating benchmarks: each one runs a
+// full table/figure per iteration, which is far too slow for the CI
+// benchmark smoke job (`-bench=. -benchtime=1x -short`). The micro
+// benchmarks below and in parallel_bench_test.go still run there.
+func macroBench(b *testing.B) *harness.Env {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("macro benchmark regenerates a full experiment; skipped under -short")
+	}
+	return benchEnv()
+}
+
 // BenchmarkTable1 regenerates Table 1: perplexity of nano-7B under FP,
 // GPTQ, OWQ, LLM-QAT, PB-LLM and APTQ at 4.0/3.5/3.0 average bits.
 func BenchmarkTable1(b *testing.B) {
-	e := benchEnv()
+	e := macroBench(b)
 	e.Model(model.Nano7B())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -49,7 +61,7 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkFigure2 regenerates Figure 2: the APTQ perplexity-vs-ratio sweep
 // with reference lines.
 func BenchmarkFigure2(b *testing.B) {
-	e := benchEnv()
+	e := macroBench(b)
 	e.Model(model.Nano7B())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -67,7 +79,7 @@ func BenchmarkFigure2(b *testing.B) {
 // BenchmarkTable2 regenerates Table 2: zero-shot accuracy of nano-7B and
 // nano-13B across the full method roster.
 func BenchmarkTable2(b *testing.B) {
-	e := benchEnv()
+	e := macroBench(b)
 	e.Model(model.Nano7B())
 	e.Model(model.Nano13B())
 	b.ResetTimer()
@@ -85,7 +97,7 @@ func BenchmarkTable2(b *testing.B) {
 // BenchmarkTable3 regenerates Table 3: APTQ vs manual block-wise mixed
 // precision.
 func BenchmarkTable3(b *testing.B) {
-	e := benchEnv()
+	e := macroBench(b)
 	e.Model(model.Nano7B())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -102,7 +114,7 @@ func BenchmarkTable3(b *testing.B) {
 // BenchmarkFigure1Profile regenerates the Figure 1 sensitivity inset
 // (per-block Hessian trace profile).
 func BenchmarkFigure1Profile(b *testing.B) {
-	e := benchEnv()
+	e := macroBench(b)
 	e.Model(model.Nano7B())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -118,7 +130,7 @@ func BenchmarkFigure1Profile(b *testing.B) {
 
 // BenchmarkAblationProbes regenerates ablation A1 (probe count).
 func BenchmarkAblationProbes(b *testing.B) {
-	e := benchEnv()
+	e := macroBench(b)
 	e.Model(model.Nano7B())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -134,7 +146,7 @@ func BenchmarkAblationProbes(b *testing.B) {
 
 // BenchmarkAblationGroupSize regenerates ablation A2 (group size).
 func BenchmarkAblationGroupSize(b *testing.B) {
-	e := benchEnv()
+	e := macroBench(b)
 	e.Model(model.Nano7B())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -151,7 +163,7 @@ func BenchmarkAblationGroupSize(b *testing.B) {
 // BenchmarkAblationSensitivity regenerates ablation A3 (sensitivity
 // metric).
 func BenchmarkAblationSensitivity(b *testing.B) {
-	e := benchEnv()
+	e := macroBench(b)
 	e.Model(model.Nano7B())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -168,7 +180,7 @@ func BenchmarkAblationSensitivity(b *testing.B) {
 // BenchmarkCrossArch evaluates APTQ on both supported architectures
 // (LLaMA-style and GPT-style nano models).
 func BenchmarkCrossArch(b *testing.B) {
-	e := benchEnv()
+	e := macroBench(b)
 	e.Model(model.Nano7B())
 	e.Model(model.NanoGPT())
 	b.ResetTimer()

@@ -8,6 +8,7 @@
 //	aptq-experiments                 # run everything at full scale
 //	aptq-experiments -quick          # reduced evaluation budgets
 //	aptq-experiments -only table1    # a single artifact
+//	aptq-experiments -workers 4      # fan the grid across 4 workers
 //	aptq-experiments -csv out/       # additionally write CSV files
 package main
 
@@ -17,10 +18,13 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/harness"
 	"repro/internal/model"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -29,17 +33,37 @@ func main() {
 
 	var (
 		quick     = flag.Bool("quick", false, "reduced evaluation budgets")
-		only      = flag.String("only", "", "run a single artifact: table1|table2|table3|figure1|figure2")
+		only      = flag.String("only", "", "run a single artifact: table1|table2|table3|figure1|figure2|crossarch")
 		ablations = flag.Bool("ablations", false, "also run the repository's ablation studies (A1-A3)")
 		csvDir    = flag.String("csv", "", "directory to write CSV copies of each artifact")
+		workers   = flag.Int("workers", 0, "worker goroutines for kernels and the experiment grid (<=0: GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	parallel.SetWorkers(*workers)
+	log.Printf("using %d workers", parallel.Workers())
+
+	if *only != "" {
+		valid := map[string]bool{"ablations": true, "crossarch": true}
+		for _, ex := range harness.Experiments() {
+			valid[ex.ID] = true
+		}
+		if !valid[*only] {
+			ids := make([]string, 0, len(valid))
+			for id := range valid {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			log.Fatalf("unknown -only artifact %q (valid: %s)", *only, strings.Join(ids, ", "))
+		}
+	}
 
 	scale := harness.Full
 	if *quick {
 		scale = harness.Quick
 	}
 	env := harness.NewEnv(scale)
+	env.Workers = parallel.Workers()
 
 	start := time.Now()
 	log.Printf("pretraining substrate models (cached per process)...")
@@ -47,40 +71,50 @@ func main() {
 	if *only == "" || *only == "table2" {
 		env.Model(model.Nano13B())
 	}
+	if *only == "" || *only == "crossarch" {
+		env.Model(model.NanoGPT())
+	}
 	log.Printf("models ready in %v", time.Since(start).Round(time.Second))
 
-	var tables []*harness.Table
-	run := func(id string, f func() (*harness.Table, error)) {
-		if *only != "" && *only != id {
-			return
-		}
-		if *only == "ablations" {
-			return
-		}
-		t0 := time.Now()
-		t, err := f()
-		if err != nil {
-			log.Fatalf("%s: %v", id, err)
-		}
-		log.Printf("%s done in %v", id, time.Since(t0).Round(time.Second))
-		tables = append(tables, t)
+	selected := func(id string) bool {
+		return (*only == "" || *only == id) && *only != "ablations"
 	}
 
-	run("table1", env.Table1)
-	if (*only == "" || *only == "figure2") && *only != "ablations" {
-		t0 := time.Now()
-		t, xs, ys, err := env.Figure2()
-		if err != nil {
-			log.Fatalf("figure2: %v", err)
+	// Assemble the grid in paper order (plus the cross-architecture table)
+	// and fan it across the worker budget. Each entry logs its own wall
+	// clock; figure2 stashes its chart series for rendering after the join.
+	var f2xs, f2ys []float64
+	var exps []harness.Experiment
+	for _, ex := range append(harness.Experiments(),
+		harness.Experiment{ID: "crossarch", Run: (*harness.Env).CrossArch}) {
+		if !selected(ex.ID) {
+			continue
 		}
-		log.Printf("figure2 done in %v", time.Since(t0).Round(time.Second))
-		tables = append(tables, t)
-		fmt.Println(harness.AsciiChart("Figure 2: APTQ C4 perplexity vs 4-bit ratio", xs, ys, 60, 12, "ratio %", "ppl"))
+		ex := ex
+		run := ex.Run
+		if ex.ID == "figure2" {
+			run = func(e *harness.Env) (*harness.Table, error) {
+				t, xs, ys, err := e.Figure2()
+				f2xs, f2ys = xs, ys
+				return t, err
+			}
+		}
+		exps = append(exps, harness.Experiment{ID: ex.ID, Run: func(e *harness.Env) (*harness.Table, error) {
+			t0 := time.Now()
+			t, err := run(e)
+			if err == nil {
+				log.Printf("%s done in %v", ex.ID, time.Since(t0).Round(time.Second))
+			}
+			return t, err
+		}})
 	}
-	run("table2", env.Table2)
-	run("table3", env.Table3)
-	run("figure1", env.Figure1Profile)
-	run("crossarch", env.CrossArch)
+	tables, err := env.RunGrid(exps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(f2xs) > 0 {
+		fmt.Println(harness.AsciiChart("Figure 2: APTQ C4 perplexity vs 4-bit ratio", f2xs, f2ys, 60, 12, "ratio %", "ppl"))
+	}
 
 	if *ablations || *only == "ablations" {
 		t0 := time.Now()

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/model"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -39,9 +40,13 @@ func main() {
 		keepFrac  = flag.Float64("keep", 0.3, "PB-LLM salient fraction / OWQ outlier fraction")
 		probes    = flag.Int("probes", 4, "Q/K Jacobian probes per segment")
 		seq       = flag.Bool("sequential", false, "recollect statistics per block")
+		workers   = flag.Int("workers", 0, "worker goroutines for kernels and per-layer quantization (<=0: GOMAXPROCS)")
 		verbose   = flag.Bool("v", false, "print per-layer report")
 	)
 	flag.Parse()
+
+	parallel.SetWorkers(*workers)
+	log.Printf("using %d workers", parallel.Workers())
 
 	if *in == "" {
 		log.Fatal("missing -in checkpoint; run aptq-train first")

@@ -6,6 +6,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/gptq"
 	"repro/internal/model"
+	"repro/internal/parallel"
 	"repro/internal/quant"
 )
 
@@ -130,49 +131,79 @@ func QuantizeWithStats(m *model.Model, stats *Stats, calib *data.CalibrationSet,
 		sensByName[s.Name] = s.AvgTrace
 	}
 
-	curStats := stats
-	lastBlock := -1
-	var totalCodeBits, totalWeights int64
-	var totalSizeBits int64
-	for i := range curStats.Layers {
+	// quantizeOne quantizes layer i of the clone against stats st and fills
+	// slot i of the result. Layers are mutually independent: each touches
+	// only its own cloned weights and its own (read-only) statistics, so
+	// the non-sequential path fans the loop across workers. Result slots
+	// are indexed, keeping res.Layers/res.Quantized in deterministic layer
+	// order regardless of completion order.
+	res.Quantized = make([]*quant.QuantizedMatrix, len(cloneLayers))
+	res.Layers = make([]LayerReport, len(cloneLayers))
+	quantizeOne := func(st *Stats, i int) error {
 		ref := cloneLayers[i]
-		if opts.Sequential && calib != nil && ref.Block != lastBlock && ref.Block > 0 {
-			// Re-collect statistics so this block's Hessians reflect the
-			// already-quantized earlier blocks.
-			curStats, err = CollectStats(clone, calib, CollectOptions{Probes: opts.Probes, Seed: opts.Seed + int64(ref.Block)})
-			if err != nil {
-				return nil, fmt.Errorf("core: recollect for block %d: %w", ref.Block, err)
-			}
-		}
-		lastBlock = ref.Block
-		ls := &curStats.Layers[i]
-
+		ls := &st.Layers[i]
 		name := ref.Name()
 		bits, ok := alloc.Bits[name]
 		if !ok {
-			return nil, fmt.Errorf("core: no allocation for layer %s", name)
+			return fmt.Errorf("core: no allocation for layer %s", name)
 		}
 		cfg := gptq.Config{Bits: bits, GroupSize: opts.GroupSize, BlockSize: opts.BlockSize, PercDamp: opts.PercDamp, Sym: opts.Sym}
 		qm, err := quantizeLayer(ref, ls, cfg, opts.ActOrder)
 		if err != nil {
-			return nil, fmt.Errorf("core: quantize %s: %w", name, err)
+			return fmt.Errorf("core: quantize %s: %w", name, err)
 		}
 		dq := qm.Dequantize()
 		proxy := gptq.ProxyLoss(ref.Linear.P.W, dq, ls.Hessian())
 		ref.Linear.P.W.CopyFrom(dq)
-
-		w := int64(ref.NumWeights())
-		totalCodeBits += w * int64(bits)
-		totalWeights += w
-		totalSizeBits += qm.SizeBits()
-		res.Quantized = append(res.Quantized, qm)
-		res.Layers = append(res.Layers, LayerReport{
+		res.Quantized[i] = qm
+		res.Layers[i] = LayerReport{
 			Name: name, Bits: bits,
 			AvgTrace:  sensByName[name],
 			ProxyLoss: proxy,
 			SizeBits:  qm.SizeBits(),
-			Weights:   int(w),
+			Weights:   ref.NumWeights(),
+		}
+		return nil
+	}
+
+	if opts.Sequential && calib != nil {
+		// Sequential mode is inherently serial: each block's statistics are
+		// re-collected from the partially quantized model.
+		curStats := stats
+		lastBlock := -1
+		for i := range curStats.Layers {
+			ref := cloneLayers[i]
+			if ref.Block != lastBlock && ref.Block > 0 {
+				// Re-collect statistics so this block's Hessians reflect
+				// the already-quantized earlier blocks.
+				curStats, err = CollectStats(clone, calib, CollectOptions{Probes: opts.Probes, Seed: opts.Seed + int64(ref.Block)})
+				if err != nil {
+					return nil, fmt.Errorf("core: recollect for block %d: %w", ref.Block, err)
+				}
+			}
+			lastBlock = ref.Block
+			if err := quantizeOne(curStats, i); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		var fe parallel.FirstError
+		parallel.ForEach(len(cloneLayers), func(i int) {
+			fe.Set(i, quantizeOne(stats, i))
 		})
+		if err := fe.Err(); err != nil {
+			return nil, err
+		}
+	}
+
+	var totalCodeBits, totalWeights int64
+	var totalSizeBits int64
+	for i := range res.Layers {
+		lr := &res.Layers[i]
+		w := int64(lr.Weights)
+		totalCodeBits += w * int64(lr.Bits)
+		totalWeights += w
+		totalSizeBits += lr.SizeBits
 	}
 	res.AvgBits = float64(totalCodeBits) / float64(totalWeights)
 	res.AvgBitsWithOverhead = float64(totalSizeBits) / float64(totalWeights)

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// TestQuantizeParallelBitIdentical proves the tentpole determinism claim at
+// the pipeline level: running the full APTQ per-layer loop across many
+// workers produces exactly the serial result — same codes, same group
+// parameters, same dequantized weights, same reports — because layers are
+// independent and each partition keeps a fixed reduction order.
+func TestQuantizeParallelBitIdentical(t *testing.T) {
+	m := testModel()
+	st := collectTestStats(t)
+	calib := testCalib(6)
+	for _, ratio := range []float64{1.0, 0.5} {
+		opts := DefaultOptions(ratio)
+		opts.GroupSize = 8
+		opts.BlockSize = 8
+
+		parallel.SetWorkers(1)
+		serial, err := QuantizeWithStats(m, st, calib, opts)
+		if err != nil {
+			parallel.SetWorkers(0)
+			t.Fatal(err)
+		}
+		parallel.SetWorkers(5)
+		par, err := QuantizeWithStats(m, st, calib, opts)
+		parallel.SetWorkers(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if !reflect.DeepEqual(serial.Layers, par.Layers) {
+			t.Fatalf("ratio %.2f: layer reports differ between serial and parallel", ratio)
+		}
+		if len(serial.Quantized) != len(par.Quantized) {
+			t.Fatalf("ratio %.2f: %d vs %d quantized layers", ratio, len(serial.Quantized), len(par.Quantized))
+		}
+		for i := range serial.Quantized {
+			sq, pq := serial.Quantized[i], par.Quantized[i]
+			if !reflect.DeepEqual(sq.Codes, pq.Codes) || !reflect.DeepEqual(sq.Params, pq.Params) {
+				t.Fatalf("ratio %.2f: layer %s codes/params differ", ratio, serial.Layers[i].Name)
+			}
+		}
+		sw := serial.Model.QuantizableLayers()
+		pw := par.Model.QuantizableLayers()
+		for i := range sw {
+			a, b := sw[i].Linear.P.W, pw[i].Linear.P.W
+			for j := range a.Data {
+				if a.Data[j] != b.Data[j] {
+					t.Fatalf("ratio %.2f: layer %s weight %d differs bitwise", ratio, sw[i].Name(), j)
+				}
+			}
+		}
+		if serial.AvgBits != par.AvgBits || serial.AvgBitsWithOverhead != par.AvgBitsWithOverhead {
+			t.Fatalf("ratio %.2f: avg bits differ: %v vs %v", ratio, serial.AvgBits, par.AvgBits)
+		}
+	}
+}
+
+// TestQuantizeParallelRace exercises the concurrent per-layer path with
+// more workers than layers under -race (the CI race job runs this).
+func TestQuantizeParallelRace(t *testing.T) {
+	m := testModel()
+	st := collectTestStats(t)
+	parallel.SetWorkers(8)
+	defer parallel.SetWorkers(0)
+	opts := DefaultOptions(0.75)
+	opts.GroupSize = 8
+	opts.BlockSize = 8
+	if _, err := QuantizeWithStats(m, st, testCalib(6), opts); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/linalg"
+	"repro/internal/parallel"
 	"repro/internal/quant"
 	"repro/internal/tensor"
 )
@@ -76,21 +77,30 @@ func Quantize(w, h *tensor.Mat, cfg Config) (*quant.QuantizedMatrix, error) {
 //
 // bands[i] covers rows [starts[i], starts[i+1]) with Hessian hs[i];
 // starts must begin at 0 and end at w.Rows.
+//
+// Bands are mutually independent — each owns a disjoint row range of the
+// output codes and group parameters — so they are quantized concurrently
+// across the configured workers. Results are bit-identical to a serial
+// band-by-band run.
 func QuantizePerRowGroups(w *tensor.Mat, starts []int, hs []*tensor.Mat, cfg Config) (*quant.QuantizedMatrix, error) {
 	if len(starts) != len(hs)+1 || starts[0] != 0 || starts[len(starts)-1] != w.Rows {
 		return nil, fmt.Errorf("gptq: invalid row bands %v for %d rows", starts, w.Rows)
 	}
 	cfg = cfg.withDefaults(w.Cols)
 	qm := newQuantizedMatrix(w, cfg)
-	for i, h := range hs {
+	var fe parallel.FirstError
+	parallel.ForEach(len(hs), func(i int) {
 		lo, hi := starts[i], starts[i+1]
 		if lo >= hi {
-			continue
+			return
 		}
 		band := w.SliceRows(lo, hi).Clone()
-		if err := quantizeRowsInto(qm, band, lo, h, cfg); err != nil {
-			return nil, fmt.Errorf("gptq: band %d: %w", i, err)
+		if err := quantizeRowsInto(qm, band, lo, hs[i], cfg); err != nil {
+			fe.Set(i, fmt.Errorf("gptq: band %d: %w", i, err))
 		}
+	})
+	if err := fe.Err(); err != nil {
+		return nil, err
 	}
 	return qm, nil
 }

@@ -1,0 +1,65 @@
+package gptq
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// TestQuantizePerRowGroupsParallelBitIdentical checks that concurrent
+// per-band quantization (W_V's per-head path) matches the serial run
+// exactly: bands own disjoint row ranges, so worker count must not change
+// a single code or group parameter.
+func TestQuantizePerRowGroupsParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const rows, cols, bands = 24, 16, 4
+	w := tensor.Randn(rng, rows, cols, 0.5)
+	starts := make([]int, bands+1)
+	hs := make([]*tensor.Mat, bands)
+	for i := 0; i < bands; i++ {
+		starts[i+1] = (i + 1) * rows / bands
+		x := tensor.Randn(rng, 64, cols, 1)
+		hs[i] = tensor.Gram(x)
+	}
+	cfg := Config{Bits: 3, GroupSize: 8, BlockSize: 8, PercDamp: 0.01}
+
+	parallel.SetWorkers(1)
+	serial, err := QuantizePerRowGroups(w, starts, hs, cfg)
+	if err != nil {
+		parallel.SetWorkers(0)
+		t.Fatal(err)
+	}
+	defer parallel.SetWorkers(0)
+	for _, workers := range []int{2, 4, 16} {
+		parallel.SetWorkers(workers)
+		par, err := QuantizePerRowGroups(w, starts, hs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial.Codes, par.Codes) {
+			t.Fatalf("codes differ at %d workers", workers)
+		}
+		if !reflect.DeepEqual(serial.Params, par.Params) {
+			t.Fatalf("group params differ at %d workers", workers)
+		}
+	}
+}
+
+// TestQuantizePerRowGroupsParallelError checks deterministic error
+// reporting: the lowest-index failing band wins regardless of worker count.
+func TestQuantizePerRowGroupsParallelError(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const rows, cols = 8, 6
+	w := tensor.Randn(rng, rows, cols, 0.5)
+	starts := []int{0, 4, 8}
+	bad := tensor.New(3, 3) // wrong shape for cols=6
+	good := tensor.Gram(tensor.Randn(rng, 32, cols, 1))
+	parallel.SetWorkers(4)
+	defer parallel.SetWorkers(0)
+	if _, err := QuantizePerRowGroups(w, starts, []*tensor.Mat{bad, good}, Config{Bits: 4}); err == nil {
+		t.Fatal("expected band-0 shape error")
+	}
+}

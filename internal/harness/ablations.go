@@ -210,18 +210,8 @@ func (e *Env) AblationKnapsack() (*Table, error) {
 }
 
 // RunAblations executes the repository's own ablation studies (A1-A3 plus
-// the sequential-statistics, act-order and knapsack studies).
+// the sequential-statistics, act-order and knapsack studies), fanned across
+// the environment's worker budget.
 func (e *Env) RunAblations() ([]*Table, error) {
-	var out []*Table
-	for _, f := range []func() (*Table, error){
-		e.AblationProbes, e.AblationGroupSize, e.AblationSensitivity,
-		e.AblationSequential, e.AblationActOrder, e.AblationKnapsack,
-	} {
-		t, err := f()
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, t)
-	}
-	return out, nil
+	return e.RunGrid(Ablations())
 }

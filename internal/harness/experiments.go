@@ -328,40 +328,11 @@ func (e *Env) Figure1Profile() (*Table, error) {
 	return t, nil
 }
 
-// RunAll executes every experiment and returns the artifacts in paper
-// order. Figure 2's chart data is folded into its table.
+// RunAll executes every experiment, fanned across the environment's worker
+// budget, and returns the artifacts in paper order. Figure 2's chart data
+// is folded into its table.
 func (e *Env) RunAll() ([]*Table, error) {
-	var out []*Table
-	t1, err := e.Table1()
-	if err != nil {
-		return nil, fmt.Errorf("harness: table1: %w", err)
-	}
-	out = append(out, t1)
-
-	f2, _, _, err := e.Figure2()
-	if err != nil {
-		return nil, fmt.Errorf("harness: figure2: %w", err)
-	}
-	out = append(out, f2)
-
-	t2, err := e.Table2()
-	if err != nil {
-		return nil, fmt.Errorf("harness: table2: %w", err)
-	}
-	out = append(out, t2)
-
-	t3, err := e.Table3()
-	if err != nil {
-		return nil, fmt.Errorf("harness: table3: %w", err)
-	}
-	out = append(out, t3)
-
-	f1, err := e.Figure1Profile()
-	if err != nil {
-		return nil, fmt.Errorf("harness: figure1: %w", err)
-	}
-	out = append(out, f1)
-	return out, nil
+	return e.RunGrid(Experiments())
 }
 
 // ensure data package stays linked for doc references.

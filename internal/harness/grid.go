@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// Experiment is one named artifact generator of the evaluation grid.
+type Experiment struct {
+	// ID matches the artifact identifier used by cmd/aptq-experiments
+	// (-only flag) and the emitted Table.ID.
+	ID string
+	// Run produces the artifact from an environment. It must not retain
+	// the Env: grid execution hands each concurrent experiment its own
+	// fork.
+	Run func(*Env) (*Table, error)
+}
+
+// Experiments returns the paper's evaluation grid (experiments E1-E5 of
+// DESIGN.md §5) in paper order: Table 1, Figure 2, Table 2, Table 3 and the
+// Figure 1 sensitivity profile.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", (*Env).Table1},
+		{"figure2", func(e *Env) (*Table, error) {
+			t, _, _, err := e.Figure2()
+			return t, err
+		}},
+		{"table2", (*Env).Table2},
+		{"table3", (*Env).Table3},
+		{"figure1", (*Env).Figure1Profile},
+	}
+}
+
+// Ablations returns the repository's ablation grid (A1-A3 plus the
+// sequential-statistics, act-order and knapsack studies).
+func Ablations() []Experiment {
+	return []Experiment{
+		{"ablation-probes", (*Env).AblationProbes},
+		{"ablation-groupsize", (*Env).AblationGroupSize},
+		{"ablation-sensitivity", (*Env).AblationSensitivity},
+		{"ablation-sequential", (*Env).AblationSequential},
+		{"ablation-actorder", (*Env).AblationActOrder},
+		{"ablation-knapsack", (*Env).AblationKnapsack},
+	}
+}
+
+// RunGrid executes the given experiments, fanning them across the
+// environment's worker budget. Each concurrently running experiment
+// operates on its own Env fork (see Fork), so the grid is race-free, and
+// every experiment is internally seeded, so results are identical to a
+// serial run. Substrate models the forks need are trained once, in e.
+// Tables return in input order; on failure the error of the earliest
+// failing experiment is reported.
+func (e *Env) RunGrid(exps []Experiment) ([]*Table, error) {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = parallel.Workers()
+	}
+	out := make([]*Table, len(exps))
+	var fe parallel.FirstError
+	parallel.ForEachWorkers(workers, len(exps), func(i int) {
+		env := e
+		if workers > 1 {
+			env = e.Fork()
+		}
+		t, err := exps[i].Run(env)
+		if err != nil {
+			fe.Set(i, fmt.Errorf("harness: %s: %w", exps[i].ID, err))
+			return
+		}
+		out[i] = t
+	})
+	if err := fe.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

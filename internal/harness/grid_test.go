@@ -1,0 +1,168 @@
+package harness
+
+import (
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestRunGridPreservesOrder(t *testing.T) {
+	e := NewEnv(Quick)
+	e.Workers = 3
+	var calls atomic.Int32
+	mk := func(id string) Experiment {
+		return Experiment{ID: id, Run: func(env *Env) (*Table, error) {
+			calls.Add(1)
+			if env == e {
+				t.Error("concurrent grid must hand experiments a fork, not the shared Env")
+			}
+			return &Table{ID: id}, nil
+		}}
+	}
+	tables, err := e.RunGrid([]Experiment{mk("a"), mk("b"), mk("c"), mk("d"), mk("e")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 5 {
+		t.Fatalf("%d experiments ran", calls.Load())
+	}
+	for i, want := range []string{"a", "b", "c", "d", "e"} {
+		if tables[i].ID != want {
+			t.Fatalf("table %d = %q, want %q", i, tables[i].ID, want)
+		}
+	}
+}
+
+func TestRunGridSerialUsesSharedEnvDirectly(t *testing.T) {
+	e := NewEnv(Quick)
+	e.Workers = 1
+	_, err := e.RunGrid([]Experiment{{ID: "x", Run: func(env *Env) (*Table, error) {
+		if env != e {
+			t.Error("single-worker grid should not fork")
+		}
+		return &Table{ID: "x"}, nil
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGridFirstErrorWins(t *testing.T) {
+	e := NewEnv(Quick)
+	e.Workers = 4
+	fail := func(id string) Experiment {
+		return Experiment{ID: id, Run: func(*Env) (*Table, error) {
+			return nil, errTest(id)
+		}}
+	}
+	ok := Experiment{ID: "fine", Run: func(*Env) (*Table, error) { return &Table{ID: "fine"}, nil }}
+	_, err := e.RunGrid([]Experiment{ok, fail("early"), ok, fail("late")})
+	if err == nil || !strings.Contains(err.Error(), "early") {
+		t.Fatalf("err = %v, want the lowest-index failure (early)", err)
+	}
+}
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+func TestGridRegistryMatchesArtifactIDs(t *testing.T) {
+	wantE := []string{"table1", "figure2", "table2", "table3", "figure1"}
+	exps := Experiments()
+	if len(exps) != len(wantE) {
+		t.Fatalf("%d experiments", len(exps))
+	}
+	for i, ex := range exps {
+		if ex.ID != wantE[i] {
+			t.Fatalf("experiment %d = %q, want %q", i, ex.ID, wantE[i])
+		}
+	}
+	if n := len(Ablations()); n != 6 {
+		t.Fatalf("%d ablations", n)
+	}
+}
+
+func TestForkClonesModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs trained model")
+	}
+	e := sharedEnv()
+	cfg := model.Nano7B()
+	orig := e.Model(cfg)
+	f := e.Fork()
+	clone := f.Model(cfg)
+	if clone == orig {
+		t.Fatal("fork must deep-clone models")
+	}
+	ow := orig.QuantizableLayers()[0].Linear.P.W
+	cw := clone.QuantizableLayers()[0].Linear.P.W
+	if !reflect.DeepEqual(ow.Data, cw.Data) {
+		t.Fatal("forked weights must be bitwise identical")
+	}
+	cw.Data[0] += 1
+	if ow.Data[0] == cw.Data[0] {
+		t.Fatal("fork must not share weight storage")
+	}
+}
+
+// TestForkDelegatesModelMissesToParent checks the shared-pretraining path:
+// a model the fork does not have is fetched from (and cached in) the
+// parent, then cloned — so N forks cost one training run, not N.
+func TestForkDelegatesModelMissesToParent(t *testing.T) {
+	parent := NewEnv(Quick)
+	f := parent.Fork()
+	m := model.New(model.Nano7B(), 1) // untrained stand-in; delegation must not retrain
+	parent.SetModel(m)
+	got := f.Model(model.Nano7B())
+	if got == m {
+		t.Fatal("fork must clone the parent's model, not share it")
+	}
+	if !reflect.DeepEqual(m.QuantizableLayers()[0].Linear.P.W.Data, got.QuantizableLayers()[0].Linear.P.W.Data) {
+		t.Fatal("fork clone must match parent weights")
+	}
+	if f.Model(model.Nano7B()) != got {
+		t.Fatal("fork must cache the delegated clone")
+	}
+	// A fork of a fork delegates to the root, not the intermediate fork.
+	ff := f.Fork()
+	if ff.parent != parent {
+		t.Fatal("fork of fork must point at the root Env")
+	}
+}
+
+// TestGridParallelMatchesSerial regenerates one cheap real artifact
+// (Figure 1's sensitivity profile) serially and through the concurrent
+// grid, and demands identical tables — the grid-level determinism claim.
+func TestGridParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs trained model")
+	}
+	e := sharedEnv()
+	e.Model(model.Nano7B())
+
+	serialEnv := e.Fork()
+	serialEnv.Workers = 1
+	serial, err := serialEnv.RunGrid([]Experiment{{ID: "figure1", Run: (*Env).Figure1Profile}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parEnv := e.Fork()
+	parEnv.Workers = 4
+	par, err := parEnv.RunGrid([]Experiment{
+		{ID: "figure1", Run: (*Env).Figure1Profile},
+		{ID: "figure1", Run: (*Env).Figure1Profile},
+		{ID: "figure1", Run: (*Env).Figure1Profile},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range par {
+		if !reflect.DeepEqual(serial[0].Rows, p.Rows) {
+			t.Fatalf("parallel grid run %d differs from serial figure1", i)
+		}
+	}
+}

@@ -71,10 +71,14 @@ func TestGroupSizeFor(t *testing.T) {
 }
 
 func TestEnvModelCaching(t *testing.T) {
-	e := sharedEnv()
+	// An injected untrained model keeps this test cheap enough for the
+	// -race -short CI job; the caching logic does not depend on training.
+	e := NewEnv(Quick)
+	m := model.New(model.Nano7B(), 1)
+	e.SetModel(m)
 	a := e.Model(model.Nano7B())
 	b := e.Model(model.Nano7B())
-	if a != b {
+	if a != m || a != b {
 		t.Fatal("models must be cached per config")
 	}
 }

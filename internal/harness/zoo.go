@@ -47,6 +47,11 @@ func (s Scale) calibBudget() (count, seqLen int) {
 type Env struct {
 	Scale Scale
 
+	// Workers bounds how many experiments of a grid run concurrently
+	// (RunAll / RunAblations / RunGrid); <= 0 uses the process default
+	// from internal/parallel.
+	Workers int
+
 	C4   data.Source
 	Wiki data.Source
 	// TrainMix is the pretraining corpus (C4-like + Wiki-like mixture).
@@ -54,6 +59,10 @@ type Env struct {
 
 	mu     sync.Mutex
 	models map[string]*model.Model
+	// parent, when non-nil, marks this Env as a Fork: model cache misses
+	// delegate to the parent (which trains once, under its own lock) and
+	// clone the result, so N concurrent forks never pretrain N times.
+	parent *Env
 }
 
 // NewEnv constructs the environment at the given scale.
@@ -88,17 +97,57 @@ func (e *Env) trainRecipe(cfg model.Config) train.Config {
 
 // Model returns the pretrained model for cfg, training it on first use.
 // The returned model is shared; callers must not mutate it (quantizers
-// clone internally).
+// clone internally). On a forked Env, a cache miss trains (once) in the
+// parent and caches a clone locally.
 func (e *Env) Model(cfg model.Config) *model.Model {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if m, ok := e.models[cfg.Name]; ok {
 		return m
 	}
-	m := model.New(cfg, 1)
-	train.Train(m, e.TrainMix, e.trainRecipe(cfg))
+	var m *model.Model
+	if e.parent != nil {
+		// Lock order is always fork → parent; the parent never locks a
+		// fork, so this cannot deadlock.
+		m = e.parent.Model(cfg).Clone()
+	} else {
+		m = model.New(cfg, 1)
+		train.Train(m, e.TrainMix, e.trainRecipe(cfg))
+	}
 	e.models[cfg.Name] = m
 	return m
+}
+
+// Fork returns an Env that shares e's corpora, scale and worker budget but
+// owns deep clones of every model trained so far. Experiments mutate model
+// forward caches (and gradients, during Fisher collection), so two
+// experiments must never share a model instance; forking before each
+// concurrent experiment makes the grid race-free. A model the parent has
+// not trained yet is trained in the parent on first use (see Model), so
+// concurrent forks requesting the same config share one pretraining run
+// and end up with identical weights.
+func (e *Env) Fork() *Env {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	models := make(map[string]*model.Model, len(e.models))
+	for name, m := range e.models {
+		models[name] = m.Clone()
+	}
+	root := e
+	if e.parent != nil {
+		// Forks of forks delegate to the root Env, so transient forks can
+		// be garbage-collected and all training funnels to one cache.
+		root = e.parent
+	}
+	return &Env{
+		Scale:    e.Scale,
+		Workers:  e.Workers,
+		C4:       e.C4,
+		Wiki:     e.Wiki,
+		TrainMix: e.TrainMix,
+		models:   models,
+		parent:   root,
+	}
 }
 
 // SetModel injects a pre-trained model (used by cmd tools that load

@@ -1,0 +1,204 @@
+// Package parallel provides the shared fork-join primitives that the
+// tensor kernels, the quantization pipeline and the experiment harness use
+// to exploit the per-row / per-layer / per-experiment independence of the
+// APTQ workload.
+//
+// The package has two pieces of global state: the default worker count,
+// initialized to GOMAXPROCS and adjustable via SetWorkers (the -workers
+// flag of the command-line tools), and a process-wide spawn budget of
+// Workers()-1 extra goroutines shared by all concurrently active parallel
+// regions, so nested parallelism (grid → layers → kernels) cannot multiply
+// the worker count. All primitives fall back to running inline on the
+// calling goroutine when the work is too small, only one worker is
+// configured, or the budget is exhausted, so callers never pay goroutine
+// dispatch overhead on tiny inputs and total concurrency stays bounded.
+//
+// Determinism contract: every primitive partitions the index space into
+// disjoint chunks and each chunk is processed in ascending index order by
+// exactly one goroutine. As long as the callback writes only to locations
+// owned by its chunk (the pattern used throughout this repository), results
+// are bit-identical to a serial run regardless of the worker count or of
+// which goroutine processes which chunk.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers holds the process-wide worker count; 0 means "use
+// runtime.GOMAXPROCS(0) at call time" so the default tracks later
+// GOMAXPROCS changes.
+var defaultWorkers atomic.Int64
+
+// Workers returns the current default worker count (at least 1).
+func Workers() int {
+	if n := int(defaultWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers sets the process-wide default worker count used by For, ForEach
+// and Do when no explicit count is given. n <= 0 restores the GOMAXPROCS
+// default. It returns the effective new value.
+func SetWorkers(n int) int {
+	if n <= 0 {
+		defaultWorkers.Store(0)
+	} else {
+		defaultWorkers.Store(int64(n))
+	}
+	return Workers()
+}
+
+// For runs fn over the index range [0, n) using the default worker count,
+// splitting the range into contiguous [lo, hi) chunks of roughly grain
+// indices. See ForWorkers for the scheduling and determinism contract.
+func For(n, grain int, fn func(lo, hi int)) {
+	ForWorkers(Workers(), n, grain, fn)
+}
+
+// spawned counts compute goroutines currently spawned by ForWorkers across
+// the whole process. Parallel regions nest freely (experiment grid →
+// per-layer loop → tensor kernel), and without a shared budget the worker
+// count would multiply at each level; instead every region takes extra
+// goroutines from this one budget (capacity Workers()-1, the calling
+// goroutine being the implicit extra) and runs inline with whatever it
+// could not get. Total busy compute goroutines therefore stay ~Workers()
+// no matter how deeply regions nest.
+var spawned atomic.Int64
+
+// acquireSpawn takes up to k tokens from the global spawn budget and
+// returns how many it got (possibly 0).
+func acquireSpawn(k int) int {
+	limit := int64(Workers() - 1)
+	got := 0
+	for got < k {
+		cur := spawned.Load()
+		if cur >= limit {
+			break
+		}
+		if spawned.CompareAndSwap(cur, cur+1) {
+			got++
+		}
+	}
+	return got
+}
+
+// ForWorkers runs fn over [0, n) on up to workers goroutines (the caller
+// plus extras from the global spawn budget — see spawned). The range is
+// split into contiguous chunks of roughly grain indices (grain <= 0 selects
+// one chunk per worker) which idle workers claim from an atomic cursor, so
+// irregular per-index cost — e.g. the triangular row cost of a Gram update —
+// balances automatically. Chunks are disjoint and internally ascending;
+// callers writing only chunk-owned locations get bit-identical results to
+// fn(0, n) regardless of how many workers actually run.
+//
+// When n is small, workers == 1, only one chunk would be created, or the
+// spawn budget is exhausted by enclosing parallel regions, fn runs inline
+// on the calling goroutine and no goroutines are spawned.
+func ForWorkers(workers, n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if grain <= 0 {
+		grain = (n + workers - 1) / workers
+	}
+	chunks := (n + grain - 1) / grain
+	if workers <= 1 || chunks <= 1 {
+		fn(0, n)
+		return
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	var cursor atomic.Int64
+	drain := func() {
+		for {
+			c := int(cursor.Add(1)) - 1
+			if c >= chunks {
+				return
+			}
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+	extras := acquireSpawn(workers - 1)
+	if extras == 0 {
+		drain()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(extras)
+	for w := 0; w < extras; w++ {
+		go func() {
+			defer wg.Done()
+			defer spawned.Add(-1)
+			drain()
+		}()
+	}
+	drain()
+	wg.Wait()
+}
+
+// ForEach runs fn for every index in [0, n) using the default worker count,
+// one index per callback. It is For with grain 1 — the right shape for
+// coarse units of work such as quantizing one layer or running one
+// experiment.
+func ForEach(n int, fn func(i int)) {
+	ForEachWorkers(Workers(), n, fn)
+}
+
+// ForEachWorkers runs fn for every index in [0, n) on up to workers
+// goroutines.
+func ForEachWorkers(workers, n int, fn func(i int)) {
+	ForWorkers(workers, n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Do runs the given functions concurrently on the default worker count and
+// waits for all of them.
+func Do(fns ...func()) {
+	ForEach(len(fns), func(i int) { fns[i]() })
+}
+
+// FirstError collects at most one error from concurrent workers: the one
+// with the lowest index, so error reporting is deterministic regardless of
+// completion order.
+type FirstError struct {
+	mu  sync.Mutex
+	idx int
+	err error
+}
+
+// Set records err for index idx; the error with the lowest index wins.
+// nil errors are ignored.
+func (fe *FirstError) Set(idx int, err error) {
+	if err == nil {
+		return
+	}
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	if fe.err == nil || idx < fe.idx {
+		fe.idx, fe.err = idx, err
+	}
+}
+
+// Err returns the recorded error, if any. Call only after the workers have
+// been joined.
+func (fe *FirstError) Err() error {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	return fe.err
+}

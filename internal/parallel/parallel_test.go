@@ -1,0 +1,133 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersDefault(t *testing.T) {
+	SetWorkers(0)
+	if got := Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default Workers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := SetWorkers(3); got != 3 {
+		t.Fatalf("SetWorkers(3) = %d", got)
+	}
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers() after SetWorkers(3) = %d", got)
+	}
+	SetWorkers(0)
+}
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	// Raise the spawn budget so goroutines really spawn even on small
+	// GOMAXPROCS hosts (the budget is Workers()-1).
+	SetWorkers(16)
+	defer SetWorkers(0)
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		for _, n := range []int{0, 1, 2, 7, 64, 101} {
+			for _, grain := range []int{0, 1, 3, 100} {
+				hits := make([]int32, n)
+				ForWorkers(workers, n, grain, func(lo, hi int) {
+					if lo < 0 || hi > n || lo >= hi {
+						t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("workers=%d n=%d grain=%d: index %d hit %d times", workers, n, grain, i, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	called := false
+	ForWorkers(4, 0, 1, func(lo, hi int) { called = true })
+	ForWorkers(4, -3, 1, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("fn must not run for empty ranges")
+	}
+}
+
+func TestForSingleWorkerRunsInline(t *testing.T) {
+	var spans [][2]int
+	// One worker: a single inline call covering the whole range, so an
+	// unsynchronized append is safe and proves no goroutines were used.
+	ForWorkers(1, 10, 2, func(lo, hi int) { spans = append(spans, [2]int{lo, hi}) })
+	if len(spans) != 1 || spans[0] != [2]int{0, 10} {
+		t.Fatalf("single worker spans = %v, want one [0,10) call", spans)
+	}
+}
+
+// TestNestedRegionsRespectBudget checks that nesting parallel regions does
+// not multiply concurrency: with Workers() == 3 the process may run at most
+// 3 concurrent callbacks (1 caller + 2 budget goroutines), however deeply
+// For calls nest — inner regions just run inline once the budget is taken.
+func TestNestedRegionsRespectBudget(t *testing.T) {
+	SetWorkers(3)
+	defer SetWorkers(0)
+	var active, peak atomic.Int64
+	enter := func() {
+		cur := active.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond) // widen the overlap window
+		active.Add(-1)
+	}
+	ForEachWorkers(3, 6, func(i int) {
+		ForEachWorkers(3, 4, func(j int) {
+			enter()
+		})
+	})
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("peak concurrency %d exceeds the 3-worker budget", p)
+	}
+	if spawnedNow := spawned.Load(); spawnedNow != 0 {
+		t.Fatalf("spawn budget not released: %d outstanding", spawnedNow)
+	}
+}
+
+func TestForEachSum(t *testing.T) {
+	const n = 1000
+	var sum atomic.Int64
+	ForEachWorkers(8, n, func(i int) { sum.Add(int64(i)) })
+	if want := int64(n * (n - 1) / 2); sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestDo(t *testing.T) {
+	var a, b, c atomic.Bool
+	Do(func() { a.Store(true) }, func() { b.Store(true) }, func() { c.Store(true) })
+	if !a.Load() || !b.Load() || !c.Load() {
+		t.Fatal("Do must run every function")
+	}
+}
+
+func TestFirstErrorLowestIndexWins(t *testing.T) {
+	var fe FirstError
+	fe.Set(5, errors.New("five"))
+	fe.Set(2, errors.New("two"))
+	fe.Set(9, errors.New("nine"))
+	fe.Set(3, nil)
+	if fe.Err() == nil || fe.Err().Error() != "two" {
+		t.Fatalf("FirstError = %v, want two", fe.Err())
+	}
+	var empty FirstError
+	if empty.Err() != nil {
+		t.Fatal("empty FirstError must be nil")
+	}
+}

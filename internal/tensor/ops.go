@@ -1,6 +1,29 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// chunkOps is the approximate number of scalar multiply-adds each parallel
+// chunk should carry. Below roughly two chunks' worth of work the kernels
+// run serially on the calling goroutine, so small matrices never pay
+// goroutine dispatch overhead.
+const chunkOps = 1 << 15
+
+// rowGrain returns the number of output rows per parallel chunk so that one
+// chunk carries about chunkOps multiply-adds.
+func rowGrain(opsPerRow int) int {
+	if opsPerRow <= 0 {
+		return 1
+	}
+	g := chunkOps / opsPerRow
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
 
 // MatMul returns a·b for a (r x k) and b (k x c).
 func MatMul(a, b *Mat) *Mat {
@@ -14,25 +37,33 @@ func MatMul(a, b *Mat) *Mat {
 
 // MatMulInto computes out = a·b, reusing out's storage. out must be
 // a.Rows x b.Cols and must not alias a or b.
+//
+// Rows of out are partitioned across workers; each output row is produced
+// by exactly one goroutine with the same inner-loop order as a serial run,
+// so the result is bit-identical for any worker count.
 func MatMulInto(out, a, b *Mat) {
 	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
 		panic("tensor: MatMulInto shape mismatch")
 	}
-	out.Zero()
 	n := b.Cols
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
+	parallel.For(a.Rows, rowGrain(a.Cols*n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := range orow {
+				orow[j] = 0
 			}
-			brow := b.Data[k*n : (k+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[k*n : (k+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 }
 
 // MatMulNT returns a·bᵀ for a (r x k) and b (c x k).
@@ -45,23 +76,26 @@ func MatMulNT(a, b *Mat) *Mat {
 	return out
 }
 
-// MatMulNTInto computes out = a·bᵀ, reusing out's storage.
+// MatMulNTInto computes out = a·bᵀ, reusing out's storage. Rows of out are
+// partitioned across workers (see MatMulInto's determinism note).
 func MatMulNTInto(out, a, b *Mat) {
 	if a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != b.Rows {
 		panic("tensor: MatMulNTInto shape mismatch")
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
-			s := 0.0
-			for k, av := range arow {
-				s += av * brow[k]
+	parallel.For(a.Rows, rowGrain(a.Cols*b.Rows), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				s := 0.0
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				orow[j] = s
 			}
-			orow[j] = s
 		}
-	}
+	})
 }
 
 // MatMulTN returns aᵀ·b for a (k x r) and b (k x c).
@@ -75,25 +109,35 @@ func MatMulTN(a, b *Mat) *Mat {
 }
 
 // MatMulTNInto computes out = aᵀ·b, reusing out's storage.
+//
+// The loop nest is arranged with the output row outermost so rows of out
+// partition across workers. Each element still accumulates its k-terms in
+// ascending order with the same zero-skips as before, so results are
+// bit-identical to the serial k-outer formulation.
 func MatMulTNInto(out, a, b *Mat) {
 	if a.Rows != b.Rows || out.Rows != a.Cols || out.Cols != b.Cols {
 		panic("tensor: MatMulTNInto shape mismatch")
 	}
-	out.Zero()
 	n := b.Cols
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Row(k)
-		brow := b.Data[k*n : (k+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
+	d := a.Cols
+	parallel.For(d, rowGrain(a.Rows*n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			orow := out.Data[i*n : (i+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
+			for j := range orow {
+				orow[j] = 0
+			}
+			for k := 0; k < a.Rows; k++ {
+				av := a.Data[k*d+i]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[k*n : (k+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 }
 
 // Gram returns xᵀ·x for x (n x d), a d x d symmetric positive semidefinite
@@ -108,29 +152,44 @@ func Gram(x *Mat) *Mat {
 // AccumGram adds xᵀ·x into out (out must be d x d where d = x.Cols). It is
 // the streaming building block for Hessian accumulation over calibration
 // batches.
+// The accumulation is partitioned by output row: each worker owns a block
+// of rows of the upper triangle and sums its t-terms in ascending order —
+// the same per-element order as the serial t-outer formulation, so the
+// result is bit-identical for any worker count. Upper-triangle rows get
+// cheaper as i grows; the chunked scheduler in internal/parallel lets idle
+// workers steal small row blocks, which keeps the triangle balanced.
 func AccumGram(out, x *Mat) {
 	d := x.Cols
 	if out.Rows != d || out.Cols != d {
 		panic("tensor: AccumGram shape mismatch")
 	}
-	for t := 0; t < x.Rows; t++ {
-		row := x.Row(t)
-		for i, vi := range row {
-			if vi == 0 {
-				continue
-			}
+	// Average upper-triangle row cost is x.Rows * d/2 multiply-adds.
+	grain := rowGrain(x.Rows * (d + 1) / 2)
+	parallel.For(d, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			orow := out.Data[i*d : (i+1)*d]
-			for j := i; j < d; j++ {
-				orow[j] += vi * row[j]
+			for t := 0; t < x.Rows; t++ {
+				vi := x.Data[t*d+i]
+				if vi == 0 {
+					continue
+				}
+				row := x.Data[t*d : (t+1)*d]
+				for j := i; j < d; j++ {
+					orow[j] += vi * row[j]
+				}
 			}
 		}
-	}
-	// Mirror the upper triangle into the lower triangle.
-	for i := 0; i < d; i++ {
-		for j := i + 1; j < d; j++ {
-			out.Data[j*d+i] = out.Data[i*d+j]
+	})
+	// Mirror the upper triangle into the lower triangle, partitioned by
+	// destination row (reads are to already-final upper rows).
+	parallel.For(d, rowGrain(d/2+1), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			orow := out.Data[j*d : (j+1)*d]
+			for i := 0; i < j; i++ {
+				orow[i] = out.Data[i*d+j]
+			}
 		}
-	}
+	})
 }
 
 // Add returns a + b element-wise.

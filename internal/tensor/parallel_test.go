@@ -1,0 +1,220 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// The reference kernels below reproduce the pre-parallel serial loop nests
+// exactly (t-outer AccumGram, k-outer MatMulTN, including the zero-skips).
+// The parallel kernels must match them bit-for-bit at every worker count —
+// not approximately — which is what keeps quantization runs reproducible
+// regardless of -workers.
+
+func refMatMul(out, a, b *Mat) {
+	out.Zero()
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+func refMatMulNT(out, a, b *Mat) {
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			s := 0.0
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+}
+
+func refMatMulTN(out, a, b *Mat) {
+	out.Zero()
+	n := b.Cols
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Data[k*n : (k+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+func refAccumGram(out, x *Mat) {
+	d := x.Cols
+	for t := 0; t < x.Rows; t++ {
+		row := x.Row(t)
+		for i, vi := range row {
+			if vi == 0 {
+				continue
+			}
+			orow := out.Data[i*d : (i+1)*d]
+			for j := i; j < d; j++ {
+				orow[j] += vi * row[j]
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			out.Data[j*d+i] = out.Data[i*d+j]
+		}
+	}
+}
+
+// withWorkers runs fn at each of several worker counts, restoring the
+// process default afterwards. Counts deliberately include 1 (inline), more
+// workers than rows, and non-powers of two.
+func withWorkers(t *testing.T, fn func(t *testing.T, workers int)) {
+	t.Helper()
+	defer parallel.SetWorkers(0)
+	for _, w := range []int{1, 2, 3, 4, 7, 16} {
+		parallel.SetWorkers(w)
+		fn(t, w)
+	}
+}
+
+// sparsify zeroes a fraction of entries so the kernels' zero-skip paths are
+// exercised.
+func sparsify(rng *rand.Rand, m *Mat) {
+	for i := range m.Data {
+		if rng.Intn(4) == 0 {
+			m.Data[i] = 0
+		}
+	}
+}
+
+func bitEqual(a, b *Mat) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i, v := range a.Data {
+		if v != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// matmulShapes covers rows < workers, zero-size, prime and odd dims.
+var matmulShapes = []struct{ r, k, c int }{
+	{0, 0, 0}, {1, 1, 1}, {0, 5, 3}, {3, 0, 5}, {5, 3, 0},
+	{1, 64, 64}, {2, 7, 13}, {7, 7, 7}, {13, 31, 17}, {31, 13, 41},
+	{64, 48, 96}, {97, 101, 89},
+}
+
+func TestMatMulParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, sh := range matmulShapes {
+		a := Randn(rng, sh.r, sh.k, 1)
+		b := Randn(rng, sh.k, sh.c, 1)
+		sparsify(rng, a)
+		want := New(sh.r, sh.c)
+		refMatMul(want, a, b)
+		withWorkers(t, func(t *testing.T, w int) {
+			got := New(sh.r, sh.c)
+			MatMulInto(got, a, b)
+			if !bitEqual(got, want) {
+				t.Fatalf("MatMulInto %dx%d·%dx%d differs from serial at %d workers", sh.r, sh.k, sh.k, sh.c, w)
+			}
+		})
+	}
+}
+
+func TestMatMulNTParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, sh := range matmulShapes {
+		a := Randn(rng, sh.r, sh.k, 1)
+		b := Randn(rng, sh.c, sh.k, 1)
+		want := New(sh.r, sh.c)
+		refMatMulNT(want, a, b)
+		withWorkers(t, func(t *testing.T, w int) {
+			got := New(sh.r, sh.c)
+			MatMulNTInto(got, a, b)
+			if !bitEqual(got, want) {
+				t.Fatalf("MatMulNTInto %dx%d·(%dx%d)ᵀ differs from serial at %d workers", sh.r, sh.k, sh.c, sh.k, w)
+			}
+		})
+	}
+}
+
+func TestMatMulTNParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, sh := range matmulShapes {
+		a := Randn(rng, sh.k, sh.r, 1)
+		b := Randn(rng, sh.k, sh.c, 1)
+		sparsify(rng, a)
+		want := New(sh.r, sh.c)
+		refMatMulTN(want, a, b)
+		withWorkers(t, func(t *testing.T, w int) {
+			got := New(sh.r, sh.c)
+			MatMulTNInto(got, a, b)
+			if !bitEqual(got, want) {
+				t.Fatalf("MatMulTNInto (%dx%d)ᵀ·%dx%d differs from serial at %d workers", sh.k, sh.r, sh.k, sh.c, w)
+			}
+		})
+	}
+}
+
+func TestAccumGramParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, sh := range []struct{ n, d int }{
+		{0, 0}, {0, 5}, {1, 1}, {1, 7}, {3, 2}, {7, 13}, {31, 17}, {64, 48}, {256, 97},
+	} {
+		x := Randn(rng, sh.n, sh.d, 1)
+		sparsify(rng, x)
+		// Non-zero accumulator: AccumGram adds into out.
+		seed := Randn(rng, sh.d, sh.d, 1)
+		want := seed.Clone()
+		refAccumGram(want, x)
+		withWorkers(t, func(t *testing.T, w int) {
+			got := seed.Clone()
+			AccumGram(got, x)
+			if !bitEqual(got, want) {
+				t.Fatalf("AccumGram %dx%d differs from serial at %d workers", sh.n, sh.d, w)
+			}
+		})
+	}
+}
+
+// TestParallelKernelsShared exercises concurrent kernel calls sharing
+// read-only inputs under the race detector.
+func TestParallelKernelsShared(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := Randn(rng, 63, 47, 1)
+	b := Randn(rng, 47, 53, 1)
+	parallel.SetWorkers(4)
+	defer parallel.SetWorkers(0)
+	want := New(63, 53)
+	refMatMul(want, a, b)
+	parallel.ForEach(8, func(i int) {
+		out := New(63, 53)
+		MatMulInto(out, a, b)
+		if !bitEqual(out, want) {
+			t.Errorf("concurrent MatMulInto %d differs", i)
+		}
+	})
+}

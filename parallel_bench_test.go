@@ -1,0 +1,114 @@
+// Serial-vs-parallel micro-benchmarks of the kernels and pipeline stages
+// that the internal/parallel subsystem accelerates. Each pair pins the
+// worker count explicitly — 1 for the serial baseline, 4 for the parallel
+// variant — so the BENCH trajectory records the speedup on CI hardware
+// independent of GOMAXPROCS:
+//
+//	go test -bench='MatMul(Serial|Parallel)|Quantize(Serial|Parallel)' -benchtime=1x
+//
+// The equality tests in internal/tensor, internal/gptq and internal/core
+// prove the two variants of every pair return bit-identical results.
+package repro
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// parallelBenchWorkers is the worker count for the parallel variants; the
+// CI acceptance target is >= 2x over serial at 4 workers.
+const parallelBenchWorkers = 4
+
+func withBenchWorkers(b *testing.B, workers int, fn func()) {
+	b.Helper()
+	parallel.SetWorkers(workers)
+	defer parallel.SetWorkers(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	fn()
+}
+
+// --- dense kernels, CI-sized (256-dim) inputs ---
+
+func benchMatMul(b *testing.B, workers int) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Randn(rng, 256, 256, 1)
+	y := tensor.Randn(rng, 256, 256, 1)
+	out := tensor.New(256, 256)
+	withBenchWorkers(b, workers, func() {
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulInto(out, x, y)
+		}
+	})
+}
+
+func BenchmarkMatMulSerial(b *testing.B)   { benchMatMul(b, 1) }
+func BenchmarkMatMulParallel(b *testing.B) { benchMatMul(b, parallelBenchWorkers) }
+
+func benchMatMulTN(b *testing.B, workers int) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Randn(rng, 256, 192, 1)
+	y := tensor.Randn(rng, 256, 224, 1)
+	out := tensor.New(192, 224)
+	withBenchWorkers(b, workers, func() {
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulTNInto(out, x, y)
+		}
+	})
+}
+
+func BenchmarkMatMulTNSerial(b *testing.B)   { benchMatMulTN(b, 1) }
+func BenchmarkMatMulTNParallel(b *testing.B) { benchMatMulTN(b, parallelBenchWorkers) }
+
+func benchAccumGram(b *testing.B, workers int) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Randn(rng, 512, 256, 1)
+	out := tensor.New(256, 256)
+	withBenchWorkers(b, workers, func() {
+		for i := 0; i < b.N; i++ {
+			out.Zero()
+			tensor.AccumGram(out, x)
+		}
+	})
+}
+
+func BenchmarkAccumGramSerial(b *testing.B)   { benchAccumGram(b, 1) }
+func BenchmarkAccumGramParallel(b *testing.B) { benchAccumGram(b, parallelBenchWorkers) }
+
+// --- per-layer quantization fan-out ---
+
+// quantizeBenchSetup builds one shared (model, stats) pair: the nano-7B
+// stand-in (42 quantizable layers) with untrained weights — layer fan-out
+// cost is what is being measured, not pretraining.
+var quantizeBenchSetup = sync.OnceValues(func() (*model.Model, *core.Stats) {
+	m := model.New(model.Nano7B(), 1)
+	src := data.NewC4Like(m.Cfg.Vocab)
+	calib := data.SampleCalibration(rand.New(rand.NewSource(42)), src, 8, 32)
+	st, err := core.CollectStats(m, calib, core.CollectOptions{Probes: 2, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	return m, st
+})
+
+func benchQuantize(b *testing.B, workers int) {
+	m, st := quantizeBenchSetup()
+	opts := core.DefaultOptions(0.75)
+	withBenchWorkers(b, workers, func() {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.QuantizeWithStats(m, st, nil, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkQuantizeSerial(b *testing.B)   { benchQuantize(b, 1) }
+func BenchmarkQuantizeParallel(b *testing.B) { benchQuantize(b, parallelBenchWorkers) }
