@@ -1,6 +1,9 @@
 GO ?= go
+# Pinned staticcheck version (matches the CI job); override to test newer
+# releases.
+STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build test race bench bench-smoke fmt fmt-check vet ci
+.PHONY: all build test race bench bench-smoke fmt fmt-check vet staticcheck ci
 
 all: build
 
@@ -19,10 +22,12 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
 
-# One-iteration smoke pass over the micro benchmarks, mirroring the CI job
+# One-iteration smoke pass over the micro benchmarks (including the
+# float-vs-packed pairs of packed_bench_test.go), mirroring the CI job
 # that keeps them compiling and running.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -short ./...
+	$(GO) test -run='^$$' -bench='MatVec|DecodeBatch|RoPEAt' -benchtime=1x .
 
 fmt:
 	gofmt -w .
@@ -32,5 +37,10 @@ fmt-check:
 
 vet:
 	$(GO) vet ./...
+
+# Runs the pinned staticcheck via `go run` (uses the local binary cache;
+# needs network on first use). CI runs the same version in its own job.
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 ci: fmt-check vet build test race bench-smoke

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	aptq-eval -in nano7b-q.ckpt [-segments 200] [-items 120]
+//	aptq-eval -in nano7b-q.packed.ckpt -packed   # serve-from-compressed evaluation
 package main
 
 import (
@@ -28,21 +29,35 @@ func main() {
 		segments = flag.Int("segments", 200, "perplexity eval segments per corpus")
 		items    = flag.Int("items", 120, "zero-shot items per task")
 		skipZS   = flag.Bool("nozeroshot", false, "skip the zero-shot suite")
+		packed   = flag.Bool("packed", false, "evaluate directly from the packed low-bit representation (compressed checkpoints only); quantized weights stay bit-packed and dequantize on the fly")
 	)
 	flag.Parse()
 
 	if *in == "" {
 		log.Fatal("missing -in checkpoint")
 	}
-	m, err := model.LoadFile(*in)
-	if err != nil {
-		// Fall back to the compressed (bit-packed) checkpoint format.
-		var cerr error
-		if m, cerr = core.ReadCompressedFile(*in); cerr != nil {
-			log.Fatalf("load: %v (as packed checkpoint: %v)", err, cerr)
+	var m *model.Model
+	if *packed {
+		qm, err := core.ReadCompressedPackedFile(*in)
+		if err != nil {
+			log.Fatalf("load packed: %v", err)
 		}
+		fmt.Printf("packed weights: %d bytes resident (float64 equivalent %d bytes, %.1fx smaller)\n",
+			qm.PackedWeightBytes(), qm.FloatWeightBytes(), qm.CompressionRatio())
+		fmt.Printf("model: %s (%d fp params + %d packed layers)\n", qm.Cfg.Name, qm.NumParams(), len(qm.Layers))
+		m = qm.Model
+	} else {
+		var err error
+		m, err = model.LoadFile(*in)
+		if err != nil {
+			// Fall back to the compressed (bit-packed) checkpoint format.
+			var cerr error
+			if m, cerr = core.ReadCompressedFile(*in); cerr != nil {
+				log.Fatalf("load: %v (as packed checkpoint: %v)", err, cerr)
+			}
+		}
+		fmt.Printf("model: %s (%d params)\n", m.Cfg.Name, m.NumParams())
 	}
-	fmt.Printf("model: %s (%d params)\n", m.Cfg.Name, m.NumParams())
 
 	c4 := data.NewC4Like(m.Cfg.Vocab)
 	wiki := data.NewWikiLike(m.Cfg.Vocab)

@@ -1,0 +1,74 @@
+// Packedserve: multi-sequence generation straight from the compressed
+// representation — the serving-side half of the paper's edge-deployment
+// story. A pretrained model is quantized with APTQ (mixed 2/4-bit), the
+// packed model is built without ever re-materializing float64 weights for
+// the quantizable projections, and a batch of KV-cached sessions decodes
+// N sequences concurrently over the single shared packed copy.
+//
+// Run with:
+//
+//	go run ./examples/packedserve
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/infer"
+	"repro/internal/model"
+	"repro/internal/train"
+)
+
+func main() {
+	const sequences = 4
+	const tokensPer = 24
+
+	vocab := data.NewVocabulary(64)
+	src := data.NewC4Like(64)
+	cfg := model.Config{Name: "packedserve", Vocab: 64, Dim: 32, Heads: 4, Layers: 3, FF: 64, MaxSeq: 64, RopeBase: 10000}
+	m := model.New(cfg, 1)
+	fmt.Println("pretraining...")
+	train.Train(m, src, train.Config{Steps: 400, BatchSize: 4, SeqLen: 32, LR: 3e-3, Warmup: 20, ClipNorm: 1, Seed: 1})
+
+	// Quantize with the paper's mixed 2/4-bit allocation at 75% high-bit.
+	calib := data.SampleCalibration(rand.New(rand.NewSource(42)), src, 24, 32)
+	opts := core.DefaultOptions(0.75)
+	opts.GroupSize = 16
+	res, err := core.Quantize(m, calib, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Swap every quantizable projection for its packed counterpart.
+	qm, err := res.PackedModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resident quantizable weights: float64 %d bytes -> packed %d bytes (%.1fx smaller, %.2f avg bits)\n",
+		qm.FloatWeightBytes(), qm.PackedWeightBytes(), qm.CompressionRatio(), res.AvgBits)
+
+	// Decode N sequences concurrently from the one shared packed copy.
+	rng := rand.New(rand.NewSource(7))
+	prompts := make([][]int, sequences)
+	for i := range prompts {
+		prompts[i] = src.Generate(rng, 6)
+	}
+	batch := infer.NewBatch(qm.Model, sequences)
+	start := time.Now()
+	generated, err := batch.Generate(7, prompts, tokensPer, 0.8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("generated %d sequences x %d tokens in %v (%.1f tok/s)\n\n",
+		sequences, tokensPer, elapsed.Round(time.Millisecond),
+		float64(sequences*tokensPer)/elapsed.Seconds())
+	for i := range prompts {
+		fmt.Printf("seq %d prompt:    %s\n", i, vocab.Decode(prompts[i]))
+		fmt.Printf("seq %d generated: %s\n", i, vocab.Decode(generated[i]))
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/eval"
 	"repro/internal/model"
+	"repro/internal/nn"
 	"repro/internal/train"
 )
 
@@ -229,7 +230,7 @@ func TestSampleFromModelShape(t *testing.T) {
 
 func TestBaselinesDoNotMutateInput(t *testing.T) {
 	m := testModel()
-	before := m.Blocks[0].Attn.WQ.P.W.Clone()
+	before := nn.AsLinear(m.Blocks[0].Attn.WQ).P.W.Clone()
 	RTN(m, 2, 8)
 	FPQ(m, 8)
 	if _, err := GPTQ(m, testStats(), 4, 8); err != nil {
@@ -238,7 +239,7 @@ func TestBaselinesDoNotMutateInput(t *testing.T) {
 	if _, err := PBLLM(m, testStats(), 0.2, 8); err != nil {
 		t.Fatal(err)
 	}
-	if !m.Blocks[0].Attn.WQ.P.W.Equal(before, 0) {
+	if !nn.AsLinear(m.Blocks[0].Attn.WQ).P.W.Equal(before, 0) {
 		t.Fatal("baseline mutated the input model")
 	}
 }

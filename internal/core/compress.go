@@ -16,6 +16,11 @@ import (
 // (embedding, norms, head) as float32. For a 4-bit model this is ~14x
 // smaller than the float64 training checkpoint; 2/4-bit mixed models shrink
 // further.
+//
+// Codes are packed per row at byte-aligned offsets (quant.PackedMatrix's
+// stream layout), so mixed-precision RowBits matrices serialize losslessly
+// — a single uniform-width stream would silently truncate the wider rows —
+// and the packed load path can adopt the stream without re-packing.
 
 // compressedLayer is the serialized form of one quantized weight matrix.
 type compressedLayer struct {
@@ -24,9 +29,13 @@ type compressedLayer struct {
 	Cols      int
 	GroupSize int
 	Bits      int
-	Packed    []byte
-	Scales    []float32
-	Zeros     []float32
+	// RowBits overrides Bits per row for mixed-precision matrices (nil for
+	// uniform width).
+	RowBits []int
+	// Packed holds the concatenated per-row byte-aligned code streams.
+	Packed []byte
+	Scales []float32
+	Zeros  []float32
 }
 
 // compressedFile is the gob payload of a compressed checkpoint.
@@ -45,10 +54,14 @@ func (r *Result) WriteCompressed(w io.Writer) error {
 	}
 	cf := compressedFile{Cfg: r.Model.Cfg}
 	for i, qm := range r.Quantized {
+		pm, err := quant.PackMatrix(qm)
+		if err != nil {
+			return fmt.Errorf("core: pack layer %s: %w", r.Layers[i].Name, err)
+		}
 		cl := compressedLayer{
 			Name: r.Layers[i].Name, Rows: qm.Rows, Cols: qm.Cols,
-			GroupSize: qm.GroupSize, Bits: qm.Bits,
-			Packed: quant.Pack(qm.Codes, qm.Bits),
+			GroupSize: qm.GroupSize, Bits: qm.Bits, RowBits: pm.RowBits,
+			Packed: pm.Data,
 		}
 		for _, p := range qm.Params {
 			cl.Scales = append(cl.Scales, float32(p.Scale))
@@ -87,43 +100,45 @@ func (r *Result) WriteCompressedFile(path string) error {
 	return f.Close()
 }
 
-// ReadCompressed reconstructs a runnable model from a compressed
-// checkpoint. Weights are dequantized into float64 on load (group
-// parameters were stored as float32, so reconstruction matches the
-// quantized model to float32 precision — verified in tests).
-func ReadCompressed(rd io.Reader) (*model.Model, error) {
+// readCompressedParts decodes a compressed checkpoint into a model whose
+// full-precision tensors are loaded (quantizable projections left at their
+// construction values) plus the packed form of every quantizable layer, in
+// QuantizableLayers order. Both read paths build on it.
+func readCompressedParts(rd io.Reader) (*model.Model, []*quant.PackedMatrix, error) {
 	var cf compressedFile
 	if err := gob.NewDecoder(rd).Decode(&cf); err != nil {
-		return nil, fmt.Errorf("core: decode compressed checkpoint: %w", err)
+		return nil, nil, fmt.Errorf("core: decode compressed checkpoint: %w", err)
 	}
 	if err := cf.Cfg.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	m := model.New(cf.Cfg, 0)
 
 	layers := m.QuantizableLayers()
 	if len(layers) != len(cf.Layers) {
-		return nil, fmt.Errorf("core: checkpoint has %d quantized layers, model has %d", len(cf.Layers), len(layers))
+		return nil, nil, fmt.Errorf("core: checkpoint has %d quantized layers, model has %d", len(cf.Layers), len(layers))
 	}
+	packed := make([]*quant.PackedMatrix, len(cf.Layers))
 	for i, cl := range cf.Layers {
 		ref := layers[i]
 		if ref.Name() != cl.Name {
-			return nil, fmt.Errorf("core: layer %d is %q, expected %q", i, cl.Name, ref.Name())
+			return nil, nil, fmt.Errorf("core: layer %d is %q, expected %q", i, cl.Name, ref.Name())
 		}
 		if cl.Rows != ref.Linear.Out() || cl.Cols != ref.Linear.In() {
-			return nil, fmt.Errorf("core: layer %q shape %dx%d, expected %dx%d", cl.Name, cl.Rows, cl.Cols, ref.Linear.Out(), ref.Linear.In())
+			return nil, nil, fmt.Errorf("core: layer %q shape %dx%d, expected %dx%d", cl.Name, cl.Rows, cl.Cols, ref.Linear.Out(), ref.Linear.In())
 		}
-		qm := &quant.QuantizedMatrix{
-			Rows: cl.Rows, Cols: cl.Cols, GroupSize: cl.GroupSize, Bits: cl.Bits,
-			Codes: quant.Unpack(cl.Packed, cl.Rows*cl.Cols, cl.Bits),
+		if len(cl.Scales) != len(cl.Zeros) {
+			return nil, nil, fmt.Errorf("core: layer %q has %d scales, %d zeros", cl.Name, len(cl.Scales), len(cl.Zeros))
 		}
+		params := make([]quant.GroupParams, len(cl.Scales))
 		for g := range cl.Scales {
-			qm.Params = append(qm.Params, quant.GroupParams{Scale: float64(cl.Scales[g]), Zero: float64(cl.Zeros[g])})
+			params[g] = quant.GroupParams{Scale: float64(cl.Scales[g]), Zero: float64(cl.Zeros[g])}
 		}
-		if err := qm.Validate(); err != nil {
-			return nil, fmt.Errorf("core: layer %q: %w", cl.Name, err)
+		pm, err := quant.NewPackedFromStream(cl.Rows, cl.Cols, cl.GroupSize, cl.Bits, cl.RowBits, cl.Packed, params)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: layer %q: %w", cl.Name, err)
 		}
-		ref.Linear.P.W.CopyFrom(qm.Dequantize())
+		packed[i] = pm
 	}
 
 	fp := map[string][]float32{}
@@ -140,14 +155,32 @@ func ReadCompressed(rd io.Reader) (*model.Model, error) {
 		}
 		t, ok := fp[p.Name]
 		if !ok {
-			return nil, fmt.Errorf("core: checkpoint missing tensor %q", p.Name)
+			return nil, nil, fmt.Errorf("core: checkpoint missing tensor %q", p.Name)
 		}
 		if len(t) != len(p.W.Data) {
-			return nil, fmt.Errorf("core: tensor %q has %d values, expected %d", p.Name, len(t), len(p.W.Data))
+			return nil, nil, fmt.Errorf("core: tensor %q has %d values, expected %d", p.Name, len(t), len(p.W.Data))
 		}
 		for j, v := range t {
 			p.W.Data[j] = float64(v)
 		}
+	}
+	return m, packed, nil
+}
+
+// ReadCompressed reconstructs a runnable float model from a compressed
+// checkpoint. Weights are dequantized into float64 on load (group
+// parameters were stored as float32, so reconstruction matches the
+// quantized model to float32 precision — verified in tests). For serving
+// from the compressed form without materializing float weights, use
+// ReadCompressedPacked.
+func ReadCompressed(rd io.Reader) (*model.Model, error) {
+	m, packed, err := readCompressedParts(rd)
+	if err != nil {
+		return nil, err
+	}
+	layers := m.QuantizableLayers()
+	for i, pm := range packed {
+		layers[i].Linear.P.W.CopyFrom(pm.Dequantize())
 	}
 	return m, nil
 }
@@ -160,4 +193,30 @@ func ReadCompressedFile(path string) (*model.Model, error) {
 	}
 	defer f.Close()
 	return ReadCompressed(f)
+}
+
+// ReadCompressedPacked reconstructs a packed-execution model from a
+// compressed checkpoint: quantizable projections adopt the checkpoint's
+// bit streams directly and compute with dequant-on-the-fly, so the
+// quantized weights are never dequantized into resident float64 matrices.
+// (Model construction transiently allocates the float skeleton of the
+// quantizable projections before the swap discards it; steady-state
+// residency is the packed streams plus the full-precision remainder.)
+// This is the serving load path of the paper's edge-deployment story.
+func ReadCompressedPacked(rd io.Reader) (*model.QuantizedModel, error) {
+	m, packed, err := readCompressedParts(rd)
+	if err != nil {
+		return nil, err
+	}
+	return model.NewQuantizedModel(m, packed)
+}
+
+// ReadCompressedPackedFile reads a packed-execution model from path.
+func ReadCompressedPackedFile(path string) (*model.QuantizedModel, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCompressedPacked(f)
 }

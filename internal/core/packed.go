@@ -1,0 +1,27 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/quant"
+)
+
+// PackedModel converts the quantization result into a packed-execution
+// model: every quantizable projection is swapped for an nn.QuantizedLinear
+// holding the bit-packed codes of res.Quantized, so forward passes (batch
+// and KV-cached incremental) compute straight from the compressed
+// representation. The result's float model is left untouched and keeps
+// producing identical outputs — the packed forward is bit-exact against
+// the dequantized weights, which is what res.Model already holds.
+func (r *Result) PackedModel() (*model.QuantizedModel, error) {
+	packed := make([]*quant.PackedMatrix, len(r.Quantized))
+	for i, qm := range r.Quantized {
+		pm, err := quant.PackMatrix(qm)
+		if err != nil {
+			return nil, fmt.Errorf("core: pack layer %s: %w", r.Layers[i].Name, err)
+		}
+		packed[i] = pm
+	}
+	return model.NewQuantizedModel(r.Model, packed)
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPackedModelForwardBitIdentical is the end-to-end acceptance property
+// of the packed execution path: a full APTQ run (mixed 2/4-bit allocation,
+// per-head W_V bands) converted with Result.PackedModel must produce
+// exactly the logits of the dequantized float model.
+func TestPackedModelForwardBitIdentical(t *testing.T) {
+	m := testModel()
+	calib := testCalib(6)
+	res, err := Quantize(m, calib, DefaultOptions(0.75))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm, err := res.PackedModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	want := res.Model.Forward(ids)
+	got := qm.Forward(ids)
+	if !got.Equal(want, 0) {
+		t.Fatal("packed model logits differ from dequantized float logits")
+	}
+	if r := qm.CompressionRatio(); r < 3 {
+		t.Fatalf("compression ratio %.2f < 3x", r)
+	}
+}
+
+// TestReadCompressedPackedMatchesFloatRead verifies the two load paths of
+// a compressed checkpoint agree exactly: serving from the packed streams
+// computes the same logits as dequantizing into a float model, because
+// both decode the same codes with the same float32-derived parameters.
+func TestReadCompressedPackedMatchesFloatRead(t *testing.T) {
+	m := testModel()
+	calib := testCalib(6)
+	res, err := Quantize(m, calib, DefaultOptions(0.75))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCompressed(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	floatModel, err := ReadCompressed(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	packedModel, err := ReadCompressedPacked(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	want := floatModel.Forward(ids)
+	got := packedModel.Forward(ids)
+	if !got.Equal(want, 0) {
+		t.Fatal("packed load path logits differ from dequantized load path")
+	}
+}
+
+// TestCompressedRowBitsRoundTrip pins the mixed-precision serialization
+// fix: a matrix whose rows use different bit widths must round-trip the
+// checkpoint losslessly. The previous single-stream writer packed every
+// code at the uniform width and silently truncated wider rows.
+func TestCompressedRowBitsRoundTrip(t *testing.T) {
+	m := testModel()
+	calib := testCalib(6)
+	res, err := Quantize(m, calib, DefaultOptions(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Widen half the rows of layer 0 to 6-bit codes, beyond the uniform
+	// 4-bit width.
+	q0 := res.Quantized[0]
+	q0.RowBits = make([]int, q0.Rows)
+	for r := range q0.RowBits {
+		if r%2 == 0 {
+			q0.RowBits[r] = 6
+			for c := 0; c < q0.Cols; c++ {
+				q0.Codes[r*q0.Cols+c] = uint16(c % 64)
+			}
+		} else {
+			q0.RowBits[r] = q0.Bits
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCompressed(&buf); err != nil {
+		t.Fatal(err)
+	}
+	qm, err := ReadCompressedPacked(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := qm.Layers[0].W.Unpack()
+	for i := range q0.Codes {
+		if back.Codes[i] != q0.Codes[i] {
+			t.Fatalf("code %d round-tripped %d -> %d", i, q0.Codes[i], back.Codes[i])
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/model"
+	"repro/internal/nn"
 	"repro/internal/tensor"
 )
 
@@ -182,14 +183,15 @@ func accumProbeGrams(m *model.Model, st *Stats, rng *rand.Rand, probes, seqLen i
 		// Rademacher draws per block).
 		for bi, b := range m.Blocks {
 			attn := b.Attn
+			wq, wk := nn.AsLinear(attn.WQ), nn.AsLinear(attn.WK)
 			r := rademacher(rng, seqLen, m.Cfg.Dim)
-			attn.WQ.P.ZeroGrad()
-			attn.WK.P.ZeroGrad()
-			attn.WV.P.ZeroGrad()
-			attn.WO.P.ZeroGrad()
+			wq.P.ZeroGrad()
+			wk.P.ZeroGrad()
+			nn.AsLinear(attn.WV).P.ZeroGrad()
+			nn.AsLinear(attn.WO).P.ZeroGrad()
 			attn.Backward(r)
-			gq := attn.WQ.P.Grad
-			gk := attn.WK.P.Grad
+			gq := wq.P.Grad
+			gk := wk.P.Grad
 			tensor.AddInPlace(st.Layers[qIdx[bi]].AttnH, tensor.MatMulTN(gq, gq))
 			tensor.AddInPlace(st.Layers[kIdx[bi]].AttnH, tensor.MatMulTN(gk, gk))
 		}

@@ -114,12 +114,12 @@ func TestProbeEstimatorMatchesAnalyticOnWO(t *testing.T) {
 	prng := rand.New(rand.NewSource(4))
 	for p := 0; p < probes; p++ {
 		r := rademacher(prng, len(seg), m.Cfg.Dim)
-		attn.WO.P.ZeroGrad()
-		attn.WQ.P.ZeroGrad()
-		attn.WK.P.ZeroGrad()
-		attn.WV.P.ZeroGrad()
+		nn.AsLinear(attn.WO).P.ZeroGrad()
+		nn.AsLinear(attn.WQ).P.ZeroGrad()
+		nn.AsLinear(attn.WK).P.ZeroGrad()
+		nn.AsLinear(attn.WV).P.ZeroGrad()
 		attn.Backward(r)
-		g := attn.WO.P.Grad
+		g := nn.AsLinear(attn.WO).P.Grad
 		tensor.AddInPlace(probeH, tensor.MatMulTN(g, g))
 	}
 	probeH.Scale(1 / float64(probes) / float64(m.Cfg.Dim))
@@ -188,7 +188,7 @@ func TestMLPHessianMatchesInputGram(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gate := m.Blocks[0].MLP.(*nn.MLP).Gate
+	gate := nn.AsLinear(m.Blocks[0].MLP.(*nn.MLP).Gate)
 	want := tensor.New(gate.In(), gate.In())
 	tokens := 0
 	for _, seg := range calib.Segments {

@@ -1,0 +1,142 @@
+// Batched incremental decoding: N KV-cached sessions advancing in
+// lockstep, fanned across workers at every step. Each session runs on its
+// own model view (model.Model.View), so all sessions share one resident
+// copy of the weights — float or packed — while owning their forward
+// scratch state and KV caches. With per-sequence RNG streams the batched
+// output is bit-identical to running the N sessions independently,
+// regardless of the worker count (the determinism contract of
+// internal/parallel).
+package infer
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// Batch runs N concurrent KV-cached decoding sessions over shared model
+// weights. Construct with NewBatch, feed with Prefill/Step, or use
+// Generate for the full sample-and-feed loop.
+type Batch struct {
+	sessions []*Session
+}
+
+// NewBatch creates n decoding sessions over views of m. The weights are
+// shared; each session owns its caches, so the sessions may advance
+// concurrently.
+func NewBatch(m *model.Model, n int) *Batch {
+	if n <= 0 {
+		panic(fmt.Sprintf("infer: batch of %d sessions", n))
+	}
+	b := &Batch{sessions: make([]*Session, n)}
+	for i := range b.sessions {
+		b.sessions[i] = NewSession(m.View())
+	}
+	return b
+}
+
+// NewBatchKVQuant is NewBatch with each session's KV cache stored at the
+// given bit width.
+func NewBatchKVQuant(m *model.Model, n, kvBits int) *Batch {
+	b := NewBatch(m, n)
+	for _, s := range b.sessions {
+		s.kvQuant = newKVQuantizer(kvBits)
+	}
+	return b
+}
+
+// Size returns the number of sessions in the batch.
+func (b *Batch) Size() int { return len(b.sessions) }
+
+// Session returns the i-th underlying session (for inspection; stepping it
+// directly while also using the batch APIs is the caller's responsibility).
+func (b *Batch) Session(i int) *Session { return b.sessions[i] }
+
+// Reset clears every session's cache for a new batch of sequences.
+func (b *Batch) Reset() {
+	for _, s := range b.sessions {
+		s.Reset()
+	}
+}
+
+// Prefill consumes one prompt per session concurrently and returns each
+// session's last-token logits (nil for an empty prompt).
+func (b *Batch) Prefill(prompts [][]int) ([]*tensor.Mat, error) {
+	if len(prompts) != len(b.sessions) {
+		return nil, fmt.Errorf("infer: %d prompts for a batch of %d sessions", len(prompts), len(b.sessions))
+	}
+	logits := make([]*tensor.Mat, len(b.sessions))
+	var fe parallel.FirstError
+	parallel.ForEach(len(b.sessions), func(i int) {
+		l, err := b.sessions[i].Prefill(prompts[i])
+		logits[i] = l
+		fe.Set(i, err)
+	})
+	if err := fe.Err(); err != nil {
+		return nil, err
+	}
+	return logits, nil
+}
+
+// Step consumes one token per session concurrently (the per-step fan-out)
+// and returns each session's next-token logits.
+func (b *Batch) Step(tokens []int) ([]*tensor.Mat, error) {
+	if len(tokens) != len(b.sessions) {
+		return nil, fmt.Errorf("infer: %d tokens for a batch of %d sessions", len(tokens), len(b.sessions))
+	}
+	logits := make([]*tensor.Mat, len(b.sessions))
+	var fe parallel.FirstError
+	parallel.ForEach(len(b.sessions), func(i int) {
+		l, err := b.sessions[i].Step(tokens[i])
+		logits[i] = l
+		fe.Set(i, err)
+	})
+	if err := fe.Err(); err != nil {
+		return nil, err
+	}
+	return logits, nil
+}
+
+// Generate samples n tokens per sequence after the prompts at the given
+// temperature (0 = greedy), advancing all sequences in lockstep with a
+// per-step fan-out across workers. Sequence i draws from its own RNG
+// stream seeded seed+i, so the output is bit-identical to running
+// Session.Generate independently per sequence with rand.NewSource(seed+i)
+// — at any worker count.
+func (b *Batch) Generate(seed int64, prompts [][]int, n int, temperature float64) ([][]int, error) {
+	logits, err := b.Prefill(prompts)
+	if err != nil {
+		return nil, err
+	}
+	for i, l := range logits {
+		if l == nil {
+			return nil, fmt.Errorf("infer: empty prompt for sequence %d", i)
+		}
+	}
+	rngs := make([]*rand.Rand, len(b.sessions))
+	for i := range rngs {
+		rngs[i] = rand.New(rand.NewSource(seed + int64(i)))
+	}
+	out := make([][]int, len(b.sessions))
+	for t := 0; t < n; t++ {
+		last := t == n-1
+		var fe parallel.FirstError
+		parallel.ForEach(len(b.sessions), func(i int) {
+			tok := SampleLogits(rngs[i], logits[i].Row(0), temperature)
+			out[i] = append(out[i], tok)
+			if last {
+				return
+			}
+			l, err := b.sessions[i].Step(tok)
+			logits[i] = l
+			fe.Set(i, err)
+		})
+		if err := fe.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+package infer
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/parallel"
+	"repro/internal/quant"
+)
+
+func testPrompts(rng *rand.Rand, n, vocab, maxLen int) [][]int {
+	prompts := make([][]int, n)
+	for i := range prompts {
+		prompts[i] = make([]int, 1+rng.Intn(maxLen))
+		for j := range prompts[i] {
+			prompts[i][j] = rng.Intn(vocab)
+		}
+	}
+	return prompts
+}
+
+// independentGenerate is the reference semantics of Batch.Generate: each
+// sequence decoded by its own serial session with RNG seed+i.
+func independentGenerate(t *testing.T, m *model.Model, seed int64, prompts [][]int, n int, temperature float64) [][]int {
+	t.Helper()
+	out := make([][]int, len(prompts))
+	for i, p := range prompts {
+		s := NewSession(m)
+		toks, err := s.Generate(rand.New(rand.NewSource(seed+int64(i))), p, n, temperature)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = toks
+	}
+	return out
+}
+
+// TestBatchGenerateMatchesIndependentSessions is the batched-decode
+// equality property: at every worker count, Batch.Generate must produce
+// exactly the tokens of N independent sessions.
+func TestBatchGenerateMatchesIndependentSessions(t *testing.T) {
+	for _, cfg := range []model.Config{model.Tiny(), model.TinyGPT()} {
+		m := model.New(cfg, 1)
+		rng := rand.New(rand.NewSource(3))
+		prompts := testPrompts(rng, 5, cfg.Vocab, 4)
+		const seed, steps, temp = 42, 8, 0.9
+		want := independentGenerate(t, m, seed, prompts, steps, temp)
+		for _, workers := range []int{1, 2, 3, 8} {
+			parallel.SetWorkers(workers)
+			b := NewBatch(m, len(prompts))
+			got, err := b.Generate(seed, prompts, steps, temp)
+			parallel.SetWorkers(0)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", cfg.Name, workers, err)
+			}
+			for i := range want {
+				for j := range want[i] {
+					if got[i][j] != want[i][j] {
+						t.Fatalf("%s workers=%d: sequence %d token %d = %d, want %d",
+							cfg.Name, workers, i, j, got[i][j], want[i][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBatchGenerateGreedyPackedMatchesFloat(t *testing.T) {
+	// A packed model batch must decode exactly like the float model
+	// holding the dequantized weights (greedy, so sampling noise cannot
+	// mask a mismatch).
+	cfg := model.Tiny()
+	m := model.New(cfg, 1)
+	ref := m.Clone()
+	refLayers := ref.QuantizableLayers()
+	var packed []*quant.PackedMatrix
+	for i, lr := range m.QuantizableLayers() {
+		q := quant.RTN(lr.Linear.P.W, 4, 8, false)
+		pm, err := quant.PackMatrix(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		packed = append(packed, pm)
+		refLayers[i].Linear.P.W.CopyFrom(q.Dequantize())
+	}
+	qm, err := model.NewQuantizedModel(m, packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	prompts := testPrompts(rng, 4, cfg.Vocab, 3)
+	parallel.SetWorkers(4)
+	defer parallel.SetWorkers(0)
+	want, err := NewBatch(ref, len(prompts)).Generate(1, prompts, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewBatch(qm.Model, len(prompts)).Generate(1, prompts, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("sequence %d token %d: packed %d, float %d", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestBatchStepAndReset(t *testing.T) {
+	cfg := model.Tiny()
+	m := model.New(cfg, 1)
+	b := NewBatch(m, 3)
+	logits, err := b.Step([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range logits {
+		if l.Rows != 1 || l.Cols != cfg.Vocab {
+			t.Fatalf("session %d logits %dx%d", i, l.Rows, l.Cols)
+		}
+	}
+	if b.Session(0).Pos() != 1 {
+		t.Fatal("step did not advance")
+	}
+	b.Reset()
+	if b.Session(0).Pos() != 0 {
+		t.Fatal("reset did not rewind")
+	}
+	if _, err := b.Step([]int{1}); err == nil {
+		t.Fatal("expected token-count mismatch error")
+	}
+	if _, err := b.Generate(1, [][]int{{1}, {}, {2}}, 2, 0); err == nil {
+		t.Fatal("expected empty-prompt error")
+	}
+}
+
+func TestBatchKVQuantMatchesKVQuantSessions(t *testing.T) {
+	cfg := model.Tiny()
+	m := model.New(cfg, 1)
+	rng := rand.New(rand.NewSource(7))
+	prompts := testPrompts(rng, 3, cfg.Vocab, 3)
+	want := make([][]int, len(prompts))
+	for i, p := range prompts {
+		s := NewSessionKVQuant(m, 4)
+		toks, err := s.Generate(rand.New(rand.NewSource(9+int64(i))), p, 5, 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = toks
+	}
+	parallel.SetWorkers(3)
+	defer parallel.SetWorkers(0)
+	got, err := NewBatchKVQuant(m, len(prompts), 4).Generate(9, prompts, 5, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("sequence %d token %d: batch %d, serial %d", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}

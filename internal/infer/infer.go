@@ -52,8 +52,14 @@ func NewSession(m *model.Model) *Session {
 // the given bit width (e.g. 4 for a 4-bit KV cache).
 func NewSessionKVQuant(m *model.Model, kvBits int) *Session {
 	s := NewSession(m)
-	s.kvQuant = &quant.ActQuantizer{Bits: kvBits, PerToken: true}
+	s.kvQuant = newKVQuantizer(kvBits)
 	return s
+}
+
+// newKVQuantizer builds the per-token dynamic quantizer KV-cache
+// quantization uses.
+func newKVQuantizer(kvBits int) *quant.ActQuantizer {
+	return &quant.ActQuantizer{Bits: kvBits, PerToken: true}
 }
 
 // Pos returns the number of tokens consumed so far.
@@ -131,16 +137,16 @@ func (s *Session) stepAttention(b *nn.Block, c *kvCache, x *tensor.Mat) *tensor.
 }
 
 // applyRoPEAt rotates a single-row matrix as if it sat at sequence
-// position pos (RoPE.Apply assumes row index == position, so we embed the
-// row in a padded matrix view). No-op for non-rotary architectures.
+// position pos. RoPE.ApplyAt rotates the row in place with the tables of
+// that position, so incremental decode costs O(dim) per projection instead
+// of the O(pos·dim) padded-matrix embedding it used previously (which made
+// a full decode O(seq²) in allocations and rotation work per layer).
+// No-op for non-rotary architectures.
 func applyRoPEAt(attn *nn.Attention, row *tensor.Mat, pos int) {
 	if attn.Rope == nil {
 		return
 	}
-	padded := tensor.New(pos+1, row.Cols)
-	copy(padded.Row(pos), row.Row(0))
-	attn.Rope.Apply(padded)
-	copy(row.Row(0), padded.Row(pos))
+	attn.Rope.ApplyAt(row, pos)
 }
 
 // Prefill consumes a prompt and returns the logits after its last token.
@@ -183,7 +189,17 @@ func (s *Session) Generate(rng *rand.Rand, prompt []int, n int, temperature floa
 
 // SampleLogits draws a token from softmax(logits/temperature); a
 // temperature of 0 returns the argmax.
+//
+// Degenerate inputs have explicit behavior instead of panics or silent
+// bias: an empty logits slice returns -1 (no valid token), and logits that
+// are all -Inf — a fully masked distribution — sample uniformly (the
+// greedy path returns index 0), matching tensor.Softmax's uniform
+// fallback rather than the NaN cascade that previously always yielded the
+// last token.
 func SampleLogits(rng *rand.Rand, logits []float64, temperature float64) int {
+	if len(logits) == 0 {
+		return -1
+	}
 	if temperature <= 0 {
 		best := 0
 		for i, v := range logits {

@@ -1,0 +1,60 @@
+package infer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSampleLogitsEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Empty logits used to panic inside tensor.Softmax (src[0]); the
+	// defined behavior is the -1 "no valid token" sentinel on both paths.
+	if got := SampleLogits(rng, nil, 0); got != -1 {
+		t.Fatalf("greedy on empty logits = %d, want -1", got)
+	}
+	if got := SampleLogits(rng, []float64{}, 1.0); got != -1 {
+		t.Fatalf("sampling on empty logits = %d, want -1", got)
+	}
+}
+
+func TestSampleLogitsAllNegInf(t *testing.T) {
+	negInf := math.Inf(-1)
+	logits := []float64{negInf, negInf, negInf, negInf}
+	// Greedy: deterministic first index.
+	if got := SampleLogits(rand.New(rand.NewSource(1)), logits, 0); got != 0 {
+		t.Fatalf("greedy on all--Inf = %d, want 0", got)
+	}
+	// Sampling: uniform over all indices, never the silent
+	// always-last-token of the previous NaN cascade. With 400 draws every
+	// index of 4 appears with probability 1 - (3/4)^400 ≈ 1.
+	rng := rand.New(rand.NewSource(2))
+	seen := map[int]int{}
+	for i := 0; i < 400; i++ {
+		tok := SampleLogits(rng, logits, 1.0)
+		if tok < 0 || tok >= len(logits) {
+			t.Fatalf("sampled out-of-range token %d", tok)
+		}
+		seen[tok]++
+	}
+	for i := range logits {
+		if seen[i] == 0 {
+			t.Fatalf("uniform fallback never sampled index %d (histogram %v)", i, seen)
+		}
+	}
+}
+
+func TestSampleLogitsNormalPaths(t *testing.T) {
+	logits := []float64{0, 3, -1}
+	if got := SampleLogits(rand.New(rand.NewSource(1)), logits, 0); got != 1 {
+		t.Fatalf("greedy argmax = %d, want 1", got)
+	}
+	// One -Inf among finite logits must simply never be drawn.
+	masked := []float64{2, math.Inf(-1), 1}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		if tok := SampleLogits(rng, masked, 0.7); tok == 1 {
+			t.Fatal("sampled a -Inf-masked token")
+		}
+	}
+}

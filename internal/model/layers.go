@@ -81,12 +81,12 @@ func (m *Model) QuantizableLayers() []LayerRef {
 	var out []LayerRef
 	for i, b := range m.Blocks {
 		out = append(out,
-			LayerRef{Block: i, Role: RoleQ, Linear: b.Attn.WQ, Attn: b.Attn},
-			LayerRef{Block: i, Role: RoleK, Linear: b.Attn.WK, Attn: b.Attn},
-			LayerRef{Block: i, Role: RoleV, Linear: b.Attn.WV, Attn: b.Attn},
-			LayerRef{Block: i, Role: RoleO, Linear: b.Attn.WO, Attn: b.Attn},
+			LayerRef{Block: i, Role: RoleQ, Linear: nn.AsLinear(b.Attn.WQ), Attn: b.Attn},
+			LayerRef{Block: i, Role: RoleK, Linear: nn.AsLinear(b.Attn.WK), Attn: b.Attn},
+			LayerRef{Block: i, Role: RoleV, Linear: nn.AsLinear(b.Attn.WV), Attn: b.Attn},
+			LayerRef{Block: i, Role: RoleO, Linear: nn.AsLinear(b.Attn.WO), Attn: b.Attn},
 		)
-		linears := b.MLP.QuantizableLinears()
+		linears := b.MLP.Projections()
 		var roles []Role
 		switch len(linears) {
 		case 3:
@@ -94,10 +94,10 @@ func (m *Model) QuantizableLayers() []LayerRef {
 		case 2:
 			roles = []Role{RoleUp, RoleDown}
 		default:
-			panic(fmt.Sprintf("model: unsupported MLP with %d quantizable linears", len(linears)))
+			panic(fmt.Sprintf("model: unsupported MLP with %d quantizable projections", len(linears)))
 		}
 		for j, l := range linears {
-			out = append(out, LayerRef{Block: i, Role: roles[j], Linear: l})
+			out = append(out, LayerRef{Block: i, Role: roles[j], Linear: nn.AsLinear(l)})
 		}
 	}
 	return out

@@ -206,6 +206,29 @@ func (m *Model) NumParams() int {
 	return n
 }
 
+// View returns a model sharing every weight tensor with m but owning all
+// per-forward scratch state (attention caches, norm caches, linear input
+// caches). Concurrent decoding sessions each run on their own view, so N
+// sessions share one copy of the weights — the serving-memory property the
+// packed deployment path depends on — without racing on forward caches.
+// Views are forward-only by convention: training a view corrupts shared
+// gradients nondeterministically.
+func (m *Model) View() *Model {
+	v := &Model{
+		Cfg:   m.Cfg,
+		Embed: m.Embed.View(),
+		Norm:  m.Norm.View(),
+		Head:  nn.AsLinear(m.Head.View()),
+	}
+	if m.PosEmbed != nil {
+		v.PosEmbed = m.PosEmbed.View()
+	}
+	for _, b := range m.Blocks {
+		v.Blocks = append(v.Blocks, b.View())
+	}
+	return v
+}
+
 // Clone returns a deep copy of the model (weights copied, gradients
 // zeroed). Deployment-time input transforms on Linear layers (InScale,
 // ActQuant) are not carried over; quantizers install them on the clone they
@@ -214,6 +237,12 @@ func (m *Model) Clone() *Model {
 	c := New(m.Cfg, 0)
 	src := m.Params()
 	dst := c.Params()
+	if len(src) != len(dst) {
+		// A packed (projection-swapped) model exposes fewer trainable
+		// params than a freshly built float model; an index-wise copy
+		// would misalign.
+		panic(fmt.Sprintf("model: Clone of a packed/quantized model (%d params, float model has %d)", len(src), len(dst)))
+	}
 	for i := range src {
 		dst[i].W.CopyFrom(src[i].W)
 	}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/nn"
 	"repro/internal/tensor"
 )
 
@@ -92,8 +93,8 @@ func TestCloneIndependence(t *testing.T) {
 	if !m.Forward(ids).Equal(c.Forward(ids), 1e-12) {
 		t.Fatal("clone must produce identical outputs")
 	}
-	c.Blocks[0].Attn.WQ.P.W.Data[0] += 100
-	if m.Blocks[0].Attn.WQ.P.W.Data[0] == c.Blocks[0].Attn.WQ.P.W.Data[0] {
+	nn.AsLinear(c.Blocks[0].Attn.WQ).P.W.Data[0] += 100
+	if nn.AsLinear(m.Blocks[0].Attn.WQ).P.W.Data[0] == nn.AsLinear(c.Blocks[0].Attn.WQ).P.W.Data[0] {
 		t.Fatal("clone must not share weight storage")
 	}
 }
@@ -174,7 +175,7 @@ func TestForwardUsesAllBlocks(t *testing.T) {
 	before := m.Forward(ids).Clone()
 	// Perturb the last block's output projection: logits must change.
 	last := m.Blocks[len(m.Blocks)-1]
-	tensor.AddScaled(last.Attn.WO.P.W, 0.5, tensor.Randn(rand.New(rand.NewSource(1)), m.Cfg.Dim, m.Cfg.Dim, 1))
+	tensor.AddScaled(nn.AsLinear(last.Attn.WO).P.W, 0.5, tensor.Randn(rand.New(rand.NewSource(1)), m.Cfg.Dim, m.Cfg.Dim, 1))
 	after := m.Forward(ids)
 	if before.Equal(after, 1e-9) {
 		t.Fatal("perturbing last block did not change logits")

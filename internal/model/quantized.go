@@ -1,0 +1,111 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/quant"
+)
+
+// QuantizedModel is a model whose quantizable projections execute directly
+// from the packed low-bit representation: every quantizable nn.Linear is
+// swapped for an nn.QuantizedLinear holding the bit-packed codes and group
+// parameters, and only the embedding, norms, biases and head remain
+// float64. Forward (and the KV-cached incremental decoder, which shares
+// the same projection slots) therefore runs from the compressed weights —
+// the execution mode the paper's edge-deployment motivation calls for,
+// rather than dequantize-then-float evaluation.
+//
+// The embedded Model is a view of the source model: it shares the
+// full-precision tensors with it but owns the projection slots, so the
+// source float model is left untouched (and its float quantizable weights
+// become garbage-collectable once the caller drops it).
+type QuantizedModel struct {
+	*Model
+	// Layers holds the packed projections in QuantizableLayers order.
+	Layers []*nn.QuantizedLinear
+}
+
+// NewQuantizedModel builds a packed-execution model from a float model and
+// the packed form of each quantizable layer, in QuantizableLayers order
+// (the order core.Result.Quantized uses). The float model m is not
+// modified.
+func NewQuantizedModel(m *Model, packed []*quant.PackedMatrix) (*QuantizedModel, error) {
+	refs := m.QuantizableLayers()
+	if len(packed) != len(refs) {
+		return nil, fmt.Errorf("model: %d packed matrices for %d quantizable layers", len(packed), len(refs))
+	}
+	v := m.View()
+	vrefs := v.QuantizableLayers()
+	qm := &QuantizedModel{Model: v, Layers: make([]*nn.QuantizedLinear, len(refs))}
+	for i, pm := range vrefs {
+		p := packed[i]
+		if p == nil {
+			return nil, fmt.Errorf("model: missing packed matrix for layer %s", pm.Name())
+		}
+		if p.Rows != pm.Linear.Out() || p.Cols != pm.Linear.In() {
+			return nil, fmt.Errorf("model: packed %dx%d for layer %s (%dx%d)",
+				p.Rows, p.Cols, pm.Name(), pm.Linear.Out(), pm.Linear.In())
+		}
+		// Deployment-time input transforms (SmoothQuant's InScale, W·A
+		// activation quantizers) have no packed equivalent yet; swapping
+		// such a layer would silently skip the input-side transform.
+		if pm.Linear.InScale != nil || pm.Linear.ActQuant != nil {
+			return nil, fmt.Errorf("model: layer %s carries deployment-time input transforms; packed execution does not support them", pm.Name())
+		}
+		ql := nn.NewQuantizedLinear(pm.Name(), p, pm.Linear.Bias)
+		qm.Layers[i] = ql
+		block := v.Blocks[pm.Block]
+		switch pm.Role {
+		case RoleQ:
+			block.Attn.WQ = ql
+		case RoleK:
+			block.Attn.WK = ql
+		case RoleV:
+			block.Attn.WV = ql
+		case RoleO:
+			block.Attn.WO = ql
+		default:
+			slot := -1
+			for j, proj := range block.MLP.Projections() {
+				if proj == nn.Projection(pm.Linear) {
+					slot = j
+					break
+				}
+			}
+			if slot < 0 {
+				return nil, fmt.Errorf("model: projection slot for %s not found", pm.Name())
+			}
+			block.MLP.SetProjection(slot, ql)
+		}
+	}
+	return qm, nil
+}
+
+// PackedWeightBytes returns the resident bytes of all packed projections —
+// streams, group parameters and row bookkeeping.
+func (qm *QuantizedModel) PackedWeightBytes() int64 {
+	var b int64
+	for _, l := range qm.Layers {
+		b += l.WeightBytes()
+	}
+	return b
+}
+
+// FloatWeightBytes returns the bytes the same projections occupy in
+// float64 form (8 bytes per scalar weight) — the baseline the compression
+// ratio is measured against.
+func (qm *QuantizedModel) FloatWeightBytes() int64 {
+	var b int64
+	for _, l := range qm.Layers {
+		b += 8 * int64(l.In()) * int64(l.Out())
+	}
+	return b
+}
+
+// CompressionRatio returns FloatWeightBytes / PackedWeightBytes — how many
+// times smaller the resident quantizable weights are than their float64
+// form.
+func (qm *QuantizedModel) CompressionRatio() float64 {
+	return float64(qm.FloatWeightBytes()) / float64(qm.PackedWeightBytes())
+}

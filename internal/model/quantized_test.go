@@ -1,0 +1,145 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// packAllLayers RTN-quantizes every quantizable layer of m and returns the
+// packed matrices plus a float model whose projections hold the
+// dequantized weights (the reference execution path).
+func packAllLayers(t *testing.T, m *Model, bits, groupSize int) ([]*quant.PackedMatrix, *Model) {
+	t.Helper()
+	ref := m.Clone()
+	refLayers := ref.QuantizableLayers()
+	var packed []*quant.PackedMatrix
+	for i, lr := range m.QuantizableLayers() {
+		q := quant.RTN(lr.Linear.P.W, bits, groupSize, false)
+		pm, err := quant.PackMatrix(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		packed = append(packed, pm)
+		refLayers[i].Linear.P.W.CopyFrom(q.Dequantize())
+	}
+	return packed, ref
+}
+
+func TestQuantizedModelForwardBitIdentical(t *testing.T) {
+	for _, cfg := range []Config{Tiny(), TinyGPT()} {
+		m := New(cfg, 1)
+		packed, ref := packAllLayers(t, m, 4, 8)
+		qm, err := NewQuantizedModel(m, packed)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		ids := []int{1, 2, 3, 5, 7, 11}
+		want := ref.Forward(ids)
+		got := qm.Forward(ids)
+		if !got.Equal(want, 0) {
+			t.Fatalf("%s: packed model forward differs from dequantized float forward", cfg.Name)
+		}
+	}
+}
+
+func TestQuantizedModelLeavesSourceUntouched(t *testing.T) {
+	m := New(Tiny(), 1)
+	before := nn.AsLinear(m.Blocks[0].Attn.WQ).P.W.Clone()
+	packed, _ := packAllLayers(t, m, 4, 8)
+	if _, err := NewQuantizedModel(m, packed); err != nil {
+		t.Fatal(err)
+	}
+	if !nn.AsLinear(m.Blocks[0].Attn.WQ).P.W.Equal(before, 0) {
+		t.Fatal("NewQuantizedModel mutated the source model")
+	}
+	// The source still quantizes/trains: its projections are float.
+	if len(m.QuantizableLayers()) == 0 {
+		t.Fatal("source model lost its quantizable layers")
+	}
+}
+
+func TestQuantizedModelCompression(t *testing.T) {
+	// Acceptance criterion: resident packed weight bytes >= 3x smaller
+	// than float64 at 4-bit.
+	m := New(Nano7B(), 1)
+	packed, _ := packAllLayers(t, m, 4, 16)
+	qm, err := NewQuantizedModel(m, packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := qm.CompressionRatio(); r < 3 {
+		t.Fatalf("4-bit compression ratio %.2f < 3x (packed %d bytes, float %d bytes)",
+			r, qm.PackedWeightBytes(), qm.FloatWeightBytes())
+	}
+}
+
+func TestQuantizedModelRejectsMismatch(t *testing.T) {
+	m := New(Tiny(), 1)
+	packed, _ := packAllLayers(t, m, 4, 8)
+	if _, err := NewQuantizedModel(m, packed[:len(packed)-1]); err == nil {
+		t.Fatal("expected error for missing packed matrix")
+	}
+	rng := rand.New(rand.NewSource(9))
+	wrong := quant.RTN(tensor.Randn(rng, 3, 5, 1), 4, 4, false)
+	pm, err := quant.PackMatrix(wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed[2] = pm
+	if _, err := NewQuantizedModel(m, packed); err == nil {
+		t.Fatal("expected error for wrong packed shape")
+	}
+}
+
+func TestQuantizedModelRejectsInputTransforms(t *testing.T) {
+	// SmoothQuant-style layers divide the input by per-channel scales at
+	// runtime; the packed layer has no input-side transform, so swapping
+	// one in must fail loudly rather than silently skip the division.
+	m := New(Tiny(), 1)
+	packed, _ := packAllLayers(t, m, 4, 8)
+	l := nn.AsLinear(m.Blocks[0].Attn.WQ)
+	l.InScale = make([]float64, l.In())
+	for i := range l.InScale {
+		l.InScale[i] = 1
+	}
+	if _, err := NewQuantizedModel(m, packed); err == nil {
+		t.Fatal("expected error for a layer carrying deployment-time input transforms")
+	}
+}
+
+func TestQuantizedModelRefusesRequantization(t *testing.T) {
+	m := New(Tiny(), 1)
+	packed, _ := packAllLayers(t, m, 4, 8)
+	qm, err := NewQuantizedModel(m, packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("QuantizableLayers on a packed model must panic")
+		}
+	}()
+	qm.QuantizableLayers()
+}
+
+func TestModelViewSharesWeightsOwnsScratch(t *testing.T) {
+	for _, cfg := range []Config{Tiny(), TinyGPT()} {
+		m := New(cfg, 1)
+		v := m.View()
+		ids := []int{1, 2, 3}
+		if !v.Forward(ids).Equal(m.Forward(ids), 0) {
+			t.Fatalf("%s: view forward differs", cfg.Name)
+		}
+		// Shared storage: nudging a weight through the view is visible in
+		// the original.
+		nn.AsLinear(v.Blocks[0].Attn.WQ).P.W.Data[0] += 1
+		if nn.AsLinear(m.Blocks[0].Attn.WQ).P.W.Data[0] != nn.AsLinear(v.Blocks[0].Attn.WQ).P.W.Data[0] {
+			t.Fatalf("%s: view does not share weight storage", cfg.Name)
+		}
+		nn.AsLinear(v.Blocks[0].Attn.WQ).P.W.Data[0] -= 1
+	}
+}

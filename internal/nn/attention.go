@@ -21,7 +21,11 @@ import (
 type Attention struct {
 	Dim, Heads, HeadDim int
 
-	WQ, WK, WV, WO *Linear
+	// The projection slots hold *Linear on trainable models and
+	// *QuantizedLinear after a QuantizedModel swap-in (packed low-bit
+	// execution); quantization pipelines assert the float form via
+	// nn.AsLinear.
+	WQ, WK, WV, WO Projection
 	// Rope is nil for architectures using learned positional embeddings
 	// (GPT/OPT); attention is then position-agnostic.
 	Rope *RoPE
@@ -181,8 +185,19 @@ func (a *Attention) HeadAttn(h int) *tensor.Mat { return a.attn[h] }
 // biases for biased variants).
 func (a *Attention) Params() []*Param {
 	var ps []*Param
-	for _, l := range []*Linear{a.WQ, a.WK, a.WV, a.WO} {
+	for _, l := range []Projection{a.WQ, a.WK, a.WV, a.WO} {
 		ps = append(ps, l.Params()...)
 	}
 	return ps
+}
+
+// View returns an Attention sharing this block's projection weights and
+// rotary tables but owning its forward caches, so concurrent decoding
+// sessions never race on the per-forward scratch state.
+func (a *Attention) View() *Attention {
+	return &Attention{
+		Dim: a.Dim, Heads: a.Heads, HeadDim: a.HeadDim,
+		WQ: a.WQ.View(), WK: a.WK.View(), WV: a.WV.View(), WO: a.WO.View(),
+		Rope: a.Rope,
+	}
 }

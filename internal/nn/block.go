@@ -53,6 +53,17 @@ func (b *Block) Backward(dOut *tensor.Mat) *tensor.Mat {
 	return dx
 }
 
+// View returns a Block sharing this one's weights but owning all forward
+// scratch state (see model.Model.View).
+func (b *Block) View() *Block {
+	return &Block{
+		AttnNorm: b.AttnNorm.View(),
+		Attn:     b.Attn.View(),
+		MLPNorm:  b.MLPNorm.View(),
+		MLP:      b.MLP.View(),
+	}
+}
+
 // Params returns all trainable parameters of the block.
 func (b *Block) Params() []*Param {
 	var ps []*Param

@@ -51,3 +51,6 @@ func (e *Embedding) Backward(dy *tensor.Mat) {
 
 // Params returns the layer's trainable parameters.
 func (e *Embedding) Params() []*Param { return []*Param{e.P} }
+
+// View returns an Embedding sharing the table but owning its forward cache.
+func (e *Embedding) View() *Embedding { return &Embedding{P: e.P} }

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -13,9 +14,14 @@ type FeedForward interface {
 	Forward(x *tensor.Mat) *tensor.Mat
 	Backward(dy *tensor.Mat) *tensor.Mat
 	Params() []*Param
-	// QuantizableLinears returns the weight matrices subject to
-	// quantization, in a stable order.
-	QuantizableLinears() []*Linear
+	// Projections returns the quantizable projection slots in a stable
+	// order; SetProjection replaces slot i (the packed-execution swap-in
+	// hook of model.QuantizedModel).
+	Projections() []Projection
+	SetProjection(i int, p Projection)
+	// View returns a feed-forward block sharing this one's weights but
+	// owning its forward caches (see model.Model.View).
+	View() FeedForward
 }
 
 // Compile-time interface checks.
@@ -24,13 +30,12 @@ var (
 	_ FeedForward = (*GELUMLP)(nil)
 )
 
-// QuantizableLinears returns gate, up, down.
-func (m *MLP) QuantizableLinears() []*Linear { return []*Linear{m.Gate, m.Up, m.Down} }
-
 // GELUMLP is the two-layer GELU feed-forward block of GPT-2/OPT:
 // y = W_fc2·gelu(W_fc1·x + b1) + b2.
 type GELUMLP struct {
-	FC1, FC2 *Linear
+	// The projection slots hold *Linear on trainable models and
+	// *QuantizedLinear after a QuantizedModel swap-in.
+	FC1, FC2 Projection
 
 	hiddenPre *tensor.Mat // pre-activation cache
 }
@@ -85,5 +90,23 @@ func (m *GELUMLP) Params() []*Param {
 	return append(m.FC1.Params(), m.FC2.Params()...)
 }
 
-// QuantizableLinears returns fc1, fc2.
-func (m *GELUMLP) QuantizableLinears() []*Linear { return []*Linear{m.FC1, m.FC2} }
+// Projections returns the quantizable projection slots: fc1, fc2.
+func (m *GELUMLP) Projections() []Projection { return []Projection{m.FC1, m.FC2} }
+
+// SetProjection replaces slot i of Projections.
+func (m *GELUMLP) SetProjection(i int, p Projection) {
+	switch i {
+	case 0:
+		m.FC1 = p
+	case 1:
+		m.FC2 = p
+	default:
+		panic(fmt.Sprintf("nn: GELUMLP has no projection slot %d", i))
+	}
+}
+
+// View returns a GELUMLP sharing this block's weights but owning its
+// forward caches (see Model.View).
+func (m *GELUMLP) View() FeedForward {
+	return &GELUMLP{FC1: m.FC1.View(), FC2: m.FC2.View()}
+}

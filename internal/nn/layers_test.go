@@ -139,7 +139,7 @@ func TestAttentionCacheExposure(t *testing.T) {
 		t.Fatal("LastContext missing or wrong shape")
 	}
 	// out must equal WO applied to ctx.
-	want := tensor.MatMulNT(ctx, a.WO.P.W)
+	want := tensor.MatMulNT(ctx, AsLinear(a.WO).P.W)
 	if !out.Equal(want, 1e-10) {
 		t.Fatal("output != WO(context)")
 	}
@@ -148,7 +148,7 @@ func TestAttentionCacheExposure(t *testing.T) {
 func TestMLPSwiGLUZeroGateIsZero(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	m := NewMLP(rng, "m", 4, 8)
-	m.Gate.P.W.Zero() // silu(0) = 0 ⇒ hidden = 0 ⇒ output = 0
+	AsLinear(m.Gate).P.W.Zero() // silu(0) = 0 ⇒ hidden = 0 ⇒ output = 0
 	x := tensor.Randn(rng, 3, 4, 1)
 	y := m.Forward(x)
 	if y.MaxAbs() > 1e-12 {
@@ -178,8 +178,8 @@ func TestBlockResidualPath(t *testing.T) {
 	// be the identity.
 	rng := rand.New(rand.NewSource(7))
 	b := NewBlock(rng, "b", 8, 2, 12, 16, 10000)
-	b.Attn.WO.P.W.Zero()
-	b.MLP.(*MLP).Down.P.W.Zero()
+	AsLinear(b.Attn.WO).P.W.Zero()
+	AsLinear(b.MLP.(*MLP).Down).P.W.Zero()
 	x := tensor.Randn(rng, 4, 8, 1)
 	y := b.Forward(x)
 	if !y.Equal(x, 1e-12) {

@@ -1,11 +1,47 @@
 package nn
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/quant"
 	"repro/internal/tensor"
 )
+
+// Projection is the contract of a y = x·Wᵀ (+ bias) projection slot in the
+// transformer layers. Two implementations exist: *Linear, the trainable
+// float64 layer every model starts from, and *QuantizedLinear, the packed
+// low-bit deployment layer a QuantizedModel swaps in. Training-only
+// operations (Backward) panic on deployment implementations.
+type Projection interface {
+	Forward(x *tensor.Mat) *tensor.Mat
+	Backward(dy *tensor.Mat) *tensor.Mat
+	In() int
+	Out() int
+	Params() []*Param
+	// View returns a projection sharing this one's weights but owning any
+	// forward scratch state, so concurrent decoding sessions can run over
+	// shared weight storage (see model.Model.View).
+	View() Projection
+}
+
+// Compile-time interface checks.
+var (
+	_ Projection = (*Linear)(nil)
+	_ Projection = (*QuantizedLinear)(nil)
+)
+
+// AsLinear asserts that a projection slot still holds the trainable float
+// implementation — the precondition of every quantization and calibration
+// pipeline — and panics with a pointed message when the model has already
+// been swapped to packed execution.
+func AsLinear(p Projection) *Linear {
+	l, ok := p.(*Linear)
+	if !ok {
+		panic(fmt.Sprintf("nn: projection %T is not a float Linear (already packed/quantized?)", p))
+	}
+	return l
+}
 
 // Linear is a fully connected layer computing y = x·Wᵀ (+ bias), with W laid
 // out (out x in) per the GPTQ convention so that quantizers operate on it
@@ -105,6 +141,13 @@ func (l *Linear) Backward(dy *tensor.Mat) *tensor.Mat {
 
 // LastInput exposes the cached forward input for Hessian collection.
 func (l *Linear) LastInput() *tensor.Mat { return l.lastInput }
+
+// View returns a Linear sharing this layer's parameters and deployment
+// transforms but owning its forward cache, so concurrent sessions over the
+// same weights never race on lastInput.
+func (l *Linear) View() Projection {
+	return &Linear{P: l.P, Bias: l.Bias, InScale: l.InScale, ActQuant: l.ActQuant}
+}
 
 // Params returns the layer's trainable parameters.
 func (l *Linear) Params() []*Param {

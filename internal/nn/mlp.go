@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -12,7 +13,9 @@ import (
 // Per the paper, feed-forward weights are quantized with the plain GPTQ
 // Hessian H = 2XᵀX of their own layer inputs.
 type MLP struct {
-	Gate, Up, Down *Linear
+	// The projection slots hold *Linear on trainable models and
+	// *QuantizedLinear after a QuantizedModel swap-in.
+	Gate, Up, Down Projection
 
 	gateOut, upOut, hidden *tensor.Mat
 }
@@ -65,4 +68,35 @@ func (m *MLP) Backward(dOut *tensor.Mat) *tensor.Mat {
 }
 
 // Params returns gate, up and down parameters.
-func (m *MLP) Params() []*Param { return []*Param{m.Gate.P, m.Up.P, m.Down.P} }
+func (m *MLP) Params() []*Param {
+	var ps []*Param
+	for _, l := range []Projection{m.Gate, m.Up, m.Down} {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Projections returns the quantizable projection slots in gate, up, down
+// order.
+func (m *MLP) Projections() []Projection { return []Projection{m.Gate, m.Up, m.Down} }
+
+// SetProjection replaces slot i of Projections (the QuantizedModel
+// swap-in hook).
+func (m *MLP) SetProjection(i int, p Projection) {
+	switch i {
+	case 0:
+		m.Gate = p
+	case 1:
+		m.Up = p
+	case 2:
+		m.Down = p
+	default:
+		panic(fmt.Sprintf("nn: MLP has no projection slot %d", i))
+	}
+}
+
+// View returns an MLP sharing this block's weights but owning its forward
+// caches (see Model.View).
+func (m *MLP) View() FeedForward {
+	return &MLP{Gate: m.Gate.View(), Up: m.Up.View(), Down: m.Down.View()}
+}

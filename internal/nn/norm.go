@@ -12,6 +12,9 @@ type Norm interface {
 	Forward(x *tensor.Mat) *tensor.Mat
 	Backward(dy *tensor.Mat) *tensor.Mat
 	Params() []*Param
+	// View returns a norm sharing this one's parameters but owning its
+	// forward caches (see model.Model.View).
+	View() Norm
 }
 
 // Compile-time interface checks.
@@ -115,3 +118,8 @@ func (l *LayerNorm) Backward(dy *tensor.Mat) *tensor.Mat {
 
 // Params returns gain and bias.
 func (l *LayerNorm) Params() []*Param { return []*Param{l.Gain, l.Bias} }
+
+// View returns a LayerNorm sharing gain/bias but owning its forward caches.
+func (l *LayerNorm) View() Norm {
+	return &LayerNorm{Gain: l.Gain, Bias: l.Bias, Eps: l.Eps}
+}

@@ -110,7 +110,7 @@ func TestAttentionHeadLocality(t *testing.T) {
 	// Zero V rows for head 1 (rows 4..8 of WV in (out x in) layout).
 	for r := 4; r < 8; r++ {
 		for c := 0; c < 12; c++ {
-			a.WV.P.W.Set(r, c, 0)
+			AsLinear(a.WV).P.W.Set(r, c, 0)
 		}
 	}
 	a.Forward(x)

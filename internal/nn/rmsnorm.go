@@ -83,3 +83,8 @@ func (r *RMSNorm) Backward(dy *tensor.Mat) *tensor.Mat {
 
 // Params returns the layer's trainable parameters.
 func (r *RMSNorm) Params() []*Param { return []*Param{r.P} }
+
+// View returns an RMSNorm sharing the gain but owning its forward caches.
+func (r *RMSNorm) View() Norm {
+	return &RMSNorm{P: r.P, Eps: r.Eps}
+}

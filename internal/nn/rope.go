@@ -2,6 +2,7 @@ package nn
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/tensor"
 )
@@ -12,10 +13,19 @@ import (
 //
 // RoPE is a pure rotation, so the backward pass is the inverse rotation
 // applied to the gradient.
+//
+// One RoPE instance is shared by every view of an attention block
+// (concurrent decoding sessions included), so growth of the cos/sin tables
+// beyond the precomputed range is guarded by a mutex: readers take a
+// snapshot of the tables, and positions already published are never
+// mutated.
 type RoPE struct {
 	HeadDim int
 	Base    float64
-	// cos/sin caches indexed [pos][pair].
+	// mu guards growth of the cos/sin caches (indexed [pos][pair]);
+	// readers that fit in the precomputed range — every rotation in a
+	// MaxSeq-bounded decode — take only the read lock.
+	mu       sync.RWMutex
 	cos, sin [][]float64
 }
 
@@ -25,13 +35,25 @@ func NewRoPE(headDim, maxSeq int, base float64) *RoPE {
 		panic("nn: RoPE head dimension must be even")
 	}
 	r := &RoPE{HeadDim: headDim, Base: base}
-	r.grow(maxSeq)
+	r.tables(maxSeq)
 	return r
 }
 
-func (r *RoPE) grow(maxSeq int) {
+// tables returns cos/sin snapshots covering positions [0, n), growing the
+// cached tables first if needed. Existing rows are never modified, so a
+// returned snapshot stays valid while other goroutines grow the cache.
+func (r *RoPE) tables(n int) (cos, sin [][]float64) {
+	r.mu.RLock()
+	if n <= len(r.cos) {
+		cos, sin = r.cos, r.sin
+		r.mu.RUnlock()
+		return cos, sin
+	}
+	r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	pairs := r.HeadDim / 2
-	for pos := len(r.cos); pos < maxSeq; pos++ {
+	for pos := len(r.cos); pos < n; pos++ {
 		c := make([]float64, pairs)
 		s := make([]float64, pairs)
 		for i := 0; i < pairs; i++ {
@@ -42,6 +64,7 @@ func (r *RoPE) grow(maxSeq int) {
 		r.cos = append(r.cos, c)
 		r.sin = append(r.sin, s)
 	}
+	return r.cos, r.sin
 }
 
 // Apply rotates x (n x dim, dim a multiple of HeadDim) in place, head by
@@ -60,22 +83,43 @@ func (r *RoPE) rotate(x *tensor.Mat, dir float64) {
 	if x.Cols%r.HeadDim != 0 {
 		panic("nn: RoPE input dim not a multiple of head dim")
 	}
-	if x.Rows > len(r.cos) {
-		r.grow(x.Rows)
-	}
-	heads := x.Cols / r.HeadDim
-	pairs := r.HeadDim / 2
+	cos, sin := r.tables(x.Rows)
 	for t := 0; t < x.Rows; t++ {
-		row := x.Row(t)
-		c, s := r.cos[t], r.sin[t]
-		for h := 0; h < heads; h++ {
-			off := h * r.HeadDim
-			for i := 0; i < pairs; i++ {
-				a, b := row[off+2*i], row[off+2*i+1]
-				sn := dir * s[i]
-				row[off+2*i] = a*c[i] - b*sn
-				row[off+2*i+1] = a*sn + b*c[i]
-			}
+		r.rotateRow(x.Row(t), cos[t], sin[t], dir)
+	}
+}
+
+// ApplyAt rotates every row of x in place by the rotation of sequence
+// position pos, regardless of row index. This is the incremental-decode
+// entry point: a KV-cached step carries a single row that sits at position
+// pos of the sequence, and rotating it directly avoids the O(pos)-sized
+// padded matrix the batch Apply path would need per projection, per layer,
+// per token.
+func (r *RoPE) ApplyAt(x *tensor.Mat, pos int) {
+	if x.Cols%r.HeadDim != 0 {
+		panic("nn: RoPE input dim not a multiple of head dim")
+	}
+	if pos < 0 {
+		panic("nn: RoPE position must be non-negative")
+	}
+	cos, sin := r.tables(pos + 1)
+	for t := 0; t < x.Rows; t++ {
+		r.rotateRow(x.Row(t), cos[pos], sin[pos], 1)
+	}
+}
+
+// rotateRow rotates one row, head by head, with the given per-pair
+// rotation tables.
+func (r *RoPE) rotateRow(row, c, s []float64, dir float64) {
+	heads := len(row) / r.HeadDim
+	pairs := r.HeadDim / 2
+	for h := 0; h < heads; h++ {
+		off := h * r.HeadDim
+		for i := 0; i < pairs; i++ {
+			a, b := row[off+2*i], row[off+2*i+1]
+			sn := dir * s[i]
+			row[off+2*i] = a*c[i] - b*sn
+			row[off+2*i+1] = a*sn + b*c[i]
 		}
 	}
 }

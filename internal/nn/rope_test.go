@@ -1,0 +1,59 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// applyRoPEAtPadded is the previous incremental-decode formulation: embed
+// the row at index pos of a padded (pos+1 x cols) matrix so Apply's
+// row-index-equals-position convention rotates it correctly. Kept as the
+// reference for ApplyAt's equivalence test (and the before/after
+// benchmark in packed_bench_test.go).
+func applyRoPEAtPadded(r *RoPE, row *tensor.Mat, pos int) {
+	padded := tensor.New(pos+1, row.Cols)
+	copy(padded.Row(pos), row.Row(0))
+	r.Apply(padded)
+	copy(row.Row(0), padded.Row(pos))
+}
+
+func TestRoPEApplyAtMatchesPadded(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := NewRoPE(8, 64, 10000)
+	for _, pos := range []int{0, 1, 5, 31, 63} {
+		row := tensor.Randn(rng, 1, 24, 1) // 3 heads x headDim 8
+		want := row.Clone()
+		applyRoPEAtPadded(r, want, pos)
+		got := row.Clone()
+		r.ApplyAt(got, pos)
+		if !got.Equal(want, 0) {
+			t.Fatalf("pos %d: ApplyAt differs from padded Apply", pos)
+		}
+	}
+}
+
+func TestRoPEApplyAtMatchesBatchApply(t *testing.T) {
+	// Rotating a full sequence row-by-row with ApplyAt must equal the
+	// batch Apply pass.
+	rng := rand.New(rand.NewSource(2))
+	r := NewRoPE(8, 32, 10000)
+	x := tensor.Randn(rng, 16, 16, 1)
+	want := x.Clone()
+	r.Apply(want)
+	for pos := 0; pos < x.Rows; pos++ {
+		row := &tensor.Mat{Rows: 1, Cols: x.Cols, Data: x.Row(pos)}
+		r.ApplyAt(row, pos)
+	}
+	if !x.Equal(want, 0) {
+		t.Fatal("row-wise ApplyAt differs from batch Apply")
+	}
+}
+
+func TestRoPEApplyAtGrowsTables(t *testing.T) {
+	r := NewRoPE(4, 2, 10000)
+	row := tensor.New(1, 4)
+	row.Data[0] = 1
+	r.ApplyAt(row, 10) // beyond the precomputed range: must grow, not panic
+}

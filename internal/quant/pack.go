@@ -5,45 +5,74 @@ import "fmt"
 // Pack serializes integer codes into a dense bit stream, bits per code,
 // little-endian within bytes. This is the on-device storage format; edge
 // deployment size numbers come from len(Pack(...)).
+//
+// Every code must fit in the given bit width: a code >= 2^bits would have
+// its high bits silently dropped and corrupt the round-trip, so Pack
+// validates and panics with the offending index instead.
 func Pack(codes []uint16, bits int) []byte {
 	if bits < 1 || bits > 16 {
 		panic(fmt.Sprintf("quant: Pack with bit width %d", bits))
 	}
-	out := make([]byte, (len(codes)*bits+7)/8)
+	if bits < 16 {
+		limit := uint16(1) << bits
+		for i, c := range codes {
+			if c >= limit {
+				panic(fmt.Sprintf("quant: Pack: code %d at index %d exceeds %d-bit range", c, i, bits))
+			}
+		}
+	}
+	out := make([]byte, PackedSize(len(codes), bits))
 	bitPos := 0
 	for _, c := range codes {
-		v := uint32(c)
-		for b := 0; b < bits; b++ {
-			if v&(1<<b) != 0 {
-				out[bitPos/8] |= 1 << (bitPos % 8)
+		acc := uint32(c) << (bitPos % 8)
+		idx := bitPos / 8
+		out[idx] |= byte(acc)
+		if acc > 0xff {
+			out[idx+1] |= byte(acc >> 8)
+			if acc > 0xffff {
+				out[idx+2] |= byte(acc >> 16)
 			}
-			bitPos++
 		}
+		bitPos += bits
 	}
 	return out
 }
 
-// Unpack reverses Pack, reading n codes of the given bit width.
+// Unpack reverses Pack, reading n codes of the given bit width. The length
+// check is hoisted out of the decode loop: data must hold at least
+// PackedSize(n, bits) bytes or Unpack panics up front, and the hot loop
+// then streams codes through a 64-bit accumulator with no per-bit checks.
 func Unpack(data []byte, n, bits int) []uint16 {
 	if bits < 1 || bits > 16 {
 		panic(fmt.Sprintf("quant: Unpack with bit width %d", bits))
 	}
-	out := make([]uint16, n)
-	bitPos := 0
-	for i := 0; i < n; i++ {
-		var v uint16
-		for b := 0; b < bits; b++ {
-			if bitPos/8 >= len(data) {
-				panic("quant: Unpack ran out of data")
-			}
-			if data[bitPos/8]&(1<<(bitPos%8)) != 0 {
-				v |= 1 << b
-			}
-			bitPos++
-		}
-		out[i] = v
+	if need := PackedSize(n, bits); len(data) < need {
+		panic(fmt.Sprintf("quant: Unpack needs %d bytes for %d %d-bit codes, have %d", need, n, bits, len(data)))
 	}
+	out := make([]uint16, n)
+	UnpackInto(out, data, bits)
 	return out
+}
+
+// UnpackInto decodes len(dst) codes of the given bit width from data into
+// dst. The caller guarantees data holds at least PackedSize(len(dst), bits)
+// bytes; this is the allocation-free hot path shared by Unpack and the
+// packed matrix row decoder.
+func UnpackInto(dst []uint16, data []byte, bits int) {
+	mask := uint64(1)<<bits - 1
+	var acc uint64
+	nacc := 0
+	idx := 0
+	for i := range dst {
+		for nacc < bits {
+			acc |= uint64(data[idx]) << nacc
+			idx++
+			nacc += 8
+		}
+		dst[i] = uint16(acc & mask)
+		acc >>= bits
+		nacc -= bits
+	}
 }
 
 // PackedSize returns the number of bytes Pack would produce for n codes.

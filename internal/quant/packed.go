@@ -1,0 +1,256 @@
+package quant
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// PackedMatrix is the executable form of a quantized weight matrix: the
+// dense bit-packed code stream of every row plus the per-(row, group)
+// affine parameters, with nothing materialized to float64. It is what an
+// edge deployment keeps resident — QuantizedMatrix is the manipulation
+// format, PackedMatrix the serving format — and its matmul kernel
+// dequantizes group-by-group on the fly, honoring per-row mixed precision.
+//
+// Each row's stream starts at a byte boundary (RowOff), so rows with
+// different bit widths decode independently at the cost of at most 7
+// padding bits per row.
+type PackedMatrix struct {
+	Rows, Cols int
+	// GroupSize is the number of consecutive input-dimension (column)
+	// entries sharing one scale/zero pair.
+	GroupSize int
+	// Bits is the uniform code width; RowBits, when non-nil, overrides it
+	// per row (mixed precision within a matrix).
+	Bits    int
+	RowBits []int
+	// RowOff[r] is the byte offset of row r's stream in Data;
+	// RowOff[Rows] == len(Data).
+	RowOff []int
+	// Data holds the concatenated per-row packed code streams.
+	Data []byte
+	// Params holds one GroupParams per (row, group), row-major:
+	// Params[r*numGroups + g].
+	Params []GroupParams
+}
+
+// bitsForRow returns the bit width used by row r.
+func (p *PackedMatrix) bitsForRow(r int) int {
+	if p.RowBits != nil {
+		return p.RowBits[r]
+	}
+	return p.Bits
+}
+
+// NumGroups returns the number of column groups per row.
+func (p *PackedMatrix) NumGroups() int {
+	return (p.Cols + p.GroupSize - 1) / p.GroupSize
+}
+
+// rowOffsets computes the per-row byte offsets of a packed stream holding
+// cols codes per row at the given (possibly per-row) bit widths.
+func rowOffsets(rows, cols, bits int, rowBits []int) []int {
+	off := make([]int, rows+1)
+	for r := 0; r < rows; r++ {
+		b := bits
+		if rowBits != nil {
+			b = rowBits[r]
+		}
+		off[r+1] = off[r] + PackedSize(cols, b)
+	}
+	return off
+}
+
+// PackMatrix converts a QuantizedMatrix into its packed executable form.
+// It validates the input first, so a code out of range for its row's bit
+// width is reported (by Validate) rather than silently truncated.
+func PackMatrix(q *QuantizedMatrix) (*PackedMatrix, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	p := &PackedMatrix{
+		Rows: q.Rows, Cols: q.Cols, GroupSize: q.GroupSize, Bits: q.Bits,
+		RowOff: rowOffsets(q.Rows, q.Cols, q.Bits, q.RowBits),
+		Params: append([]GroupParams(nil), q.Params...),
+	}
+	if q.RowBits != nil {
+		p.RowBits = append([]int(nil), q.RowBits...)
+	}
+	p.Data = make([]byte, 0, p.RowOff[q.Rows])
+	for r := 0; r < q.Rows; r++ {
+		p.Data = append(p.Data, Pack(q.Codes[r*q.Cols:(r+1)*q.Cols], p.bitsForRow(r))...)
+	}
+	return p, nil
+}
+
+// NewPackedFromStream reassembles a PackedMatrix from its serialized parts
+// (the compressed-checkpoint load path), validating stream and parameter
+// lengths.
+func NewPackedFromStream(rows, cols, groupSize, bits int, rowBits []int, data []byte, params []GroupParams) (*PackedMatrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("quant: invalid packed shape %dx%d", rows, cols)
+	}
+	if groupSize <= 0 {
+		return nil, fmt.Errorf("quant: invalid packed group size %d", groupSize)
+	}
+	if rowBits != nil && len(rowBits) != rows {
+		return nil, fmt.Errorf("quant: %d row bit widths for %d rows", len(rowBits), rows)
+	}
+	for r := 0; r < rows; r++ {
+		b := bits
+		if rowBits != nil {
+			b = rowBits[r]
+		}
+		if b < 1 || b > 16 {
+			return nil, fmt.Errorf("quant: row %d has invalid bit width %d", r, b)
+		}
+	}
+	p := &PackedMatrix{
+		Rows: rows, Cols: cols, GroupSize: groupSize, Bits: bits,
+		RowBits: rowBits,
+		RowOff:  rowOffsets(rows, cols, bits, rowBits),
+		Data:    data,
+		Params:  params,
+	}
+	if len(data) != p.RowOff[rows] {
+		return nil, fmt.Errorf("quant: packed stream has %d bytes, want %d", len(data), p.RowOff[rows])
+	}
+	if want := rows * p.NumGroups(); len(params) != want {
+		return nil, fmt.Errorf("quant: packed matrix has %d group params, want %d", len(params), want)
+	}
+	return p, nil
+}
+
+// DecodeRowInto dequantizes row r of the weight matrix into dst
+// (len >= Cols), group by group straight from the bit stream. The decoded
+// values are bit-identical to Dequantize() of the source QuantizedMatrix.
+func (p *PackedMatrix) DecodeRowInto(dst []float64, r int) {
+	bits := p.bitsForRow(r)
+	data := p.Data[p.RowOff[r]:p.RowOff[r+1]]
+	ng := p.NumGroups()
+	mask := uint64(1)<<bits - 1
+	var acc uint64
+	nacc := 0
+	idx := 0
+	c := 0
+	for g := 0; g < ng; g++ {
+		gp := p.Params[r*ng+g]
+		scale, zero := gp.Scale, gp.Zero
+		hi := c + p.GroupSize
+		if hi > p.Cols {
+			hi = p.Cols
+		}
+		for ; c < hi; c++ {
+			if nacc < bits {
+				// Refill the accumulator to capacity so most codes extract
+				// with just a mask and shift.
+				for nacc <= 56 && idx < len(data) {
+					acc |= uint64(data[idx]) << nacc
+					idx++
+					nacc += 8
+				}
+			}
+			dst[c] = (float64(acc&mask) - zero) * scale
+			acc >>= bits
+			nacc -= bits
+		}
+	}
+}
+
+// Unpack reverses PackMatrix, reconstructing the manipulation-format
+// QuantizedMatrix (codes and parameters are copied).
+func (p *PackedMatrix) Unpack() *QuantizedMatrix {
+	q := &QuantizedMatrix{
+		Rows: p.Rows, Cols: p.Cols, GroupSize: p.GroupSize, Bits: p.Bits,
+		Codes:  make([]uint16, p.Rows*p.Cols),
+		Params: append([]GroupParams(nil), p.Params...),
+	}
+	if p.RowBits != nil {
+		q.RowBits = append([]int(nil), p.RowBits...)
+	}
+	for r := 0; r < p.Rows; r++ {
+		UnpackInto(q.Codes[r*p.Cols:(r+1)*p.Cols], p.Data[p.RowOff[r]:p.RowOff[r+1]], p.bitsForRow(r))
+	}
+	return q
+}
+
+// Dequantize materializes the full float64 weight matrix (test/debug path;
+// the matmul kernels never call it).
+func (p *PackedMatrix) Dequantize() *tensor.Mat {
+	m := tensor.New(p.Rows, p.Cols)
+	for r := 0; r < p.Rows; r++ {
+		p.DecodeRowInto(m.Row(r), r)
+	}
+	return m
+}
+
+// MatMulNTInto computes out = x·Wᵀ for x (n x Cols) against the packed
+// weight matrix W (Rows x Cols), dequantizing W one row at a time into a
+// per-worker scratch buffer. Weight rows (output columns) partition across
+// workers; each output element accumulates its k-terms in ascending order
+// from a zero accumulator — the exact inner-loop order of
+// tensor.MatMulNTInto — so the result is bit-identical to
+// MatMulNT(x, W.Dequantize()) at any worker count.
+func (p *PackedMatrix) MatMulNTInto(out, x *tensor.Mat) {
+	if x.Cols != p.Cols || out.Rows != x.Rows || out.Cols != p.Rows {
+		panic(fmt.Sprintf("quant: packed MatMulNT shape mismatch %dx%d · (%dx%d)ᵀ -> %dx%d",
+			x.Rows, x.Cols, p.Rows, p.Cols, out.Rows, out.Cols))
+	}
+	n := out.Cols
+	parallel.For(p.Rows, rowGrainPacked(x.Rows*p.Cols), func(lo, hi int) {
+		wrow := make([]float64, p.Cols)
+		for j := lo; j < hi; j++ {
+			p.DecodeRowInto(wrow, j)
+			for i := 0; i < x.Rows; i++ {
+				xrow := x.Row(i)
+				s := 0.0
+				for k, xv := range xrow {
+					s += xv * wrow[k]
+				}
+				out.Data[i*n+j] = s
+			}
+		}
+	})
+}
+
+// MatMulNT returns x·Wᵀ (see MatMulNTInto).
+func (p *PackedMatrix) MatMulNT(x *tensor.Mat) *tensor.Mat {
+	out := tensor.New(x.Rows, p.Rows)
+	p.MatMulNTInto(out, x)
+	return out
+}
+
+// rowGrainPacked mirrors tensor's chunk sizing: enough weight rows per
+// chunk that one chunk carries roughly 1<<15 multiply-adds (plus the row
+// decode, which is linear in Cols and amortized by the same constant).
+func rowGrainPacked(opsPerRow int) int {
+	if opsPerRow <= 0 {
+		return 1
+	}
+	g := (1 << 15) / opsPerRow
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// SizeBytes returns the resident memory footprint of the packed form: the
+// bit streams, the float64 group parameters, and the per-row offset/width
+// bookkeeping. This is the number the serving-memory comparisons report
+// against 8 bytes per float64 weight.
+func (p *PackedMatrix) SizeBytes() int64 {
+	b := int64(len(p.Data)) + int64(len(p.Params))*16 + int64(len(p.RowOff))*8
+	if p.RowBits != nil {
+		b += int64(len(p.RowBits)) * 8
+	}
+	return b
+}
+
+// AvgBits returns the average resident bits per weight including all
+// metadata (cf. QuantizedMatrix.AvgBits, which uses the paper's fp16
+// metadata convention instead of the actual in-memory float64 params).
+func (p *PackedMatrix) AvgBits() float64 {
+	return float64(p.SizeBytes()*8) / float64(p.Rows*p.Cols)
+}

@@ -224,6 +224,28 @@ func TestSoftmaxExtremeValues(t *testing.T) {
 	}
 }
 
+func TestSoftmaxEmptyIsNoOp(t *testing.T) {
+	// Used to panic on src[0]; defined as a no-op.
+	Softmax(nil, nil)
+	Softmax([]float64{}, []float64{})
+}
+
+func TestSoftmaxAllNegInfUniform(t *testing.T) {
+	negInf := math.Inf(-1)
+	dst := make([]float64, 4)
+	Softmax(dst, []float64{negInf, negInf, negInf, negInf})
+	for i, v := range dst {
+		if v != 0.25 {
+			t.Fatalf("all--Inf softmax[%d] = %v, want uniform 0.25", i, v)
+		}
+	}
+	// A single finite entry among -Inf still wins everything.
+	Softmax(dst, []float64{negInf, 3, negInf, negInf})
+	if dst[1] != 1 || dst[0] != 0 || dst[2] != 0 || dst[3] != 0 {
+		t.Fatalf("masked softmax = %v, want one-hot at 1", dst)
+	}
+}
+
 func TestLogSumExp(t *testing.T) {
 	v := []float64{0, 0}
 	if math.Abs(LogSumExp(v)-math.Log(2)) > 1e-12 {

@@ -87,15 +87,29 @@ func MinMax(v []float64) (min, max float64) {
 
 // Softmax writes the softmax of src into dst (same length) using the
 // max-subtraction trick for numerical stability. dst may alias src.
+//
+// Degenerate inputs are defined explicitly: an empty src is a no-op, and
+// an all--Inf src (a fully masked score row) yields the uniform
+// distribution instead of the NaNs that exp(-Inf − -Inf) would produce.
 func Softmax(dst, src []float64) {
 	if len(dst) != len(src) {
 		panic("tensor: Softmax length mismatch")
+	}
+	if len(src) == 0 {
+		return
 	}
 	max := src[0]
 	for _, v := range src[1:] {
 		if v > max {
 			max = v
 		}
+	}
+	if math.IsInf(max, -1) {
+		u := 1 / float64(len(dst))
+		for i := range dst {
+			dst[i] = u
+		}
+		return
 	}
 	sum := 0.0
 	for i, v := range src {
