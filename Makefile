@@ -3,7 +3,7 @@ GO ?= go
 # releases.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build test race bench bench-smoke fmt fmt-check vet staticcheck ci
+.PHONY: all build test race bench bench-smoke serve-smoke fmt fmt-check vet staticcheck ci
 
 all: build
 
@@ -23,11 +23,17 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
 
 # One-iteration smoke pass over the micro benchmarks (including the
-# float-vs-packed pairs of packed_bench_test.go), mirroring the CI job
+# float-vs-packed pairs of packed_bench_test.go and the lockstep-vs-
+# continuous scheduling pair of serve_bench_test.go), mirroring the CI job
 # that keeps them compiling and running.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -short ./...
-	$(GO) test -run='^$$' -bench='MatVec|DecodeBatch|RoPEAt' -benchtime=1x .
+	$(GO) test -run='^$$' -bench='MatVec|DecodeBatch|RoPEAt|DecodeLockstep|DecodeContinuous' -benchtime=1x .
+
+# End-to-end smoke of the HTTP serving front-end: build aptq-serve, start
+# it, issue the same generate request twice, assert byte-identical replies.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 fmt:
 	gofmt -w .
@@ -43,4 +49,6 @@ vet:
 staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
-ci: fmt-check vet build test race bench-smoke
+# Mirrors .github/workflows/ci.yml (staticcheck needs network on first
+# use to fetch the pinned binary; later runs hit the local cache).
+ci: fmt-check vet staticcheck build test race bench-smoke serve-smoke

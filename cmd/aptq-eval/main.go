@@ -17,7 +17,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/eval"
-	"repro/internal/model"
 )
 
 func main() {
@@ -36,26 +35,15 @@ func main() {
 	if *in == "" {
 		log.Fatal("missing -in checkpoint")
 	}
-	var m *model.Model
-	if *packed {
-		qm, err := core.ReadCompressedPackedFile(*in)
-		if err != nil {
-			log.Fatalf("load packed: %v", err)
-		}
+	m, qm, err := core.LoadModelFile(*in, *packed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if qm != nil {
 		fmt.Printf("packed weights: %d bytes resident (float64 equivalent %d bytes, %.1fx smaller)\n",
 			qm.PackedWeightBytes(), qm.FloatWeightBytes(), qm.CompressionRatio())
 		fmt.Printf("model: %s (%d fp params + %d packed layers)\n", qm.Cfg.Name, qm.NumParams(), len(qm.Layers))
-		m = qm.Model
 	} else {
-		var err error
-		m, err = model.LoadFile(*in)
-		if err != nil {
-			// Fall back to the compressed (bit-packed) checkpoint format.
-			var cerr error
-			if m, cerr = core.ReadCompressedFile(*in); cerr != nil {
-				log.Fatalf("load: %v (as packed checkpoint: %v)", err, cerr)
-			}
-		}
 		fmt.Printf("model: %s (%d params)\n", m.Cfg.Name, m.NumParams())
 	}
 

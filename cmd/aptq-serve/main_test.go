@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func testServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	m, err := loadModel("", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := serve.DefaultOptions()
+	opts.Slots = 2
+	srv := newServer(m, opts)
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.sched.Close()
+	})
+	return srv, ts
+}
+
+func post(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestGenerateEndToEndDeterministic is the serving determinism contract at
+// the HTTP boundary: the same request body yields byte-identical replies,
+// also under concurrent traffic.
+func TestGenerateEndToEndDeterministic(t *testing.T) {
+	_, ts := testServer(t)
+	body := `{"tokens":[1,2,3],"max_tokens":8,"temperature":0.8,"seed":7}`
+	code, first := post(t, ts.URL+"/v1/generate", body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, first)
+	}
+	var reply generateResponse
+	if err := json.Unmarshal(first, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Tokens) != 8 || reply.FinishReason != "length" || reply.Text == "" {
+		t.Fatalf("unexpected reply: %s", first)
+	}
+	// Co-scheduled noise traffic with different seeds must not perturb the
+	// repeat of the original request.
+	for i := 0; i < 3; i++ {
+		if code, b := post(t, ts.URL+"/v1/generate", `{"tokens":[5],"max_tokens":4,"temperature":1.0,"seed":99}`); code != http.StatusOK {
+			t.Fatalf("noise status %d: %s", code, b)
+		}
+	}
+	if _, again := post(t, ts.URL+"/v1/generate", body); !bytes.Equal(first, again) {
+		t.Fatalf("same request, different replies:\n%s\n%s", first, again)
+	}
+}
+
+// TestGenerateTextPrompt exercises the word-level prompt path and the
+// stop-token plumbing.
+func TestGenerateTextPrompt(t *testing.T) {
+	srv, ts := testServer(t)
+	prompt := srv.vocab.Word(3) + " " + srv.vocab.Word(9)
+	body, _ := json.Marshal(map[string]any{"prompt": prompt, "max_tokens": 5, "seed": 1})
+	code, b := post(t, ts.URL+"/v1/generate", string(body))
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, b)
+	}
+	var reply generateResponse
+	if err := json.Unmarshal(b, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Tokens) != 5 {
+		t.Fatalf("generated %d tokens: %s", len(reply.Tokens), b)
+	}
+	// Repeating the request with the first generated token as a stop token
+	// must end generation immediately.
+	body, _ = json.Marshal(map[string]any{"prompt": prompt, "max_tokens": 5, "seed": 1, "stop": []int{reply.Tokens[0]}})
+	code, b = post(t, ts.URL+"/v1/generate", string(body))
+	if code != http.StatusOK {
+		t.Fatalf("stop status %d: %s", code, b)
+	}
+	if err := json.Unmarshal(b, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.FinishReason != "stop" || len(reply.Tokens) != 0 {
+		t.Fatalf("stop run: %s", b)
+	}
+}
+
+func TestGenerateRejectsBadRequests(t *testing.T) {
+	_, ts := testServer(t)
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"empty", `{}`},
+		{"bad json", `{"tokens":`},
+		{"both prompt and tokens", `{"prompt":"a","tokens":[1]}`},
+		{"unknown word", `{"prompt":"notaword!"}`},
+		{"token out of vocab", `{"tokens":[99999]}`},
+		{"stop out of vocab", `{"tokens":[1],"stop":[-2]}`},
+	} {
+		if code, b := post(t, ts.URL+"/v1/generate", tc.body); code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d (%s), want 400", tc.name, code, b)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/generate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET generate: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHealthAndStats(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["status"] != "ok" || health["model"] != "serve-demo" {
+		t.Fatalf("health: %v", health)
+	}
+	if code, b := post(t, ts.URL+"/v1/generate", `{"tokens":[1],"max_tokens":3,"seed":2}`); code != http.StatusOK {
+		t.Fatalf("generate status %d: %s", code, b)
+	}
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats["completed"] < 1 || stats["generated_tokens"] < 3 || stats["slots"] != 2 {
+		t.Fatalf("stats: %v", stats)
+	}
+}

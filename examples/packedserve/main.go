@@ -59,9 +59,14 @@ func main() {
 	}
 	batch := infer.NewBatch(qm.Model, sequences)
 	start := time.Now()
-	generated, err := batch.Generate(7, prompts, tokensPer, 0.8)
+	generated, errs, err := batch.Generate(7, prompts, tokensPer, 0.8)
 	if err != nil {
 		log.Fatal(err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			log.Fatalf("sequence %d: %v", i, e)
+		}
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("generated %d sequences x %d tokens in %v (%.1f tok/s)\n\n",

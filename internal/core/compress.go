@@ -195,6 +195,31 @@ func ReadCompressedFile(path string) (*model.Model, error) {
 	return ReadCompressed(f)
 }
 
+// LoadModelFile resolves a checkpoint path the way the serving-side
+// commands (aptq-eval, aptq-serve) do: with packed set, the file must be a
+// compressed checkpoint and is loaded for packed execution (qm non-nil,
+// m = qm.Model); otherwise a float checkpoint is tried first and the
+// compressed (dequantize-on-load) format is the fallback. One shared
+// helper keeps the two commands' resolution logic and error wording from
+// drifting.
+func LoadModelFile(path string, packed bool) (m *model.Model, qm *model.QuantizedModel, err error) {
+	if packed {
+		qm, err = ReadCompressedPackedFile(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("load packed: %w", err)
+		}
+		return qm.Model, qm, nil
+	}
+	m, err = model.LoadFile(path)
+	if err != nil {
+		var cerr error
+		if m, cerr = ReadCompressedFile(path); cerr != nil {
+			return nil, nil, fmt.Errorf("load: %v (as compressed checkpoint: %v)", err, cerr)
+		}
+	}
+	return m, nil, nil
+}
+
 // ReadCompressedPacked reconstructs a packed-execution model from a
 // compressed checkpoint: quantizable projections adopt the checkpoint's
 // bit streams directly and compute with dequant-on-the-fly, so the

@@ -32,8 +32,8 @@ func NewBatch(m *model.Model, n int) *Batch {
 		panic(fmt.Sprintf("infer: batch of %d sessions", n))
 	}
 	b := &Batch{sessions: make([]*Session, n)}
-	for i := range b.sessions {
-		b.sessions[i] = NewSession(m.View())
+	for i, v := range m.Views(n) {
+		b.sessions[i] = NewSession(v)
 	}
 	return b
 }
@@ -63,7 +63,9 @@ func (b *Batch) Reset() {
 }
 
 // Prefill consumes one prompt per session concurrently and returns each
-// session's last-token logits (nil for an empty prompt).
+// session's last-token logits. Any failing sequence (including an empty
+// prompt, ErrEmptyPrompt) fails the whole call with the lowest-index
+// error; use Generate for per-sequence error reporting.
 func (b *Batch) Prefill(prompts [][]int) ([]*tensor.Mat, error) {
 	if len(prompts) != len(b.sessions) {
 		return nil, fmt.Errorf("infer: %d prompts for a batch of %d sessions", len(prompts), len(b.sessions))
@@ -106,37 +108,49 @@ func (b *Batch) Step(tokens []int) ([]*tensor.Mat, error) {
 // stream seeded seed+i, so the output is bit-identical to running
 // Session.Generate independently per sequence with rand.NewSource(seed+i)
 // — at any worker count.
-func (b *Batch) Generate(seed int64, prompts [][]int, n int, temperature float64) ([][]int, error) {
-	logits, err := b.Prefill(prompts)
-	if err != nil {
-		return nil, err
+//
+// Errors are per sequence: errs[i] holds sequence i's failure (e.g.
+// ErrEmptyPrompt, MaxSeq overflow) and tokens[i] the tokens it completed
+// before failing, while every other sequence decodes to the end
+// unaffected. The final error is reserved for batch-level misuse (prompt
+// count mismatch). Previously one failing sequence discarded every other
+// sequence's output.
+func (b *Batch) Generate(seed int64, prompts [][]int, n int, temperature float64) (tokens [][]int, errs []error, err error) {
+	if len(prompts) != len(b.sessions) {
+		return nil, nil, fmt.Errorf("infer: %d prompts for a batch of %d sessions", len(prompts), len(b.sessions))
 	}
-	for i, l := range logits {
-		if l == nil {
-			return nil, fmt.Errorf("infer: empty prompt for sequence %d", i)
-		}
-	}
+	errs = make([]error, len(b.sessions))
+	logits := make([]*tensor.Mat, len(b.sessions))
+	parallel.ForEach(len(b.sessions), func(i int) {
+		logits[i], errs[i] = b.sessions[i].Prefill(prompts[i])
+	})
 	rngs := make([]*rand.Rand, len(b.sessions))
 	for i := range rngs {
 		rngs[i] = rand.New(rand.NewSource(seed + int64(i)))
 	}
-	out := make([][]int, len(b.sessions))
-	for t := 0; t < n; t++ {
+	live := func() int {
+		alive := 0
+		for _, e := range errs {
+			if e == nil {
+				alive++
+			}
+		}
+		return alive
+	}
+	tokens = make([][]int, len(b.sessions))
+	for t := 0; t < n && live() > 0; t++ {
 		last := t == n-1
-		var fe parallel.FirstError
 		parallel.ForEach(len(b.sessions), func(i int) {
+			if errs[i] != nil {
+				return
+			}
 			tok := SampleLogits(rngs[i], logits[i].Row(0), temperature)
-			out[i] = append(out[i], tok)
+			tokens[i] = append(tokens[i], tok)
 			if last {
 				return
 			}
-			l, err := b.sessions[i].Step(tok)
-			logits[i] = l
-			fe.Set(i, err)
+			logits[i], errs[i] = b.sessions[i].Step(tok)
 		})
-		if err := fe.Err(); err != nil {
-			return nil, err
-		}
 	}
-	return out, nil
+	return tokens, errs, nil
 }

@@ -1,6 +1,7 @@
 package infer
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -18,6 +19,22 @@ func testPrompts(rng *rand.Rand, n, vocab, maxLen int) [][]int {
 		}
 	}
 	return prompts
+}
+
+// mustGenerate runs Batch.Generate and fails the test on any batch-level
+// or per-sequence error.
+func mustGenerate(t *testing.T, b *Batch, seed int64, prompts [][]int, n int, temperature float64) [][]int {
+	t.Helper()
+	tokens, errs, err := b.Generate(seed, prompts, n, temperature)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("sequence %d: %v", i, e)
+		}
+	}
+	return tokens
 }
 
 // independentGenerate is the reference semantics of Batch.Generate: each
@@ -49,11 +66,8 @@ func TestBatchGenerateMatchesIndependentSessions(t *testing.T) {
 		for _, workers := range []int{1, 2, 3, 8} {
 			parallel.SetWorkers(workers)
 			b := NewBatch(m, len(prompts))
-			got, err := b.Generate(seed, prompts, steps, temp)
+			got := mustGenerate(t, b, seed, prompts, steps, temp)
 			parallel.SetWorkers(0)
-			if err != nil {
-				t.Fatalf("%s workers=%d: %v", cfg.Name, workers, err)
-			}
 			for i := range want {
 				for j := range want[i] {
 					if got[i][j] != want[i][j] {
@@ -92,14 +106,8 @@ func TestBatchGenerateGreedyPackedMatchesFloat(t *testing.T) {
 	prompts := testPrompts(rng, 4, cfg.Vocab, 3)
 	parallel.SetWorkers(4)
 	defer parallel.SetWorkers(0)
-	want, err := NewBatch(ref, len(prompts)).Generate(1, prompts, 6, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	got, err := NewBatch(qm.Model, len(prompts)).Generate(1, prompts, 6, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
+	want := mustGenerate(t, NewBatch(ref, len(prompts)), 1, prompts, 6, 0)
+	got := mustGenerate(t, NewBatch(qm.Model, len(prompts)), 1, prompts, 6, 0)
 	for i := range want {
 		for j := range want[i] {
 			if got[i][j] != want[i][j] {
@@ -132,8 +140,82 @@ func TestBatchStepAndReset(t *testing.T) {
 	if _, err := b.Step([]int{1}); err == nil {
 		t.Fatal("expected token-count mismatch error")
 	}
-	if _, err := b.Generate(1, [][]int{{1}, {}, {2}}, 2, 0); err == nil {
-		t.Fatal("expected empty-prompt error")
+	if _, _, err := b.Generate(1, [][]int{{1}, {2}}, 2, 0); err == nil {
+		t.Fatal("expected prompt-count mismatch error")
+	}
+}
+
+// TestBatchGeneratePartialFailure is the per-sequence error contract: a
+// failing sequence reports its own error while every other sequence still
+// decodes to completion with exactly the tokens of an independent run.
+func TestBatchGeneratePartialFailure(t *testing.T) {
+	cfg := model.Tiny()
+	m := model.New(cfg, 1)
+	rng := rand.New(rand.NewSource(11))
+	prompts := testPrompts(rng, 4, cfg.Vocab, 3)
+	prompts[1] = nil // empty prompt: fails at prefill
+	const seed, steps, temp = 5, 6, 0.9
+
+	healthy := []int{0, 2, 3}
+	want := make(map[int][]int)
+	for _, i := range healthy {
+		s := NewSession(m)
+		toks, err := s.Generate(rand.New(rand.NewSource(seed+int64(i))), prompts[i], steps, temp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = toks
+	}
+
+	tokens, errs, err := NewBatch(m, len(prompts)).Generate(seed, prompts, steps, temp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(errs[1], ErrEmptyPrompt) {
+		t.Fatalf("sequence 1 error = %v, want ErrEmptyPrompt", errs[1])
+	}
+	if len(tokens[1]) != 0 {
+		t.Fatalf("failed sequence produced tokens %v", tokens[1])
+	}
+	for _, i := range healthy {
+		if errs[i] != nil {
+			t.Fatalf("healthy sequence %d: %v", i, errs[i])
+		}
+		if len(tokens[i]) != steps {
+			t.Fatalf("sequence %d generated %d tokens, want %d", i, len(tokens[i]), steps)
+		}
+		for j := range want[i] {
+			if tokens[i][j] != want[i][j] {
+				t.Fatalf("sequence %d token %d = %d, want %d", i, j, tokens[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestBatchGenerateMidFlightFailure: a sequence that dies mid-decode
+// (MaxSeq overflow) keeps its pre-failure tokens and does not disturb the
+// others.
+func TestBatchGenerateMidFlightFailure(t *testing.T) {
+	cfg := model.Tiny()
+	m := model.New(cfg, 1)
+	long := make([]int, cfg.MaxSeq-2) // room for only 2 more positions
+	for i := range long {
+		long[i] = 1 + i%(cfg.Vocab-1)
+	}
+	prompts := [][]int{{1, 2}, long}
+	const steps = 6
+	tokens, errs, err := NewBatch(m, len(prompts)).Generate(3, prompts, steps, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs[0] != nil || len(tokens[0]) != steps {
+		t.Fatalf("short sequence: errs=%v tokens=%d", errs[0], len(tokens[0]))
+	}
+	if errs[1] == nil {
+		t.Fatal("overlong sequence must report a MaxSeq error")
+	}
+	if len(tokens[1]) == 0 || len(tokens[1]) >= steps {
+		t.Fatalf("overlong sequence kept %d tokens, want partial output", len(tokens[1]))
 	}
 }
 
@@ -153,10 +235,7 @@ func TestBatchKVQuantMatchesKVQuantSessions(t *testing.T) {
 	}
 	parallel.SetWorkers(3)
 	defer parallel.SetWorkers(0)
-	got, err := NewBatchKVQuant(m, len(prompts), 4).Generate(9, prompts, 5, 0.8)
-	if err != nil {
-		t.Fatal(err)
-	}
+	got := mustGenerate(t, NewBatchKVQuant(m, len(prompts), 4), 9, prompts, 5, 0.8)
 	for i := range want {
 		for j := range want[i] {
 			if got[i][j] != want[i][j] {

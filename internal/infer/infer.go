@@ -6,6 +6,7 @@
 package infer
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -16,14 +17,56 @@ import (
 	"repro/internal/tensor"
 )
 
-// kvCache stores the per-block key/value history of one sequence.
+// ErrEmptyPrompt is returned by Prefill (and everything built on it) when
+// the prompt has no tokens: there are no logits to return. It replaces the
+// previous (nil, nil) result, which forced every caller to pair the call
+// with a nil check.
+var ErrEmptyPrompt = errors.New("infer: empty prompt")
+
+// kvChunkRows is the allocation granularity of the KV cache: rows are
+// allocated kvChunkRows positions at a time as the sequence grows, so a
+// warm-but-idle session (e.g. a scheduler slot between requests) holds
+// memory proportional to the longest sequence it has actually seen, not
+// MaxSeq x Dim x blocks up front.
+const kvChunkRows = 16
+
+// kvCache stores the per-block key/value history of one sequence in
+// fixed-size row chunks. Chunks are allocated on demand and never moved or
+// freed while the cache lives (Reset keeps capacity), so a row slice
+// handed out by kRow/vRow stays valid — the stability in-flight attention
+// relies on — even as later appends grow the cache.
 type kvCache struct {
-	k, v *tensor.Mat // (len x dim), rows 0..len-1 are valid
-	len  int
+	dim   int
+	chunk int           // rows per chunk
+	k, v  []*tensor.Mat // chunk i holds rows [i*chunk, (i+1)*chunk)
+	len   int           // valid rows
 }
 
 func newKVCache(maxSeq, dim int) *kvCache {
-	return &kvCache{k: tensor.New(maxSeq, dim), v: tensor.New(maxSeq, dim)}
+	chunk := kvChunkRows
+	if maxSeq < chunk {
+		chunk = maxSeq
+	}
+	return &kvCache{dim: dim, chunk: chunk}
+}
+
+// kRow and vRow return mutable views of row t (t < len for reads; t == len
+// is valid immediately after grow).
+func (c *kvCache) kRow(t int) []float64 { return c.k[t/c.chunk].Row(t % c.chunk) }
+func (c *kvCache) vRow(t int) []float64 { return c.v[t/c.chunk].Row(t % c.chunk) }
+
+// grow makes row index c.len addressable, allocating a new chunk when the
+// sequence crosses a chunk boundary.
+func (c *kvCache) grow() {
+	if c.len == len(c.k)*c.chunk {
+		c.k = append(c.k, tensor.New(c.chunk, c.dim))
+		c.v = append(c.v, tensor.New(c.chunk, c.dim))
+	}
+}
+
+// bytes reports the resident size of the allocated chunks.
+func (c *kvCache) bytes() int {
+	return len(c.k) * 2 * c.chunk * c.dim * 8
 }
 
 // Session is an incremental decoding session over a fixed model. It is not
@@ -65,12 +108,26 @@ func newKVQuantizer(kvBits int) *quant.ActQuantizer {
 // Pos returns the number of tokens consumed so far.
 func (s *Session) Pos() int { return s.pos }
 
-// Reset clears the caches for a new sequence.
+// Reset clears the caches for a new sequence. Allocated KV chunks are kept
+// (content is overwritten as the next sequence grows into them), so a
+// recycled slot in a serving scheduler pays no re-allocation and decodes
+// bit-identically to a fresh session.
 func (s *Session) Reset() {
 	s.pos = 0
 	for _, c := range s.caches {
 		c.len = 0
 	}
+}
+
+// KVCacheBytes reports the resident memory of the session's KV cache
+// across all blocks. It grows in kvChunkRows-row chunks with the sequence
+// instead of being MaxSeq-sized up front.
+func (s *Session) KVCacheBytes() int {
+	n := 0
+	for _, c := range s.caches {
+		n += c.bytes()
+	}
+	return n
 }
 
 // Step consumes one token and returns the next-token logits (1 x vocab).
@@ -113,8 +170,9 @@ func (s *Session) stepAttention(b *nn.Block, c *kvCache, x *tensor.Mat) *tensor.
 		s.kvQuant.QuantizeInPlace(k)
 		s.kvQuant.QuantizeInPlace(v)
 	}
-	copy(c.k.Row(c.len), k.Row(0))
-	copy(c.v.Row(c.len), v.Row(0))
+	c.grow()
+	copy(c.kRow(c.len), k.Row(0))
+	copy(c.vRow(c.len), v.Row(0))
 	c.len++
 
 	ctx := tensor.New(1, dim)
@@ -125,12 +183,12 @@ func (s *Session) stepAttention(b *nn.Block, c *kvCache, x *tensor.Mat) *tensor.
 		lo := h * hd
 		qh := q.Row(0)[lo : lo+hd]
 		for t := 0; t < c.len; t++ {
-			scores[t] = tensor.Dot(qh, c.k.Row(t)[lo:lo+hd]) * invSqrt
+			scores[t] = tensor.Dot(qh, c.kRow(t)[lo:lo+hd]) * invSqrt
 		}
 		tensor.Softmax(probs[:c.len], scores[:c.len])
 		out := ctx.Row(0)[lo : lo+hd]
 		for t := 0; t < c.len; t++ {
-			tensor.Axpy(probs[t], c.v.Row(t)[lo:lo+hd], out)
+			tensor.Axpy(probs[t], c.vRow(t)[lo:lo+hd], out)
 		}
 	}
 	return attn.WO.Forward(ctx)
@@ -150,7 +208,12 @@ func applyRoPEAt(attn *nn.Attention, row *tensor.Mat, pos int) {
 }
 
 // Prefill consumes a prompt and returns the logits after its last token.
+// An empty prompt returns ErrEmptyPrompt: there is no last token to report
+// logits for.
 func (s *Session) Prefill(prompt []int) (*tensor.Mat, error) {
+	if len(prompt) == 0 {
+		return nil, ErrEmptyPrompt
+	}
 	var logits *tensor.Mat
 	var err error
 	for _, tok := range prompt {
@@ -168,9 +231,6 @@ func (s *Session) Generate(rng *rand.Rand, prompt []int, n int, temperature floa
 	logits, err := s.Prefill(prompt)
 	if err != nil {
 		return nil, err
-	}
-	if logits == nil {
-		return nil, fmt.Errorf("infer: empty prompt")
 	}
 	out := make([]int, 0, n)
 	for len(out) < n {
@@ -191,26 +251,39 @@ func (s *Session) Generate(rng *rand.Rand, prompt []int, n int, temperature floa
 // temperature of 0 returns the argmax.
 //
 // Degenerate inputs have explicit behavior instead of panics or silent
-// bias: an empty logits slice returns -1 (no valid token), and logits that
+// bias: an empty logits slice returns -1 (no valid token); logits that
 // are all -Inf — a fully masked distribution — sample uniformly (the
 // greedy path returns index 0), matching tensor.Softmax's uniform
 // fallback rather than the NaN cascade that previously always yielded the
-// last token.
+// last token; and NaN logits are treated as masked (-Inf), so a numerical
+// blow-up in one vocab entry can never be selected. All-NaN logits behave
+// exactly like all--Inf. Previously a NaN in position 0 made the greedy
+// scan (`v > logits[best]`) never update and silently return index 0.
 func SampleLogits(rng *rand.Rand, logits []float64, temperature float64) int {
 	if len(logits) == 0 {
 		return -1
 	}
 	if temperature <= 0 {
-		best := 0
+		best := -1
 		for i, v := range logits {
-			if v > logits[best] {
+			if math.IsNaN(v) {
+				continue
+			}
+			if best < 0 || v > logits[best] {
 				best = i
 			}
+		}
+		if best < 0 {
+			return 0 // all NaN: same deterministic fallback as all--Inf
 		}
 		return best
 	}
 	scaled := make([]float64, len(logits))
 	for i, v := range logits {
+		if math.IsNaN(v) {
+			scaled[i] = math.Inf(-1)
+			continue
+		}
 		scaled[i] = v / temperature
 	}
 	probs := make([]float64, len(scaled))

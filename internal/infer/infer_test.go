@@ -1,6 +1,7 @@
 package infer
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -126,8 +127,11 @@ func TestGenerateGreedyDeterministic(t *testing.T) {
 func TestGenerateEmptyPromptErrors(t *testing.T) {
 	m := model.New(model.Tiny(), 1)
 	s := NewSession(m)
-	if _, err := s.Generate(rand.New(rand.NewSource(1)), nil, 4, 0); err == nil {
-		t.Fatal("empty prompt must error")
+	if _, err := s.Generate(rand.New(rand.NewSource(1)), nil, 4, 0); !errors.Is(err, ErrEmptyPrompt) {
+		t.Fatalf("empty prompt error = %v, want ErrEmptyPrompt", err)
+	}
+	if _, err := s.Prefill([]int{}); !errors.Is(err, ErrEmptyPrompt) {
+		t.Fatalf("Prefill([]) error = %v, want ErrEmptyPrompt", err)
 	}
 }
 

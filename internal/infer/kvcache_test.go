@@ -1,0 +1,115 @@
+package infer
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// chunkBytes is the resident size of one allocated KV chunk (keys plus
+// values) for the given config.
+func chunkBytes(cfg model.Config) int {
+	chunk := kvChunkRows
+	if cfg.MaxSeq < chunk {
+		chunk = cfg.MaxSeq
+	}
+	return 2 * chunk * cfg.Dim * 8
+}
+
+// TestKVCacheLazyAllocation is the memory-footprint assertion for the
+// chunked KV cache: a fresh session holds no KV memory at all, and after k
+// steps it holds exactly ceil(k/chunk) chunks per block — not the eager
+// MaxSeq x Dim x 2 x blocks allocation a pool of warm scheduler slots
+// would multiply.
+func TestKVCacheLazyAllocation(t *testing.T) {
+	cfg := model.Nano7B() // MaxSeq 64 >> kvChunkRows, so laziness is visible
+	m := model.New(cfg, 1)
+	s := NewSession(m)
+	if got := s.KVCacheBytes(); got != 0 {
+		t.Fatalf("fresh session holds %d KV bytes, want 0", got)
+	}
+	eager := cfg.Layers * 2 * cfg.MaxSeq * cfg.Dim * 8
+	for step := 1; step <= 2*kvChunkRows; step++ {
+		if _, err := s.Step(1); err != nil {
+			t.Fatal(err)
+		}
+		chunks := (step + kvChunkRows - 1) / kvChunkRows
+		want := cfg.Layers * chunks * chunkBytes(cfg)
+		if got := s.KVCacheBytes(); got != want {
+			t.Fatalf("after %d steps: %d KV bytes, want %d", step, got, want)
+		}
+	}
+	if got := s.KVCacheBytes(); got >= eager {
+		t.Fatalf("short sequence resident KV %d bytes not below eager %d", got, eager)
+	}
+}
+
+// TestKVCacheResetKeepsCapacityAndMatchesFresh: a recycled slot (Reset
+// after a long sequence) keeps its chunks warm yet decodes bit-identically
+// to a brand-new session.
+func TestKVCacheResetKeepsCapacityAndMatchesFresh(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	s := NewSession(m)
+	for i := 0; i < kvChunkRows+3; i++ {
+		if _, err := s.Step(1 + i%7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm := s.KVCacheBytes()
+	s.Reset()
+	if got := s.KVCacheBytes(); got != warm {
+		t.Fatalf("Reset dropped KV capacity: %d -> %d bytes", warm, got)
+	}
+	fresh := NewSession(m)
+	for _, tok := range []int{3, 1, 4, 1, 5} {
+		a, err := s.Step(tok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := fresh.Step(tok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b, 0) {
+			t.Fatalf("recycled session diverged from fresh session at token %d", tok)
+		}
+	}
+}
+
+// TestKVCacheRowStability: growing the cache past a chunk boundary must
+// not move rows already handed out — chunks are append-only, never
+// reallocated — so attention's in-flight row views stay valid.
+func TestKVCacheRowStability(t *testing.T) {
+	c := newKVCache(64, 8)
+	c.grow()
+	row0 := c.kRow(0)
+	row0[0] = 42
+	c.len = 1
+	for c.len < 3*c.chunk { // cross two chunk boundaries
+		c.grow()
+		copy(c.kRow(c.len), make([]float64, c.dim))
+		c.len++
+	}
+	if &row0[0] != &c.kRow(0)[0] {
+		t.Fatal("row 0 moved when the cache grew")
+	}
+	if c.kRow(0)[0] != 42 {
+		t.Fatal("row 0 content lost when the cache grew")
+	}
+}
+
+// TestKVCacheTinyMaxSeq: a config whose MaxSeq is below the chunk size
+// clamps the chunk so no memory beyond MaxSeq rows is ever allocated.
+func TestKVCacheTinyMaxSeq(t *testing.T) {
+	c := newKVCache(4, 8)
+	if c.chunk != 4 {
+		t.Fatalf("chunk = %d, want clamped to MaxSeq 4", c.chunk)
+	}
+	for i := 0; i < 4; i++ {
+		c.grow()
+		c.len++
+	}
+	if got, want := c.bytes(), 2*4*8*8; got != want {
+		t.Fatalf("bytes = %d, want %d", got, want)
+	}
+}

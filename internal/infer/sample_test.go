@@ -44,6 +44,47 @@ func TestSampleLogitsAllNegInf(t *testing.T) {
 	}
 }
 
+func TestSampleLogitsNaN(t *testing.T) {
+	nan := math.NaN()
+	// A NaN in position 0 used to freeze the greedy scan (every
+	// `v > logits[best]` comparison against NaN is false) and silently
+	// return index 0; NaN is now masked, so the finite argmax wins.
+	if got := SampleLogits(rand.New(rand.NewSource(1)), []float64{nan, 2, 7, 1}, 0); got != 2 {
+		t.Fatalf("greedy with leading NaN = %d, want 2", got)
+	}
+	if got := SampleLogits(rand.New(rand.NewSource(1)), []float64{1, nan, 5}, 0); got != 2 {
+		t.Fatalf("greedy with interior NaN = %d, want 2", got)
+	}
+	// All-NaN behaves exactly like all--Inf: deterministic index 0 on the
+	// greedy path, uniform on the sampling path.
+	allNaN := []float64{nan, nan, nan}
+	if got := SampleLogits(rand.New(rand.NewSource(1)), allNaN, 0); got != 0 {
+		t.Fatalf("greedy on all-NaN = %d, want 0", got)
+	}
+	rng := rand.New(rand.NewSource(2))
+	seen := map[int]int{}
+	for i := 0; i < 300; i++ {
+		tok := SampleLogits(rng, allNaN, 1.0)
+		if tok < 0 || tok >= len(allNaN) {
+			t.Fatalf("sampled out-of-range token %d", tok)
+		}
+		seen[tok]++
+	}
+	for i := range allNaN {
+		if seen[i] == 0 {
+			t.Fatalf("all-NaN uniform fallback never sampled index %d (histogram %v)", i, seen)
+		}
+	}
+	// On the temperature path a NaN entry is masked: never drawn.
+	masked := []float64{2, nan, 1}
+	rng = rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		if tok := SampleLogits(rng, masked, 0.7); tok == 1 {
+			t.Fatal("sampled a NaN-masked token")
+		}
+	}
+}
+
 func TestSampleLogitsNormalPaths(t *testing.T) {
 	logits := []float64{0, 3, -1}
 	if got := SampleLogits(rand.New(rand.NewSource(1)), logits, 0); got != 1 {

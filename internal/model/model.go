@@ -229,6 +229,22 @@ func (m *Model) View() *Model {
 	return v
 }
 
+// Views returns n independent forward views of m (see View). This is the
+// slot-pool constructor serving uses: every decoding slot gets its own
+// scratch state over the one resident weight copy, and the slots are
+// recycled across requests (infer.Session.Reset) rather than re-viewed,
+// so admission of a new request allocates nothing weight-shaped.
+func (m *Model) Views(n int) []*Model {
+	if n <= 0 {
+		panic(fmt.Sprintf("model: %d views", n))
+	}
+	vs := make([]*Model, n)
+	for i := range vs {
+		vs[i] = m.View()
+	}
+	return vs
+}
+
 // Clone returns a deep copy of the model (weights copied, gradients
 // zeroed). Deployment-time input transforms on Linear layers (InScale,
 // ActQuant) are not carried over; quantizers install them on the clone they

@@ -126,6 +126,31 @@ func TestQuantizedModelRefusesRequantization(t *testing.T) {
 	qm.QuantizableLayers()
 }
 
+func TestModelViewsPool(t *testing.T) {
+	m := New(Tiny(), 1)
+	ids := []int{2, 7, 1}
+	want := m.Forward(ids)
+	views := m.Views(3)
+	if len(views) != 3 {
+		t.Fatalf("Views(3) returned %d views", len(views))
+	}
+	for i, v := range views {
+		if !v.Forward(ids).Equal(want, 0) {
+			t.Fatalf("view %d forward differs from base model", i)
+		}
+		// Each view shares the one weight copy.
+		if nn.AsLinear(v.Blocks[0].Attn.WQ).P.W != nn.AsLinear(m.Blocks[0].Attn.WQ).P.W {
+			t.Fatalf("view %d does not share weight storage", i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Views(0) must panic")
+		}
+	}()
+	m.Views(0)
+}
+
 func TestModelViewSharesWeightsOwnsScratch(t *testing.T) {
 	for _, cfg := range []Config{Tiny(), TinyGPT()} {
 		m := New(cfg, 1)

@@ -1,0 +1,413 @@
+// Package serve provides the continuous-batching scheduler that turns the
+// repository's KV-cached decode path into a serving engine. A Scheduler
+// owns a fixed pool of decoding slots — one infer.Session per slot, each on
+// its own model.Model view of one shared (float or packed) weight copy —
+// and an admission queue of Requests. Every tick advances all live slots by
+// one token with a parallel fan-out; the moment a sequence finishes (EOS,
+// stop token, max-tokens, or the model's context limit) its slot is
+// recycled and the next queued request is prefilled, so throughput tracks
+// the number of live sequences instead of the slowest member of a lockstep
+// batch (infer.Batch's regime).
+//
+// Determinism contract: a request's output depends only on the model and
+// the request itself (prompt, seed, temperature, stop set) — never on the
+// slot it lands in, the worker count, or what traffic is co-scheduled.
+// Scheduler output is bit-identical to Sequential on a fresh session,
+// which tests enforce across slot and worker counts.
+package serve
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+
+	"repro/internal/infer"
+	"repro/internal/model"
+	"repro/internal/parallel"
+)
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("serve: scheduler closed")
+
+// FinishReason tells why a request stopped decoding.
+type FinishReason string
+
+// Finish reasons.
+const (
+	// FinishEOS: the model sampled the configured end-of-sequence token
+	// (not emitted).
+	FinishEOS FinishReason = "eos"
+	// FinishStop: the model sampled one of the request's stop tokens (not
+	// emitted).
+	FinishStop FinishReason = "stop"
+	// FinishLength: the request's MaxTokens budget is exhausted.
+	FinishLength FinishReason = "length"
+	// FinishContext: the model's MaxSeq context is full; the last sampled
+	// token is emitted but cannot be fed back.
+	FinishContext FinishReason = "context"
+	// FinishError: decoding failed; Result.Err holds the cause.
+	FinishError FinishReason = "error"
+)
+
+// Request is one generation job.
+type Request struct {
+	// ID is an opaque caller tag echoed in the Result.
+	ID string
+	// Prompt is the token sequence to prefill. Empty prompts fail with
+	// infer.ErrEmptyPrompt.
+	Prompt []int
+	// MaxTokens bounds the generated tokens (<= 0 generates nothing and
+	// finishes with FinishLength).
+	MaxTokens int
+	// Temperature is the sampling temperature (0 = greedy argmax).
+	Temperature float64
+	// Seed seeds this request's private RNG stream, making its output
+	// reproducible independent of co-scheduled traffic.
+	Seed int64
+	// Stop lists tokens that end generation without being emitted.
+	Stop []int
+}
+
+// Result is the outcome of one Request.
+type Result struct {
+	ID           string
+	Tokens       []int
+	FinishReason FinishReason
+	// Err is non-nil only when FinishReason is FinishError; Tokens then
+	// holds whatever was generated before the failure.
+	Err error
+}
+
+// Ticket is the handle returned by Submit; the Result is delivered exactly
+// once.
+type Ticket struct {
+	ch chan Result
+}
+
+// Done returns a channel that receives the request's Result.
+func (t *Ticket) Done() <-chan Result { return t.ch }
+
+// Wait blocks until the Result is available.
+func (t *Ticket) Wait() Result { return <-t.ch }
+
+// Options configures a Scheduler. The zero value is NOT useful for EOS:
+// use DefaultOptions (EOS -1 = disabled) and override fields.
+type Options struct {
+	// Slots is the number of concurrently decoding sequences (default 4).
+	Slots int
+	// EOS is the end-of-sequence token id; negative disables EOS
+	// detection.
+	EOS int
+	// KVQuantBits, when non-zero, stores every slot's KV cache at that
+	// bit width (see infer.NewSessionKVQuant).
+	KVQuantBits int
+}
+
+// DefaultOptions returns the baseline scheduler configuration: 4 slots, no
+// EOS token, float KV cache.
+func DefaultOptions() Options { return Options{Slots: 4, EOS: -1} }
+
+// Stats is a point-in-time snapshot of scheduler counters.
+type Stats struct {
+	// Slots is the pool size; Active the slots currently decoding; Queued
+	// the requests awaiting admission.
+	Slots, Active, Queued int
+	// Submitted / Completed count requests over the scheduler's lifetime.
+	Submitted, Completed int64
+	// PromptTokens / GeneratedTokens count tokens over the scheduler's
+	// lifetime (completed requests only).
+	PromptTokens, GeneratedTokens int64
+	// KVCacheBytes is the resident KV memory across all slots, including
+	// warm recycled capacity.
+	KVCacheBytes int64
+}
+
+// pending is a queued request with its delivery ticket.
+type pending struct {
+	req    Request
+	ticket *Ticket
+}
+
+// slot is one decoding lane. All fields are owned by the scheduler loop
+// goroutine (or, inside a tick, by exactly one parallel worker).
+type slot struct {
+	sess   *infer.Session
+	maxSeq int
+
+	active    bool
+	prefilled bool
+	req       Request
+	ticket    *Ticket
+	rng       *rand.Rand
+	logits    []float64
+	tokens    []int
+	done      bool
+	reason    FinishReason
+	err       error
+}
+
+// newSlot wraps a session as an idle slot.
+func newSlot(sess *infer.Session, maxSeq int) *slot {
+	return &slot{sess: sess, maxSeq: maxSeq}
+}
+
+// start admits a request into an idle slot. The session is recycled with
+// Reset — warm KV chunks are kept — which decodes bit-identically to a
+// fresh session.
+func (sl *slot) start(req Request, ticket *Ticket) {
+	sl.sess.Reset()
+	sl.active = true
+	sl.prefilled = false
+	sl.req = req
+	sl.ticket = ticket
+	sl.rng = rand.New(rand.NewSource(req.Seed))
+	sl.logits = nil
+	sl.tokens = nil
+	sl.done = false
+	sl.reason = ""
+	sl.err = nil
+}
+
+// finish marks the slot's request complete.
+func (sl *slot) finish(reason FinishReason, err error) {
+	sl.done = true
+	sl.reason = reason
+	sl.err = err
+}
+
+// result snapshots the finished slot's outcome.
+func (sl *slot) result() Result {
+	return Result{ID: sl.req.ID, Tokens: sl.tokens, FinishReason: sl.reason, Err: sl.err}
+}
+
+// advance runs one scheduler tick for this slot: the prompt prefill on its
+// first tick, then one sample (+feed) per tick. This single function is the
+// whole per-request decode semantics — Sequential loops it to completion on
+// one fresh session, and the scheduler fans it out across live slots — so
+// scheduled and sequential decoding are bit-identical by construction.
+func (sl *slot) advance(eos int) {
+	if sl.done {
+		return
+	}
+	if !sl.prefilled {
+		sl.prefilled = true
+		logits, err := sl.sess.Prefill(sl.req.Prompt)
+		if err != nil {
+			sl.finish(FinishError, err)
+			return
+		}
+		sl.logits = logits.Row(0)
+		if sl.req.MaxTokens <= 0 {
+			sl.finish(FinishLength, nil)
+		}
+		return
+	}
+	tok := infer.SampleLogits(sl.rng, sl.logits, sl.req.Temperature)
+	if eos >= 0 && tok == eos {
+		sl.finish(FinishEOS, nil)
+		return
+	}
+	for _, st := range sl.req.Stop {
+		if tok == st {
+			sl.finish(FinishStop, nil)
+			return
+		}
+	}
+	sl.tokens = append(sl.tokens, tok)
+	if len(sl.tokens) >= sl.req.MaxTokens {
+		sl.finish(FinishLength, nil)
+		return
+	}
+	if sl.sess.Pos() >= sl.maxSeq {
+		sl.finish(FinishContext, nil)
+		return
+	}
+	logits, err := sl.sess.Step(tok)
+	if err != nil {
+		sl.finish(FinishError, err)
+		return
+	}
+	sl.logits = logits.Row(0)
+}
+
+// Scheduler is the continuous-batching engine. Construct with New; Submit
+// is safe for concurrent use; Close drains and joins the decode loop.
+type Scheduler struct {
+	eos   int
+	slots []*slot
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []pending
+	closed bool
+	stats  Stats
+
+	loopDone chan struct{}
+}
+
+// New builds a scheduler over m and starts its decode loop. Every slot
+// decodes on its own model view, so the weights — float or packed — stay
+// resident exactly once.
+func New(m *model.Model, opts Options) *Scheduler {
+	if opts.Slots <= 0 {
+		opts.Slots = DefaultOptions().Slots
+	}
+	s := &Scheduler{eos: opts.EOS, loopDone: make(chan struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	for _, v := range m.Views(opts.Slots) {
+		var sess *infer.Session
+		if opts.KVQuantBits > 0 {
+			sess = infer.NewSessionKVQuant(v, opts.KVQuantBits)
+		} else {
+			sess = infer.NewSession(v)
+		}
+		s.slots = append(s.slots, newSlot(sess, m.Cfg.MaxSeq))
+	}
+	s.stats.Slots = opts.Slots
+	go s.loop()
+	return s
+}
+
+// Submit enqueues a request and returns its ticket. It never blocks on
+// decoding; admission happens the moment a slot frees up.
+func (s *Scheduler) Submit(req Request) (*Ticket, error) {
+	t := &Ticket{ch: make(chan Result, 1)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	s.queue = append(s.queue, pending{req: req, ticket: t})
+	s.stats.Submitted++
+	s.stats.Queued = len(s.queue)
+	s.cond.Signal()
+	return t, nil
+}
+
+// GenerateAll submits every request and waits for all results, returned in
+// request order. A convenience for batch-style callers (benchmarks, demos).
+func (s *Scheduler) GenerateAll(reqs []Request) ([]Result, error) {
+	tickets := make([]*Ticket, len(reqs))
+	for i, r := range reqs {
+		t, err := s.Submit(r)
+		if err != nil {
+			return nil, err
+		}
+		tickets[i] = t
+	}
+	out := make([]Result, len(reqs))
+	for i, t := range tickets {
+		out[i] = t.Wait()
+	}
+	return out, nil
+}
+
+// Stats returns a snapshot of the scheduler counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close stops admission, drains every queued and in-flight request (their
+// tickets still resolve), and joins the decode loop. Idempotent.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	<-s.loopDone
+}
+
+// loop is the decode loop: admit into free slots, advance all live slots
+// one token with a parallel fan-out, deliver finished results, repeat. A
+// freed slot is refilled at the top of the very next tick, so no slot
+// idles while requests queue.
+func (s *Scheduler) loop() {
+	defer close(s.loopDone)
+	nActive := 0
+	live := make([]*slot, 0, len(s.slots))
+	for {
+		s.mu.Lock()
+		for !s.closed && len(s.queue) == 0 && nActive == 0 {
+			s.cond.Wait()
+		}
+		for _, sl := range s.slots {
+			if sl.active || len(s.queue) == 0 {
+				continue
+			}
+			p := s.queue[0]
+			s.queue = s.queue[1:]
+			sl.start(p.req, p.ticket)
+			nActive++
+		}
+		s.stats.Queued = len(s.queue)
+		s.stats.Active = nActive
+		drained := s.closed && len(s.queue) == 0
+		s.mu.Unlock()
+
+		if nActive == 0 {
+			if drained {
+				return
+			}
+			continue
+		}
+
+		live = live[:0]
+		for _, sl := range s.slots {
+			if sl.active {
+				live = append(live, sl)
+			}
+		}
+		// The per-tick fan-out: each live slot advances exactly one token,
+		// touching only its own state, so the tick is bit-deterministic at
+		// any worker count (the internal/parallel contract).
+		parallel.ForEach(len(live), func(i int) { live[i].advance(s.eos) })
+
+		var kvBytes int64
+		for _, sl := range s.slots {
+			kvBytes += int64(sl.sess.KVCacheBytes())
+		}
+		s.mu.Lock()
+		for _, sl := range live {
+			if !sl.done {
+				continue
+			}
+			sl.ticket.ch <- sl.result()
+			s.stats.Completed++
+			s.stats.PromptTokens += int64(len(sl.req.Prompt))
+			s.stats.GeneratedTokens += int64(len(sl.tokens))
+			sl.active = false
+			sl.ticket = nil
+			nActive--
+		}
+		s.stats.Active = nActive
+		s.stats.KVCacheBytes = kvBytes
+		s.mu.Unlock()
+	}
+}
+
+// Sequential decodes one request on a fresh single-slot session over m —
+// the reference semantics the Scheduler reproduces bit-identically for
+// every request regardless of slot count, worker count, or co-scheduled
+// traffic. opts supplies the EOS token and KV quantization; Slots is
+// ignored. The session runs on its own view of m, so concurrent
+// Sequential calls (and a live Scheduler on the same model) never race on
+// forward scratch state.
+func Sequential(m *model.Model, req Request, opts Options) Result {
+	v := m.View()
+	var sess *infer.Session
+	if opts.KVQuantBits > 0 {
+		sess = infer.NewSessionKVQuant(v, opts.KVQuantBits)
+	} else {
+		sess = infer.NewSession(v)
+	}
+	sl := newSlot(sess, m.Cfg.MaxSeq)
+	sl.start(req, nil)
+	for !sl.done {
+		sl.advance(opts.EOS)
+	}
+	return sl.result()
+}

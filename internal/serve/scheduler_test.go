@@ -1,0 +1,309 @@
+package serve_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/infer"
+	"repro/internal/model"
+	"repro/internal/parallel"
+	"repro/internal/serve"
+)
+
+func testModel() *model.Model { return model.New(model.Tiny(), 1) }
+
+// mixedRequests builds a deterministic skewed workload: prompt lengths
+// 1..4, token budgets 1..13, greedy and sampled temperatures, and a stop
+// token on every third request.
+func mixedRequests(vocab, n int) []serve.Request {
+	rng := rand.New(rand.NewSource(17))
+	reqs := make([]serve.Request, n)
+	for i := range reqs {
+		prompt := make([]int, 1+rng.Intn(4))
+		for j := range prompt {
+			prompt[j] = rng.Intn(vocab)
+		}
+		temp := 0.9
+		if i%4 == 0 {
+			temp = 0 // greedy lanes mixed in with sampled lanes
+		}
+		reqs[i] = serve.Request{
+			ID:          fmt.Sprintf("req-%d", i),
+			Prompt:      prompt,
+			MaxTokens:   1 + (i*5)%13,
+			Temperature: temp,
+			Seed:        int64(100 + i),
+		}
+		if i%3 == 2 {
+			reqs[i].Stop = []int{rng.Intn(vocab)}
+		}
+	}
+	return reqs
+}
+
+func assertResultsEqual(t *testing.T, label string, got, want serve.Result) {
+	t.Helper()
+	if got.ID != want.ID || got.FinishReason != want.FinishReason {
+		t.Fatalf("%s: got (%s, %s), want (%s, %s)", label, got.ID, got.FinishReason, want.ID, want.FinishReason)
+	}
+	if len(got.Tokens) != len(want.Tokens) {
+		t.Fatalf("%s: %d tokens, want %d", label, len(got.Tokens), len(want.Tokens))
+	}
+	for j := range want.Tokens {
+		if got.Tokens[j] != want.Tokens[j] {
+			t.Fatalf("%s: token %d = %d, want %d", label, j, got.Tokens[j], want.Tokens[j])
+		}
+	}
+}
+
+// TestSchedulerMatchesSequential is the determinism contract: at every
+// slot count and worker count, each request's scheduled output is
+// bit-identical to a sequential run on a fresh single session — admission
+// order, slot assignment and co-scheduled traffic must not matter.
+func TestSchedulerMatchesSequential(t *testing.T) {
+	m := testModel()
+	reqs := mixedRequests(m.Cfg.Vocab, 11)
+	opts := serve.DefaultOptions()
+	want := make([]serve.Result, len(reqs))
+	for i, r := range reqs {
+		want[i] = serve.Sequential(m, r, opts)
+	}
+	for _, slots := range []int{1, 2, 3, 8} {
+		for _, workers := range []int{1, 4} {
+			parallel.SetWorkers(workers)
+			opts.Slots = slots
+			s := serve.New(m, opts)
+			got, err := s.GenerateAll(reqs)
+			s.Close()
+			parallel.SetWorkers(0)
+			if err != nil {
+				t.Fatalf("slots=%d workers=%d: %v", slots, workers, err)
+			}
+			for i := range want {
+				assertResultsEqual(t, fmt.Sprintf("slots=%d workers=%d req %d", slots, workers, i), got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSchedulerMidFlightAdmission drives the scheduler from concurrent
+// submitters while long requests are in flight, so admissions land
+// mid-decode; every request must still match its sequential reference.
+// Run with -race this also exercises the Submit/loop synchronization.
+func TestSchedulerMidFlightAdmission(t *testing.T) {
+	m := testModel()
+	opts := serve.DefaultOptions()
+	opts.Slots = 2
+	reqs := mixedRequests(m.Cfg.Vocab, 12)
+	for i := range reqs {
+		// Long budgets keep slots busy so later submissions are admitted
+		// mid-flight.
+		reqs[i].MaxTokens = 8 + i%9
+	}
+	// Compute the references with concurrent Sequential calls: each runs
+	// on its own model view, so this is race-free by contract.
+	want := make([]serve.Result, len(reqs))
+	var refWG sync.WaitGroup
+	for i, r := range reqs {
+		refWG.Add(1)
+		go func(i int, r serve.Request) {
+			defer refWG.Done()
+			want[i] = serve.Sequential(m, r, opts)
+		}(i, r)
+	}
+	refWG.Wait()
+	s := serve.New(m, opts)
+	defer s.Close()
+	results := make([]serve.Result, len(reqs))
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(reqs); i += 4 {
+				ticket, err := s.Submit(reqs[i])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[i] = ticket.Wait()
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := range want {
+		assertResultsEqual(t, fmt.Sprintf("req %d", i), results[i], want[i])
+	}
+}
+
+// TestSchedulerStopToken: generation halts at the stop token, which is not
+// emitted.
+func TestSchedulerStopToken(t *testing.T) {
+	m := testModel()
+	opts := serve.DefaultOptions()
+	base := serve.Request{ID: "s", Prompt: []int{3, 1}, MaxTokens: 10, Seed: 5}
+	free := serve.Sequential(m, base, opts)
+	if len(free.Tokens) != 10 {
+		t.Fatalf("unrestricted run generated %d tokens", len(free.Tokens))
+	}
+	stopAt := 3
+	stopped := base
+	stopped.Stop = []int{free.Tokens[stopAt]}
+	// The chosen stop token must not appear earlier in the stream, or the
+	// prefix assertion below would be vacuous.
+	for _, tok := range free.Tokens[:stopAt] {
+		if tok == stopped.Stop[0] {
+			t.Skip("stop token repeats earlier in the greedy stream")
+		}
+	}
+	s := serve.New(m, opts)
+	defer s.Close()
+	got, err := s.GenerateAll([]serve.Request{stopped})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].FinishReason != serve.FinishStop {
+		t.Fatalf("finish = %s, want stop", got[0].FinishReason)
+	}
+	if len(got[0].Tokens) != stopAt {
+		t.Fatalf("stopped after %d tokens, want %d", len(got[0].Tokens), stopAt)
+	}
+	for j, tok := range got[0].Tokens {
+		if tok != free.Tokens[j] {
+			t.Fatalf("token %d = %d, want %d", j, tok, free.Tokens[j])
+		}
+	}
+}
+
+// TestSchedulerEOS: the configured EOS token ends the request with
+// FinishEOS and is not emitted.
+func TestSchedulerEOS(t *testing.T) {
+	m := testModel()
+	opts := serve.DefaultOptions()
+	base := serve.Request{ID: "e", Prompt: []int{2, 7}, MaxTokens: 12, Seed: 9}
+	free := serve.Sequential(m, base, opts)
+	cut := 2
+	opts.EOS = free.Tokens[cut]
+	for _, tok := range free.Tokens[:cut] {
+		if tok == opts.EOS {
+			t.Skip("eos token repeats earlier in the greedy stream")
+		}
+	}
+	got := serve.Sequential(m, base, opts)
+	if got.FinishReason != serve.FinishEOS {
+		t.Fatalf("finish = %s, want eos", got.FinishReason)
+	}
+	if len(got.Tokens) != cut {
+		t.Fatalf("generated %d tokens before EOS, want %d", len(got.Tokens), cut)
+	}
+	s := serve.New(m, opts)
+	defer s.Close()
+	sched, err := s.GenerateAll([]serve.Request{base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, "eos", sched[0], got)
+}
+
+// TestSchedulerEmptyPromptAndContext: an empty prompt surfaces
+// infer.ErrEmptyPrompt as a per-request error result; a prompt that nearly
+// fills the context window finishes with FinishContext after the last
+// position is consumed — neither disturbs a co-scheduled healthy request.
+func TestSchedulerEmptyPromptAndContext(t *testing.T) {
+	m := testModel()
+	maxSeq := m.Cfg.MaxSeq
+	long := make([]int, maxSeq-2)
+	for i := range long {
+		long[i] = 1 + i%(m.Cfg.Vocab-1)
+	}
+	reqs := []serve.Request{
+		{ID: "empty", MaxTokens: 4, Seed: 1},
+		{ID: "long", Prompt: long, MaxTokens: maxSeq, Seed: 2},
+		{ID: "ok", Prompt: []int{1, 2}, MaxTokens: 4, Seed: 3},
+	}
+	opts := serve.DefaultOptions()
+	opts.Slots = 3
+	s := serve.New(m, opts)
+	defer s.Close()
+	got, err := s.GenerateAll(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].FinishReason != serve.FinishError || !errors.Is(got[0].Err, infer.ErrEmptyPrompt) {
+		t.Fatalf("empty prompt: finish=%s err=%v", got[0].FinishReason, got[0].Err)
+	}
+	if got[1].FinishReason != serve.FinishContext {
+		t.Fatalf("long prompt: finish=%s, want context", got[1].FinishReason)
+	}
+	// Prefill leaves pos = maxSeq-2; tokens are emitted until the feed
+	// position is exhausted: maxSeq - len(prompt) + 1 of them.
+	if want := maxSeq - len(long) + 1; len(got[1].Tokens) != want {
+		t.Fatalf("long prompt emitted %d tokens, want %d", len(got[1].Tokens), want)
+	}
+	assertResultsEqual(t, "healthy co-scheduled request", got[2], serve.Sequential(m, reqs[2], serve.DefaultOptions()))
+}
+
+// TestSchedulerKVQuantMatchesSequential: the determinism contract holds
+// with a quantized KV cache too.
+func TestSchedulerKVQuantMatchesSequential(t *testing.T) {
+	m := testModel()
+	opts := serve.DefaultOptions()
+	opts.Slots = 2
+	opts.KVQuantBits = 4
+	reqs := mixedRequests(m.Cfg.Vocab, 6)
+	s := serve.New(m, opts)
+	defer s.Close()
+	got, err := s.GenerateAll(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reqs {
+		assertResultsEqual(t, fmt.Sprintf("req %d", i), got[i], serve.Sequential(m, r, opts))
+	}
+}
+
+// TestSchedulerCloseDrainsAndRejects: Close resolves every outstanding
+// ticket before returning and Submit afterwards reports ErrClosed.
+func TestSchedulerCloseDrainsAndRejects(t *testing.T) {
+	m := testModel()
+	opts := serve.DefaultOptions()
+	opts.Slots = 2
+	s := serve.New(m, opts)
+	reqs := mixedRequests(m.Cfg.Vocab, 7)
+	tickets := make([]*serve.Ticket, len(reqs))
+	for i, r := range reqs {
+		ticket, err := s.Submit(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets[i] = ticket
+	}
+	s.Close()
+	for i, ticket := range tickets {
+		select {
+		case res := <-ticket.Done():
+			if res.FinishReason == "" {
+				t.Fatalf("ticket %d resolved without a finish reason", i)
+			}
+		default:
+			t.Fatalf("ticket %d not resolved after Close", i)
+		}
+	}
+	if _, err := s.Submit(reqs[0]); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	s.Close() // idempotent
+	st := s.Stats()
+	if st.Submitted != int64(len(reqs)) || st.Completed != int64(len(reqs)) {
+		t.Fatalf("stats submitted=%d completed=%d, want %d each", st.Submitted, st.Completed, len(reqs))
+	}
+	if st.Active != 0 || st.Queued != 0 {
+		t.Fatalf("drained scheduler reports active=%d queued=%d", st.Active, st.Queued)
+	}
+	if st.GeneratedTokens <= 0 || st.KVCacheBytes <= 0 {
+		t.Fatalf("stats tokens=%d kvbytes=%d, want positive", st.GeneratedTokens, st.KVCacheBytes)
+	}
+}

@@ -84,8 +84,14 @@ func benchDecodeBatch(b *testing.B, m *model.Model, n int, weightBytes int64) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		batch := infer.NewBatch(m, n)
-		if _, err := batch.Generate(7, prompts, steps, 0.8); err != nil {
+		_, errs, err := batch.Generate(7, prompts, steps, 0.8)
+		if err != nil {
 			b.Fatal(err)
+		}
+		for _, e := range errs {
+			if e != nil {
+				b.Fatal(e)
+			}
 		}
 	}
 	b.StopTimer()

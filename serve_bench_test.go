@@ -1,0 +1,115 @@
+// Lockstep-vs-continuous decoding benchmark pair. Both decode the same
+// skewed-length workload (mostly short requests, a few long ones — the
+// shape of real serving traffic) over the same model at the same slot
+// count; only the scheduling differs. Lockstep (infer.Batch) forces every
+// wave of sequences to its longest member's token budget, so short
+// sequences burn steps as padding; the continuous scheduler
+// (serve.Scheduler) recycles a slot the moment its sequence finishes, so
+// throughput tracks useful tokens. Both report useful tok/s.
+//
+//	go test -run='^$' -bench='DecodeLockstep|DecodeContinuous' -benchtime=1x .
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/infer"
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+const (
+	serveBenchSlots = 4
+	serveBenchReqs  = 16
+)
+
+// skewedBenchRequests builds the workload: three short requests for every
+// long one, interleaved so each lockstep wave of serveBenchSlots contains
+// one long straggler — the pattern that idles lockstep slots hardest.
+func skewedBenchRequests(m *model.Model) []serve.Request {
+	reqs := make([]serve.Request, serveBenchReqs)
+	for i := range reqs {
+		budget := 4
+		if i%serveBenchSlots == 0 {
+			budget = 40
+		}
+		reqs[i] = serve.Request{
+			ID:          fmt.Sprintf("r%d", i),
+			Prompt:      []int{1 + i%(m.Cfg.Vocab-1), 2},
+			MaxTokens:   budget,
+			Temperature: 0.8,
+			Seed:        int64(i),
+		}
+	}
+	return reqs
+}
+
+func usefulTokens(reqs []serve.Request) int {
+	n := 0
+	for _, r := range reqs {
+		n += r.MaxTokens
+	}
+	return n
+}
+
+func BenchmarkDecodeLockstep(b *testing.B) {
+	skipUnderShort(b)
+	m, _ := floatBenchModel()
+	reqs := skewedBenchRequests(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for lo := 0; lo < len(reqs); lo += serveBenchSlots {
+			hi := lo + serveBenchSlots
+			if hi > len(reqs) {
+				hi = len(reqs)
+			}
+			wave := reqs[lo:hi]
+			steps := 0
+			prompts := make([][]int, len(wave))
+			for j, r := range wave {
+				prompts[j] = r.Prompt
+				if r.MaxTokens > steps {
+					steps = r.MaxTokens
+				}
+			}
+			_, errs, err := infer.NewBatch(m, len(wave)).Generate(1, prompts, steps, 0.8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, e := range errs {
+				if e != nil {
+					b.Fatal(e)
+				}
+			}
+		}
+	}
+	b.StopTimer()
+	tokens := float64(b.N * usefulTokens(reqs))
+	b.ReportMetric(tokens/b.Elapsed().Seconds(), "tok/s")
+}
+
+func BenchmarkDecodeContinuous(b *testing.B) {
+	skipUnderShort(b)
+	m, _ := floatBenchModel()
+	reqs := skewedBenchRequests(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := serve.New(m, serve.Options{Slots: serveBenchSlots, EOS: -1})
+		results, err := s.GenerateAll(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	b.StopTimer()
+	tokens := float64(b.N * usefulTokens(reqs))
+	b.ReportMetric(tokens/b.Elapsed().Seconds(), "tok/s")
+}
