@@ -3,7 +3,10 @@ GO ?= go
 # releases.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build test race bench bench-smoke serve-smoke fmt fmt-check vet staticcheck ci
+.PHONY: all build test race bench bench-smoke bench-json serve-smoke fmt fmt-check vet staticcheck ci
+
+# Output of `make bench-json` (benchmarks as data; CI uploads it).
+BENCH_JSON ?= BENCH_PR4.json
 
 all: build
 
@@ -23,12 +26,28 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
 
 # One-iteration smoke pass over the micro benchmarks (including the
-# float-vs-packed pairs of packed_bench_test.go and the lockstep-vs-
-# continuous scheduling pair of serve_bench_test.go), mirroring the CI job
+# float-vs-packed pairs of packed_bench_test.go, the lockstep-vs-
+# continuous scheduling pair of serve_bench_test.go and the loop-vs-
+# chunked prefill pairs of prefill_bench_test.go), mirroring the CI job
 # that keeps them compiling and running.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -short ./...
-	$(GO) test -run='^$$' -bench='MatVec|DecodeBatch|RoPEAt|DecodeLockstep|DecodeContinuous' -benchtime=1x .
+	$(GO) test -run='^$$' -bench='MatVec|DecodeBatch|RoPEAt|DecodeLockstep|DecodeContinuous|Prefill' -benchtime=1x .
+
+# Benchmarks as data: run the tier-1 benchmark set (the same two passes as
+# bench-smoke, with -benchmem) and emit $(BENCH_JSON) — a JSON map of
+# benchmark name to ns/op, allocs/op, tok/s and the custom metrics — via
+# cmd/benchjson. CI uploads the file as an artifact so the performance
+# trajectory is diffable across PRs.
+# Each pass writes to a scratch file and must succeed before conversion,
+# so a failing benchmark fails the target instead of silently producing a
+# truncated artifact.
+bench-json:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -short -benchmem ./... > $(BENCH_JSON).txt
+	$(GO) test -run='^$$' -bench='MatVec|DecodeBatch|RoPEAt|DecodeLockstep|DecodeContinuous|Prefill' -benchtime=1x -benchmem . >> $(BENCH_JSON).txt
+	$(GO) run ./cmd/benchjson < $(BENCH_JSON).txt > $(BENCH_JSON)
+	@rm -f $(BENCH_JSON).txt
+	@echo "wrote $(BENCH_JSON)"
 
 # End-to-end smoke of the HTTP serving front-end: build aptq-serve, start
 # it, issue the same generate request twice, assert byte-identical replies.

@@ -13,7 +13,8 @@
 //
 //	POST /v1/generate  {"prompt":"...", "tokens":[...], "max_tokens":16,
 //	                    "temperature":0.8, "seed":7, "stop":[...]}
-//	GET  /v1/stats     scheduler counters (slots, queue, tokens, KV bytes)
+//	GET  /v1/stats     scheduler counters (slots, queue, tokens, KV bytes,
+//	                   prefill chunk, time-to-first-token p50/p99)
 //	GET  /healthz      liveness + model identity
 //
 // Determinism: the same request body always yields the same reply — output
@@ -56,6 +57,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker goroutines for the per-step fan-out (0 = GOMAXPROCS)")
 		eos        = flag.Int("eos", -1, "end-of-sequence token id (negative: disabled)")
 		kvBits     = flag.Int("kvbits", 0, "KV-cache quantization bit width (0 = float)")
+		prefill    = flag.Int("prefill-chunk", 0, "prompt tokens admitted per decode tick (0 = default chunking)")
 		trainSteps = flag.Int("train-steps", 0, "pretraining steps for the demo model (0 = raw seeded init, instant startup)")
 	)
 	flag.Parse()
@@ -69,6 +71,7 @@ func main() {
 	opts.Slots = *slots
 	opts.EOS = *eos
 	opts.KVQuantBits = *kvBits
+	opts.PrefillChunk = *prefill
 	srv := newServer(m, opts)
 	defer srv.sched.Close()
 	log.Printf("model %s (vocab %d, maxseq %d), %d slots, listening on %s",
@@ -241,6 +244,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"prompt_tokens":    st.PromptTokens,
 		"generated_tokens": st.GeneratedTokens,
 		"kv_cache_bytes":   st.KVCacheBytes,
+		"prefill_chunk":    st.PrefillChunk,
+		"ttft_count":       st.TTFTSamples,
+		"ttft_p50_ms":      float64(st.TTFTp50) / float64(time.Millisecond),
+		"ttft_p99_ms":      float64(st.TTFTp99) / float64(time.Millisecond),
 	})
 }
 

@@ -158,4 +158,12 @@ func TestHealthAndStats(t *testing.T) {
 	if stats["completed"] < 1 || stats["generated_tokens"] < 3 || stats["slots"] != 2 {
 		t.Fatalf("stats: %v", stats)
 	}
+	// The prefill-latency surface: one completed request means one TTFT
+	// sample and non-negative percentiles.
+	if stats["ttft_count"] < 1 || stats["ttft_p50_ms"] <= 0 || stats["ttft_p99_ms"] < stats["ttft_p50_ms"] {
+		t.Fatalf("ttft stats: %v", stats)
+	}
+	if stats["prefill_chunk"] <= 0 {
+		t.Fatalf("prefill_chunk missing: %v", stats)
+	}
 }

@@ -1,0 +1,121 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON object on stdout: benchmark name (GOMAXPROCS
+// suffix stripped) to a flat metric map — ns_per_op, bytes_per_op,
+// allocs_per_op, iterations, and any custom b.ReportMetric units (tok/s,
+// weight-bytes, ...) under sanitized keys. It is the emitter behind
+// `make bench-json`, which snapshots the tier-1 benchmark set to
+// BENCH_PR4.json so the performance trajectory of the repository is a
+// diffable artifact instead of scrollback.
+//
+//	go test -run='^$' -bench=. -benchmem ./... | benchjson > bench.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func main() {
+	out, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// metricKey maps a benchmark output unit to its JSON key.
+func metricKey(unit string) string {
+	switch unit {
+	case "ns/op":
+		return "ns_per_op"
+	case "B/op":
+		return "bytes_per_op"
+	case "allocs/op":
+		return "allocs_per_op"
+	case "tok/s":
+		return "tok_per_s"
+	default:
+		// Sanitize whatever custom unit a benchmark reported.
+		key := make([]byte, 0, len(unit))
+		for i := 0; i < len(unit); i++ {
+			c := unit[i]
+			switch {
+			case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+				key = append(key, c)
+			default:
+				key = append(key, '_')
+			}
+		}
+		return string(key)
+	}
+}
+
+// stripProcs removes the -N GOMAXPROCS suffix go test appends to
+// benchmark names, so snapshots from differently sized machines diff
+// cleanly.
+func stripProcs(name string) string {
+	for i := len(name) - 1; i > 0; i-- {
+		c := name[i]
+		if c >= '0' && c <= '9' {
+			continue
+		}
+		if c == '-' && i < len(name)-1 {
+			return name[:i]
+		}
+		break
+	}
+	return name
+}
+
+// parseBench reads `go test -bench` output and collects one metric map
+// per benchmark. A benchmark line is
+//
+//	BenchmarkName-8   <iterations>   <value> <unit>   <value> <unit> ...
+//
+// Non-benchmark lines (goos/pkg headers, PASS/ok trailers) are skipped.
+// A benchmark appearing twice keeps the last run.
+func parseBench(r io.Reader) (map[string]map[string]float64, error) {
+	out := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		if !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		var iters float64
+		if _, err := fmt.Sscanf(fields[1], "%g", &iters); err != nil {
+			continue
+		}
+		m := map[string]float64{"iterations": iters}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			var v float64
+			if _, err := fmt.Sscanf(fields[i], "%g", &v); err != nil {
+				ok = false
+				break
+			}
+			m[metricKey(fields[i+1])] = v
+		}
+		if ok {
+			out[stripProcs(fields[0])] = m
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

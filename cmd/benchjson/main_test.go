@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPrefillLoopFloat-8          5   42721784 ns/op   1498 tok/s   4872873 B/op   8209 allocs/op
+BenchmarkPrefillChunkedFloat         5   18430615 ns/op   3472 tok/s   150848 B/op   27 allocs/op
+BenchmarkMatVecPacked4Bit-8    1000   1234.5 ns/op   20640 weight-bytes
+--- SKIP: BenchmarkSomething
+PASS
+ok  	repro	1.322s
+`
+	got, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	loop := got["BenchmarkPrefillLoopFloat"]
+	if loop == nil {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", got)
+	}
+	if loop["ns_per_op"] != 42721784 || loop["tok_per_s"] != 1498 || loop["allocs_per_op"] != 8209 || loop["iterations"] != 5 {
+		t.Fatalf("loop metrics: %v", loop)
+	}
+	chunked := got["BenchmarkPrefillChunkedFloat"]
+	if chunked == nil || chunked["bytes_per_op"] != 150848 {
+		t.Fatalf("suffix-free name mishandled: %v", got)
+	}
+	mv := got["BenchmarkMatVecPacked4Bit"]
+	if mv == nil || mv["ns_per_op"] != 1234.5 || mv["weight_bytes"] != 20640 {
+		t.Fatalf("custom metric: %v", mv)
+	}
+}
+
+func TestParseBenchDuplicateKeepsLast(t *testing.T) {
+	in := "BenchmarkX-4 1 10 ns/op\nBenchmarkX-4 1 20 ns/op\n"
+	got, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkX"]["ns_per_op"] != 20 {
+		t.Fatalf("duplicate handling: %v", got)
+	}
+}

@@ -64,6 +64,26 @@ func (c *kvCache) grow() {
 	}
 }
 
+// appendRows bulk-appends the corresponding rows of k and v (T x dim) —
+// the chunked-prefill form of the grow/copy/len++ sequence Step runs per
+// token, writing the exact same bytes to the exact same rows.
+func (c *kvCache) appendRows(k, v *tensor.Mat) {
+	for t := 0; t < k.Rows; t++ {
+		c.grow()
+		copy(c.kRow(c.len), k.Row(t))
+		copy(c.vRow(c.len), v.Row(t))
+		c.len++
+	}
+}
+
+// truncate rolls the cache back to n valid rows, keeping chunk storage —
+// the Prefill error-rollback path.
+func (c *kvCache) truncate(n int) {
+	if n < c.len {
+		c.len = n
+	}
+}
+
 // bytes reports the resident size of the allocated chunks.
 func (c *kvCache) bytes() int {
 	return len(c.k) * 2 * c.chunk * c.dim * 8
@@ -80,6 +100,10 @@ type Session struct {
 	// consumer on edge devices beside the weights. Per-row (per-token,
 	// per-layer) dynamic grids.
 	kvQuant *quant.ActQuantizer
+	// scratch is the reusable arena of the chunked prefill path, sized on
+	// first use and kept across Reset so a recycled scheduler slot
+	// allocates nothing per chunk in steady state.
+	scratch *chunkScratch
 }
 
 // NewSession creates a decoding session with empty caches.
@@ -207,22 +231,82 @@ func applyRoPEAt(attn *nn.Attention, row *tensor.Mat, pos int) {
 	attn.Rope.ApplyAt(row, pos)
 }
 
-// Prefill consumes a prompt and returns the logits after its last token.
-// An empty prompt returns ErrEmptyPrompt: there is no last token to report
-// logits for.
+// Prefill consumes a prompt and returns the logits after its last token,
+// processing the prompt in DefaultPrefillChunk-sized batched chunks (see
+// Append) — bit-identical to feeding the prompt through Step token by
+// token, but with matrix-matrix projections, LUT-accelerated packed
+// decode and a reusable scratch arena, so time-to-first-token scales with
+// the prompt as a handful of block forwards instead of one per token.
+//
+// An empty prompt returns ErrEmptyPrompt: there is no last token to
+// report logits for. On any error the session is rolled back to its
+// pre-call state (position and KV caches), so a failed Prefill never
+// leaves a half-advanced session with a poisoned cache; previously the
+// session kept the tokens consumed before the failure.
 func (s *Session) Prefill(prompt []int) (*tensor.Mat, error) {
+	return s.PrefillChunked(prompt, DefaultPrefillChunk)
+}
+
+// PrefillChunked is Prefill with an explicit chunk size (<= 0 selects
+// DefaultPrefillChunk). Results are bit-identical at every chunk size;
+// larger chunks amortize dispatch and weight decode better, smaller ones
+// bound how much work one call does (the serving scheduler's admission
+// knob). The rollback-on-error contract matches Prefill.
+func (s *Session) PrefillChunked(prompt []int, chunk int) (*tensor.Mat, error) {
 	if len(prompt) == 0 {
 		return nil, ErrEmptyPrompt
 	}
+	if chunk <= 0 {
+		chunk = DefaultPrefillChunk
+	}
+	pos0 := s.pos
+	var logits *tensor.Mat
+	for lo := 0; lo < len(prompt); lo += chunk {
+		hi := lo + chunk
+		if hi > len(prompt) {
+			hi = len(prompt)
+		}
+		l, err := s.Append(prompt[lo:hi])
+		if err != nil {
+			s.rewind(pos0)
+			return nil, err
+		}
+		logits = l
+	}
+	// The arena-owned logits row is cloned so callers may hold it across
+	// later use of the session (the contract of the pre-chunking Prefill).
+	return logits.Clone(), nil
+}
+
+// PrefillLoop consumes the prompt one Step at a time — the pre-chunking
+// reference implementation, kept as the bit-identity oracle of the
+// chunked path and the baseline of the BenchmarkPrefill pairs. It shares
+// Prefill's contract, including rollback on error.
+func (s *Session) PrefillLoop(prompt []int) (*tensor.Mat, error) {
+	if len(prompt) == 0 {
+		return nil, ErrEmptyPrompt
+	}
+	pos0 := s.pos
 	var logits *tensor.Mat
 	var err error
 	for _, tok := range prompt {
 		logits, err = s.Step(tok)
 		if err != nil {
+			s.rewind(pos0)
 			return nil, err
 		}
 	}
 	return logits, nil
+}
+
+// rewind rolls the session back to pos consumed tokens, truncating every
+// block's KV rows past it (chunk storage is kept). Valid only for pos <=
+// the current position; appended rows past pos are abandoned.
+func (s *Session) rewind(pos int) {
+	s.pos = pos
+	for _, c := range s.caches {
+		c.truncate(pos)
+	}
 }
 
 // Generate samples n tokens after the prompt at the given temperature

@@ -1,0 +1,8 @@
+//go:build !race
+
+package infer
+
+// raceEnabled reports whether the race detector is active; the
+// steady-state allocation assertions relax under it because the runtime
+// deliberately defeats sync.Pool caching to expose races.
+const raceEnabled = false

@@ -153,6 +153,21 @@ func (m *Model) Forward(ids []int) *tensor.Mat {
 	return m.Head.Forward(m.Norm.Forward(x))
 }
 
+// EmbedChunkInto writes the embeddings of ids into dst (len(ids) x Dim),
+// adding the learned positional rows for absolute positions pos0+t on
+// architectures that have them (ArchGPT; RoPE models encode position
+// inside attention). This is the model-level entry of the chunked prefill
+// path: one gather per chunk instead of one allocation per token, and
+// bit-identical to the per-token embed-and-add of the Step loop.
+func (m *Model) EmbedChunkInto(dst *tensor.Mat, ids []int, pos0 int) {
+	m.Embed.ForwardInto(dst, ids)
+	if m.PosEmbed != nil {
+		for t := range ids {
+			tensor.Axpy(1, m.PosEmbed.P.W.Row(pos0+t), dst.Row(t))
+		}
+	}
+}
+
 // Loss runs Forward and cross-entropy against targets (targets[t] is the
 // token that should follow ids[t]; -1 masks a position).
 func (m *Model) Loss(ids []int, targets []int) float64 {

@@ -39,6 +39,18 @@ func (e *Embedding) Forward(ids []int) *tensor.Mat {
 	return out
 }
 
+// ForwardInto gathers the embedding rows for ids into out (len(ids) x
+// Dim) without touching the backward cache — the allocation-free gather
+// of the chunked prefill path.
+func (e *Embedding) ForwardInto(out *tensor.Mat, ids []int) {
+	for t, id := range ids {
+		if id < 0 || id >= e.Vocab() {
+			panic("nn: embedding id out of range")
+		}
+		copy(out.Row(t), e.P.W.Row(id))
+	}
+}
+
 // Backward scatters dy rows into the gradient of the looked-up ids.
 func (e *Embedding) Backward(dy *tensor.Mat) {
 	if e.lastIDs == nil {

@@ -12,6 +12,12 @@ import (
 // the GELU block (GPT/OPT).
 type FeedForward interface {
 	Forward(x *tensor.Mat) *tensor.Mat
+	// ForwardInto computes the feed-forward output into out (n x dim)
+	// using h1 and h2 as n x ff hidden scratch, without touching the
+	// forward caches — the allocation-free inference entry point of the
+	// chunked prefill path. Backward after ForwardInto sees the previous
+	// Forward.
+	ForwardInto(out, x, h1, h2 *tensor.Mat)
 	Backward(dy *tensor.Mat) *tensor.Mat
 	Params() []*Param
 	// Projections returns the quantizable projection slots in a stable
@@ -71,6 +77,17 @@ func (m *GELUMLP) Forward(x *tensor.Mat) *tensor.Mat {
 		h.Data[i] = gelu(v)
 	}
 	return m.FC2.Forward(h)
+}
+
+// ForwardInto computes the GELU MLP into out with h1 as the hidden
+// scratch (h2 is unused — the block has a single hidden activation).
+// Bit-identical to Forward.
+func (m *GELUMLP) ForwardInto(out, x, h1, _ *tensor.Mat) {
+	m.FC1.ForwardInto(h1, x)
+	for i, v := range h1.Data {
+		h1.Data[i] = gelu(v)
+	}
+	m.FC2.ForwardInto(out, h1)
 }
 
 // Backward propagates dOut through the block, returning dX.

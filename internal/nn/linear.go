@@ -15,6 +15,11 @@ import (
 // operations (Backward) panic on deployment implementations.
 type Projection interface {
 	Forward(x *tensor.Mat) *tensor.Mat
+	// ForwardInto computes y = x·Wᵀ (+ bias) into out (x.Rows x Out())
+	// without touching the layer's forward caches — the allocation-free
+	// inference entry point of the chunked prefill path. out must not
+	// alias x; Backward after ForwardInto sees the previous Forward.
+	ForwardInto(out, x *tensor.Mat)
 	Backward(dy *tensor.Mat) *tensor.Mat
 	In() int
 	Out() int
@@ -83,37 +88,61 @@ func (l *Linear) In() int { return l.P.W.Cols }
 // Out returns the output dimension of the layer.
 func (l *Linear) Out() int { return l.P.W.Rows }
 
+// transformInput applies the deployment-time input transforms (InScale,
+// ActQuant) to a copy of x, or returns x unchanged when none are set.
+func (l *Linear) transformInput(x *tensor.Mat) *tensor.Mat {
+	if l.InScale == nil && l.ActQuant == nil {
+		return x
+	}
+	x = x.Clone()
+	if l.InScale != nil {
+		if len(l.InScale) != x.Cols {
+			panic("nn: InScale length mismatch")
+		}
+		for i := 0; i < x.Rows; i++ {
+			row := x.Row(i)
+			for j, s := range l.InScale {
+				row[j] /= s
+			}
+		}
+	}
+	if l.ActQuant != nil {
+		l.ActQuant.QuantizeInPlace(x)
+	}
+	return x
+}
+
+// addBias adds the bias row to every row of y (no-op for bias-free layers).
+func (l *Linear) addBias(y *tensor.Mat) {
+	if l.Bias == nil {
+		return
+	}
+	b := l.Bias.W.Row(0)
+	for i := 0; i < y.Rows; i++ {
+		row := y.Row(i)
+		for j := range row {
+			row[j] += b[j]
+		}
+	}
+}
+
 // Forward computes y = x·Wᵀ (+ bias) for x (n x in) and caches x.
 func (l *Linear) Forward(x *tensor.Mat) *tensor.Mat {
-	if l.InScale != nil || l.ActQuant != nil {
-		x = x.Clone()
-		if l.InScale != nil {
-			if len(l.InScale) != x.Cols {
-				panic("nn: InScale length mismatch")
-			}
-			for i := 0; i < x.Rows; i++ {
-				row := x.Row(i)
-				for j, s := range l.InScale {
-					row[j] /= s
-				}
-			}
-		}
-		if l.ActQuant != nil {
-			l.ActQuant.QuantizeInPlace(x)
-		}
-	}
+	x = l.transformInput(x)
 	l.lastInput = x
 	y := tensor.MatMulNT(x, l.P.W)
-	if l.Bias != nil {
-		b := l.Bias.W.Row(0)
-		for i := 0; i < y.Rows; i++ {
-			row := y.Row(i)
-			for j := range row {
-				row[j] += b[j]
-			}
-		}
-	}
+	l.addBias(y)
 	return y
+}
+
+// ForwardInto computes y = x·Wᵀ (+ bias) into out without caching the
+// input, so the chunked prefill path can reuse one scratch arena across
+// chunks. Bit-identical to Forward. Deployment-time input transforms
+// (InScale, ActQuant) still clone the input — the one allocating branch.
+func (l *Linear) ForwardInto(out, x *tensor.Mat) {
+	x = l.transformInput(x)
+	tensor.MatMulNTInto(out, x, l.P.W)
+	l.addBias(out)
 }
 
 // Backward accumulates dW += dyᵀ·x (and db) and returns dx = dy·W.

@@ -49,6 +49,18 @@ func (m *MLP) Forward(x *tensor.Mat) *tensor.Mat {
 	return m.Down.Forward(m.hidden)
 }
 
+// ForwardInto computes the SwiGLU MLP into out with h1/h2 as hidden
+// scratch (gate and up projections; the silu(gate)⊙up product lands in
+// h1). Bit-identical to Forward.
+func (m *MLP) ForwardInto(out, x, h1, h2 *tensor.Mat) {
+	m.Gate.ForwardInto(h1, x)
+	m.Up.ForwardInto(h2, x)
+	for i, g := range h1.Data {
+		h1.Data[i] = silu(g) * h2.Data[i]
+	}
+	m.Down.ForwardInto(out, h1)
+}
+
 // Backward propagates dOut through the block, returning dX.
 func (m *MLP) Backward(dOut *tensor.Mat) *tensor.Mat {
 	if m.hidden == nil {

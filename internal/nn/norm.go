@@ -10,6 +10,11 @@ import (
 // LayerNorm (GPT/OPT), letting Block compose either architecture.
 type Norm interface {
 	Forward(x *tensor.Mat) *tensor.Mat
+	// ForwardInto normalizes x into out (same shape) without touching the
+	// forward caches — the allocation-free inference entry point of the
+	// chunked prefill path. Backward after ForwardInto sees the previous
+	// Forward.
+	ForwardInto(out, x *tensor.Mat)
 	Backward(dy *tensor.Mat) *tensor.Mat
 	Params() []*Param
 	// View returns a norm sharing this one's parameters but owning its
@@ -75,6 +80,29 @@ func (l *LayerNorm) Forward(x *tensor.Mat) *tensor.Mat {
 		}
 	}
 	return out
+}
+
+// ForwardInto normalizes each row of x into out without caching —
+// bit-identical to Forward, row by row, at any batching.
+func (l *LayerNorm) ForwardInto(out, x *tensor.Mat) {
+	g := l.Gain.W.Row(0)
+	b := l.Bias.W.Row(0)
+	n := float64(x.Cols)
+	for t := 0; t < x.Rows; t++ {
+		row := x.Row(t)
+		mean := tensor.MeanVec(row)
+		variance := 0.0
+		for _, v := range row {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= n
+		inv := 1 / math.Sqrt(variance+l.Eps)
+		orow := out.Row(t)
+		for j, v := range row {
+			orow[j] = g[j]*(v-mean)*inv + b[j]
+		}
+	}
 }
 
 // Backward computes dx and accumulates gain/bias gradients.

@@ -42,19 +42,34 @@ func (l *QuantizedLinear) In() int { return l.W.Cols }
 // Out returns the output dimension of the layer.
 func (l *QuantizedLinear) Out() int { return l.W.Rows }
 
+// addBias adds the bias row to every row of y (no-op for bias-free layers).
+func (l *QuantizedLinear) addBias(y *tensor.Mat) {
+	if l.Bias == nil {
+		return
+	}
+	b := l.Bias.W.Row(0)
+	for i := 0; i < y.Rows; i++ {
+		row := y.Row(i)
+		for j := range row {
+			row[j] += b[j]
+		}
+	}
+}
+
 // Forward computes y = x·Wᵀ (+ bias) straight from the packed codes.
 func (l *QuantizedLinear) Forward(x *tensor.Mat) *tensor.Mat {
 	y := l.W.MatMulNT(x)
-	if l.Bias != nil {
-		b := l.Bias.W.Row(0)
-		for i := 0; i < y.Rows; i++ {
-			row := y.Row(i)
-			for j := range row {
-				row[j] += b[j]
-			}
-		}
-	}
+	l.addBias(y)
 	return y
+}
+
+// ForwardInto computes y = x·Wᵀ (+ bias) into out straight from the
+// packed codes. Multi-row inputs (the chunked prefill shape) route
+// through the LUT-accelerated matmul kernel; the result is bit-identical
+// to Forward either way.
+func (l *QuantizedLinear) ForwardInto(out, x *tensor.Mat) {
+	l.W.MatMulNTInto(out, x)
+	l.addBias(out)
 }
 
 // Backward is invalid on the packed deployment layer.

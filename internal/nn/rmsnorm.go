@@ -48,6 +48,25 @@ func (r *RMSNorm) Forward(x *tensor.Mat) *tensor.Mat {
 	return out
 }
 
+// ForwardInto normalizes each row of x into out without caching —
+// bit-identical to Forward, row by row, at any batching.
+func (r *RMSNorm) ForwardInto(out, x *tensor.Mat) {
+	g := r.P.W.Row(0)
+	for t := 0; t < x.Rows; t++ {
+		row := x.Row(t)
+		ms := 0.0
+		for _, v := range row {
+			ms += v * v
+		}
+		ms = ms/float64(x.Cols) + r.Eps
+		inv := 1 / math.Sqrt(ms)
+		orow := out.Row(t)
+		for j, v := range row {
+			orow[j] = g[j] * v * inv
+		}
+	}
+}
+
 // Backward computes dx and accumulates the gain gradient.
 //
 // With u = x·inv, y = g ⊙ u: dg += Σ_t dy ⊙ u and

@@ -108,6 +108,24 @@ func (r *RoPE) ApplyAt(x *tensor.Mat, pos int) {
 	}
 }
 
+// ApplyFrom rotates row t of x in place by the rotation of sequence
+// position pos0+t — the chunked-prefill entry point: a prompt chunk whose
+// first token sits at position pos0 rotates every row with its own
+// absolute position in one call, bit-identically to ApplyAt row by row.
+// Apply is ApplyFrom at position 0.
+func (r *RoPE) ApplyFrom(x *tensor.Mat, pos0 int) {
+	if x.Cols%r.HeadDim != 0 {
+		panic("nn: RoPE input dim not a multiple of head dim")
+	}
+	if pos0 < 0 {
+		panic("nn: RoPE position must be non-negative")
+	}
+	cos, sin := r.tables(pos0 + x.Rows)
+	for t := 0; t < x.Rows; t++ {
+		r.rotateRow(x.Row(t), cos[pos0+t], sin[pos0+t], 1)
+	}
+}
+
 // rotateRow rotates one row, head by head, with the given per-pair
 // rotation tables.
 func (r *RoPE) rotateRow(row, c, s []float64, dir float64) {

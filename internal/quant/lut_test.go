@@ -1,0 +1,143 @@
+package quant
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// TestDecodeRowsIntoMatchesDecodeRowInto drives the LUT block decoder
+// through the accumulator-refill edge cases: group sizes that do not
+// divide the column count, single-column matrices, and per-row bit widths
+// spanning the whole 1..16 range (16-bit rows exceed lutMaxBits and take
+// the arithmetic fallback inside the same call). Every decoded block must
+// equal the arithmetic per-row decode bit for bit.
+func TestDecodeRowsIntoMatchesDecodeRowInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shapes := []struct{ rows, cols, group int }{
+		{1, 1, 1},    // single element
+		{9, 1, 1},    // single-column: every code triggers a refill path
+		{9, 1, 4},    // single-column with group larger than the row
+		{7, 13, 5},   // group size does not divide cols
+		{12, 31, 7},  // ragged tail group
+		{5, 24, 100}, // one group spanning the whole row
+	}
+	widths := [][]int{
+		nil,                    // uniform Bits
+		{1, 16, 4, 8, 3, 2, 7}, // mixed, including the 1-bit and 16-bit extremes
+	}
+	for _, sh := range shapes {
+		for _, w := range widths {
+			var rowBits []int
+			if w != nil {
+				rowBits = make([]int, sh.rows)
+				for r := range rowBits {
+					rowBits[r] = w[r%len(w)]
+				}
+			}
+			q := randomQuantized(rng, sh.rows, sh.cols, sh.group, 6, rowBits)
+			p, err := PackMatrix(q)
+			if err != nil {
+				t.Fatalf("%+v rowBits=%v: %v", sh, rowBits, err)
+			}
+			want := tensor.New(sh.rows, sh.cols)
+			for r := 0; r < sh.rows; r++ {
+				p.DecodeRowInto(want.Row(r), r)
+			}
+			// Block decodes at several block sizes and offsets, LUT built.
+			for _, block := range []int{1, 2, 3, sh.rows} {
+				for lo := 0; lo+block <= sh.rows; lo += block {
+					dst := tensor.New(block, sh.cols)
+					p.DecodeRowsInto(dst, lo)
+					for i := 0; i < block; i++ {
+						for j := 0; j < sh.cols; j++ {
+							if dst.At(i, j) != want.At(lo+i, j) {
+								t.Fatalf("%+v rowBits=%v block=%d: row %d col %d decoded %v, want %v",
+									sh, rowBits, block, lo+i, j, dst.At(i, j), want.At(lo+i, j))
+							}
+						}
+					}
+				}
+			}
+			if !p.Dequantize().Equal(q.Dequantize(), 0) {
+				t.Fatalf("%+v rowBits=%v: Dequantize drifted from the quantized source", sh, rowBits)
+			}
+		}
+	}
+}
+
+// TestLUTSkipsWideRowsAndReportsBytes: rows wider than lutMaxBits get no
+// table (their off entries are -1) but still decode identically, and
+// LUTBytes is zero before the first build.
+func TestLUTSkipsWideRowsAndReportsBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	rowBits := []int{4, 16, 9, 8, 1}
+	q := randomQuantized(rng, len(rowBits), 10, 4, 8, rowBits)
+	p, err := PackMatrix(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LUTBytes() != 0 {
+		t.Fatalf("LUTBytes = %d before EnsureLUT", p.LUTBytes())
+	}
+	p.EnsureLUT()
+	if p.LUTBytes() == 0 {
+		t.Fatal("LUTBytes = 0 after EnsureLUT")
+	}
+	ng := p.NumGroups()
+	for r, bits := range rowBits {
+		for g := 0; g < ng; g++ {
+			off := p.lut.off[r*ng+g]
+			if bits > lutMaxBits && off != -1 {
+				t.Fatalf("row %d (%d bits) has a table at offset %d", r, bits, off)
+			}
+			if bits <= lutMaxBits && off < 0 {
+				t.Fatalf("row %d (%d bits) has no table", r, bits)
+			}
+		}
+	}
+	dst := tensor.New(p.Rows, p.Cols)
+	p.DecodeRowsInto(dst, 0)
+	if !dst.Equal(q.Dequantize(), 0) {
+		t.Fatal("mixed LUT/arithmetic decode drifted from the reference")
+	}
+}
+
+// TestPackedMatMulNTMultiRowBitIdentical pins the LUT-accelerated
+// matrix-matrix path (x.Rows > 1 builds the tables) to the dequantized
+// float reference at every worker count, on the same edge-case shapes as
+// the decoder test.
+func TestPackedMatMulNTMultiRowBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	shapes := []struct{ rows, cols, group, xrows int }{
+		{1, 1, 1, 4},
+		{9, 1, 1, 3},
+		{7, 13, 5, 2},
+		{31, 17, 16, 16},
+		{16, 48, 16, 9},
+	}
+	for _, sh := range shapes {
+		rowBits := make([]int, sh.rows)
+		for r := range rowBits {
+			rowBits[r] = []int{1, 16, 4, 8, 3}[r%5]
+		}
+		q := randomQuantized(rng, sh.rows, sh.cols, sh.group, 6, rowBits)
+		p, err := PackMatrix(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := tensor.Randn(rng, sh.xrows, sh.cols, 1)
+		x.Data[0] = 0 // exact zeros must not perturb the shared accumulation order
+		want := tensor.MatMulNT(x, q.Dequantize())
+		for _, workers := range []int{1, 2, 3, 8} {
+			parallel.SetWorkers(workers)
+			got := p.MatMulNT(x)
+			parallel.SetWorkers(0)
+			if !got.Equal(want, 0) {
+				t.Fatalf("%+v workers=%d: multi-row packed matmul not bit-identical", sh, workers)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package quant
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/parallel"
 	"repro/internal/tensor"
@@ -34,6 +35,14 @@ type PackedMatrix struct {
 	// Params holds one GroupParams per (row, group), row-major:
 	// Params[r*numGroups + g].
 	Params []GroupParams
+
+	// lutOnce/lut lazily hold the per-(row, group) dequantization tables
+	// of the LUT decode path (see EnsureLUT); pool recycles the per-worker
+	// row-decode buffers of the matmul kernel so steady-state matrix
+	// products allocate nothing.
+	lutOnce sync.Once
+	lut     *dequantLUT
+	pool    sync.Pool
 }
 
 // bitsForRow returns the bit width used by row r.
@@ -159,6 +168,20 @@ func (p *PackedMatrix) DecodeRowInto(dst []float64, r int) {
 	}
 }
 
+// DecodeRowsInto dequantizes weight rows [lo, lo+dst.Rows) into dst
+// (dst.Cols == Cols), building the dequantization tables on first use —
+// the multi-column decode entry of the chunked prefill path (weight rows
+// are output columns of x·Wᵀ). The decoded values are bit-identical to
+// DecodeRowInto row by row.
+func (p *PackedMatrix) DecodeRowsInto(dst *tensor.Mat, lo int) {
+	if dst.Cols != p.Cols || lo < 0 || lo+dst.Rows > p.Rows {
+		panic(fmt.Sprintf("quant: DecodeRowsInto rows [%d,%d) of %dx%d into %dx%d",
+			lo, lo+dst.Rows, p.Rows, p.Cols, dst.Rows, dst.Cols))
+	}
+	p.EnsureLUT()
+	p.decodeRows(dst.Data, lo, dst.Rows, p.lut)
+}
+
 // Unpack reverses PackMatrix, reconstructing the manipulation-format
 // QuantizedMatrix (codes and parameters are copied).
 func (p *PackedMatrix) Unpack() *QuantizedMatrix {
@@ -186,25 +209,90 @@ func (p *PackedMatrix) Dequantize() *tensor.Mat {
 	return m
 }
 
+// decodeBlockRows is the number of weight rows each matmul worker decodes
+// together before running the inner products: enough that a multi-row x
+// reuses every decoded block from cache, small enough that the per-worker
+// scratch stays a few KiB.
+const decodeBlockRows = 8
+
+// getDecodeBuf returns a pooled decodeBlockRows x Cols scratch buffer.
+func (p *PackedMatrix) getDecodeBuf() *[]float64 {
+	if v, ok := p.pool.Get().(*[]float64); ok {
+		return v
+	}
+	b := make([]float64, decodeBlockRows*p.Cols)
+	return &b
+}
+
 // MatMulNTInto computes out = x·Wᵀ for x (n x Cols) against the packed
-// weight matrix W (Rows x Cols), dequantizing W one row at a time into a
-// per-worker scratch buffer. Weight rows (output columns) partition across
-// workers; each output element accumulates its k-terms in ascending order
-// from a zero accumulator — the exact inner-loop order of
+// weight matrix W (Rows x Cols), dequantizing W a block of rows at a time
+// into a pooled per-worker scratch buffer. Matrix-matrix products
+// (x.Rows > 1, the chunked-prefill shape) decode through the LUT tables
+// (EnsureLUT), so each code costs one table load instead of the affine
+// arithmetic; the single-row decode shape skips the tables and keeps the
+// pure-decode memory footprint. Weight rows (output columns) partition
+// across workers; each output element accumulates its k-terms in
+// ascending order from a zero accumulator — the exact inner-loop order of
 // tensor.MatMulNTInto — so the result is bit-identical to
-// MatMulNT(x, W.Dequantize()) at any worker count.
+// MatMulNT(x, W.Dequantize()) at any worker count, with or without LUT.
 func (p *PackedMatrix) MatMulNTInto(out, x *tensor.Mat) {
 	if x.Cols != p.Cols || out.Rows != x.Rows || out.Cols != p.Rows {
 		panic(fmt.Sprintf("quant: packed MatMulNT shape mismatch %dx%d · (%dx%d)ᵀ -> %dx%d",
 			x.Rows, x.Cols, p.Rows, p.Cols, out.Rows, out.Cols))
 	}
-	n := out.Cols
+	var lut *dequantLUT
+	if x.Rows > 1 {
+		p.EnsureLUT()
+		lut = p.lut
+	}
+	if parallel.Workers() == 1 {
+		p.matMulNTRange(out, x, lut, 0, p.Rows)
+		return
+	}
 	parallel.For(p.Rows, rowGrainPacked(x.Rows*p.Cols), func(lo, hi int) {
-		wrow := make([]float64, p.Cols)
-		for j := lo; j < hi; j++ {
-			p.DecodeRowInto(wrow, j)
-			for i := 0; i < x.Rows; i++ {
-				xrow := x.Row(i)
+		p.matMulNTRange(out, x, lut, lo, hi)
+	})
+}
+
+// matMulNTRange computes output columns [lo, hi) of out = x·Wᵀ, decoding
+// the owned weight rows block by block through a pooled scratch buffer.
+// Four rows of x run together against each decoded weight row — four
+// independent accumulator chains sharing the streamed row, the same
+// latency-hiding blocking as tensor's kernel — while every output element
+// keeps its ascending-k accumulation order, so the result stays
+// bit-identical to the dequantized float matmul.
+func (p *PackedMatrix) matMulNTRange(out, x *tensor.Mat, lut *dequantLUT, lo, hi int) {
+	n := out.Cols
+	buf := p.getDecodeBuf()
+	w := *buf
+	for j0 := lo; j0 < hi; j0 += decodeBlockRows {
+		j1 := j0 + decodeBlockRows
+		if j1 > hi {
+			j1 = hi
+		}
+		p.decodeRows(w, j0, j1-j0, lut)
+		i := 0
+		for ; i+3 < x.Rows; i += 4 {
+			x0, x1, x2, x3 := x.Row(i), x.Row(i+1), x.Row(i+2), x.Row(i+3)
+			for j := j0; j < j1; j++ {
+				wrow := w[(j-j0)*p.Cols : (j-j0+1)*p.Cols]
+				var s0, s1, s2, s3 float64
+				for k, wv := range wrow {
+					s0 += x0[k] * wv
+					s1 += x1[k] * wv
+					s2 += x2[k] * wv
+					s3 += x3[k] * wv
+				}
+				out.Data[i*n+j] = s0
+				out.Data[(i+1)*n+j] = s1
+				out.Data[(i+2)*n+j] = s2
+				out.Data[(i+3)*n+j] = s3
+			}
+		}
+		for ; i < x.Rows; i++ {
+			xrow := x.Row(i)
+			for j := j0; j < j1; j++ {
+				wrow := w[(j-j0)*p.Cols : (j-j0+1)*p.Cols]
 				s := 0.0
 				for k, xv := range xrow {
 					s += xv * wrow[k]
@@ -212,7 +300,8 @@ func (p *PackedMatrix) MatMulNTInto(out, x *tensor.Mat) {
 				out.Data[i*n+j] = s
 			}
 		}
-	})
+	}
+	p.pool.Put(buf)
 }
 
 // MatMulNT returns x·Wᵀ (see MatMulNTInto).

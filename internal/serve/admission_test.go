@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/infer"
+	"repro/internal/model"
+)
+
+// TestAdmissionChunkBoundsPerTickWork is the white-box half of the
+// chunked-admission contract: a slot prefilling a long prompt consumes at
+// most PrefillChunk tokens per advance call, so a single tick — the unit
+// co-scheduled slots wait on — never carries more than one chunk of
+// prompt work, and the prompt takes exactly ceil(len/chunk) ticks to
+// admit.
+func TestAdmissionChunkBoundsPerTickWork(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	const chunk = 4
+	long := make([]int, 19)
+	for i := range long {
+		long[i] = 1 + i%(m.Cfg.Vocab-1)
+	}
+	sl := newSlot(infer.NewSession(m.View()), m.Cfg.MaxSeq, chunk)
+	sl.start(Request{ID: "long", Prompt: long, MaxTokens: 2, Seed: 1}, nil, time.Now())
+	ticks := 0
+	for !sl.prefilled {
+		before := sl.sess.Pos()
+		sl.advance(-1)
+		if sl.done {
+			t.Fatalf("prefill finished with %v after %d ticks", sl.err, ticks)
+		}
+		if got := sl.sess.Pos() - before; got > chunk {
+			t.Fatalf("tick %d consumed %d prompt tokens, chunk is %d", ticks, got, chunk)
+		}
+		ticks++
+		if ticks > len(long) {
+			t.Fatalf("prefill not done after %d ticks", ticks)
+		}
+	}
+	if want := (len(long) + chunk - 1) / chunk; ticks != want {
+		t.Fatalf("prompt of %d admitted in %d ticks, want %d", len(long), ticks, want)
+	}
+	if sl.ttft <= 0 || !sl.ttftPending {
+		t.Fatalf("prefill completion must stage a TTFT sample (ttft=%v pending=%v)", sl.ttft, sl.ttftPending)
+	}
+	// Decoding proceeds normally after the staged admission.
+	for !sl.done {
+		sl.advance(-1)
+	}
+	if sl.reason != FinishLength || len(sl.tokens) != 2 {
+		t.Fatalf("post-admission decode finished (%s, %d tokens)", sl.reason, len(sl.tokens))
+	}
+}
+
+// TestPercentileNearestRank pins the percentile helper on small windows.
+func TestPercentileNearestRank(t *testing.T) {
+	samples := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(samples, 50); got != 5 {
+		t.Fatalf("p50 = %v, want 5", got)
+	}
+	if got := percentile(samples, 99); got != 10 {
+		t.Fatalf("p99 = %v, want 10", got)
+	}
+	if got := percentile(samples[:1], 99); got != 1 {
+		t.Fatalf("p99 of singleton = %v, want 1", got)
+	}
+}

@@ -19,7 +19,9 @@ package serve
 import (
 	"errors"
 	"math/rand"
+	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/infer"
 	"repro/internal/model"
@@ -101,11 +103,20 @@ type Options struct {
 	// KVQuantBits, when non-zero, stores every slot's KV cache at that
 	// bit width (see infer.NewSessionKVQuant).
 	KVQuantBits int
+	// PrefillChunk bounds the prompt tokens a slot admits per decode tick
+	// (<= 0 selects infer.DefaultPrefillChunk). A long prompt is consumed
+	// across consecutive ticks chunk by chunk, so its admission delays
+	// co-scheduled slots' ticks by at most one chunk's worth of work
+	// instead of a whole-prompt stall. Output is unaffected: chunked
+	// prefill is bit-identical to the token loop at every chunk size.
+	PrefillChunk int
 }
 
 // DefaultOptions returns the baseline scheduler configuration: 4 slots, no
-// EOS token, float KV cache.
-func DefaultOptions() Options { return Options{Slots: 4, EOS: -1} }
+// EOS token, float KV cache, default prefill chunking.
+func DefaultOptions() Options {
+	return Options{Slots: 4, EOS: -1, PrefillChunk: infer.DefaultPrefillChunk}
+}
 
 // Stats is a point-in-time snapshot of scheduler counters.
 type Stats struct {
@@ -120,12 +131,24 @@ type Stats struct {
 	// KVCacheBytes is the resident KV memory across all slots, including
 	// warm recycled capacity.
 	KVCacheBytes int64
+	// PrefillChunk is the admission chunk size in effect.
+	PrefillChunk int
+	// TTFTSamples counts completed prefills; TTFTp50/TTFTp99 are
+	// percentiles of time-to-first-token — submission to last prompt
+	// token prefilled — over the most recent ttftWindow requests.
+	TTFTSamples      int64
+	TTFTp50, TTFTp99 time.Duration
 }
+
+// ttftWindow is the number of recent time-to-first-token samples the
+// percentile stats are computed over.
+const ttftWindow = 512
 
 // pending is a queued request with its delivery ticket.
 type pending struct {
-	req    Request
-	ticket *Ticket
+	req       Request
+	ticket    *Ticket
+	submitted time.Time
 }
 
 // slot is one decoding lane. All fields are owned by the scheduler loop
@@ -133,31 +156,37 @@ type pending struct {
 type slot struct {
 	sess   *infer.Session
 	maxSeq int
+	chunk  int // prompt tokens admitted per tick
 
-	active    bool
-	prefilled bool
-	req       Request
-	ticket    *Ticket
-	rng       *rand.Rand
-	logits    []float64
-	tokens    []int
-	done      bool
-	reason    FinishReason
-	err       error
+	active      bool
+	prefilled   bool
+	promptPos   int // prompt tokens consumed so far
+	req         Request
+	ticket      *Ticket
+	rng         *rand.Rand
+	logits      []float64
+	tokens      []int
+	done        bool
+	reason      FinishReason
+	err         error
+	submitted   time.Time
+	ttft        time.Duration
+	ttftPending bool // a fresh TTFT sample awaits collection
 }
 
 // newSlot wraps a session as an idle slot.
-func newSlot(sess *infer.Session, maxSeq int) *slot {
-	return &slot{sess: sess, maxSeq: maxSeq}
+func newSlot(sess *infer.Session, maxSeq, chunk int) *slot {
+	return &slot{sess: sess, maxSeq: maxSeq, chunk: chunk}
 }
 
 // start admits a request into an idle slot. The session is recycled with
-// Reset — warm KV chunks are kept — which decodes bit-identically to a
-// fresh session.
-func (sl *slot) start(req Request, ticket *Ticket) {
+// Reset — warm KV chunks and the prefill scratch arena are kept — which
+// decodes bit-identically to a fresh session.
+func (sl *slot) start(req Request, ticket *Ticket, submitted time.Time) {
 	sl.sess.Reset()
 	sl.active = true
 	sl.prefilled = false
+	sl.promptPos = 0
 	sl.req = req
 	sl.ticket = ticket
 	sl.rng = rand.New(rand.NewSource(req.Seed))
@@ -166,6 +195,9 @@ func (sl *slot) start(req Request, ticket *Ticket) {
 	sl.done = false
 	sl.reason = ""
 	sl.err = nil
+	sl.submitted = submitted
+	sl.ttft = 0
+	sl.ttftPending = false
 }
 
 // finish marks the slot's request complete.
@@ -180,22 +212,41 @@ func (sl *slot) result() Result {
 	return Result{ID: sl.req.ID, Tokens: sl.tokens, FinishReason: sl.reason, Err: sl.err}
 }
 
-// advance runs one scheduler tick for this slot: the prompt prefill on its
-// first tick, then one sample (+feed) per tick. This single function is the
-// whole per-request decode semantics — Sequential loops it to completion on
-// one fresh session, and the scheduler fans it out across live slots — so
-// scheduled and sequential decoding are bit-identical by construction.
+// advance runs one scheduler tick for this slot: at most one prompt chunk
+// per tick until the prompt is consumed, then one sample (+feed) per tick.
+// Chunked admission bounds the work a long prompt adds to any single tick
+// — co-scheduled decoding slots wait for one chunk of block forwards, not
+// a whole prompt — while chunked prefill's bit-identity to the token loop
+// keeps the output independent of the chunk size. This single function is
+// the whole per-request decode semantics: Sequential loops it to
+// completion on one fresh session, and the scheduler fans it out across
+// live slots, so scheduled and sequential decoding are bit-identical by
+// construction.
 func (sl *slot) advance(eos int) {
 	if sl.done {
 		return
 	}
 	if !sl.prefilled {
-		sl.prefilled = true
-		logits, err := sl.sess.Prefill(sl.req.Prompt)
+		if len(sl.req.Prompt) == 0 {
+			sl.finish(FinishError, infer.ErrEmptyPrompt)
+			return
+		}
+		n := sl.chunk
+		if rem := len(sl.req.Prompt) - sl.promptPos; n > rem {
+			n = rem
+		}
+		logits, err := sl.sess.Append(sl.req.Prompt[sl.promptPos : sl.promptPos+n])
 		if err != nil {
 			sl.finish(FinishError, err)
 			return
 		}
+		sl.promptPos += n
+		if sl.promptPos < len(sl.req.Prompt) {
+			return // rest of the prompt admits on later ticks
+		}
+		sl.prefilled = true
+		sl.ttft = time.Since(sl.submitted)
+		sl.ttftPending = true
 		sl.logits = logits.Row(0)
 		if sl.req.MaxTokens <= 0 {
 			sl.finish(FinishLength, nil)
@@ -241,6 +292,10 @@ type Scheduler struct {
 	queue  []pending
 	closed bool
 	stats  Stats
+	// ttft is a ring of the most recent time-to-first-token samples
+	// (capacity ttftWindow); ttftNext is the ring write cursor.
+	ttft     []time.Duration
+	ttftNext int
 
 	loopDone chan struct{}
 }
@@ -252,6 +307,9 @@ func New(m *model.Model, opts Options) *Scheduler {
 	if opts.Slots <= 0 {
 		opts.Slots = DefaultOptions().Slots
 	}
+	if opts.PrefillChunk <= 0 {
+		opts.PrefillChunk = infer.DefaultPrefillChunk
+	}
 	s := &Scheduler{eos: opts.EOS, loopDone: make(chan struct{})}
 	s.cond = sync.NewCond(&s.mu)
 	for _, v := range m.Views(opts.Slots) {
@@ -261,9 +319,10 @@ func New(m *model.Model, opts Options) *Scheduler {
 		} else {
 			sess = infer.NewSession(v)
 		}
-		s.slots = append(s.slots, newSlot(sess, m.Cfg.MaxSeq))
+		s.slots = append(s.slots, newSlot(sess, m.Cfg.MaxSeq, opts.PrefillChunk))
 	}
 	s.stats.Slots = opts.Slots
+	s.stats.PrefillChunk = opts.PrefillChunk
 	go s.loop()
 	return s
 }
@@ -277,7 +336,7 @@ func (s *Scheduler) Submit(req Request) (*Ticket, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
-	s.queue = append(s.queue, pending{req: req, ticket: t})
+	s.queue = append(s.queue, pending{req: req, ticket: t, submitted: time.Now()})
 	s.stats.Submitted++
 	s.stats.Queued = len(s.queue)
 	s.cond.Signal()
@@ -302,11 +361,43 @@ func (s *Scheduler) GenerateAll(reqs []Request) ([]Result, error) {
 	return out, nil
 }
 
-// Stats returns a snapshot of the scheduler counters.
+// Stats returns a snapshot of the scheduler counters, including
+// time-to-first-token percentiles over the recent sample window.
 func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	if len(s.ttft) > 0 {
+		sorted := append([]time.Duration(nil), s.ttft...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		st.TTFTp50 = percentile(sorted, 50)
+		st.TTFTp99 = percentile(sorted, 99)
+	}
+	return st
+}
+
+// percentile returns the nearest-rank p-th percentile of a sorted sample.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	idx := (p*len(sorted) + 99) / 100 // ceil(p*n/100), 1-based nearest rank
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}
+
+// recordTTFT appends one time-to-first-token sample to the ring. Caller
+// holds mu.
+func (s *Scheduler) recordTTFT(d time.Duration) {
+	s.stats.TTFTSamples++
+	if len(s.ttft) < ttftWindow {
+		s.ttft = append(s.ttft, d)
+		return
+	}
+	s.ttft[s.ttftNext] = d
+	s.ttftNext = (s.ttftNext + 1) % ttftWindow
 }
 
 // Close stops admission, drains every queued and in-flight request (their
@@ -340,7 +431,7 @@ func (s *Scheduler) loop() {
 			}
 			p := s.queue[0]
 			s.queue = s.queue[1:]
-			sl.start(p.req, p.ticket)
+			sl.start(p.req, p.ticket, p.submitted)
 			nActive++
 		}
 		s.stats.Queued = len(s.queue)
@@ -372,6 +463,10 @@ func (s *Scheduler) loop() {
 		}
 		s.mu.Lock()
 		for _, sl := range live {
+			if sl.ttftPending {
+				s.recordTTFT(sl.ttft)
+				sl.ttftPending = false
+			}
 			if !sl.done {
 				continue
 			}
@@ -404,8 +499,12 @@ func Sequential(m *model.Model, req Request, opts Options) Result {
 	} else {
 		sess = infer.NewSession(v)
 	}
-	sl := newSlot(sess, m.Cfg.MaxSeq)
-	sl.start(req, nil)
+	chunk := opts.PrefillChunk
+	if chunk <= 0 {
+		chunk = infer.DefaultPrefillChunk
+	}
+	sl := newSlot(sess, m.Cfg.MaxSeq, chunk)
+	sl.start(req, nil, time.Now())
 	for !sl.done {
 		sl.advance(opts.EOS)
 	}

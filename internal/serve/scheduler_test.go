@@ -139,6 +139,78 @@ func TestSchedulerMidFlightAdmission(t *testing.T) {
 	}
 }
 
+// TestSchedulerPrefillChunkMatchesSequential: the admission chunk size is
+// a scheduling knob, not a semantic one — requests with prompts longer
+// than several chunks decode bit-identically at every chunk size, worker
+// count and slot count, including against a Sequential reference using a
+// different chunk size.
+func TestSchedulerPrefillChunkMatchesSequential(t *testing.T) {
+	m := testModel()
+	rng := rand.New(rand.NewSource(29))
+	reqs := make([]serve.Request, 8)
+	for i := range reqs {
+		// Long prompts (up to 20 tokens on a 32-token context) so small
+		// chunks take many ticks to admit while other slots decode.
+		prompt := make([]int, 9+rng.Intn(12))
+		for j := range prompt {
+			prompt[j] = rng.Intn(m.Cfg.Vocab)
+		}
+		reqs[i] = serve.Request{
+			ID:          fmt.Sprintf("req-%d", i),
+			Prompt:      prompt,
+			MaxTokens:   1 + i%5,
+			Temperature: float64(i%2) * 0.8,
+			Seed:        int64(40 + i),
+		}
+	}
+	want := make([]serve.Result, len(reqs))
+	for i, r := range reqs {
+		want[i] = serve.Sequential(m, r, serve.DefaultOptions())
+	}
+	for _, chunk := range []int{1, 3, 16} {
+		for _, workers := range []int{1, 4} {
+			parallel.SetWorkers(workers)
+			opts := serve.DefaultOptions()
+			opts.Slots = 3
+			opts.PrefillChunk = chunk
+			s := serve.New(m, opts)
+			got, err := s.GenerateAll(reqs)
+			s.Close()
+			parallel.SetWorkers(0)
+			if err != nil {
+				t.Fatalf("chunk=%d workers=%d: %v", chunk, workers, err)
+			}
+			for i := range want {
+				assertResultsEqual(t, fmt.Sprintf("chunk=%d workers=%d req %d", chunk, workers, i), got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSchedulerTTFTStats: completed prefills populate the
+// time-to-first-token percentiles, and a failed prefill (empty prompt)
+// contributes no sample.
+func TestSchedulerTTFTStats(t *testing.T) {
+	m := testModel()
+	s := serve.New(m, serve.DefaultOptions())
+	defer s.Close()
+	reqs := mixedRequests(m.Cfg.Vocab, 5)
+	reqs = append(reqs, serve.Request{ID: "empty", MaxTokens: 2, Seed: 1})
+	if _, err := s.GenerateAll(reqs); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.TTFTSamples != 5 {
+		t.Fatalf("TTFTSamples = %d, want 5 (failed prefill must not count)", st.TTFTSamples)
+	}
+	if st.TTFTp50 <= 0 || st.TTFTp99 < st.TTFTp50 {
+		t.Fatalf("TTFT percentiles p50=%v p99=%v", st.TTFTp50, st.TTFTp99)
+	}
+	if st.PrefillChunk <= 0 {
+		t.Fatalf("PrefillChunk = %d", st.PrefillChunk)
+	}
+}
+
 // TestSchedulerStopToken: generation halts at the stop token, which is not
 // emitted.
 func TestSchedulerStopToken(t *testing.T) {

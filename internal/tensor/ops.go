@@ -40,30 +40,41 @@ func MatMul(a, b *Mat) *Mat {
 //
 // Rows of out are partitioned across workers; each output row is produced
 // by exactly one goroutine with the same inner-loop order as a serial run,
-// so the result is bit-identical for any worker count.
+// so the result is bit-identical for any worker count. Single-worker runs
+// skip the fork-join machinery entirely (no closure, no dispatch), which
+// keeps the chunked-prefill steady state allocation-free.
 func MatMulInto(out, a, b *Mat) {
 	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
 		panic("tensor: MatMulInto shape mismatch")
 	}
+	if parallel.Workers() == 1 {
+		matMulRange(out, a, b, 0, a.Rows)
+		return
+	}
+	parallel.For(a.Rows, rowGrain(a.Cols*b.Cols), func(lo, hi int) {
+		matMulRange(out, a, b, lo, hi)
+	})
+}
+
+// matMulRange computes output rows [lo, hi) of out = a·b.
+func matMulRange(out, a, b *Mat, lo, hi int) {
 	n := b.Cols
-	parallel.For(a.Rows, rowGrain(a.Cols*n), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			orow := out.Row(i)
-			for j := range orow {
-				orow[j] = 0
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := range orow {
+			orow[j] = 0
+		}
+		for k, av := range arow {
+			if av == 0 {
+				continue
 			}
-			for k, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[k*n : (k+1)*n]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
+			brow := b.Data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
 			}
 		}
-	})
+	}
 }
 
 // MatMulNT returns a·bᵀ for a (r x k) and b (c x k).
@@ -77,25 +88,57 @@ func MatMulNT(a, b *Mat) *Mat {
 }
 
 // MatMulNTInto computes out = a·bᵀ, reusing out's storage. Rows of out are
-// partitioned across workers (see MatMulInto's determinism note).
+// partitioned across workers (see MatMulInto's determinism and
+// single-worker notes).
 func MatMulNTInto(out, a, b *Mat) {
 	if a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != b.Rows {
 		panic("tensor: MatMulNTInto shape mismatch")
 	}
+	if parallel.Workers() == 1 {
+		matMulNTRange(out, a, b, 0, a.Rows)
+		return
+	}
 	parallel.For(a.Rows, rowGrain(a.Cols*b.Rows), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			orow := out.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				brow := b.Row(j)
-				s := 0.0
-				for k, av := range arow {
-					s += av * brow[k]
-				}
-				orow[j] = s
-			}
-		}
+		matMulNTRange(out, a, b, lo, hi)
 	})
+}
+
+// matMulNTRange computes output rows [lo, hi) of out = a·bᵀ, four rows of
+// a at a time: the four dot products share each streamed b-row and run on
+// four independent accumulator chains, hiding the floating-point add
+// latency a single-row matvec is bound by (the reason batched prefill
+// beats the token loop even on one core). Every output element still
+// accumulates its own k-terms in ascending order from a zero accumulator,
+// so the result is bit-identical to the plain row-at-a-time kernel.
+func matMulNTRange(out, a, b *Mat, lo, hi int) {
+	i := lo
+	for ; i+3 < hi; i += 4 {
+		a0, a1, a2, a3 := a.Row(i), a.Row(i+1), a.Row(i+2), a.Row(i+3)
+		o0, o1, o2, o3 := out.Row(i), out.Row(i+1), out.Row(i+2), out.Row(i+3)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s0, s1, s2, s3 float64
+			for k, bv := range brow {
+				s0 += a0[k] * bv
+				s1 += a1[k] * bv
+				s2 += a2[k] * bv
+				s3 += a3[k] * bv
+			}
+			o0[j], o1[j], o2[j], o3[j] = s0, s1, s2, s3
+		}
+	}
+	for ; i < hi; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			s := 0.0
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
 }
 
 // MatMulTN returns aᵀ·b for a (k x r) and b (k x c).
