@@ -3,10 +3,12 @@ GO ?= go
 # releases.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build test race bench bench-smoke bench-json serve-smoke fmt fmt-check vet staticcheck ci
+.PHONY: all build test race bench bench-smoke bench-json bench-compare serve-smoke fmt fmt-check vet staticcheck ci
 
-# Output of `make bench-json` (benchmarks as data; CI uploads it).
-BENCH_JSON ?= BENCH_PR4.json
+# Output of `make bench-json` (benchmarks as data; CI uploads it) and the
+# committed baseline `make bench-compare` diffs it against.
+BENCH_JSON ?= BENCH_PR5.json
+BENCH_BASELINE ?= BENCH_PR4.json
 
 all: build
 
@@ -32,7 +34,7 @@ bench:
 # that keeps them compiling and running.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -short ./...
-	$(GO) test -run='^$$' -bench='MatVec|DecodeBatch|RoPEAt|DecodeLockstep|DecodeContinuous|Prefill' -benchtime=1x .
+	$(GO) test -run='^$$' -bench='MatVec|DecodeBatch|RoPEAt|DecodeLockstep|DecodeContinuous|Prefill|PrefixCache' -benchtime=1x .
 
 # Benchmarks as data: run the tier-1 benchmark set (the same two passes as
 # bench-smoke, with -benchmem) and emit $(BENCH_JSON) — a JSON map of
@@ -41,13 +43,27 @@ bench-smoke:
 # trajectory is diffable across PRs.
 # Each pass writes to a scratch file and must succeed before conversion,
 # so a failing benchmark fails the target instead of silently producing a
-# truncated artifact.
+# truncated artifact. The macro serving pairs run 3 iterations (still
+# fast; each is milliseconds) so the snapshotted tok/s numbers are less
+# single-shot noisy than -benchtime=1x.
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -short -benchmem ./... > $(BENCH_JSON).txt
-	$(GO) test -run='^$$' -bench='MatVec|DecodeBatch|RoPEAt|DecodeLockstep|DecodeContinuous|Prefill' -benchtime=1x -benchmem . >> $(BENCH_JSON).txt
+	$(GO) test -run='^$$' -bench='MatVec|DecodeBatch|RoPEAt|DecodeLockstep|DecodeContinuous|Prefill|PrefixCache' -benchtime=3x -benchmem . >> $(BENCH_JSON).txt
 	$(GO) run ./cmd/benchjson < $(BENCH_JSON).txt > $(BENCH_JSON)
 	@rm -f $(BENCH_JSON).txt
 	@echo "wrote $(BENCH_JSON)"
+
+# Regression guardrail: take a fresh snapshot to $(BENCH_CI) — a scratch
+# path, so the committed $(BENCH_JSON) artifact is never overwritten with
+# machine-local numbers — diff it against the committed $(BENCH_BASELINE)
+# and fail on tok/s drops or allocs/op growth past the (deliberately
+# loose — single-iteration CI numbers are noisy) threshold. Catches
+# step-function regressions like a hot path regrowing its per-token
+# allocations.
+BENCH_CI ?= BENCH_CI.json
+bench-compare:
+	$(MAKE) bench-json BENCH_JSON=$(BENCH_CI)
+	$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) $(BENCH_CI)
 
 # End-to-end smoke of the HTTP serving front-end: build aptq-serve, start
 # it, issue the same generate request twice, assert byte-identical replies.
@@ -70,4 +86,4 @@ staticcheck:
 
 # Mirrors .github/workflows/ci.yml (staticcheck needs network on first
 # use to fetch the pinned binary; later runs hit the local cache).
-ci: fmt-check vet staticcheck build test race bench-smoke serve-smoke
+ci: fmt-check vet staticcheck build test race bench-smoke bench-compare serve-smoke

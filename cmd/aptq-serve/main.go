@@ -7,6 +7,7 @@
 // Usage:
 //
 //	aptq-serve -ckpt nano7b-q.packed.ckpt -packed -slots 8
+//	aptq-serve -prefix-cache 67108864   # 64 MiB shared prefix/KV cache
 //	aptq-serve                      # built-in deterministic demo model
 //
 // Endpoints:
@@ -14,8 +15,15 @@
 //	POST /v1/generate  {"prompt":"...", "tokens":[...], "max_tokens":16,
 //	                    "temperature":0.8, "seed":7, "stop":[...]}
 //	GET  /v1/stats     scheduler counters (slots, queue, tokens, KV bytes,
-//	                   prefill chunk, time-to-first-token p50/p99)
+//	                   prefill chunk, time-to-first-token p50/p99,
+//	                   prefix-cache hits/bytes/hit-rate)
 //	GET  /healthz      liveness + model identity
+//
+// With -prefix-cache N, completed prefill chunks are snapshotted into a
+// shared N-byte KV cache and requests whose prompts repeat a cached
+// prefix (system prompts, few-shot headers) skip that part of the
+// prefill entirely — near-zero time-to-first-token on repeats, with
+// replies bit-identical to the uncached path.
 //
 // Determinism: the same request body always yields the same reply — output
 // depends only on the model and the request (prompt, seed, temperature,
@@ -58,6 +66,7 @@ func main() {
 		eos        = flag.Int("eos", -1, "end-of-sequence token id (negative: disabled)")
 		kvBits     = flag.Int("kvbits", 0, "KV-cache quantization bit width (0 = float)")
 		prefill    = flag.Int("prefill-chunk", 0, "prompt tokens admitted per decode tick (0 = default chunking)")
+		prefixCach = flag.Int64("prefix-cache", 0, "shared prefix/KV cache byte budget (0 = disabled); repeat prompt prefixes skip prefill")
 		trainSteps = flag.Int("train-steps", 0, "pretraining steps for the demo model (0 = raw seeded init, instant startup)")
 	)
 	flag.Parse()
@@ -72,6 +81,7 @@ func main() {
 	opts.EOS = *eos
 	opts.KVQuantBits = *kvBits
 	opts.PrefillChunk = *prefill
+	opts.PrefixCacheBytes = *prefixCach
 	srv := newServer(m, opts)
 	defer srv.sched.Close()
 	log.Printf("model %s (vocab %d, maxseq %d), %d slots, listening on %s",
@@ -248,6 +258,18 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"ttft_count":       st.TTFTSamples,
 		"ttft_p50_ms":      float64(st.TTFTp50) / float64(time.Millisecond),
 		"ttft_p99_ms":      float64(st.TTFTp99) / float64(time.Millisecond),
+		// Prefix/KV cache counters (all zero unless -prefix-cache is set):
+		// hits/misses count admissions whose prompt did/did not start with a
+		// cached chunk, hit_rate their ratio, hit_tokens the prompt tokens
+		// whose prefill was skipped, bytes/entries the current residency and
+		// evictions the entries dropped under byte pressure.
+		"prefix_cache_hits":       st.PrefixCacheHits,
+		"prefix_cache_misses":     st.PrefixCacheMisses,
+		"prefix_cache_hit_rate":   st.PrefixCacheHitRate(),
+		"prefix_cache_hit_tokens": st.PrefixCacheHitTokens,
+		"prefix_cache_bytes":      st.PrefixCacheBytes,
+		"prefix_cache_entries":    st.PrefixCacheEntries,
+		"prefix_cache_evictions":  st.PrefixCacheEvictions,
 	})
 }
 

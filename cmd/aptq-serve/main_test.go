@@ -12,6 +12,10 @@ import (
 )
 
 func testServer(t *testing.T) (*server, *httptest.Server) {
+	return testServerOpts(t, func(*serve.Options) {})
+}
+
+func testServerOpts(t *testing.T, mod func(*serve.Options)) (*server, *httptest.Server) {
 	t.Helper()
 	m, err := loadModel("", false, 0)
 	if err != nil {
@@ -19,6 +23,7 @@ func testServer(t *testing.T) (*server, *httptest.Server) {
 	}
 	opts := serve.DefaultOptions()
 	opts.Slots = 2
+	mod(&opts)
 	srv := newServer(m, opts)
 	ts := httptest.NewServer(srv.mux())
 	t.Cleanup(func() {
@@ -165,5 +170,43 @@ func TestHealthAndStats(t *testing.T) {
 	}
 	if stats["prefill_chunk"] <= 0 {
 		t.Fatalf("prefill_chunk missing: %v", stats)
+	}
+}
+
+// TestPrefixCacheEndToEnd: with -prefix-cache enabled, a repeated prompt
+// prefix yields byte-identical replies (the bit-identity contract across
+// cold and cached prefills) and the stats surface reports the hits.
+func TestPrefixCacheEndToEnd(t *testing.T) {
+	_, ts := testServerOpts(t, func(o *serve.Options) {
+		o.PrefillChunk = 4
+		o.PrefixCacheBytes = 1 << 20
+	})
+	// A 9-token prompt spans two full cache chunks at chunk 4.
+	body := `{"tokens":[1,2,3,4,5,6,7,8,9],"max_tokens":6,"temperature":0.7,"seed":11}`
+	code, first := post(t, ts.URL+"/v1/generate", body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, first)
+	}
+	_, again := post(t, ts.URL+"/v1/generate", body)
+	if !bytes.Equal(first, again) {
+		t.Fatalf("cached prefill changed the reply:\n%s\n%s", first, again)
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats["prefix_cache_hits"] < 1 || stats["prefix_cache_hit_tokens"] < 8 {
+		t.Fatalf("prefix cache saw no hits: %v", stats)
+	}
+	if stats["prefix_cache_bytes"] <= 0 || stats["prefix_cache_entries"] <= 0 {
+		t.Fatalf("prefix cache reports no residency: %v", stats)
+	}
+	if hr := stats["prefix_cache_hit_rate"]; hr <= 0 || hr > 1 {
+		t.Fatalf("prefix_cache_hit_rate = %v", hr)
 	}
 }

@@ -3,34 +3,154 @@
 // suffix stripped) to a flat metric map — ns_per_op, bytes_per_op,
 // allocs_per_op, iterations, and any custom b.ReportMetric units (tok/s,
 // weight-bytes, ...) under sanitized keys. It is the emitter behind
-// `make bench-json`, which snapshots the tier-1 benchmark set to
-// BENCH_PR4.json so the performance trajectory of the repository is a
-// diffable artifact instead of scrollback.
+// `make bench-json`, which snapshots the tier-1 benchmark set to a
+// BENCH_PR*.json artifact so the performance trajectory of the repository
+// is a diffable artifact instead of scrollback.
 //
 //	go test -run='^$' -bench=. -benchmem ./... | benchjson > bench.json
+//
+// With -compare old.json, benchjson instead diffs a new snapshot (a JSON
+// file given as the positional argument, or bench text on stdin) against
+// the prior one and exits non-zero when a shared benchmark regressed past
+// the threshold: tok/s dropping by more than -threshold (fractional), or
+// allocs/op growing by more than -threshold and more than -alloc-slack
+// absolute allocations (slack absorbs sync.Pool noise). This is the CI
+// guardrail that keeps the zero-allocation decode/prefill hot paths and
+// the tok/s trajectory from silently rotting; the default threshold is
+// deliberately loose because single-iteration CI numbers (and
+// cross-machine baselines) are noisy — it catches step-function
+// regressions, not percent-level drift.
+//
+//	make bench-json BENCH_JSON=BENCH_NEW.json
+//	benchjson -compare BENCH_PR4.json BENCH_NEW.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 )
 
 func main() {
-	out, err := parseBench(os.Stdin)
+	var (
+		compare    = flag.String("compare", "", "prior snapshot JSON to diff against; regressions exit non-zero")
+		threshold  = flag.Float64("threshold", 0.5, "fractional regression tolerance for tok/s drops and allocs/op growth")
+		allocSlack = flag.Float64("alloc-slack", 16, "absolute allocs/op growth ignored regardless of ratio (pool noise)")
+	)
+	flag.Parse()
+	if *compare == "" {
+		out, err := parseBench(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	old, err := readSnapshot(*compare)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		fatal(err)
+	}
+	var cur map[string]map[string]float64
+	if flag.NArg() > 0 {
+		if cur, err = readSnapshot(flag.Arg(0)); err != nil {
+			fatal(err)
+		}
+	} else if cur, err = parseBench(os.Stdin); err != nil {
+		fatal(err)
+	}
+	regressions := compareSnapshots(old, cur, *threshold, *allocSlack, os.Stdout)
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) past threshold %.0f%%:\n", len(regressions), *threshold*100)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
 		os.Exit(1)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}
+
+// readSnapshot loads a JSON snapshot previously produced by benchjson.
+func readSnapshot(path string) (map[string]map[string]float64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
 	}
+	var m map[string]map[string]float64
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return m, nil
+}
+
+// compareSnapshots prints a per-benchmark diff of tok/s and allocs/op for
+// benchmarks present in both snapshots and returns a description of every
+// regression: tok/s below old*(1-threshold), or allocs/op above
+// old*(1+threshold) by more than slack absolute allocations. Benchmarks
+// only in one snapshot are reported informationally, never as
+// regressions (the suite is allowed to grow and retire entries).
+func compareSnapshots(old, cur map[string]map[string]float64, threshold, slack float64, w io.Writer) []string {
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		if _, ok := old[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var regressions []string
+	fmt.Fprintf(w, "%-34s %14s %14s %12s %12s\n", "benchmark", "tok/s old", "tok/s new", "allocs old", "allocs new")
+	for _, name := range names {
+		o, c := old[name], cur[name]
+		oTok, oHasTok := o["tok_per_s"]
+		cTok, cHasTok := c["tok_per_s"]
+		oAll, oHasAll := o["allocs_per_op"]
+		cAll, cHasAll := c["allocs_per_op"]
+		fmt.Fprintf(w, "%-34s %14s %14s %12s %12s\n", name,
+			fmtMetric(oTok, oHasTok), fmtMetric(cTok, cHasTok),
+			fmtMetric(oAll, oHasAll), fmtMetric(cAll, cHasAll))
+		if oHasTok && cHasTok && oTok > 0 && cTok < oTok*(1-threshold) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: tok/s %.0f -> %.0f (-%.0f%%)", name, oTok, cTok, 100*(1-cTok/oTok)))
+		}
+		if oHasAll && cHasAll && cAll > oAll*(1+threshold) && cAll-oAll > slack {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: allocs/op %.0f -> %.0f", name, oAll, cAll))
+		}
+	}
+	onlyIn := func(label string, a, b map[string]map[string]float64) {
+		var extra []string
+		for name := range a {
+			if _, ok := b[name]; !ok {
+				extra = append(extra, name)
+			}
+		}
+		sort.Strings(extra)
+		if len(extra) > 0 {
+			fmt.Fprintf(w, "only in %s: %s\n", label, strings.Join(extra, ", "))
+		}
+	}
+	onlyIn("old", old, cur)
+	onlyIn("new", cur, old)
+	return regressions
+}
+
+func fmtMetric(v float64, ok bool) string {
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", v)
 }
 
 // metricKey maps a benchmark output unit to its JSON key.

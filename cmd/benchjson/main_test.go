@@ -51,3 +51,47 @@ func TestParseBenchDuplicateKeepsLast(t *testing.T) {
 		t.Fatalf("duplicate handling: %v", got)
 	}
 }
+
+func snap(rows ...[4]float64) map[string]map[string]float64 {
+	names := []string{"BenchmarkA", "BenchmarkB", "BenchmarkC"}
+	out := make(map[string]map[string]float64)
+	for i, r := range rows {
+		out[names[i]] = map[string]float64{"tok_per_s": r[0], "allocs_per_op": r[1], "ns_per_op": r[2], "iterations": r[3]}
+	}
+	return out
+}
+
+// TestCompareSnapshots pins the regression rules of -compare: a tok/s
+// drop past the threshold regresses; allocs growth regresses only when it
+// exceeds both the fractional threshold and the absolute slack; tok/s
+// gains and benchmarks missing from one side never regress.
+func TestCompareSnapshots(t *testing.T) {
+	old := snap([4]float64{1000, 10, 1, 1}, [4]float64{2000, 0, 1, 1}, [4]float64{500, 100, 1, 1})
+	var sb strings.Builder
+
+	// Identical snapshots: clean.
+	if regs := compareSnapshots(old, old, 0.25, 16, &sb); len(regs) != 0 {
+		t.Fatalf("identical snapshots regressed: %v", regs)
+	}
+	// tok/s drop past threshold on A; small drop on B stays clean; C gains.
+	cur := snap([4]float64{700, 10, 1, 1}, [4]float64{1900, 0, 1, 1}, [4]float64{800, 100, 1, 1})
+	regs := compareSnapshots(old, cur, 0.25, 16, &sb)
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkA") || !strings.Contains(regs[0], "tok/s") {
+		t.Fatalf("tok/s regression detection: %v", regs)
+	}
+	// Alloc growth within slack (0 -> 12) is pool noise, not a regression;
+	// growth past ratio and slack (10 -> 60) is.
+	cur = snap([4]float64{1000, 60, 1, 1}, [4]float64{2000, 12, 1, 1}, [4]float64{500, 100, 1, 1})
+	regs = compareSnapshots(old, cur, 0.25, 16, &sb)
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkA") || !strings.Contains(regs[0], "allocs") {
+		t.Fatalf("allocs regression detection: %v", regs)
+	}
+	// A benchmark only in one snapshot is informational, never a failure.
+	deleted := snap([4]float64{1000, 10, 1, 1})
+	if regs := compareSnapshots(old, deleted, 0.25, 16, &sb); len(regs) != 0 {
+		t.Fatalf("retired benchmark treated as regression: %v", regs)
+	}
+	if !strings.Contains(sb.String(), "only in old") {
+		t.Fatalf("missing-entry report absent:\n%s", sb.String())
+	}
+}

@@ -125,8 +125,10 @@ func (b *Batch) Generate(seed int64, prompts [][]int, n int, temperature float64
 		logits[i], errs[i] = b.sessions[i].Prefill(prompts[i])
 	})
 	rngs := make([]*rand.Rand, len(b.sessions))
+	samplers := make([]*Sampler, len(b.sessions))
 	for i := range rngs {
 		rngs[i] = rand.New(rand.NewSource(seed + int64(i)))
+		samplers[i] = &Sampler{}
 	}
 	live := func() int {
 		alive := 0
@@ -144,7 +146,7 @@ func (b *Batch) Generate(seed int64, prompts [][]int, n int, temperature float64
 			if errs[i] != nil {
 				return
 			}
-			tok := SampleLogits(rngs[i], logits[i].Row(0), temperature)
+			tok := samplers[i].Sample(rngs[i], logits[i].Row(0), temperature)
 			tokens[i] = append(tokens[i], tok)
 			if last {
 				return

@@ -7,8 +7,6 @@ package infer
 
 import (
 	"errors"
-	"fmt"
-	"math"
 	"math/rand"
 
 	"repro/internal/model"
@@ -104,6 +102,10 @@ type Session struct {
 	// first use and kept across Reset so a recycled scheduler slot
 	// allocates nothing per chunk in steady state.
 	scratch *chunkScratch
+	// dscratch is the reusable arena of the single-token decode path (see
+	// decode.go), allocated on first Step and likewise kept across Reset,
+	// so steady-state decode allocates nothing per token.
+	dscratch *decodeScratch
 }
 
 // NewSession creates a decoding session with empty caches.
@@ -152,70 +154,6 @@ func (s *Session) KVCacheBytes() int {
 		n += c.bytes()
 	}
 	return n
-}
-
-// Step consumes one token and returns the next-token logits (1 x vocab).
-func (s *Session) Step(token int) (*tensor.Mat, error) {
-	if s.pos >= s.m.Cfg.MaxSeq {
-		return nil, fmt.Errorf("infer: sequence length %d exceeds MaxSeq %d", s.pos+1, s.m.Cfg.MaxSeq)
-	}
-	x := s.m.Embed.Forward([]int{token}) // 1 x dim
-	if s.m.PosEmbed != nil {
-		tensor.AddInPlace(x, s.m.PosEmbed.Forward([]int{s.pos}))
-	}
-	for bi, b := range s.m.Blocks {
-		x = s.stepBlock(b, s.caches[bi], x)
-	}
-	s.pos++
-	return s.m.Head.Forward(s.m.Norm.Forward(x)), nil
-}
-
-// stepBlock runs one decoder block for a single position with KV caching.
-func (s *Session) stepBlock(b *nn.Block, c *kvCache, x *tensor.Mat) *tensor.Mat {
-	attnIn := b.AttnNorm.Forward(x)
-	attnOut := s.stepAttention(b, c, attnIn)
-	h := tensor.Add(x, attnOut)
-	return tensor.Add(h, b.MLP.Forward(b.MLPNorm.Forward(h)))
-}
-
-// stepAttention computes causal attention for the newest position against
-// the cached keys/values.
-func (s *Session) stepAttention(b *nn.Block, c *kvCache, x *tensor.Mat) *tensor.Mat {
-	attn := b.Attn
-	dim, heads, hd := attn.Dim, attn.Heads, attn.HeadDim
-
-	q := attn.WQ.Forward(x) // 1 x dim
-	k := attn.WK.Forward(x)
-	v := attn.WV.Forward(x)
-	applyRoPEAt(attn, q, s.pos)
-	applyRoPEAt(attn, k, s.pos)
-
-	if s.kvQuant != nil {
-		s.kvQuant.QuantizeInPlace(k)
-		s.kvQuant.QuantizeInPlace(v)
-	}
-	c.grow()
-	copy(c.kRow(c.len), k.Row(0))
-	copy(c.vRow(c.len), v.Row(0))
-	c.len++
-
-	ctx := tensor.New(1, dim)
-	invSqrt := 1 / math.Sqrt(float64(hd))
-	scores := make([]float64, c.len)
-	probs := make([]float64, c.len)
-	for h := 0; h < heads; h++ {
-		lo := h * hd
-		qh := q.Row(0)[lo : lo+hd]
-		for t := 0; t < c.len; t++ {
-			scores[t] = tensor.Dot(qh, c.kRow(t)[lo:lo+hd]) * invSqrt
-		}
-		tensor.Softmax(probs[:c.len], scores[:c.len])
-		out := ctx.Row(0)[lo : lo+hd]
-		for t := 0; t < c.len; t++ {
-			tensor.Axpy(probs[t], c.vRow(t)[lo:lo+hd], out)
-		}
-	}
-	return attn.WO.Forward(ctx)
 }
 
 // applyRoPEAt rotates a single-row matrix as if it sat at sequence
@@ -281,7 +219,9 @@ func (s *Session) PrefillChunked(prompt []int, chunk int) (*tensor.Mat, error) {
 // PrefillLoop consumes the prompt one Step at a time — the pre-chunking
 // reference implementation, kept as the bit-identity oracle of the
 // chunked path and the baseline of the BenchmarkPrefill pairs. It shares
-// Prefill's contract, including rollback on error.
+// Prefill's contract, including rollback on error and the cloned return
+// (Step's logits live in the decode arena; the clone keeps them valid
+// across later use of the session).
 func (s *Session) PrefillLoop(prompt []int) (*tensor.Mat, error) {
 	if len(prompt) == 0 {
 		return nil, ErrEmptyPrompt
@@ -296,7 +236,7 @@ func (s *Session) PrefillLoop(prompt []int) (*tensor.Mat, error) {
 			return nil, err
 		}
 	}
-	return logits, nil
+	return logits.Clone(), nil
 }
 
 // rewind rolls the session back to pos consumed tokens, truncating every
@@ -317,8 +257,9 @@ func (s *Session) Generate(rng *rand.Rand, prompt []int, n int, temperature floa
 		return nil, err
 	}
 	out := make([]int, 0, n)
+	var sp Sampler
 	for len(out) < n {
-		tok := SampleLogits(rng, logits.Row(0), temperature)
+		tok := sp.Sample(rng, logits.Row(0), temperature)
 		out = append(out, tok)
 		if len(out) == n {
 			break
@@ -343,42 +284,11 @@ func (s *Session) Generate(rng *rand.Rand, prompt []int, n int, temperature floa
 // blow-up in one vocab entry can never be selected. All-NaN logits behave
 // exactly like all--Inf. Previously a NaN in position 0 made the greedy
 // scan (`v > logits[best]`) never update and silently return index 0.
+//
+// Each call runs on fresh scratch; decode loops that sample every token
+// should hold a Sampler instead, which reuses its buffers across calls
+// (bit-identically) and keeps the steady state allocation-free.
 func SampleLogits(rng *rand.Rand, logits []float64, temperature float64) int {
-	if len(logits) == 0 {
-		return -1
-	}
-	if temperature <= 0 {
-		best := -1
-		for i, v := range logits {
-			if math.IsNaN(v) {
-				continue
-			}
-			if best < 0 || v > logits[best] {
-				best = i
-			}
-		}
-		if best < 0 {
-			return 0 // all NaN: same deterministic fallback as all--Inf
-		}
-		return best
-	}
-	scaled := make([]float64, len(logits))
-	for i, v := range logits {
-		if math.IsNaN(v) {
-			scaled[i] = math.Inf(-1)
-			continue
-		}
-		scaled[i] = v / temperature
-	}
-	probs := make([]float64, len(scaled))
-	tensor.Softmax(probs, scaled)
-	u := rng.Float64()
-	acc := 0.0
-	for i, p := range probs {
-		acc += p
-		if u <= acc {
-			return i
-		}
-	}
-	return len(probs) - 1
+	var sp Sampler
+	return sp.Sample(rng, logits, temperature)
 }

@@ -52,6 +52,9 @@ func TestResetStartsFresh(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Step's logits are arena-owned and overwritten by the next Step, so
+	// retain them across the rest of the sequence explicitly.
+	first = first.Clone()
 	if _, err := s.Step(7); err != nil {
 		t.Fatal(err)
 	}

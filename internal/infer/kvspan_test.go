@@ -1,0 +1,125 @@
+package infer
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestImportKVBitIdenticalToColdPrefill is the property prefix caching
+// stands on: a session that imports the KV rows another session computed
+// for a prompt prefix, then prefills only the suffix, produces logits and
+// subsequent decode steps bit-identical to a cold prefill of the whole
+// prompt — for float and packed weights and a quantized KV cache.
+func TestImportKVBitIdenticalToColdPrefill(t *testing.T) {
+	prompt := []int{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3}
+	cases := []struct {
+		name   string
+		m      *model.Model
+		kvBits int
+	}{
+		{"float", model.New(model.Tiny(), 3), 0},
+		{"packed", packTiny(t, model.Tiny()), 0},
+		{"kvquant4", model.New(model.Tiny(), 3), 4},
+	}
+	newSess := func(m *model.Model, kvBits int) *Session {
+		if kvBits > 0 {
+			return NewSessionKVQuant(m.View(), kvBits)
+		}
+		return NewSession(m.View())
+	}
+	for _, tc := range cases {
+		cold := newSess(tc.m, tc.kvBits)
+		want, err := cold.Prefill(prompt)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		wantNext, err := cold.Step(prompt[0])
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for _, cut := range []int{1, 7, 8, len(prompt) - 1} {
+			donor := newSess(tc.m, tc.kvBits)
+			if _, err := donor.Prefill(prompt); err != nil {
+				t.Fatalf("%s cut=%d: %v", tc.name, cut, err)
+			}
+			span := donor.ExportKV(0, cut)
+			if span.Tokens() != cut || span.Bytes() <= 0 {
+				t.Fatalf("%s cut=%d: span covers %d tokens, %d bytes", tc.name, cut, span.Tokens(), span.Bytes())
+			}
+			warm := newSess(tc.m, tc.kvBits)
+			if err := warm.ImportKV(span); err != nil {
+				t.Fatalf("%s cut=%d: %v", tc.name, cut, err)
+			}
+			if warm.Pos() != cut {
+				t.Fatalf("%s cut=%d: pos %d after import", tc.name, cut, warm.Pos())
+			}
+			got, err := warm.Prefill(prompt[cut:])
+			if err != nil {
+				t.Fatalf("%s cut=%d: %v", tc.name, cut, err)
+			}
+			if !got.Equal(want, 0) {
+				t.Fatalf("%s cut=%d: warm prefill logits diverged from cold prefill", tc.name, cut)
+			}
+			gotNext, err := warm.Step(prompt[0])
+			if err != nil {
+				t.Fatalf("%s cut=%d: %v", tc.name, cut, err)
+			}
+			if !gotNext.Equal(wantNext, 0) {
+				t.Fatalf("%s cut=%d: decode after KV import diverged from cold session", tc.name, cut)
+			}
+		}
+	}
+}
+
+// TestImportKVConsecutiveSpans: a prefix split across several spans
+// imports span by span (the multi-chunk cache-hit path) and matches the
+// single-span import.
+func TestImportKVConsecutiveSpans(t *testing.T) {
+	m := model.New(model.Tiny(), 3)
+	prompt := []int{2, 7, 1, 8, 2, 8, 1, 8, 2, 8, 4, 5}
+	donor := NewSession(m.View())
+	if _, err := donor.Prefill(prompt); err != nil {
+		t.Fatal(err)
+	}
+	cold := NewSession(m.View())
+	want, err := cold.Prefill(prompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := NewSession(m.View())
+	for _, cut := range [][2]int{{0, 4}, {4, 8}} {
+		if err := warm.ImportKV(donor.ExportKV(cut[0], cut[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := warm.Prefill(prompt[8:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want, 0) {
+		t.Fatal("consecutive span imports diverged from cold prefill")
+	}
+}
+
+// TestImportKVValidation: misaligned or mis-shaped imports fail without
+// touching session state.
+func TestImportKVValidation(t *testing.T) {
+	m := model.New(model.Tiny(), 3)
+	donor := NewSession(m.View())
+	if _, err := donor.Prefill([]int{1, 2, 3, 4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	span := donor.ExportKV(2, 4) // starts mid-sequence
+	fresh := NewSession(m.View())
+	if err := fresh.ImportKV(span); err == nil {
+		t.Fatal("import of a span starting at 2 into a fresh session must fail")
+	}
+	if fresh.Pos() != 0 || fresh.KVCacheBytes() != 0 {
+		t.Fatalf("failed import advanced the session: pos=%d kv=%d", fresh.Pos(), fresh.KVCacheBytes())
+	}
+	other := NewSession(model.New(model.Nano7B(), 3).View())
+	if err := other.ImportKV(donor.ExportKV(0, 2)); err == nil {
+		t.Fatal("import into a session with a different architecture must fail")
+	}
+}

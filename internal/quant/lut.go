@@ -21,11 +21,11 @@ type dequantLUT struct {
 }
 
 // EnsureLUT builds the dequantization tables. It is idempotent and safe
-// for concurrent use — the chunked-prefill matmul calls it lazily on the
-// first matrix-matrix product — and rows wider than lutMaxBits are
-// skipped (they keep the arithmetic decode). Single-token decode never
-// builds the tables, so the serving-footprint numbers of a pure decode
-// deployment are unchanged.
+// for concurrent use — the packed matmul calls it lazily on the first
+// product of any shape, single-row decode matvecs included — and rows
+// wider than lutMaxBits are skipped (they keep the arithmetic decode).
+// The tables are an acceleration structure, excluded from SizeBytes (see
+// LUTBytes for their resident cost).
 func (p *PackedMatrix) EnsureLUT() {
 	p.lutOnce.Do(func() {
 		ng := p.NumGroups()
@@ -105,17 +105,57 @@ func (p *PackedMatrix) decodeRowLUT(dst []float64, r int, lut *dequantLUT) {
 	}
 }
 
+// decodeRowLUT4 is the specialized decoder for the headline deployment
+// width: 4-bit rows whose groups are byte-aligned (even GroupSize), i.e.
+// exactly two codes per stream byte. It replaces the general streaming
+// bit-accumulator — a serial refill/shift dependency chain per code —
+// with one byte load and two table lookups, which is what makes the
+// packed decode matvec competitive per token. The decoded values are the
+// same table entries the general path loads, so the result is
+// bit-identical.
+func (p *PackedMatrix) decodeRowLUT4(dst []float64, r int, lut *dequantLUT) {
+	data := p.Data[p.RowOff[r]:p.RowOff[r+1]]
+	ng := p.NumGroups()
+	idx, c := 0, 0
+	for g := 0; g < ng; g++ {
+		tab := lut.tab[lut.off[r*ng+g]:]
+		hi := c + p.GroupSize
+		if hi > p.Cols {
+			hi = p.Cols
+		}
+		for ; c+1 < hi; c += 2 {
+			b := data[idx]
+			idx++
+			dst[c] = tab[b&15]
+			dst[c+1] = tab[b>>4]
+		}
+		if c < hi {
+			// Odd tail: only the final (partial) group of an odd-Cols row;
+			// the byte's high nibble is padding.
+			dst[c] = tab[data[idx]&15]
+			idx++
+			c++
+		}
+	}
+}
+
 // decodeRows decodes weight rows [lo, lo+rows) into buf (rows*Cols,
-// row-major). When lut is non-nil, table-eligible rows take the LUT path;
+// row-major). When lut is non-nil, table-eligible rows take the LUT path
+// (4-bit byte-aligned rows the specialized two-codes-per-byte decoder);
 // everything else (and every row when lut is nil) uses the arithmetic
-// DecodeRowInto. Both paths are bit-identical.
+// DecodeRowInto. All paths are bit-identical.
 func (p *PackedMatrix) decodeRows(buf []float64, lo, rows int, lut *dequantLUT) {
+	aligned4 := p.GroupSize%2 == 0
 	for i := 0; i < rows; i++ {
 		dst := buf[i*p.Cols : (i+1)*p.Cols]
 		r := lo + i
-		if lut != nil && p.bitsForRow(r) <= lutMaxBits {
+		bits := p.bitsForRow(r)
+		switch {
+		case lut != nil && bits == 4 && aligned4:
+			p.decodeRowLUT4(dst, r, lut)
+		case lut != nil && bits <= lutMaxBits:
 			p.decodeRowLUT(dst, r, lut)
-		} else {
+		default:
 			p.DecodeRowInto(dst, r)
 		}
 	}

@@ -68,6 +68,39 @@ func TestDecodeRowsIntoMatchesDecodeRowInto(t *testing.T) {
 	}
 }
 
+// TestDecodeRowLUT4AlignedMatchesGeneral pins the specialized
+// two-codes-per-byte 4-bit decoder against the arithmetic reference on
+// the shapes that stress its byte handling: odd column counts (a padded
+// high nibble in the last group), partial tail groups, single columns,
+// and the single-row matvec product that dispatches through it.
+func TestDecodeRowLUT4AlignedMatchesGeneral(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	shapes := []struct{ rows, cols, group int }{
+		{3, 1, 2},   // single column: immediate odd tail
+		{6, 27, 4},  // odd cols, ragged tail group
+		{5, 15, 2},  // odd cols, minimal even group
+		{8, 32, 16}, // fully aligned
+		{4, 9, 100}, // one group spanning an odd row
+	}
+	for _, sh := range shapes {
+		q := randomQuantized(rng, sh.rows, sh.cols, sh.group, 4, nil) // uniform 4-bit
+		p, err := PackMatrix(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := q.Dequantize()
+		dst := tensor.New(sh.rows, sh.cols)
+		p.DecodeRowsInto(dst, 0) // builds the LUT, takes the fast4 path
+		if !dst.Equal(want, 0) {
+			t.Fatalf("%+v: fast 4-bit decode drifted from the reference", sh)
+		}
+		x := tensor.Randn(rng, 1, sh.cols, 1)
+		if !p.MatMulNT(x).Equal(tensor.MatMulNT(x, want), 0) {
+			t.Fatalf("%+v: fast 4-bit matvec not bit-identical", sh)
+		}
+	}
+}
+
 // TestLUTSkipsWideRowsAndReportsBytes: rows wider than lutMaxBits get no
 // table (their off entries are -1) but still decode identically, and
 // LUTBytes is zero before the first build.

@@ -226,25 +226,24 @@ func (p *PackedMatrix) getDecodeBuf() *[]float64 {
 
 // MatMulNTInto computes out = x·Wᵀ for x (n x Cols) against the packed
 // weight matrix W (Rows x Cols), dequantizing W a block of rows at a time
-// into a pooled per-worker scratch buffer. Matrix-matrix products
-// (x.Rows > 1, the chunked-prefill shape) decode through the LUT tables
-// (EnsureLUT), so each code costs one table load instead of the affine
-// arithmetic; the single-row decode shape skips the tables and keeps the
-// pure-decode memory footprint. Weight rows (output columns) partition
-// across workers; each output element accumulates its k-terms in
-// ascending order from a zero accumulator — the exact inner-loop order of
-// tensor.MatMulNTInto — so the result is bit-identical to
+// into a pooled per-worker scratch buffer. Every shape decodes through
+// the LUT tables (EnsureLUT, built lazily on the first product) — 4-bit
+// byte-aligned rows through the specialized two-codes-per-byte decoder —
+// so each code costs a table load instead of the affine arithmetic;
+// previously only matrix-matrix prefill products (x.Rows > 1) took the
+// tables, leaving the single-row matvec of per-token decode, the hot loop
+// of a serving deployment, on the slow path. Weight rows (output columns)
+// partition across workers; each output element accumulates its k-terms
+// in ascending order from a zero accumulator — the exact inner-loop order
+// of tensor.MatMulNTInto — so the result is bit-identical to
 // MatMulNT(x, W.Dequantize()) at any worker count, with or without LUT.
 func (p *PackedMatrix) MatMulNTInto(out, x *tensor.Mat) {
 	if x.Cols != p.Cols || out.Rows != x.Rows || out.Cols != p.Rows {
 		panic(fmt.Sprintf("quant: packed MatMulNT shape mismatch %dx%d · (%dx%d)ᵀ -> %dx%d",
 			x.Rows, x.Cols, p.Rows, p.Cols, out.Rows, out.Cols))
 	}
-	var lut *dequantLUT
-	if x.Rows > 1 {
-		p.EnsureLUT()
-		lut = p.lut
-	}
+	p.EnsureLUT()
+	lut := p.lut
 	if parallel.Workers() == 1 {
 		p.matMulNTRange(out, x, lut, 0, p.Rows)
 		return

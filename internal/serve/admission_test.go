@@ -21,7 +21,7 @@ func TestAdmissionChunkBoundsPerTickWork(t *testing.T) {
 	for i := range long {
 		long[i] = 1 + i%(m.Cfg.Vocab-1)
 	}
-	sl := newSlot(infer.NewSession(m.View()), m.Cfg.MaxSeq, chunk)
+	sl := newSlot(infer.NewSession(m.View()), m.Cfg.MaxSeq, chunk, nil)
 	sl.start(Request{ID: "long", Prompt: long, MaxTokens: 2, Seed: 1}, nil, time.Now())
 	ticks := 0
 	for !sl.prefilled {

@@ -1,0 +1,253 @@
+// Prefix/KV cache: the scheduler-level store that eliminates repeated
+// prefill work for shared prompt prefixes (system prompts, few-shot
+// headers — the steady-state cost of real serving traffic). The cache
+// holds immutable infer.KVSpan snapshots at admission-chunk granularity:
+// entry k of a prompt covers token positions [k*chunk, (k+1)*chunk) and is
+// keyed by the *entire* prefix up to its end, so two prompts share cached
+// chunks exactly as far as their tokens agree. A request whose prompt
+// starts with cached chunks imports their KV rows (a memcpy per block)
+// instead of recomputing the prefill, which collapses time-to-first-token
+// on repeat prefixes to near zero while remaining bit-identical to a cold
+// prefill — prefill is deterministic and KV rows are position-addressed,
+// so imported bytes equal recomputed bytes (pinned by the prefix-cache
+// tests at the scheduler level).
+//
+// Entries are refcounted: a lookup pins the entries it returns until the
+// importing slot releases them, and eviction — least-recently-used by a
+// byte budget — skips pinned entries, so an admission can never observe a
+// span being dropped mid-attach. Keys store the full prefix tokens, not
+// just a hash: lookups verify token equality, so a hash collision costs a
+// miss, never a wrong prefill.
+package serve
+
+import (
+	"slices"
+	"sync"
+
+	"repro/internal/infer"
+)
+
+// prefixEntry is one cached chunk of a prompt prefix.
+type prefixEntry struct {
+	prefix []int // full token prefix [0, span.End) — collision guard
+	span   *infer.KVSpan
+	bytes  int64
+	refs   int // pinned by in-flight attaches; >0 blocks eviction
+
+	// LRU list links (most recent at head).
+	prev, next *prefixEntry
+}
+
+// prefixCacheStats is the counter snapshot the scheduler folds into Stats.
+type prefixCacheStats struct {
+	// Hits / Misses count lookups (a lookup matching >= 1 chunk is a hit).
+	Hits, Misses int64
+	// HitTokens counts prompt tokens whose prefill was skipped.
+	HitTokens int64
+	// Evictions counts entries dropped under byte pressure.
+	Evictions int64
+	// Bytes / Entries describe the current residency.
+	Bytes   int64
+	Entries int
+}
+
+// prefixCache is a byte-budgeted LRU of KV snapshots keyed by token
+// prefix. Safe for concurrent use (slot workers insert mid-prefill while
+// the scheduler loop looks up admissions).
+type prefixCache struct {
+	chunk  int   // token granularity of cached spans
+	budget int64 // byte budget; inserts evict LRU entries past it
+
+	mu         sync.Mutex
+	entries    map[uint64][]*prefixEntry // hash of full prefix -> entries (collision list)
+	head, tail *prefixEntry              // LRU list, head = most recent
+	stats      prefixCacheStats
+}
+
+func newPrefixCache(chunk int, budget int64) *prefixCache {
+	return &prefixCache{chunk: chunk, budget: budget, entries: make(map[uint64][]*prefixEntry)}
+}
+
+// fnvOffset is the FNV-1a 64-bit offset basis.
+const fnvOffset = uint64(14695981039346656037)
+
+// hashExtend mixes tokens into a running FNV-1a hash, so consecutive
+// prefix hashes — prompt[:chunk], prompt[:2*chunk], ... — are computed
+// incrementally instead of rehashing from the start (lookup walks the
+// chunks of one prompt this way, keeping admission linear in the prompt).
+func hashExtend(h uint64, tokens []int) uint64 {
+	for _, t := range tokens {
+		v := uint64(t)
+		for b := 0; b < 8; b++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	return h
+}
+
+// hashPrefix is FNV-1a over the token values.
+func hashPrefix(tokens []int) uint64 { return hashExtend(fnvOffset, tokens) }
+
+// unlink removes e from the LRU list. Caller holds mu.
+func (pc *prefixCache) unlink(e *prefixEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		pc.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		pc.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront links a currently unlinked entry at the head of the LRU
+// list. Caller holds mu.
+func (pc *prefixCache) pushFront(e *prefixEntry) {
+	e.next = pc.head
+	if pc.head != nil {
+		pc.head.prev = e
+	}
+	pc.head = e
+	if pc.tail == nil {
+		pc.tail = e
+	}
+}
+
+// touch moves an already linked entry to the head of the LRU list.
+// Caller holds mu.
+func (pc *prefixCache) touch(e *prefixEntry) {
+	if pc.head == e {
+		return
+	}
+	pc.unlink(e)
+	pc.pushFront(e)
+}
+
+// find returns the entry whose full prefix equals tokens (h =
+// hashPrefix(tokens), precomputed by callers that carry it
+// incrementally), or nil. Caller holds mu.
+func (pc *prefixCache) find(h uint64, tokens []int) *prefixEntry {
+	for _, e := range pc.entries[h] {
+		if slices.Equal(e.prefix, tokens) {
+			return e
+		}
+	}
+	return nil
+}
+
+// lookup returns the spans of the longest run of cached chunks that
+// prefix the prompt, covering at most limit tokens (the caller passes
+// len(prompt)-1 so at least one token is always left to prefill — the
+// logits of the last prompt token must be computed, not remembered). The
+// returned entries are pinned; the caller must pass them to release once
+// the spans are imported. A lookup matching at least one chunk counts as
+// a hit, anything else as a miss.
+func (pc *prefixCache) lookup(prompt []int, limit int) (spans []*infer.KVSpan, pinned []*prefixEntry, matched int) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	h := fnvOffset
+	for (matched+1)*pc.chunk <= limit {
+		h = hashExtend(h, prompt[matched*pc.chunk:(matched+1)*pc.chunk])
+		e := pc.find(h, prompt[:(matched+1)*pc.chunk])
+		if e == nil {
+			break
+		}
+		e.refs++
+		pc.touch(e)
+		spans = append(spans, e.span)
+		pinned = append(pinned, e)
+		matched++
+	}
+	matched *= pc.chunk
+	if matched > 0 {
+		pc.stats.Hits++
+		pc.stats.HitTokens += int64(matched)
+	} else {
+		pc.stats.Misses++
+	}
+	return spans, pinned, matched
+}
+
+// release unpins entries returned by lookup, then re-runs eviction: a
+// pinned entry can carry residency past the budget while inserts skip it,
+// and without this pass the overshoot would persist until the next insert
+// (which cache-hit-only traffic might never issue).
+func (pc *prefixCache) release(pinned []*prefixEntry) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	for _, e := range pinned {
+		e.refs--
+	}
+	pc.evictLocked()
+}
+
+// contains reports whether the exact prefix is cached — the cheap
+// pre-check a slot runs before paying for an ExportKV copy.
+func (pc *prefixCache) contains(prefix []int) bool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.find(hashPrefix(prefix), prefix) != nil
+}
+
+// insert stores span as the cached chunk whose full prefix is prefix
+// (len(prefix) == span.End). Re-inserting an existing prefix is a no-op
+// (the first snapshot wins; both are byte-identical by determinism). A
+// span wider than the whole budget is dropped. Inserting evicts
+// least-recently-used unpinned entries until the budget holds.
+func (pc *prefixCache) insert(prefix []int, span *infer.KVSpan) {
+	bytes := span.Bytes() + int64(len(prefix))*8
+	if bytes > pc.budget {
+		return
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	h := hashPrefix(prefix)
+	if pc.find(h, prefix) != nil {
+		return
+	}
+	e := &prefixEntry{prefix: append([]int(nil), prefix...), span: span, bytes: bytes}
+	pc.entries[h] = append(pc.entries[h], e)
+	pc.stats.Bytes += bytes
+	pc.stats.Entries++
+	pc.pushFront(e)
+	pc.evictLocked()
+}
+
+// evictLocked drops LRU-tail unpinned entries until the budget holds.
+// Caller holds mu.
+func (pc *prefixCache) evictLocked() {
+	for e := pc.tail; e != nil && pc.stats.Bytes > pc.budget; {
+		victim := e
+		e = e.prev
+		if victim.refs > 0 {
+			continue
+		}
+		pc.unlink(victim)
+		h := hashPrefix(victim.prefix)
+		list := pc.entries[h]
+		for i, le := range list {
+			if le == victim {
+				pc.entries[h] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+		if len(pc.entries[h]) == 0 {
+			delete(pc.entries, h)
+		}
+		pc.stats.Bytes -= victim.bytes
+		pc.stats.Entries--
+		pc.stats.Evictions++
+	}
+}
+
+// snapshot returns the current counters.
+func (pc *prefixCache) snapshot() prefixCacheStats {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.stats
+}

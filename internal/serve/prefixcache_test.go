@@ -1,0 +1,354 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/infer"
+	"repro/internal/model"
+	"repro/internal/parallel"
+)
+
+// cacheTestSpan builds a real KV span for prefix[lo:hi] by prefilling a
+// throwaway session.
+func cacheTestSpan(t *testing.T, m *model.Model, prefix []int, lo, hi int) *infer.KVSpan {
+	t.Helper()
+	sess := infer.NewSession(m.View())
+	if _, err := sess.Prefill(prefix[:hi]); err != nil {
+		t.Fatal(err)
+	}
+	return sess.ExportKV(lo, hi)
+}
+
+// TestPrefixCacheLookupGranularity: lookups match whole cached chunks in
+// prefix order, stop at the first uncached chunk, honor the limit (at
+// least one token is always left to prefill), and verify tokens — a
+// prompt differing inside a chunk misses even when hashes were primed
+// with a sibling.
+func TestPrefixCacheLookupGranularity(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	prompt := []int{5, 6, 7, 8, 9, 10, 11, 12, 13}
+	pc := newPrefixCache(4, 1<<20)
+	pc.insert(prompt[:4], cacheTestSpan(t, m, prompt, 0, 4))
+	pc.insert(prompt[:8], cacheTestSpan(t, m, prompt, 4, 8))
+
+	spans, pinned, matched := pc.lookup(prompt, len(prompt)-1)
+	if matched != 8 || len(spans) != 2 {
+		t.Fatalf("matched %d tokens over %d spans, want 8 over 2", matched, len(spans))
+	}
+	if spans[0].Start != 0 || spans[0].End != 4 || spans[1].Start != 4 || spans[1].End != 8 {
+		t.Fatalf("span ranges [%d,%d) [%d,%d)", spans[0].Start, spans[0].End, spans[1].Start, spans[1].End)
+	}
+	pc.release(pinned)
+
+	// A prompt of exactly 8 tokens may import at most 7: the final token's
+	// logits must be computed, so only the first chunk matches.
+	_, pinned, matched = pc.lookup(prompt[:8], 7)
+	if matched != 4 {
+		t.Fatalf("limit 7 matched %d tokens, want 4", matched)
+	}
+	pc.release(pinned)
+
+	// Same first chunk, different second chunk: only the shared part hits.
+	diverged := append(append([]int(nil), prompt[:4]...), 30, 31, 30, 31, 30)
+	_, pinned, matched = pc.lookup(diverged, len(diverged)-1)
+	if matched != 4 {
+		t.Fatalf("diverged prompt matched %d tokens, want 4", matched)
+	}
+	pc.release(pinned)
+
+	// A prompt shorter than one chunk never matches and counts as a miss.
+	_, pinned, matched = pc.lookup(prompt[:3], 2)
+	if matched != 0 {
+		t.Fatalf("short prompt matched %d tokens", matched)
+	}
+	pc.release(pinned)
+
+	st := pc.snapshot()
+	if st.Hits != 3 || st.Misses != 1 || st.HitTokens != 16 {
+		t.Fatalf("stats hits=%d misses=%d hitTokens=%d, want 3/1/16", st.Hits, st.Misses, st.HitTokens)
+	}
+	if st.Entries != 2 || st.Bytes <= 0 {
+		t.Fatalf("stats entries=%d bytes=%d", st.Entries, st.Bytes)
+	}
+}
+
+// TestPrefixCacheEvictionLRUAndPinning: inserts past the byte budget
+// evict least-recently-used entries; pinned entries survive eviction
+// until released.
+func TestPrefixCacheEvictionLRUAndPinning(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	mkPrompt := func(seed int) []int {
+		p := make([]int, 8)
+		for i := range p {
+			p[i] = 1 + (seed+i)%(m.Cfg.Vocab-1)
+		}
+		return p
+	}
+	one := cacheTestSpan(t, m, mkPrompt(0), 0, 4)
+	perEntry := one.Bytes() + 4*8
+	pc := newPrefixCache(4, 2*perEntry) // room for two entries
+
+	a, b, c := mkPrompt(0), mkPrompt(5), mkPrompt(11)
+	pc.insert(a[:4], cacheTestSpan(t, m, a, 0, 4))
+	pc.insert(b[:4], cacheTestSpan(t, m, b, 0, 4))
+	// Touch a so b is the LRU tail, then overflow with c.
+	_, pinned, matched := pc.lookup(a, len(a)-1)
+	if matched != 4 {
+		t.Fatalf("warm lookup matched %d", matched)
+	}
+	pc.release(pinned)
+	pc.insert(c[:4], cacheTestSpan(t, m, c, 0, 4))
+
+	st := pc.snapshot()
+	if st.Entries != 2 || st.Evictions != 1 || st.Bytes > 2*perEntry {
+		t.Fatalf("after overflow: entries=%d evictions=%d bytes=%d budget=%d",
+			st.Entries, st.Evictions, st.Bytes, 2*perEntry)
+	}
+	if _, p2, mB := pc.lookup(b, len(b)-1); mB != 0 {
+		t.Fatal("LRU entry b survived eviction")
+	} else {
+		pc.release(p2)
+	}
+	for _, keep := range [][]int{a, c} {
+		if _, p2, mk := pc.lookup(keep, len(keep)-1); mk != 4 {
+			t.Fatalf("recently used entry evicted (matched %d)", mk)
+		} else {
+			pc.release(p2)
+		}
+	}
+
+	// Pin a, then overflow twice: a must survive while pinned, residency
+	// must stay within budget throughout (eviction may drop even a
+	// just-inserted entry when everything older is pinned), and release —
+	// which re-runs eviction itself, so cache-hit-only traffic cannot
+	// leave an overshoot behind — keeps the budget after unpinning.
+	_, pinnedA, _ := pc.lookup(a, len(a)-1)
+	d, e := mkPrompt(17), mkPrompt(23)
+	pc.insert(d[:4], cacheTestSpan(t, m, d, 0, 4))
+	pc.insert(e[:4], cacheTestSpan(t, m, e, 0, 4))
+	if _, p2, mA := pc.lookup(a, len(a)-1); mA != 4 {
+		t.Fatal("pinned entry evicted under pressure")
+	} else {
+		pc.release(p2)
+	}
+	if st := pc.snapshot(); st.Bytes > 2*perEntry {
+		t.Fatalf("pinned pressure exceeded the byte budget: bytes=%d budget=%d", st.Bytes, 2*perEntry)
+	}
+	pc.release(pinnedA)
+	if st := pc.snapshot(); st.Bytes > 2*perEntry {
+		t.Fatalf("release did not keep the byte budget: bytes=%d budget=%d", st.Bytes, 2*perEntry)
+	}
+
+	// A span wider than the whole budget is never admitted.
+	tiny := newPrefixCache(4, 1)
+	tiny.insert(a[:4], cacheTestSpan(t, m, a, 0, 4))
+	if st := tiny.snapshot(); st.Entries != 0 {
+		t.Fatalf("over-budget span admitted (%d entries)", st.Entries)
+	}
+}
+
+// prefixRequests builds a workload where every request shares one of two
+// system-prompt prefixes, followed by a per-request tail.
+func prefixRequests(vocab, n int) []Request {
+	sysA := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sysB := []int{9, 10, 11, 12, 9, 10, 11, 12}
+	rng := rand.New(rand.NewSource(23))
+	reqs := make([]Request, n)
+	for i := range reqs {
+		sys := sysA
+		if i%3 == 2 {
+			sys = sysB
+		}
+		prompt := append([]int(nil), sys...)
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			prompt = append(prompt, rng.Intn(vocab))
+		}
+		temp := 0.9
+		if i%4 == 0 {
+			temp = 0
+		}
+		reqs[i] = Request{
+			ID:          fmt.Sprintf("px-%d", i),
+			Prompt:      prompt,
+			MaxTokens:   1 + (i*3)%7,
+			Temperature: temp,
+			Seed:        int64(300 + i),
+		}
+	}
+	return reqs
+}
+
+func assertSameResult(t *testing.T, label string, got, want Result) {
+	t.Helper()
+	if got.ID != want.ID || got.FinishReason != want.FinishReason || len(got.Tokens) != len(want.Tokens) {
+		t.Fatalf("%s: got (%s,%s,%d tokens), want (%s,%s,%d tokens)",
+			label, got.ID, got.FinishReason, len(got.Tokens), want.ID, want.FinishReason, len(want.Tokens))
+	}
+	for j := range want.Tokens {
+		if got.Tokens[j] != want.Tokens[j] {
+			t.Fatalf("%s: token %d = %d, want %d", label, j, got.Tokens[j], want.Tokens[j])
+		}
+	}
+}
+
+// TestSchedulerPrefixCacheBitIdentical is the end-to-end hit/miss
+// bit-identity contract: with the prefix cache on, every request —
+// including the second pass, where every shared prefix hits — matches the
+// cache-less Sequential reference at every worker count, and the second
+// pass produces byte-identical results to the first.
+func TestSchedulerPrefixCacheBitIdentical(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	reqs := prefixRequests(m.Cfg.Vocab, 10)
+	seqOpts := DefaultOptions()
+	want := make([]Result, len(reqs))
+	for i, r := range reqs {
+		want[i] = Sequential(m, r, seqOpts)
+	}
+	for _, workers := range []int{1, 4} {
+		parallel.SetWorkers(workers)
+		opts := DefaultOptions()
+		opts.Slots = 3
+		opts.PrefillChunk = 4
+		opts.PrefixCacheBytes = 1 << 20
+		s := New(m, opts)
+		first, err := s.GenerateAll(reqs)
+		if err != nil {
+			s.Close()
+			parallel.SetWorkers(0)
+			t.Fatal(err)
+		}
+		second, err := s.GenerateAll(reqs)
+		st := s.Stats()
+		s.Close()
+		parallel.SetWorkers(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			assertSameResult(t, fmt.Sprintf("workers=%d first pass req %d", workers, i), first[i], want[i])
+			assertSameResult(t, fmt.Sprintf("workers=%d second pass req %d", workers, i), second[i], want[i])
+		}
+		if st.PrefixCacheHits == 0 || st.PrefixCacheHitTokens == 0 {
+			t.Fatalf("workers=%d: no cache hits recorded (%+v)", workers, st)
+		}
+		if st.PrefixCacheBytes <= 0 || st.PrefixCacheEntries <= 0 {
+			t.Fatalf("workers=%d: cache reports no residency (%+v)", workers, st)
+		}
+		if hr := st.PrefixCacheHitRate(); hr <= 0 || hr > 1 {
+			t.Fatalf("workers=%d: hit rate %v", workers, hr)
+		}
+	}
+}
+
+// TestSchedulerPrefixCacheKVQuant: the identity holds with a quantized KV
+// cache too (spans carry the quantized rows).
+func TestSchedulerPrefixCacheKVQuant(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	reqs := prefixRequests(m.Cfg.Vocab, 6)
+	opts := DefaultOptions()
+	opts.Slots = 2
+	opts.PrefillChunk = 4
+	opts.KVQuantBits = 4
+	opts.PrefixCacheBytes = 1 << 20
+	s := New(m, opts)
+	defer s.Close()
+	if _, err := s.GenerateAll(reqs); err != nil { // prime the cache
+		t.Fatal(err)
+	}
+	got, err := s.GenerateAll(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reqs {
+		assertSameResult(t, fmt.Sprintf("req %d", i), got[i], Sequential(m, r, opts))
+	}
+	if st := s.Stats(); st.PrefixCacheHits == 0 {
+		t.Fatalf("no hits on the warmed cache (%+v)", st)
+	}
+}
+
+// TestSchedulerPrefixCacheEvictionPressure: a budget that holds only a
+// couple of chunks keeps evicting mid-traffic; results stay correct and
+// the residency never exceeds the budget by more than the pinned slack.
+func TestSchedulerPrefixCacheEvictionPressure(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	reqs := prefixRequests(m.Cfg.Vocab, 12)
+	opts := DefaultOptions()
+	opts.Slots = 3
+	opts.PrefillChunk = 4
+	// One 4-token chunk costs blocks * 2 * 4 * dim * 8 bytes plus key
+	// overhead; budget two of them.
+	chunkBytes := int64(len(m.Blocks) * 2 * 4 * m.Cfg.Dim * 8)
+	opts.PrefixCacheBytes = 2*chunkBytes + 128
+	s := New(m, opts)
+	defer s.Close()
+	want := make([]Result, len(reqs))
+	for i, r := range reqs {
+		want[i] = Sequential(m, r, DefaultOptions())
+	}
+	for pass := 0; pass < 3; pass++ {
+		got, err := s.GenerateAll(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			assertSameResult(t, fmt.Sprintf("pass %d req %d", pass, i), got[i], want[i])
+		}
+	}
+	st := s.Stats()
+	if st.PrefixCacheEvictions == 0 {
+		t.Fatalf("no evictions under a %d-byte budget (%+v)", opts.PrefixCacheBytes, st)
+	}
+	if st.PrefixCacheBytes > opts.PrefixCacheBytes {
+		t.Fatalf("resident %d bytes exceeds budget %d", st.PrefixCacheBytes, opts.PrefixCacheBytes)
+	}
+}
+
+// TestSchedulerPrefixCacheConcurrentAdmissions hammers a cached scheduler
+// from concurrent submitters (mid-flight admissions, shared prefixes,
+// inserts racing lookups); under -race this exercises the attach/detach
+// synchronization, and every result must still match its sequential
+// reference.
+func TestSchedulerPrefixCacheConcurrentAdmissions(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	reqs := prefixRequests(m.Cfg.Vocab, 16)
+	want := make([]Result, len(reqs))
+	var refWG sync.WaitGroup
+	for i, r := range reqs {
+		refWG.Add(1)
+		go func(i int, r Request) {
+			defer refWG.Done()
+			want[i] = Sequential(m, r, DefaultOptions())
+		}(i, r)
+	}
+	refWG.Wait()
+	opts := DefaultOptions()
+	opts.Slots = 3
+	opts.PrefillChunk = 4
+	opts.PrefixCacheBytes = 1 << 18
+	s := New(m, opts)
+	defer s.Close()
+	results := make([]Result, len(reqs))
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(reqs); i += 4 {
+				ticket, err := s.Submit(reqs[i])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[i] = ticket.Wait()
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := range want {
+		assertSameResult(t, fmt.Sprintf("req %d", i), results[i], want[i])
+	}
+}

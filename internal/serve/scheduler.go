@@ -110,6 +110,16 @@ type Options struct {
 	// instead of a whole-prompt stall. Output is unaffected: chunked
 	// prefill is bit-identical to the token loop at every chunk size.
 	PrefillChunk int
+	// PrefixCacheBytes, when positive, enables the shared prefix/KV cache
+	// with that byte budget: completed prefill chunks are snapshotted at
+	// PrefillChunk granularity, and a request whose prompt starts with
+	// cached chunks imports their KV rows instead of recomputing the
+	// prefill — near-zero time-to-first-token on repeat system prompts.
+	// Output is unaffected: an imported prefix is byte-identical to a
+	// recomputed one (prefill is deterministic), so scheduled output stays
+	// bit-identical to Sequential with or without the cache. 0 disables
+	// caching.
+	PrefixCacheBytes int64
 }
 
 // DefaultOptions returns the baseline scheduler configuration: 4 slots, no
@@ -138,6 +148,28 @@ type Stats struct {
 	// token prefilled — over the most recent ttftWindow requests.
 	TTFTSamples      int64
 	TTFTp50, TTFTp99 time.Duration
+	// Prefix-cache counters (all zero when Options.PrefixCacheBytes is 0).
+	// PrefixCacheHits / PrefixCacheMisses count admissions whose prompt
+	// did / did not start with at least one cached chunk;
+	// PrefixCacheHitTokens counts prompt tokens whose prefill was skipped
+	// by importing cached KV rows; PrefixCacheBytes / PrefixCacheEntries
+	// describe current residency and PrefixCacheEvictions the entries
+	// dropped under byte pressure.
+	PrefixCacheHits, PrefixCacheMisses int64
+	PrefixCacheHitTokens               int64
+	PrefixCacheEvictions               int64
+	PrefixCacheBytes                   int64
+	PrefixCacheEntries                 int
+}
+
+// PrefixCacheHitRate returns the fraction of admissions served at least
+// partially from the prefix cache (0 when no lookups happened).
+func (st Stats) PrefixCacheHitRate() float64 {
+	total := st.PrefixCacheHits + st.PrefixCacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.PrefixCacheHits) / float64(total)
 }
 
 // ttftWindow is the number of recent time-to-first-token samples the
@@ -152,11 +184,14 @@ type pending struct {
 }
 
 // slot is one decoding lane. All fields are owned by the scheduler loop
-// goroutine (or, inside a tick, by exactly one parallel worker).
+// goroutine (or, inside a tick, by exactly one parallel worker); cache is
+// internally synchronized.
 type slot struct {
-	sess   *infer.Session
-	maxSeq int
-	chunk  int // prompt tokens admitted per tick
+	sess    *infer.Session
+	maxSeq  int
+	chunk   int          // prompt tokens admitted per tick
+	cache   *prefixCache // nil when prefix caching is disabled
+	sampler infer.Sampler
 
 	active      bool
 	prefilled   bool
@@ -175,18 +210,35 @@ type slot struct {
 }
 
 // newSlot wraps a session as an idle slot.
-func newSlot(sess *infer.Session, maxSeq, chunk int) *slot {
-	return &slot{sess: sess, maxSeq: maxSeq, chunk: chunk}
+func newSlot(sess *infer.Session, maxSeq, chunk int, cache *prefixCache) *slot {
+	return &slot{sess: sess, maxSeq: maxSeq, chunk: chunk, cache: cache}
 }
 
 // start admits a request into an idle slot. The session is recycled with
-// Reset — warm KV chunks and the prefill scratch arena are kept — which
-// decodes bit-identically to a fresh session.
+// Reset — warm KV chunks and the decode/prefill scratch arenas are kept —
+// which decodes bit-identically to a fresh session. With prefix caching
+// enabled, the longest run of cached chunks prefixing the prompt is
+// imported into the recycled KV cache (a memcpy per block per chunk) and
+// prefill resumes after it; at least the final prompt token is always
+// prefilled for real, because its logits must be computed.
 func (sl *slot) start(req Request, ticket *Ticket, submitted time.Time) {
 	sl.sess.Reset()
 	sl.active = true
 	sl.prefilled = false
 	sl.promptPos = 0
+	if sl.cache != nil && len(req.Prompt) > 0 {
+		spans, pinned, _ := sl.cache.lookup(req.Prompt, len(req.Prompt)-1)
+		for _, sp := range spans {
+			if err := sl.sess.ImportKV(sp); err != nil {
+				// Impossible by construction (spans are consecutive and
+				// shape-checked before any state changes); stop importing
+				// and prefill the rest from the last good position.
+				break
+			}
+		}
+		sl.cache.release(pinned)
+		sl.promptPos = sl.sess.Pos()
+	}
 	sl.req = req
 	sl.ticket = ticket
 	sl.rng = rand.New(rand.NewSource(req.Seed))
@@ -235,12 +287,20 @@ func (sl *slot) advance(eos int) {
 		if rem := len(sl.req.Prompt) - sl.promptPos; n > rem {
 			n = rem
 		}
-		logits, err := sl.sess.Append(sl.req.Prompt[sl.promptPos : sl.promptPos+n])
+		lo := sl.promptPos
+		logits, err := sl.sess.Append(sl.req.Prompt[lo : lo+n])
 		if err != nil {
 			sl.finish(FinishError, err)
 			return
 		}
 		sl.promptPos += n
+		// Snapshot every full chunk-aligned prefix into the cache so the
+		// next request sharing it skips this chunk's prefill. Export copies
+		// the freshly appended KV rows; insert de-duplicates and evicts LRU
+		// entries past the byte budget.
+		if sl.cache != nil && n == sl.chunk && lo%sl.chunk == 0 && !sl.cache.contains(sl.req.Prompt[:sl.promptPos]) {
+			sl.cache.insert(sl.req.Prompt[:sl.promptPos], sl.sess.ExportKV(lo, sl.promptPos))
+		}
 		if sl.promptPos < len(sl.req.Prompt) {
 			return // rest of the prompt admits on later ticks
 		}
@@ -253,7 +313,7 @@ func (sl *slot) advance(eos int) {
 		}
 		return
 	}
-	tok := infer.SampleLogits(sl.rng, sl.logits, sl.req.Temperature)
+	tok := sl.sampler.Sample(sl.rng, sl.logits, sl.req.Temperature)
 	if eos >= 0 && tok == eos {
 		sl.finish(FinishEOS, nil)
 		return
@@ -284,8 +344,9 @@ func (sl *slot) advance(eos int) {
 // Scheduler is the continuous-batching engine. Construct with New; Submit
 // is safe for concurrent use; Close drains and joins the decode loop.
 type Scheduler struct {
-	eos   int
-	slots []*slot
+	eos    int
+	slots  []*slot
+	prefix *prefixCache // nil when Options.PrefixCacheBytes is 0
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -312,6 +373,9 @@ func New(m *model.Model, opts Options) *Scheduler {
 	}
 	s := &Scheduler{eos: opts.EOS, loopDone: make(chan struct{})}
 	s.cond = sync.NewCond(&s.mu)
+	if opts.PrefixCacheBytes > 0 {
+		s.prefix = newPrefixCache(opts.PrefillChunk, opts.PrefixCacheBytes)
+	}
 	for _, v := range m.Views(opts.Slots) {
 		var sess *infer.Session
 		if opts.KVQuantBits > 0 {
@@ -319,7 +383,7 @@ func New(m *model.Model, opts Options) *Scheduler {
 		} else {
 			sess = infer.NewSession(v)
 		}
-		s.slots = append(s.slots, newSlot(sess, m.Cfg.MaxSeq, opts.PrefillChunk))
+		s.slots = append(s.slots, newSlot(sess, m.Cfg.MaxSeq, opts.PrefillChunk, s.prefix))
 	}
 	s.stats.Slots = opts.Slots
 	s.stats.PrefillChunk = opts.PrefillChunk
@@ -372,6 +436,15 @@ func (s *Scheduler) Stats() Stats {
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 		st.TTFTp50 = percentile(sorted, 50)
 		st.TTFTp99 = percentile(sorted, 99)
+	}
+	if s.prefix != nil {
+		pc := s.prefix.snapshot()
+		st.PrefixCacheHits = pc.Hits
+		st.PrefixCacheMisses = pc.Misses
+		st.PrefixCacheHitTokens = pc.HitTokens
+		st.PrefixCacheEvictions = pc.Evictions
+		st.PrefixCacheBytes = pc.Bytes
+		st.PrefixCacheEntries = pc.Entries
 	}
 	return st
 }
@@ -503,7 +576,7 @@ func Sequential(m *model.Model, req Request, opts Options) Result {
 	if chunk <= 0 {
 		chunk = infer.DefaultPrefillChunk
 	}
-	sl := newSlot(sess, m.Cfg.MaxSeq, chunk)
+	sl := newSlot(sess, m.Cfg.MaxSeq, chunk, nil)
 	sl.start(req, nil, time.Now())
 	for !sl.done {
 		sl.advance(opts.EOS)

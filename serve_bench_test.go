@@ -12,6 +12,7 @@ package repro
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"repro/internal/infer"
@@ -89,6 +90,55 @@ func BenchmarkDecodeLockstep(b *testing.B) {
 	tokens := float64(b.N * usefulTokens(reqs))
 	b.ReportMetric(tokens/b.Elapsed().Seconds(), "tok/s")
 }
+
+// --- Prefix/KV cache: time-to-first-token on a repeated prompt prefix ---
+//
+// Both variants push the same long-prompt, one-token request through a
+// single-slot scheduler; the Hit variant runs with the prefix cache
+// enabled and primed, so all but the final admission chunk of the prompt
+// is imported from cached KV snapshots (a memcpy per block) instead of
+// recomputed, while the Cold variant prefills every token. ns/op is the
+// end-to-end TTFT of one request; replies are bit-identical between the
+// two (the prefix-cache contract, test-enforced in internal/serve).
+//
+//	go test -run='^$' -bench=PrefixCache -benchtime=1x .
+
+// prefixBenchPrompt is long relative to the admission chunk so the cached
+// fraction (all full chunks below len-1) dominates the prompt.
+const prefixBenchPrompt = 120
+
+func benchPrefixTTFT(b *testing.B, cacheBytes int64) {
+	skipUnderShort(b)
+	m := model.New(prefillBenchConfig(), 1)
+	rng := rand.New(rand.NewSource(6))
+	prompt := make([]int, prefixBenchPrompt)
+	for i := range prompt {
+		prompt[i] = rng.Intn(m.Cfg.Vocab)
+	}
+	opts := serve.Options{Slots: 1, EOS: -1, PrefillChunk: 8, PrefixCacheBytes: cacheBytes}
+	s := serve.New(m, opts)
+	defer s.Close()
+	req := serve.Request{ID: "ttft", Prompt: prompt, MaxTokens: 1, Seed: 3}
+	submit := func() {
+		ticket, err := s.Submit(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res := ticket.Wait(); res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+	submit() // warm arenas; with the cache enabled this also primes it
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		submit()
+	}
+	b.StopTimer()
+	b.ReportMetric(b.Elapsed().Seconds()*1e3/float64(b.N), "ttft-ms")
+}
+
+func BenchmarkPrefixCacheHit(b *testing.B)  { benchPrefixTTFT(b, 1<<26) }
+func BenchmarkPrefixCacheCold(b *testing.B) { benchPrefixTTFT(b, 0) }
 
 func BenchmarkDecodeContinuous(b *testing.B) {
 	skipUnderShort(b)
