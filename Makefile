@@ -3,7 +3,7 @@ GO ?= go
 # releases.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build test race bench bench-smoke bench-json bench-compare serve-smoke fmt fmt-check vet staticcheck ci
+.PHONY: all build test race bench bench-smoke bench-json bench-compare serve-smoke latency-smoke fmt fmt-check vet staticcheck ci
 
 # Output of `make bench-json` (benchmarks as data; CI uploads it) and the
 # committed baseline `make bench-compare` diffs it against.
@@ -66,9 +66,19 @@ bench-compare:
 	$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) $(BENCH_CI)
 
 # End-to-end smoke of the HTTP serving front-end: build aptq-serve, start
-# it, issue the same generate request twice, assert byte-identical replies.
+# it, issue the same generate request twice, assert byte-identical replies
+# — then once more as an SSE stream, asserting the assembled stream is
+# byte-identical to the plain reply.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# CI latency gate: boot aptq-serve and drive it open-loop with
+# aptq-loadgen for a few seconds of mixed streaming traffic. Fails on any
+# request error or an absurd p99 TTFT; writes the p50/p99 TTFT and
+# inter-token percentiles to LATENCY_CI.json (benchjson schema, uploaded
+# as a CI artifact and diffable with `benchjson -compare -ms-threshold`).
+latency-smoke:
+	./scripts/latency_smoke.sh
 
 fmt:
 	gofmt -w .
@@ -86,4 +96,4 @@ staticcheck:
 
 # Mirrors .github/workflows/ci.yml (staticcheck needs network on first
 # use to fetch the pinned binary; later runs hit the local cache).
-ci: fmt-check vet staticcheck build test race bench-smoke bench-compare serve-smoke
+ci: fmt-check vet staticcheck build test race bench-smoke bench-compare serve-smoke latency-smoke

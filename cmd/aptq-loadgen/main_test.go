@@ -1,0 +1,223 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// stubServe mimics the aptq-serve surface the loadgen touches: /healthz
+// with the model shape and a streaming /v1/generate that echoes
+// max_tokens token events plus the final response event.
+func stubServe(t *testing.T, vocab, maxSeq int) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"status": "ok", "vocab": vocab, "maxseq": maxSeq})
+	})
+	mux.HandleFunc("/v1/generate", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Tokens    []int `json:"tokens"`
+			MaxTokens int   `json:"max_tokens"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Tokens) == 0 {
+			http.Error(w, "bad request", http.StatusBadRequest)
+			return
+		}
+		if len(req.Tokens) > maxSeq || req.MaxTokens < 1 {
+			http.Error(w, "bad plan", http.StatusBadRequest)
+			return
+		}
+		for _, tok := range req.Tokens {
+			if tok < 0 || tok >= vocab {
+				http.Error(w, "token out of vocab", http.StatusBadRequest)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		for i := 0; i < req.MaxTokens; i++ {
+			fmt.Fprintf(w, "data: {\"token\":%d,\"text\":\"w\",\"index\":%d}\n\n", i%vocab, i)
+		}
+		fmt.Fprintf(w, "data: {\"tokens\":[],\"text\":\"\",\"finish_reason\":\"length\"}\n\n")
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func testConfig(url string) config {
+	return config{
+		url: url, rate: 500, duration: 200 * time.Millisecond, requests: 20,
+		seed: 7, promptMin: 2, promptMax: 8, outMin: 2, outMax: 10,
+		prefixPop: 2, prefixLen: 4, prefixFrac: 0.5, priorities: 3,
+		maxErrorRate: -1,
+	}
+}
+
+// TestBuildPlanDeterministic: the plan is a pure function of the seed —
+// same seed, same workload; different seed, different workload.
+func TestBuildPlanDeterministic(t *testing.T) {
+	cfg := testConfig("")
+	a := buildPlan(cfg, 64, 64)
+	b := buildPlan(cfg, 64, 64)
+	if len(a) == 0 {
+		t.Fatal("empty plan")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("plan lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		ja, _ := json.Marshal(a[i].body)
+		jb, _ := json.Marshal(b[i].body)
+		if a[i].at != b[i].at || string(ja) != string(jb) {
+			t.Fatalf("call %d differs across identical seeds:\n%s\n%s", i, ja, jb)
+		}
+	}
+	cfg.seed = 8
+	c := buildPlan(cfg, 64, 64)
+	same := len(a) == len(c)
+	for i := 0; same && i < len(a); i++ {
+		ja, _ := json.Marshal(a[i].body)
+		jc, _ := json.Marshal(c[i].body)
+		same = string(ja) == string(jc)
+	}
+	if same {
+		t.Fatal("different seeds produced an identical workload")
+	}
+}
+
+// TestBuildPlanShapeConstraints: every planned request fits the model
+// (prompt within vocab and context, prompt+budget within context) and the
+// shared-prefix knobs behave at their extremes.
+func TestBuildPlanShapeConstraints(t *testing.T) {
+	const vocab, maxSeq = 16, 24
+	cfg := testConfig("")
+	cfg.promptMax, cfg.outMax = 40, 40 // force clamping against maxSeq
+	cfg.prefixFrac = 1
+	plan := buildPlan(cfg, vocab, maxSeq)
+	prefixed := 0
+	for i, c := range plan {
+		prompt := c.body["tokens"].([]int)
+		maxTok := c.body["max_tokens"].(int)
+		if len(prompt) == 0 || len(prompt) > maxSeq || maxTok < 1 || len(prompt)+maxTok > maxSeq {
+			t.Fatalf("call %d out of shape: prompt %d, max_tokens %d, maxseq %d", i, len(prompt), maxTok, maxSeq)
+		}
+		for _, tok := range prompt {
+			if tok < 0 || tok >= vocab {
+				t.Fatalf("call %d: token %d outside vocab %d", i, tok, vocab)
+			}
+		}
+		if p := c.body["priority"].(int); p < 0 || p >= cfg.priorities {
+			t.Fatalf("call %d: priority %d outside [0,%d)", i, p, cfg.priorities)
+		}
+		if i > 0 && c.at < plan[i-1].at {
+			t.Fatalf("arrivals not monotonic at call %d", i)
+		}
+	}
+	// With prefixFrac=1 every prompt long enough must open with one of the
+	// shared prefixes; count distinct openings instead of re-deriving them.
+	heads := map[string]int{}
+	for _, c := range plan {
+		prompt := c.body["tokens"].([]int)
+		if len(prompt) >= cfg.prefixLen {
+			h, _ := json.Marshal(prompt[:cfg.prefixLen])
+			heads[string(h)]++
+			prefixed++
+		}
+	}
+	if prefixed == 0 || len(heads) > cfg.prefixPop {
+		t.Fatalf("prefixFrac=1 yielded %d prefixed prompts over %d heads (population %d)", prefixed, len(heads), cfg.prefixPop)
+	}
+}
+
+// TestRunEndToEnd drives the full loadgen loop against the stub server
+// and checks the snapshot schema benchjson -compare consumes.
+func TestRunEndToEnd(t *testing.T) {
+	ts := stubServe(t, 64, 64)
+	cfg := testConfig(ts.URL)
+	snap, failures, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) > 0 {
+		t.Fatalf("unexpected gate failures: %v", failures)
+	}
+	sum := snap["LoadgenSummary"]
+	if sum["requests"] < 1 || sum["errors"] != 0 || sum["error_rate"] != 0 {
+		t.Fatalf("summary: %v", sum)
+	}
+	ttft := snap["LoadgenTTFT"]
+	if ttft["samples"] != sum["requests"] || ttft["p50_ms"] <= 0 || ttft["p99_ms"] < ttft["p50_ms"] {
+		t.Fatalf("ttft: %v (summary %v)", ttft, sum)
+	}
+	itl := snap["LoadgenInterToken"]
+	if itl["p99_ms"] < itl["p50_ms"] {
+		t.Fatalf("itl: %v", itl)
+	}
+	if sum["tok_per_s"] <= 0 {
+		t.Fatalf("tok_per_s: %v", sum)
+	}
+}
+
+// TestRunGates: the self-gates trip on an impossible TTFT bound and on a
+// zero error budget when the server rejects everything.
+func TestRunGates(t *testing.T) {
+	ts := stubServe(t, 64, 64)
+	cfg := testConfig(ts.URL)
+	cfg.maxP99TTFTMs = 1e-9 // no real TTFT can beat a nanosecond bound
+	if _, failures, err := run(cfg); err != nil || len(failures) != 1 {
+		t.Fatalf("ttft gate: failures=%v err=%v", failures, err)
+	}
+
+	// A server that 500s every generate must trip a zero error budget.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"vocab": 64, "maxseq": 64})
+	})
+	mux.HandleFunc("/v1/generate", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	})
+	bad := httptest.NewServer(mux)
+	defer bad.Close()
+	cfg = testConfig(bad.URL)
+	cfg.maxErrorRate = 0
+	_, failures, err := run(cfg)
+	if err != nil || len(failures) != 1 {
+		t.Fatalf("error-rate gate: failures=%v err=%v", failures, err)
+	}
+}
+
+// TestDoRequestParsesSSE pins the SSE accounting: N token events mean N
+// tokens, N-1 usable inter-token gaps (the final response-event gap is
+// dropped), and a measured TTFT.
+func TestDoRequestParsesSSE(t *testing.T) {
+	ts := stubServe(t, 64, 64)
+	body := map[string]any{"tokens": []int{1, 2}, "max_tokens": 5, "seed": 1}
+	ttft, itl, tokens, failed := doRequest(http.DefaultClient, ts.URL, body)
+	if failed {
+		t.Fatal("request failed against the stub")
+	}
+	if tokens != 5 || ttft <= 0 || len(itl) != 4 {
+		t.Fatalf("tokens=%d ttft=%v itl=%d samples, want 5 tokens and 4 gaps", tokens, ttft, len(itl))
+	}
+	if _, _, _, failed := doRequest(http.DefaultClient, ts.URL, map[string]any{"tokens": []int{}}); !failed {
+		t.Fatal("bad request not reported as failed")
+	}
+}
+
+// TestPercentileNearestRank matches the scheduler's definition.
+func TestPercentileNearestRank(t *testing.T) {
+	s := []time.Duration{5, 1, 3, 2, 4, 9, 7, 8, 6, 10}
+	if got := percentile(s, 50); got != 5 {
+		t.Fatalf("p50 = %v, want 5", got)
+	}
+	if got := percentile(s, 99); got != 10 {
+		t.Fatalf("p99 = %v, want 10", got)
+	}
+	if got := percentile(nil, 99); got != 0 {
+		t.Fatalf("p99 of empty = %v, want 0", got)
+	}
+}

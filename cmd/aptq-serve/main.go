@@ -8,16 +8,30 @@
 //
 //	aptq-serve -ckpt nano7b-q.packed.ckpt -packed -slots 8
 //	aptq-serve -prefix-cache 67108864   # 64 MiB shared prefix/KV cache
+//	aptq-serve -max-queue 256           # shed load with 429 past 256 queued
 //	aptq-serve                      # built-in deterministic demo model
 //
 // Endpoints:
 //
 //	POST /v1/generate  {"prompt":"...", "tokens":[...], "max_tokens":16,
-//	                    "temperature":0.8, "seed":7, "stop":[...]}
+//	                    "temperature":0.8, "seed":7, "stop":[...],
+//	                    "priority":5, "deadline_ms":2000, "stream":true}
+//	                   With ?stream=1 (or "stream":true) the reply is a
+//	                   Server-Sent-Events stream: one `data:` event per
+//	                   generated token as it decodes, then a final event
+//	                   carrying the complete non-streaming response body.
 //	GET  /v1/stats     scheduler counters (slots, queue, tokens, KV bytes,
-//	                   prefill chunk, time-to-first-token p50/p99,
-//	                   prefix-cache hits/bytes/hit-rate)
-//	GET  /healthz      liveness + model identity
+//	                   prefill chunk, TTFT + inter-token latency p50/p99,
+//	                   cancellations, rejections, prefix-cache hits)
+//	GET  /healthz      liveness + model identity; 503 while draining
+//
+// Interactive-latency contract: a client disconnect or an exceeded
+// "deadline_ms" cancels the request's context, and the scheduler frees
+// its slot at the next decode tick — an abandoned request never decodes
+// to its full token budget. "priority" orders admission when slots are
+// contended; -max-queue bounds the admission queue, returning 429 under
+// overload. On SIGINT/SIGTERM the server drains: /healthz goes unhealthy,
+// new requests get 503, in-flight requests finish (graceful redeploys).
 //
 // With -prefix-cache N, completed prefill chunks are snapshotted into a
 // shared N-byte KV cache and requests whose prompts repeat a cached
@@ -27,8 +41,9 @@
 //
 // Determinism: the same request body always yields the same reply — output
 // depends only on the model and the request (prompt, seed, temperature,
-// stop set), never on slot assignment, worker count, or concurrent
-// traffic. The CI smoke test asserts this end to end.
+// stop set), never on slot assignment, worker count, streaming, priority,
+// or concurrent traffic (including co-scheduled cancellations). The CI
+// smoke test asserts this end to end, for both reply forms.
 package main
 
 import (
@@ -42,6 +57,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -67,6 +83,7 @@ func main() {
 		kvBits     = flag.Int("kvbits", 0, "KV-cache quantization bit width (0 = float)")
 		prefill    = flag.Int("prefill-chunk", 0, "prompt tokens admitted per decode tick (0 = default chunking)")
 		prefixCach = flag.Int64("prefix-cache", 0, "shared prefix/KV cache byte budget (0 = disabled); repeat prompt prefixes skip prefill")
+		maxQueue   = flag.Int("max-queue", 0, "admission queue depth bound; overflow is rejected with 429 (0 = unbounded)")
 		trainSteps = flag.Int("train-steps", 0, "pretraining steps for the demo model (0 = raw seeded init, instant startup)")
 	)
 	flag.Parse()
@@ -82,6 +99,7 @@ func main() {
 	opts.KVQuantBits = *kvBits
 	opts.PrefillChunk = *prefill
 	opts.PrefixCacheBytes = *prefixCach
+	opts.MaxQueue = *maxQueue
 	srv := newServer(m, opts)
 	defer srv.sched.Close()
 	log.Printf("model %s (vocab %d, maxseq %d), %d slots, listening on %s",
@@ -92,6 +110,13 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
+		// Graceful redeploy order: flip /healthz unhealthy so load
+		// balancers stop routing here, drain the scheduler (new Submits
+		// rejected, queued + in-flight requests run to completion), then
+		// shut the HTTP listener down.
+		log.Printf("signal received, draining")
+		srv.draining.Store(true)
+		srv.sched.Drain()
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(ctx)
@@ -121,9 +146,10 @@ func loadModel(ckpt string, packed bool, trainSteps int) (*model.Model, error) {
 
 // server binds the scheduler to the HTTP surface.
 type server struct {
-	m     *model.Model
-	vocab *data.Vocabulary
-	sched *serve.Scheduler
+	m        *model.Model
+	vocab    *data.Vocabulary
+	sched    *serve.Scheduler
+	draining atomic.Bool // set before Drain; /healthz reports 503
 }
 
 func newServer(m *model.Model, opts serve.Options) *server {
@@ -149,6 +175,17 @@ type generateRequest struct {
 	Temperature float64 `json:"temperature"`
 	Seed        int64   `json:"seed"`
 	Stop        []int   `json:"stop,omitempty"`
+	// Stream switches the reply to Server-Sent Events (same as ?stream=1):
+	// one event per generated token, then a final event with the complete
+	// response. Streaming never changes the generated tokens.
+	Stream bool `json:"stream,omitempty"`
+	// Priority orders admission under contention (higher first); it never
+	// affects the reply's content.
+	Priority int `json:"priority,omitempty"`
+	// DeadlineMs bounds the request's total latency: past the deadline the
+	// scheduler stops decoding, frees the slot, and the reply carries
+	// finish_reason "deadline_exceeded" with the tokens generated so far.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
 }
 
 // generateResponse is the JSON reply of POST /v1/generate.
@@ -157,6 +194,14 @@ type generateResponse struct {
 	Tokens       []int  `json:"tokens"`
 	Text         string `json:"text"`
 	FinishReason string `json:"finish_reason"`
+	Error        string `json:"error,omitempty"`
+}
+
+// streamEvent is one per-token SSE event of a streaming generate.
+type streamEvent struct {
+	Token int    `json:"token"`
+	Text  string `json:"text"`
+	Index int    `json:"index"`
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -206,6 +251,16 @@ func (s *server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	if maxTokens <= 0 {
 		maxTokens = 16
 	}
+	// The request context carries both cancellation signals: the client
+	// disconnecting (r.Context) and the optional per-request deadline.
+	// Either one cancels decoding at the next scheduler tick, freeing the
+	// slot instead of decoding the abandoned request to its budget.
+	ctx := r.Context()
+	if req.DeadlineMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMs)*time.Millisecond)
+		defer cancel()
+	}
 	ticket, err := s.sched.Submit(serve.Request{
 		ID:          req.ID,
 		Prompt:      prompt,
@@ -213,32 +268,73 @@ func (s *server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		Temperature: req.Temperature,
 		Seed:        req.Seed,
 		Stop:        req.Stop,
+		Ctx:         ctx,
+		Priority:    req.Priority,
 	})
-	if err != nil {
+	switch {
+	case errors.Is(err, serve.ErrQueueFull):
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case err != nil:
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	select {
-	case res := <-ticket.Done():
-		if res.Err != nil {
-			httpError(w, http.StatusInternalServerError, "%v", res.Err)
-			return
+	if req.Stream || r.URL.Query().Get("stream") == "1" {
+		s.streamGenerate(w, ticket)
+		return
+	}
+	// The ticket always resolves — on completion, or within one tick of the
+	// context dying — so a plain wait cannot leak the handler.
+	res := ticket.Wait()
+	if res.Err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", res.Err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.response(res))
+}
+
+// response renders a scheduler result as the generate reply body.
+func (s *server) response(res serve.Result) generateResponse {
+	tokens := res.Tokens
+	if tokens == nil {
+		tokens = []int{}
+	}
+	out := generateResponse{
+		ID:           res.ID,
+		Tokens:       tokens,
+		Text:         s.vocab.Decode(tokens),
+		FinishReason: string(res.FinishReason),
+	}
+	if res.Err != nil {
+		out.Error = res.Err.Error()
+	}
+	return out
+}
+
+// streamGenerate writes the SSE form of a generate reply: one `data:`
+// event per token as the scheduler decodes it, then a final `data:` event
+// whose payload is byte-identical to the non-streaming response body —
+// so a client (or the CI smoke test) can assemble the stream and check it
+// against the plain reply.
+func (s *server) streamGenerate(w http.ResponseWriter, ticket *serve.Ticket) {
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	flusher, _ := w.(http.Flusher)
+	i := 0
+	for tok := range ticket.Tokens() {
+		b, _ := json.Marshal(streamEvent{Token: tok, Text: s.vocab.Word(tok), Index: i})
+		fmt.Fprintf(w, "data: %s\n\n", b)
+		if flusher != nil {
+			flusher.Flush()
 		}
-		tokens := res.Tokens
-		if tokens == nil {
-			tokens = []int{}
-		}
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(generateResponse{
-			ID:           res.ID,
-			Tokens:       tokens,
-			Text:         s.vocab.Decode(tokens),
-			FinishReason: string(res.FinishReason),
-		})
-	case <-r.Context().Done():
-		// Client went away; the slot still finishes the request (the
-		// scheduler has no cancellation), we just stop waiting.
-		httpError(w, http.StatusServiceUnavailable, "client cancelled")
+		i++
+	}
+	res := ticket.Wait()
+	b, _ := json.Marshal(s.response(res))
+	fmt.Fprintf(w, "data: %s\n\n", b)
+	if flusher != nil {
+		flusher.Flush()
 	}
 }
 
@@ -258,6 +354,19 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"ttft_count":       st.TTFTSamples,
 		"ttft_p50_ms":      float64(st.TTFTp50) / float64(time.Millisecond),
 		"ttft_p99_ms":      float64(st.TTFTp99) / float64(time.Millisecond),
+		// Inter-token latency: the gap between consecutively streamed
+		// tokens of a request — the cadence an interactive client sees.
+		"itl_count":  st.ITLSamples,
+		"itl_p50_ms": float64(st.ITLp50) / float64(time.Millisecond),
+		"itl_p99_ms": float64(st.ITLp99) / float64(time.Millisecond),
+		// Admission-control counters: requests finished by context
+		// cancellation / deadline expiry, Submits shed with 429 under the
+		// -max-queue bound, and whether the scheduler is draining (1/0).
+		"cancelled":         st.Cancelled,
+		"deadline_exceeded": st.DeadlineExceeded,
+		"rejected":          st.Rejected,
+		"max_queue":         st.MaxQueue,
+		"draining":          boolToInt(st.Draining),
 		// Prefix/KV cache counters (all zero unless -prefix-cache is set):
 		// hits/misses count admissions whose prompt did/did not start with a
 		// cached chunk, hit_rate their ratio, hit_tokens the prompt tokens
@@ -273,10 +382,26 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// boolToInt renders a flag as 0/1 so /v1/stats stays a flat numeric map
+// (clients decode it into map[string]float64).
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		// Unhealthy while draining, so load balancers stop routing here
+		// during a graceful redeploy.
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(map[string]any{
-		"status": "ok",
+		"status": status,
 		"model":  s.m.Cfg.Name,
 		"vocab":  s.m.Cfg.Vocab,
 		"maxseq": s.m.Cfg.MaxSeq,

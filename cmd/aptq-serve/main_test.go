@@ -1,11 +1,13 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/serve"
@@ -170,6 +172,125 @@ func TestHealthAndStats(t *testing.T) {
 	}
 	if stats["prefill_chunk"] <= 0 {
 		t.Fatalf("prefill_chunk missing: %v", stats)
+	}
+}
+
+// TestGenerateStreaming: the SSE variant emits one event per token and a
+// final event byte-identical to the non-streaming reply body — streaming
+// is a transport change, never a semantic one.
+func TestGenerateStreaming(t *testing.T) {
+	_, ts := testServer(t)
+	body := `{"tokens":[1,2,3],"max_tokens":8,"temperature":0.8,"seed":7}`
+	code, plain := post(t, ts.URL+"/v1/generate", body)
+	if code != http.StatusOK {
+		t.Fatalf("plain status %d: %s", code, plain)
+	}
+	plain = bytes.TrimRight(plain, "\n") // Encoder appends a newline SSE events lack
+
+	resp, err := http.Post(ts.URL+"/v1/generate?stream=1", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	var events []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+			events = append(events, data)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 9 { // 8 token events + the final response event
+		t.Fatalf("got %d events, want 9: %v", len(events), events)
+	}
+	final := events[len(events)-1]
+	if final != string(plain) {
+		t.Fatalf("final stream event differs from the plain reply:\n%s\n%s", final, plain)
+	}
+	var reply generateResponse
+	if err := json.Unmarshal([]byte(final), &reply); err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range events[:len(events)-1] {
+		var tokEv streamEvent
+		if err := json.Unmarshal([]byte(ev), &tokEv); err != nil {
+			t.Fatalf("event %d: %v (%s)", i, err, ev)
+		}
+		if tokEv.Index != i || tokEv.Token != reply.Tokens[i] {
+			t.Fatalf("event %d = %+v, want token %d", i, tokEv, reply.Tokens[i])
+		}
+	}
+	// The "stream":true body form is equivalent to ?stream=1.
+	resp2, err := http.Post(ts.URL+"/v1/generate", "application/json",
+		strings.NewReader(`{"tokens":[1,2,3],"max_tokens":8,"temperature":0.8,"seed":7,"stream":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if ct := resp2.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("body-form stream content type %q", ct)
+	}
+	b, _ := io.ReadAll(resp2.Body)
+	if !strings.Contains(string(b), final) {
+		t.Fatalf("body-form stream missing the final event:\n%s", b)
+	}
+}
+
+// TestLatencyAndAdmissionStats: the /v1/stats latency surface carries the
+// inter-token percentiles and admission-control counters.
+func TestLatencyAndAdmissionStats(t *testing.T) {
+	_, ts := testServerOpts(t, func(o *serve.Options) { o.MaxQueue = 7 })
+	if code, b := post(t, ts.URL+"/v1/generate", `{"tokens":[1],"max_tokens":6,"seed":2}`); code != http.StatusOK {
+		t.Fatalf("generate status %d: %s", code, b)
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// 6 generated tokens -> 6 inter-token samples (the first measures from
+	// prefill completion), positive percentiles, ordered p50 <= p99.
+	if stats["itl_count"] < 1 || stats["itl_p50_ms"] <= 0 || stats["itl_p99_ms"] < stats["itl_p50_ms"] {
+		t.Fatalf("itl stats: %v", stats)
+	}
+	if stats["max_queue"] != 7 || stats["draining"] != 0 {
+		t.Fatalf("admission stats: %v", stats)
+	}
+	for _, k := range []string{"cancelled", "deadline_exceeded", "rejected"} {
+		if v, ok := stats[k]; !ok || v != 0 {
+			t.Fatalf("counter %s = %v, want present and 0: %v", k, v, stats)
+		}
+	}
+}
+
+// TestHealthDraining: a draining server reports 503 on /healthz so load
+// balancers stop routing to it during a graceful redeploy.
+func TestHealthDraining(t *testing.T) {
+	srv, ts := testServer(t)
+	srv.draining.Store(true)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status %d, want 503", resp.StatusCode)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "draining" {
+		t.Fatalf("draining healthz: %v", health)
 	}
 }
 

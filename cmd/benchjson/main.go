@@ -12,17 +12,22 @@
 // With -compare old.json, benchjson instead diffs a new snapshot (a JSON
 // file given as the positional argument, or bench text on stdin) against
 // the prior one and exits non-zero when a shared benchmark regressed past
-// the threshold: tok/s dropping by more than -threshold (fractional), or
+// the threshold: tok/s dropping by more than -threshold (fractional),
 // allocs/op growing by more than -threshold and more than -alloc-slack
-// absolute allocations (slack absorbs sync.Pool noise). This is the CI
-// guardrail that keeps the zero-allocation decode/prefill hot paths and
-// the tok/s trajectory from silently rotting; the default threshold is
-// deliberately loose because single-iteration CI numbers (and
-// cross-machine baselines) are noisy — it catches step-function
+// absolute allocations (slack absorbs sync.Pool noise), or any *_ms
+// metric — latency percentiles are lower-is-better — growing by more
+// than -ms-threshold. The *_ms rule is what lets the same -compare gate
+// diff aptq-loadgen latency snapshots (LoadgenTTFT p99_ms and friends)
+// exactly like benchmark throughput. This is the CI guardrail that keeps
+// the zero-allocation decode/prefill hot paths, the tok/s trajectory and
+// the serving latency percentiles from silently rotting; the default
+// thresholds are deliberately loose because single-iteration CI numbers
+// (and cross-machine baselines) are noisy — they catch step-function
 // regressions, not percent-level drift.
 //
 //	make bench-json BENCH_JSON=BENCH_NEW.json
 //	benchjson -compare BENCH_PR4.json BENCH_NEW.json
+//	benchjson -compare LATENCY_OLD.json LATENCY_NEW.json -ms-threshold 1.0
 package main
 
 import (
@@ -41,6 +46,7 @@ func main() {
 		compare    = flag.String("compare", "", "prior snapshot JSON to diff against; regressions exit non-zero")
 		threshold  = flag.Float64("threshold", 0.5, "fractional regression tolerance for tok/s drops and allocs/op growth")
 		allocSlack = flag.Float64("alloc-slack", 16, "absolute allocs/op growth ignored regardless of ratio (pool noise)")
+		msThresh   = flag.Float64("ms-threshold", 2.0, "fractional growth tolerance for lower-is-better *_ms latency metrics")
 	)
 	flag.Parse()
 	if *compare == "" {
@@ -67,9 +73,9 @@ func main() {
 	} else if cur, err = parseBench(os.Stdin); err != nil {
 		fatal(err)
 	}
-	regressions := compareSnapshots(old, cur, *threshold, *allocSlack, os.Stdout)
+	regressions := compareSnapshots(old, cur, *threshold, *allocSlack, *msThresh, os.Stdout)
 	if len(regressions) > 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) past threshold %.0f%%:\n", len(regressions), *threshold*100)
+		fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) past threshold:\n", len(regressions))
 		for _, r := range regressions {
 			fmt.Fprintf(os.Stderr, "  %s\n", r)
 		}
@@ -97,11 +103,12 @@ func readSnapshot(path string) (map[string]map[string]float64, error) {
 
 // compareSnapshots prints a per-benchmark diff of tok/s and allocs/op for
 // benchmarks present in both snapshots and returns a description of every
-// regression: tok/s below old*(1-threshold), or allocs/op above
-// old*(1+threshold) by more than slack absolute allocations. Benchmarks
-// only in one snapshot are reported informationally, never as
+// regression: tok/s below old*(1-threshold), allocs/op above
+// old*(1+threshold) by more than slack absolute allocations, or a
+// lower-is-better *_ms latency metric above old*(1+msThreshold).
+// Benchmarks only in one snapshot are reported informationally, never as
 // regressions (the suite is allowed to grow and retire entries).
-func compareSnapshots(old, cur map[string]map[string]float64, threshold, slack float64, w io.Writer) []string {
+func compareSnapshots(old, cur map[string]map[string]float64, threshold, slack, msThreshold float64, w io.Writer) []string {
 	names := make([]string, 0, len(cur))
 	for name := range cur {
 		if _, ok := old[name]; ok {
@@ -127,6 +134,24 @@ func compareSnapshots(old, cur map[string]map[string]float64, threshold, slack f
 		if oHasAll && cHasAll && cAll > oAll*(1+threshold) && cAll-oAll > slack {
 			regressions = append(regressions,
 				fmt.Sprintf("%s: allocs/op %.0f -> %.0f", name, oAll, cAll))
+		}
+		// Latency metrics (*_ms suffix) are lower-is-better: growth past
+		// msThreshold is a regression. This covers the aptq-loadgen
+		// percentiles (p50_ms/p99_ms) and any future *_ms reporters.
+		var msKeys []string
+		for key := range o {
+			if _, ok := c[key]; ok && strings.HasSuffix(key, "_ms") {
+				msKeys = append(msKeys, key)
+			}
+		}
+		sort.Strings(msKeys)
+		for _, key := range msKeys {
+			oV, cV := o[key], c[key]
+			fmt.Fprintf(w, "  %-32s %11.2fms %11.2fms\n", key, oV, cV)
+			if oV > 0 && cV > oV*(1+msThreshold) {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %s %.2f -> %.2f (+%.0f%%)", name, key, oV, cV, 100*(cV/oV-1)))
+			}
 		}
 	}
 	onlyIn := func(label string, a, b map[string]map[string]float64) {

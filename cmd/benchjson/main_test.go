@@ -70,28 +70,82 @@ func TestCompareSnapshots(t *testing.T) {
 	var sb strings.Builder
 
 	// Identical snapshots: clean.
-	if regs := compareSnapshots(old, old, 0.25, 16, &sb); len(regs) != 0 {
+	if regs := compareSnapshots(old, old, 0.25, 16, 2, &sb); len(regs) != 0 {
 		t.Fatalf("identical snapshots regressed: %v", regs)
 	}
 	// tok/s drop past threshold on A; small drop on B stays clean; C gains.
 	cur := snap([4]float64{700, 10, 1, 1}, [4]float64{1900, 0, 1, 1}, [4]float64{800, 100, 1, 1})
-	regs := compareSnapshots(old, cur, 0.25, 16, &sb)
+	regs := compareSnapshots(old, cur, 0.25, 16, 2, &sb)
 	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkA") || !strings.Contains(regs[0], "tok/s") {
 		t.Fatalf("tok/s regression detection: %v", regs)
 	}
 	// Alloc growth within slack (0 -> 12) is pool noise, not a regression;
 	// growth past ratio and slack (10 -> 60) is.
 	cur = snap([4]float64{1000, 60, 1, 1}, [4]float64{2000, 12, 1, 1}, [4]float64{500, 100, 1, 1})
-	regs = compareSnapshots(old, cur, 0.25, 16, &sb)
+	regs = compareSnapshots(old, cur, 0.25, 16, 2, &sb)
 	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkA") || !strings.Contains(regs[0], "allocs") {
 		t.Fatalf("allocs regression detection: %v", regs)
 	}
 	// A benchmark only in one snapshot is informational, never a failure.
 	deleted := snap([4]float64{1000, 10, 1, 1})
-	if regs := compareSnapshots(old, deleted, 0.25, 16, &sb); len(regs) != 0 {
+	if regs := compareSnapshots(old, deleted, 0.25, 16, 2, &sb); len(regs) != 0 {
 		t.Fatalf("retired benchmark treated as regression: %v", regs)
 	}
 	if !strings.Contains(sb.String(), "only in old") {
 		t.Fatalf("missing-entry report absent:\n%s", sb.String())
+	}
+}
+
+// latSnap builds a loadgen-shaped latency snapshot (the *_ms metrics the
+// lower-is-better rule exists for).
+func latSnap(ttftP50, ttftP99, itlP50, itlP99 float64) map[string]map[string]float64 {
+	return map[string]map[string]float64{
+		"LoadgenTTFT":       {"p50_ms": ttftP50, "p99_ms": ttftP99, "samples": 100},
+		"LoadgenInterToken": {"p50_ms": itlP50, "p99_ms": itlP99, "samples": 900},
+		"LoadgenSummary":    {"requests": 100, "errors": 0, "error_rate": 0, "tok_per_s": 5000},
+	}
+}
+
+// TestCompareSnapshotsMsMetrics pins the lower-is-better *_ms rule: a
+// latency percentile growing past -ms-threshold regresses, improvements
+// and sub-threshold growth stay clean, and the acceptance scenario — an
+// injected p99-TTFT regression — fails the compare.
+func TestCompareSnapshotsMsMetrics(t *testing.T) {
+	old := latSnap(4, 12, 1, 3)
+	var sb strings.Builder
+
+	// Identical and improved runs: clean.
+	if regs := compareSnapshots(old, old, 0.25, 16, 1.0, &sb); len(regs) != 0 {
+		t.Fatalf("identical latency snapshots regressed: %v", regs)
+	}
+	if regs := compareSnapshots(old, latSnap(2, 6, 0.5, 1.5), 0.25, 16, 1.0, &sb); len(regs) != 0 {
+		t.Fatalf("improved latencies regressed: %v", regs)
+	}
+	// Growth inside the threshold (12 -> 20 at msThreshold 1.0) stays clean.
+	if regs := compareSnapshots(old, latSnap(4, 20, 1, 3), 0.25, 16, 1.0, &sb); len(regs) != 0 {
+		t.Fatalf("sub-threshold latency growth regressed: %v", regs)
+	}
+	// Injected p99-TTFT regression: 12ms -> 60ms blows a 1.0 threshold.
+	regs := compareSnapshots(old, latSnap(4, 60, 1, 3), 0.25, 16, 1.0, &sb)
+	if len(regs) != 1 || !strings.Contains(regs[0], "LoadgenTTFT") || !strings.Contains(regs[0], "p99_ms") {
+		t.Fatalf("injected p99 TTFT regression not caught: %v", regs)
+	}
+	// The *_ms rule never fires on higher-is-better metrics: a tok_per_s
+	// collapse in the same snapshot is the tok/s rule's job (and samples /
+	// error counters are not *_ms keys).
+	slow := latSnap(4, 12, 1, 3)
+	slow["LoadgenSummary"]["tok_per_s"] = 100
+	regs = compareSnapshots(old, slow, 0.25, 16, 1.0, &sb)
+	if len(regs) != 1 || !strings.Contains(regs[0], "tok/s") {
+		t.Fatalf("tok/s drop in a latency snapshot: %v", regs)
+	}
+	// A zero old value (no samples recorded) never divides into a fake
+	// infinite regression.
+	zero := latSnap(0, 0, 0, 0)
+	if regs := compareSnapshots(zero, latSnap(4, 12, 1, 3), 0.25, 16, 1.0, &sb); len(regs) != 0 {
+		t.Fatalf("zero-baseline latency treated as regression: %v", regs)
+	}
+	if !strings.Contains(sb.String(), "p99_ms") {
+		t.Fatalf("ms metrics missing from the diff output:\n%s", sb.String())
 	}
 }

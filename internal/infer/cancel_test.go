@@ -1,0 +1,108 @@
+package infer
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+// stepCancelCtx is a context whose Err flips to context.Canceled after a
+// fixed number of Err calls — a deterministic way to cancel mid-prompt,
+// between two specific chunks, without racing a timer.
+type stepCancelCtx struct {
+	remaining int
+}
+
+func (c *stepCancelCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *stepCancelCtx) Done() <-chan struct{}       { return nil }
+func (c *stepCancelCtx) Value(any) any               { return nil }
+func (c *stepCancelCtx) Err() error {
+	if c.remaining <= 0 {
+		return context.Canceled
+	}
+	c.remaining--
+	return nil
+}
+
+// TestPrefillChunkedCtxCancelled: a cancelled context aborts the prefill
+// before the first chunk, the session is left exactly where it was, and a
+// retry on the same session is bit-identical to a fresh full prefill —
+// the rollback contract under cancellation.
+func TestPrefillChunkedCtxCancelled(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	prompt := []int{3, 1, 4, 1, 5, 9, 2, 6, 5, 3}
+
+	sess := NewSession(m.View())
+	// Advance the session first so the rollback target is a non-zero
+	// position.
+	head, tail := prompt[:3], prompt[3:]
+	if _, err := sess.Prefill(head); err != nil {
+		t.Fatal(err)
+	}
+	pos := sess.Pos()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.PrefillChunkedCtx(ctx, tail, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled prefill returned %v, want context.Canceled", err)
+	}
+	if sess.Pos() != pos {
+		t.Fatalf("session advanced to %d under cancellation, want rollback to %d", sess.Pos(), pos)
+	}
+
+	// Deadline expiry surfaces as context.DeadlineExceeded.
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer cancel2()
+	if _, err := sess.PrefillChunkedCtx(expired, tail, 2); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired prefill returned %v, want context.DeadlineExceeded", err)
+	}
+
+	got, err := sess.PrefillChunkedCtx(context.Background(), tail, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewSession(m.View())
+	want, err := ref.Prefill(prompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range want.Row(0) {
+		if got.Row(0)[i] != v {
+			t.Fatalf("logit %d after cancelled-then-retried prefill = %g, want %g", i, got.Row(0)[i], v)
+		}
+	}
+}
+
+// TestPrefillChunkedCtxCancelMidPrompt cancels between chunks (the second
+// Err check fires) and asserts the partially appended chunks are rolled
+// back, so a poisoned half-advanced cache can never leak out of a
+// cancelled prefill.
+func TestPrefillChunkedCtxCancelMidPrompt(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	prompt := []int{7, 2, 9, 4, 8, 1, 6, 3}
+	sess := NewSession(m.View())
+	// remaining=2: chunks 0 and 1 (4 tokens) run, the check before chunk 2
+	// cancels.
+	if _, err := sess.PrefillChunkedCtx(&stepCancelCtx{remaining: 2}, prompt, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-prompt cancel returned %v, want context.Canceled", err)
+	}
+	if sess.Pos() != 0 {
+		t.Fatalf("session at pos %d after mid-prompt cancel, want full rollback to 0", sess.Pos())
+	}
+	got, err := sess.Prefill(prompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewSession(m.View()).Prefill(prompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range want.Row(0) {
+		if got.Row(0)[i] != v {
+			t.Fatalf("logit %d after rollback+retry = %g, want %g", i, got.Row(0)[i], v)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 package infer
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 
@@ -191,6 +192,17 @@ func (s *Session) Prefill(prompt []int) (*tensor.Mat, error) {
 // bound how much work one call does (the serving scheduler's admission
 // knob). The rollback-on-error contract matches Prefill.
 func (s *Session) PrefillChunked(prompt []int, chunk int) (*tensor.Mat, error) {
+	return s.PrefillChunkedCtx(nil, prompt, chunk)
+}
+
+// PrefillChunkedCtx is PrefillChunked with a step-level cancellation
+// check: ctx is consulted before each chunk's block forward, so a client
+// disconnect or deadline mid-prefill aborts after at most one chunk of
+// work instead of running the whole prompt. On cancellation the session
+// is rolled back to its pre-call state — the same rollback contract as
+// any other prefill error — and ctx.Err() is returned. A nil ctx never
+// cancels.
+func (s *Session) PrefillChunkedCtx(ctx context.Context, prompt []int, chunk int) (*tensor.Mat, error) {
 	if len(prompt) == 0 {
 		return nil, ErrEmptyPrompt
 	}
@@ -200,6 +212,12 @@ func (s *Session) PrefillChunked(prompt []int, chunk int) (*tensor.Mat, error) {
 	pos0 := s.pos
 	var logits *tensor.Mat
 	for lo := 0; lo < len(prompt); lo += chunk {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				s.rewind(pos0)
+				return nil, err
+			}
+		}
 		hi := lo + chunk
 		if hi > len(prompt) {
 			hi = len(prompt)

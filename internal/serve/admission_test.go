@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -50,6 +51,59 @@ func TestAdmissionChunkBoundsPerTickWork(t *testing.T) {
 	}
 	if sl.reason != FinishLength || len(sl.tokens) != 2 {
 		t.Fatalf("post-admission decode finished (%s, %d tokens)", sl.reason, len(sl.tokens))
+	}
+}
+
+// TestSlotCancelStopsTicks is the deterministic core of the cancellation
+// contract: a slot whose request context is cancelled finishes with
+// FinishCancelled on the very next advance call and performs no further
+// decode work — token count frozen at the moment of cancellation, session
+// position untouched afterwards.
+func TestSlotCancelStopsTicks(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sl := newSlot(infer.NewSession(m.View()), m.Cfg.MaxSeq, 4, nil)
+	sl.start(Request{ID: "c", Prompt: []int{3, 1}, MaxTokens: 20, Seed: 2, Ctx: ctx}, nil, time.Now())
+	for len(sl.tokens) < 3 {
+		sl.advance(-1)
+		if sl.done {
+			t.Fatalf("finished (%s) before cancellation with %d tokens", sl.reason, len(sl.tokens))
+		}
+	}
+	cancel()
+	pos := sl.sess.Pos()
+	sl.advance(-1)
+	if !sl.done || sl.reason != FinishCancelled || sl.err != nil {
+		t.Fatalf("post-cancel advance: done=%v reason=%s err=%v", sl.done, sl.reason, sl.err)
+	}
+	if len(sl.tokens) != 3 {
+		t.Fatalf("cancelled slot holds %d tokens, want the 3 generated before cancellation", len(sl.tokens))
+	}
+	if sl.sess.Pos() != pos {
+		t.Fatalf("cancelled advance moved the session %d -> %d: it must consume no decode tick", pos, sl.sess.Pos())
+	}
+	// Further advances are no-ops on a finished slot.
+	sl.advance(-1)
+	if len(sl.tokens) != 3 || sl.sess.Pos() != pos {
+		t.Fatalf("finished slot kept decoding: %d tokens, pos %d", len(sl.tokens), sl.sess.Pos())
+	}
+}
+
+// TestSlotDeadlineReason: an expired deadline maps to FinishDeadline, a
+// plain cancellation to FinishCancelled, both before any prefill work.
+func TestSlotDeadlineReason(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	sl := newSlot(infer.NewSession(m.View()), m.Cfg.MaxSeq, 4, nil)
+	sl.start(Request{ID: "d", Prompt: []int{1}, MaxTokens: 4, Ctx: expired}, nil, time.Now())
+	sl.advance(-1)
+	if !sl.done || sl.reason != FinishDeadline {
+		t.Fatalf("expired-deadline slot: done=%v reason=%s, want %s", sl.done, sl.reason, FinishDeadline)
+	}
+	if sl.sess.Pos() != 0 {
+		t.Fatalf("expired request prefilled %d tokens, want 0", sl.sess.Pos())
 	}
 }
 

@@ -1,0 +1,133 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestQueueFullRejectsAndPriorityAdmission is the overload-admission
+// contract: with MaxQueue bounding the queue, an overflowing Submit is
+// rejected with ErrQueueFull (the HTTP layer's 429), and when a slot
+// frees, the highest-priority queued request is admitted first — without
+// changing either request's output.
+func TestQueueFullRejectsAndPriorityAdmission(t *testing.T) {
+	m := bigModel()
+	opts := serve.DefaultOptions()
+	opts.Slots = 1
+	opts.MaxQueue = 2
+	s := serve.New(m, opts)
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tHold, err := s.Submit(serve.Request{ID: "hold", Prompt: []int{1}, MaxTokens: 2000, Seed: 1, Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First token: the holder occupies the slot and the queue is empty.
+	if _, ok := <-tHold.Tokens(); !ok {
+		t.Fatal("holder emitted no token")
+	}
+
+	low := serve.Request{ID: "low", Prompt: []int{2, 3}, MaxTokens: 300, Seed: 2, Priority: 0}
+	high := serve.Request{ID: "high", Prompt: []int{4, 5}, MaxTokens: 300, Seed: 3, Priority: 5}
+	tLow, err := s.Submit(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tHigh, err := s.Submit(high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(serve.Request{ID: "overflow", Prompt: []int{6}, MaxTokens: 4, Seed: 4}); !errors.Is(err, serve.ErrQueueFull) {
+		t.Fatalf("overflowing Submit = %v, want ErrQueueFull", err)
+	}
+	if st := s.Stats(); st.Rejected != 1 || st.MaxQueue != 2 {
+		t.Fatalf("stats rejected=%d maxqueue=%d, want 1 and 2", st.Rejected, st.MaxQueue)
+	}
+
+	cancel() // free the slot; admission must pick "high" over the older "low"
+	if res := tHold.Wait(); res.FinishReason != serve.FinishCancelled {
+		t.Fatalf("holder finished with %s, want cancelled", res.FinishReason)
+	}
+	// Deterministic admission-order check: with one slot, "low" only starts
+	// decoding after the slot frees again, so by the time its first token
+	// streams, "high" must already have finished — its token stream closed.
+	// (The loop goroutine closes high's stream before emitting low's first
+	// token, so the close is visible here; no wall-clock involved.)
+	if _, ok := <-tLow.Tokens(); !ok {
+		t.Fatal("low-priority stream closed before its first token")
+	}
+	for highClosed := false; !highClosed; {
+		select {
+		case _, open := <-tHigh.Tokens():
+			highClosed = !open
+		default:
+			t.Fatal("low-priority request started while the high-priority one was still decoding")
+		}
+	}
+	resHigh := tHigh.Wait()
+	resLow := tLow.Wait()
+	if resHigh.FinishReason != serve.FinishLength || resLow.FinishReason != serve.FinishLength {
+		t.Fatalf("finishes: high=%s low=%s, want length for both", resHigh.FinishReason, resLow.FinishReason)
+	}
+	// Priority reorders admission only; outputs stay bit-identical.
+	assertResultsEqual(t, "high", resHigh, serve.Sequential(m, high, serve.DefaultOptions()))
+	assertResultsEqual(t, "low", resLow, serve.Sequential(m, low, serve.DefaultOptions()))
+}
+
+// TestSchedulerDrain: Drain blocks until every queued and in-flight
+// request has resolved, rejects later Submits with ErrDraining, is
+// idempotent, and leaves Close working as before.
+func TestSchedulerDrain(t *testing.T) {
+	m := testModel()
+	opts := serve.DefaultOptions()
+	opts.Slots = 2
+	s := serve.New(m, opts)
+	reqs := mixedRequests(m.Cfg.Vocab, 6)
+	tickets := make([]*serve.Ticket, len(reqs))
+	for i, r := range reqs {
+		ticket, err := s.Submit(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets[i] = ticket
+	}
+	s.Drain()
+	for i, ticket := range tickets {
+		select {
+		case res := <-ticket.Done():
+			if res.FinishReason == "" {
+				t.Fatalf("ticket %d resolved without a finish reason", i)
+			}
+		default:
+			t.Fatalf("ticket %d unresolved after Drain returned", i)
+		}
+	}
+	if _, err := s.Submit(reqs[0]); !errors.Is(err, serve.ErrDraining) {
+		t.Fatalf("Submit after Drain = %v, want ErrDraining", err)
+	}
+	st := s.Stats()
+	if !st.Draining || st.Active != 0 || st.Queued != 0 {
+		t.Fatalf("post-drain stats: draining=%v active=%d queued=%d", st.Draining, st.Active, st.Queued)
+	}
+	if st.Completed != int64(len(reqs)) {
+		t.Fatalf("drained scheduler completed %d of %d", st.Completed, len(reqs))
+	}
+	s.Drain() // idempotent, returns immediately on an idle scheduler
+	s.Close()
+	if _, err := s.Submit(reqs[0]); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestDrainIdleReturnsImmediately: draining a scheduler with no work is a
+// no-op that must not deadlock against the idle decode loop.
+func TestDrainIdleReturnsImmediately(t *testing.T) {
+	s := serve.New(testModel(), serve.DefaultOptions())
+	defer s.Close()
+	s.Drain()
+}

@@ -17,6 +17,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sort"
@@ -30,6 +31,16 @@ import (
 
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("serve: scheduler closed")
+
+// ErrDraining is returned by Submit after Drain: the scheduler is
+// completing queued and in-flight work ahead of a shutdown and admits
+// nothing new.
+var ErrDraining = errors.New("serve: scheduler draining")
+
+// ErrQueueFull is returned by Submit when Options.MaxQueue bounds the
+// admission queue and it is at capacity — the overload signal the HTTP
+// front-end maps to 429 instead of queueing without bound.
+var ErrQueueFull = errors.New("serve: admission queue full")
 
 // FinishReason tells why a request stopped decoding.
 type FinishReason string
@@ -49,7 +60,32 @@ const (
 	FinishContext FinishReason = "context"
 	// FinishError: decoding failed; Result.Err holds the cause.
 	FinishError FinishReason = "error"
+	// FinishCancelled: the request's context was cancelled (typically a
+	// client disconnect). Generation stops at the next tick — a queued
+	// request resolves without ever occupying a slot — and the slot is
+	// recycled; Tokens holds whatever was generated before cancellation.
+	FinishCancelled FinishReason = "cancelled"
+	// FinishDeadline: the request's context deadline expired mid-flight.
+	// Like FinishCancelled, the slot is freed on the next tick and the
+	// tokens generated so far are delivered.
+	FinishDeadline FinishReason = "deadline_exceeded"
 )
+
+// ctxFinishReason maps a request context's state to the finish reason it
+// implies; "" when the context is nil or still live.
+func ctxFinishReason(ctx context.Context) FinishReason {
+	if ctx == nil {
+		return ""
+	}
+	switch ctx.Err() {
+	case nil:
+		return ""
+	case context.DeadlineExceeded:
+		return FinishDeadline
+	default:
+		return FinishCancelled
+	}
+}
 
 // Request is one generation job.
 type Request struct {
@@ -68,6 +104,18 @@ type Request struct {
 	Seed int64
 	// Stop lists tokens that end generation without being emitted.
 	Stop []int
+	// Ctx, when non-nil, bounds the request's lifetime: the moment it is
+	// cancelled or its deadline expires, the request finishes with
+	// FinishCancelled / FinishDeadline at the next scheduler tick and its
+	// slot is recycled — an abandoned request stops consuming decode ticks
+	// instead of running to its token budget. A nil Ctx never cancels. A
+	// request that runs to completion is unaffected: cancellation can only
+	// truncate output, never change the tokens that were generated.
+	Ctx context.Context
+	// Priority orders admission under contention: a freed slot admits the
+	// highest-priority queued request first (FIFO within a priority
+	// class). It affects only when a request runs, never its output.
+	Priority int
 }
 
 // Result is the outcome of one Request.
@@ -81,9 +129,10 @@ type Result struct {
 }
 
 // Ticket is the handle returned by Submit; the Result is delivered exactly
-// once.
+// once, and generated tokens stream on Tokens as they are decoded.
 type Ticket struct {
-	ch chan Result
+	ch     chan Result
+	tokens chan int
 }
 
 // Done returns a channel that receives the request's Result.
@@ -91,6 +140,23 @@ func (t *Ticket) Done() <-chan Result { return t.ch }
 
 // Wait blocks until the Result is available.
 func (t *Ticket) Wait() Result { return <-t.ch }
+
+// Tokens returns the per-token stream: each generated token is sent the
+// tick it is decoded, and the channel is closed when the request finishes
+// (the Result is then available on Done). The channel is buffered to the
+// request's full token budget, so the scheduler never blocks on a slow or
+// absent consumer — reading it is optional, and the stream's contents
+// always equal Result.Tokens exactly.
+func (t *Ticket) Tokens() <-chan int { return t.tokens }
+
+// deliver closes the token stream and resolves the ticket. Called exactly
+// once per ticket, from the scheduler loop.
+func (t *Ticket) deliver(res Result) {
+	if t.tokens != nil {
+		close(t.tokens)
+	}
+	t.ch <- res
+}
 
 // Options configures a Scheduler. The zero value is NOT useful for EOS:
 // use DefaultOptions (EOS -1 = disabled) and override fields.
@@ -120,6 +186,12 @@ type Options struct {
 	// bit-identical to Sequential with or without the cache. 0 disables
 	// caching.
 	PrefixCacheBytes int64
+	// MaxQueue bounds the admission queue depth: Submit returns
+	// ErrQueueFull once MaxQueue requests are waiting, so overload sheds
+	// load with an explicit signal (429 at the HTTP layer) instead of
+	// queueing without bound and blowing every request's latency. <= 0
+	// leaves the queue unbounded.
+	MaxQueue int
 }
 
 // DefaultOptions returns the baseline scheduler configuration: 4 slots, no
@@ -148,6 +220,20 @@ type Stats struct {
 	// token prefilled — over the most recent ttftWindow requests.
 	TTFTSamples      int64
 	TTFTp50, TTFTp99 time.Duration
+	// ITLSamples counts recorded inter-token gaps; ITLp50/ITLp99 are
+	// percentiles of the latency between consecutively emitted tokens of
+	// a request (the streaming cadence a client observes), over the most
+	// recent itlWindow samples.
+	ITLSamples     int64
+	ITLp50, ITLp99 time.Duration
+	// Cancelled / DeadlineExceeded count requests finished by context
+	// cancellation or deadline expiry; Rejected counts Submit calls
+	// refused with ErrQueueFull under the MaxQueue bound.
+	Cancelled, DeadlineExceeded, Rejected int64
+	// MaxQueue echoes Options.MaxQueue; Draining reports a scheduler
+	// between Drain and Close.
+	MaxQueue int
+	Draining bool
 	// Prefix-cache counters (all zero when Options.PrefixCacheBytes is 0).
 	// PrefixCacheHits / PrefixCacheMisses count admissions whose prompt
 	// did / did not start with at least one cached chunk;
@@ -175,6 +261,11 @@ func (st Stats) PrefixCacheHitRate() float64 {
 // ttftWindow is the number of recent time-to-first-token samples the
 // percentile stats are computed over.
 const ttftWindow = 512
+
+// itlWindow is the number of recent inter-token latency samples the
+// percentile stats are computed over. Wider than ttftWindow because every
+// generated token contributes a sample, not every request.
+const itlWindow = 2048
 
 // pending is a queued request with its delivery ticket.
 type pending struct {
@@ -207,6 +298,9 @@ type slot struct {
 	submitted   time.Time
 	ttft        time.Duration
 	ttftPending bool // a fresh TTFT sample awaits collection
+	lastEmit    time.Time
+	itl         time.Duration
+	itlPending  bool // a fresh inter-token latency sample awaits collection
 }
 
 // newSlot wraps a session as an idle slot.
@@ -250,6 +344,27 @@ func (sl *slot) start(req Request, ticket *Ticket, submitted time.Time) {
 	sl.submitted = submitted
 	sl.ttft = 0
 	sl.ttftPending = false
+	sl.lastEmit = time.Time{}
+	sl.itl = 0
+	sl.itlPending = false
+}
+
+// emit appends one generated token, streams it to the ticket (nil for
+// Sequential; the channel is buffered to the full token budget, so the
+// send never blocks), and stages an inter-token latency sample — the gap
+// since the previous emission (or since prefill completion for the first
+// token).
+func (sl *slot) emit(tok int) {
+	sl.tokens = append(sl.tokens, tok)
+	if sl.ticket != nil && sl.ticket.tokens != nil {
+		sl.ticket.tokens <- tok
+	}
+	now := time.Now()
+	if !sl.lastEmit.IsZero() {
+		sl.itl = now.Sub(sl.lastEmit)
+		sl.itlPending = true
+	}
+	sl.lastEmit = now
 }
 
 // finish marks the slot's request complete.
@@ -276,6 +391,13 @@ func (sl *slot) result() Result {
 // construction.
 func (sl *slot) advance(eos int) {
 	if sl.done {
+		return
+	}
+	// Cancellation check, once per tick: a dead context frees the slot at
+	// the next tick boundary, whether the request is mid-prefill or
+	// mid-decode. Tokens generated so far are delivered with the result.
+	if r := ctxFinishReason(sl.req.Ctx); r != "" {
+		sl.finish(r, nil)
 		return
 	}
 	if !sl.prefilled {
@@ -307,6 +429,7 @@ func (sl *slot) advance(eos int) {
 		sl.prefilled = true
 		sl.ttft = time.Since(sl.submitted)
 		sl.ttftPending = true
+		sl.lastEmit = time.Now() // first token's inter-token gap starts here
 		sl.logits = logits.Row(0)
 		if sl.req.MaxTokens <= 0 {
 			sl.finish(FinishLength, nil)
@@ -324,7 +447,7 @@ func (sl *slot) advance(eos int) {
 			return
 		}
 	}
-	sl.tokens = append(sl.tokens, tok)
+	sl.emit(tok)
 	if len(sl.tokens) >= sl.req.MaxTokens {
 		sl.finish(FinishLength, nil)
 		return
@@ -344,19 +467,25 @@ func (sl *slot) advance(eos int) {
 // Scheduler is the continuous-batching engine. Construct with New; Submit
 // is safe for concurrent use; Close drains and joins the decode loop.
 type Scheduler struct {
-	eos    int
-	slots  []*slot
-	prefix *prefixCache // nil when Options.PrefixCacheBytes is 0
+	eos      int
+	maxSeq   int
+	maxQueue int
+	slots    []*slot
+	prefix   *prefixCache // nil when Options.PrefixCacheBytes is 0
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []pending
-	closed bool
-	stats  Stats
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []pending
+	closed   bool
+	draining bool
+	stats    Stats
 	// ttft is a ring of the most recent time-to-first-token samples
-	// (capacity ttftWindow); ttftNext is the ring write cursor.
+	// (capacity ttftWindow); ttftNext is the ring write cursor. itl is the
+	// analogous ring of inter-token latency samples.
 	ttft     []time.Duration
 	ttftNext int
+	itl      []time.Duration
+	itlNext  int
 
 	loopDone chan struct{}
 }
@@ -371,7 +500,7 @@ func New(m *model.Model, opts Options) *Scheduler {
 	if opts.PrefillChunk <= 0 {
 		opts.PrefillChunk = infer.DefaultPrefillChunk
 	}
-	s := &Scheduler{eos: opts.EOS, loopDone: make(chan struct{})}
+	s := &Scheduler{eos: opts.EOS, maxSeq: m.Cfg.MaxSeq, maxQueue: opts.MaxQueue, loopDone: make(chan struct{})}
 	s.cond = sync.NewCond(&s.mu)
 	if opts.PrefixCacheBytes > 0 {
 		s.prefix = newPrefixCache(opts.PrefillChunk, opts.PrefixCacheBytes)
@@ -387,18 +516,44 @@ func New(m *model.Model, opts Options) *Scheduler {
 	}
 	s.stats.Slots = opts.Slots
 	s.stats.PrefillChunk = opts.PrefillChunk
+	s.stats.MaxQueue = opts.MaxQueue
 	go s.loop()
 	return s
 }
 
+// tokenStreamCap bounds the buffer of a ticket's token channel: large
+// enough that the scheduler can never block on it (a request emits at most
+// min(MaxTokens, MaxSeq) tokens), small enough that an absurd MaxTokens
+// doesn't allocate an absurd buffer.
+func (s *Scheduler) tokenStreamCap(maxTokens int) int {
+	n := maxTokens
+	if n > s.maxSeq {
+		n = s.maxSeq
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // Submit enqueues a request and returns its ticket. It never blocks on
-// decoding; admission happens the moment a slot frees up.
+// decoding; admission happens the moment a slot frees up, highest
+// Priority first. With Options.MaxQueue set, a full queue rejects with
+// ErrQueueFull instead of growing without bound; after Drain / Close,
+// Submit reports ErrDraining / ErrClosed.
 func (s *Scheduler) Submit(req Request) (*Ticket, error) {
-	t := &Ticket{ch: make(chan Result, 1)}
+	t := &Ticket{ch: make(chan Result, 1), tokens: make(chan int, s.tokenStreamCap(req.MaxTokens))}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, ErrClosed
+	}
+	if s.draining {
+		return nil, ErrDraining
+	}
+	if s.maxQueue > 0 && len(s.queue) >= s.maxQueue {
+		s.stats.Rejected++
+		return nil, ErrQueueFull
 	}
 	s.queue = append(s.queue, pending{req: req, ticket: t, submitted: time.Now()})
 	s.stats.Submitted++
@@ -437,6 +592,13 @@ func (s *Scheduler) Stats() Stats {
 		st.TTFTp50 = percentile(sorted, 50)
 		st.TTFTp99 = percentile(sorted, 99)
 	}
+	if len(s.itl) > 0 {
+		sorted := append([]time.Duration(nil), s.itl...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		st.ITLp50 = percentile(sorted, 50)
+		st.ITLp99 = percentile(sorted, 99)
+	}
+	st.Draining = s.draining
 	if s.prefix != nil {
 		pc := s.prefix.snapshot()
 		st.PrefixCacheHits = pc.Hits
@@ -473,6 +635,44 @@ func (s *Scheduler) recordTTFT(d time.Duration) {
 	s.ttftNext = (s.ttftNext + 1) % ttftWindow
 }
 
+// recordITL appends one inter-token latency sample to the ring. Caller
+// holds mu.
+func (s *Scheduler) recordITL(d time.Duration) {
+	s.stats.ITLSamples++
+	if len(s.itl) < itlWindow {
+		s.itl = append(s.itl, d)
+		return
+	}
+	s.itl[s.itlNext] = d
+	s.itlNext = (s.itlNext + 1) % itlWindow
+}
+
+// countFinish bumps the cancellation counters for context-terminated
+// requests. Caller holds mu.
+func (s *Scheduler) countFinish(r FinishReason) {
+	switch r {
+	case FinishCancelled:
+		s.stats.Cancelled++
+	case FinishDeadline:
+		s.stats.DeadlineExceeded++
+	}
+}
+
+// Drain stops admission and blocks until every queued and in-flight
+// request has finished — the graceful-redeploy half of shutdown: a load
+// balancer stops routing here (Submit reports ErrDraining, the HTTP layer
+// turns /healthz unhealthy) while accepted work runs to completion. The
+// decode loop and Stats stay alive until Close. Idempotent and safe for
+// concurrent use.
+func (s *Scheduler) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	for s.stats.Active > 0 || len(s.queue) > 0 {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
 // Close stops admission, drains every queued and in-flight request (their
 // tickets still resolve), and joins the decode loop. Idempotent.
 func (s *Scheduler) Close() {
@@ -498,17 +698,49 @@ func (s *Scheduler) loop() {
 		for !s.closed && len(s.queue) == 0 && nActive == 0 {
 			s.cond.Wait()
 		}
+		// Resolve queued requests whose context died before admission: they
+		// finish with FinishCancelled / FinishDeadline without ever
+		// occupying a slot or consuming a decode tick.
+		if len(s.queue) > 0 {
+			kept := s.queue[:0]
+			for _, p := range s.queue {
+				if r := ctxFinishReason(p.req.Ctx); r != "" {
+					p.ticket.deliver(Result{ID: p.req.ID, FinishReason: r})
+					s.countFinish(r)
+					s.stats.Completed++
+					continue
+				}
+				kept = append(kept, p)
+			}
+			for i := len(kept); i < len(s.queue); i++ {
+				s.queue[i] = pending{} // drop ticket references past the kept run
+			}
+			s.queue = kept
+		}
 		for _, sl := range s.slots {
 			if sl.active || len(s.queue) == 0 {
 				continue
 			}
-			p := s.queue[0]
-			s.queue = s.queue[1:]
+			// Admit the highest-priority queued request; the queue is in
+			// arrival order, so the first maximum is the oldest of its class.
+			best := 0
+			for i := 1; i < len(s.queue); i++ {
+				if s.queue[i].req.Priority > s.queue[best].req.Priority {
+					best = i
+				}
+			}
+			p := s.queue[best]
+			copy(s.queue[best:], s.queue[best+1:])
+			s.queue[len(s.queue)-1] = pending{}
+			s.queue = s.queue[:len(s.queue)-1]
 			sl.start(p.req, p.ticket, p.submitted)
 			nActive++
 		}
 		s.stats.Queued = len(s.queue)
 		s.stats.Active = nActive
+		if nActive == 0 && len(s.queue) == 0 {
+			s.cond.Broadcast() // wake Drain waiters: the scheduler is idle
+		}
 		drained := s.closed && len(s.queue) == 0
 		s.mu.Unlock()
 
@@ -540,10 +772,15 @@ func (s *Scheduler) loop() {
 				s.recordTTFT(sl.ttft)
 				sl.ttftPending = false
 			}
+			if sl.itlPending {
+				s.recordITL(sl.itl)
+				sl.itlPending = false
+			}
 			if !sl.done {
 				continue
 			}
-			sl.ticket.ch <- sl.result()
+			sl.ticket.deliver(sl.result())
+			s.countFinish(sl.reason)
 			s.stats.Completed++
 			s.stats.PromptTokens += int64(len(sl.req.Prompt))
 			s.stats.GeneratedTokens += int64(len(sl.tokens))
@@ -553,6 +790,9 @@ func (s *Scheduler) loop() {
 		}
 		s.stats.Active = nActive
 		s.stats.KVCacheBytes = kvBytes
+		if nActive == 0 && len(s.queue) == 0 {
+			s.cond.Broadcast() // wake Drain waiters: the scheduler is idle
+		}
 		s.mu.Unlock()
 	}
 }

@@ -1,0 +1,174 @@
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+// bigModel is a Tiny-architecture model with a long context, so a request
+// can be given a token budget of hundreds of ticks — long enough that a
+// test can cancel it mid-decode without racing its natural completion.
+func bigModel() *model.Model {
+	cfg := model.Tiny()
+	cfg.MaxSeq = 2048
+	return model.New(cfg, 1)
+}
+
+// TestTicketStreamMatchesResult: for every request, the tokens received on
+// Ticket.Tokens() are exactly Result.Tokens in order, the stream closes at
+// completion, and streaming changes nothing about the output (still
+// bit-identical to Sequential).
+func TestTicketStreamMatchesResult(t *testing.T) {
+	m := testModel()
+	opts := serve.DefaultOptions()
+	opts.Slots = 3
+	s := serve.New(m, opts)
+	defer s.Close()
+	reqs := mixedRequests(m.Cfg.Vocab, 9)
+	type outcome struct {
+		streamed []int
+		res      serve.Result
+	}
+	outs := make([]outcome, len(reqs))
+	tickets := make([]*serve.Ticket, len(reqs))
+	for i, r := range reqs {
+		ticket, err := s.Submit(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets[i] = ticket
+	}
+	for i, ticket := range tickets {
+		for tok := range ticket.Tokens() {
+			outs[i].streamed = append(outs[i].streamed, tok)
+		}
+		outs[i].res = ticket.Wait()
+	}
+	for i, o := range outs {
+		if len(o.streamed) != len(o.res.Tokens) {
+			t.Fatalf("req %d: streamed %d tokens, result has %d", i, len(o.streamed), len(o.res.Tokens))
+		}
+		for j, tok := range o.res.Tokens {
+			if o.streamed[j] != tok {
+				t.Fatalf("req %d: streamed token %d = %d, result has %d", i, j, o.streamed[j], tok)
+			}
+		}
+		assertResultsEqual(t, fmt.Sprintf("req %d vs sequential", i), o.res, serve.Sequential(m, reqs[i], serve.DefaultOptions()))
+	}
+}
+
+// TestSchedulerCancelMidDecode is the client-disconnect scenario under
+// co-scheduled traffic: cancelling a long request's context mid-decode
+// finishes it with FinishCancelled well short of its budget (it stops
+// consuming decode ticks), frees the slot for a follow-up request, and
+// leaves the co-scheduled request's output bit-identical to Sequential.
+// Run under -race this also exercises cancel-vs-tick synchronization.
+func TestSchedulerCancelMidDecode(t *testing.T) {
+	m := bigModel()
+	opts := serve.DefaultOptions()
+	opts.Slots = 2
+	s := serve.New(m, opts)
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	long := serve.Request{ID: "victim", Prompt: []int{1, 2}, MaxTokens: 2000, Seed: 3, Ctx: ctx}
+	co := serve.Request{ID: "co", Prompt: []int{4, 5, 6}, MaxTokens: 12, Temperature: 0.8, Seed: 7}
+
+	tLong, err := s.Submit(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tCo, err := s.Submit(co)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First streamed token guarantees the victim is decoding, not queued.
+	if _, ok := <-tLong.Tokens(); !ok {
+		t.Fatal("victim stream closed before first token")
+	}
+	cancel()
+	res := tLong.Wait()
+	if res.FinishReason != serve.FinishCancelled {
+		t.Fatalf("cancelled request finished with %s (%d tokens), want %s", res.FinishReason, len(res.Tokens), serve.FinishCancelled)
+	}
+	if len(res.Tokens) >= long.MaxTokens {
+		t.Fatalf("cancelled request decoded its full %d-token budget", long.MaxTokens)
+	}
+	// Its generated prefix is still the Sequential prefix — cancellation
+	// truncates, never perturbs.
+	want := serve.Sequential(m, serve.Request{ID: "victim", Prompt: []int{1, 2}, MaxTokens: len(res.Tokens), Seed: 3}, serve.DefaultOptions())
+	assertResultsEqual(t, "cancelled prefix", serve.Result{ID: "victim", Tokens: res.Tokens, FinishReason: serve.FinishLength}, want)
+
+	assertResultsEqual(t, "co-scheduled", tCo.Wait(), serve.Sequential(m, co, serve.DefaultOptions()))
+
+	// The freed slot admits and completes a fresh request (slot recycle).
+	after := serve.Request{ID: "after", Prompt: []int{9, 8}, MaxTokens: 6, Seed: 11}
+	tAfter, err := s.Submit(after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, "post-cancel admission", tAfter.Wait(), serve.Sequential(m, after, serve.DefaultOptions()))
+
+	st := s.Stats()
+	if st.Cancelled != 1 {
+		t.Fatalf("stats.Cancelled = %d, want 1", st.Cancelled)
+	}
+	if st.ITLSamples < 1 {
+		t.Fatalf("stats.ITLSamples = %d, want >= 1", st.ITLSamples)
+	}
+}
+
+// TestSchedulerQueuedCancelResolvesWithoutSlot: a queued request whose
+// context dies is resolved from the queue — FinishCancelled, zero tokens —
+// without ever occupying a slot, while the running request is undisturbed.
+func TestSchedulerQueuedCancelResolvesWithoutSlot(t *testing.T) {
+	m := bigModel()
+	opts := serve.DefaultOptions()
+	opts.Slots = 1
+	s := serve.New(m, opts)
+	defer s.Close()
+
+	runCtx, cancelRun := context.WithCancel(context.Background())
+	defer cancelRun()
+	tRun, err := s.Submit(serve.Request{ID: "run", Prompt: []int{1}, MaxTokens: 2000, Seed: 1, Ctx: runCtx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-tRun.Tokens(); !ok {
+		t.Fatal("running request emitted no token")
+	}
+
+	dead, cancelDead := context.WithCancel(context.Background())
+	cancelDead()
+	tDead, err := s.Submit(serve.Request{ID: "dead", Prompt: []int{2, 3}, MaxTokens: 8, Seed: 2, Ctx: dead})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tDead.Wait() // resolves while the slot is still busy
+	if res.FinishReason != serve.FinishCancelled || len(res.Tokens) != 0 {
+		t.Fatalf("queued-cancelled request: reason=%s tokens=%d", res.FinishReason, len(res.Tokens))
+	}
+
+	expired, cancelExp := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer cancelExp()
+	tExp, err := s.Submit(serve.Request{ID: "late", Prompt: []int{4}, MaxTokens: 8, Seed: 3, Ctx: expired})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := tExp.Wait(); res.FinishReason != serve.FinishDeadline {
+		t.Fatalf("expired queued request finished with %s, want %s", res.FinishReason, serve.FinishDeadline)
+	}
+
+	cancelRun()
+	tRun.Wait()
+	st := s.Stats()
+	if st.Cancelled != 2 || st.DeadlineExceeded != 1 {
+		t.Fatalf("stats cancelled=%d deadline=%d, want 2 and 1", st.Cancelled, st.DeadlineExceeded)
+	}
+}

@@ -1,0 +1,60 @@
+#!/bin/sh
+# CI latency smoke: build aptq-serve and aptq-loadgen, boot the server on
+# the built-in demo model, and drive it open-loop for a few seconds of
+# mixed streaming traffic (skewed prompt/output lengths, shared prefixes,
+# priority classes). The loadgen gates itself: any failed request, or a
+# p99 TTFT past the (deliberately absurd) bound, exits non-zero and fails
+# the job. The latency percentiles land in a benchjson-schema snapshot
+# (default LATENCY_CI.json, override with $LATENCY_JSON) that CI uploads
+# as an artifact, so the serving latency trajectory is diffable with
+# `benchjson -compare old.json new.json -ms-threshold ...` exactly like
+# the throughput snapshots. Used by `make latency-smoke` and CI.
+set -eu
+
+ADDR="${APTQ_SERVE_ADDR:-127.0.0.1:8798}"
+OUT="${LATENCY_JSON:-LATENCY_CI.json}"
+RATE="${LOADGEN_RATE:-40}"
+DURATION="${LOADGEN_DURATION:-3s}"
+BINDIR="$(mktemp -d)"
+LOG="$(mktemp)"
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    [ -n "$PID" ] && wait "$PID" 2>/dev/null || true
+    rm -rf "$BINDIR" "$LOG"
+}
+trap cleanup EXIT
+
+go build -o "$BINDIR/aptq-serve" ./cmd/aptq-serve
+go build -o "$BINDIR/aptq-loadgen" ./cmd/aptq-loadgen
+
+"$BINDIR/aptq-serve" -addr "$ADDR" -slots 4 -max-queue 4096 >"$LOG" 2>&1 &
+PID=$!
+
+ok=0
+for _ in $(seq 1 50); do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then
+        ok=1
+        break
+    fi
+    sleep 0.2
+done
+if [ "$ok" != 1 ]; then
+    echo "latency-smoke: server did not come up; log:" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+
+# Gates: zero tolerance for errors, and a p99 TTFT bound loose enough for
+# any CI machine — it exists to catch hangs and step-function regressions,
+# not percent-level drift.
+"$BINDIR/aptq-loadgen" \
+    -url "http://$ADDR" \
+    -rate "$RATE" -duration "$DURATION" -seed 1 \
+    -prefix-pop 4 -prefix-len 6 -prefix-frac 0.5 \
+    -priorities 3 \
+    -max-error-rate 0 -max-p99-ttft-ms 5000 \
+    -out "$OUT"
+
+echo "latency-smoke: OK"
+cat "$OUT"

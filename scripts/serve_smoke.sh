@@ -2,7 +2,10 @@
 # End-to-end smoke test for aptq-serve: build the server, start it on the
 # built-in demo model, wait for /healthz, issue the same generate request
 # twice, and assert the replies are byte-identical (the serving determinism
-# contract) and well-formed. Used by `make serve-smoke` and CI.
+# contract) and well-formed. Then issue the same request as an SSE stream
+# and assert the assembled stream — per-token events plus the final event —
+# is byte-identical to the non-streaming reply: streaming is a transport
+# change, never a semantic one. Used by `make serve-smoke` and CI.
 set -eu
 
 ADDR="${APTQ_SERVE_ADDR:-127.0.0.1:8797}"
@@ -54,13 +57,50 @@ case "$A" in
     ;;
 esac
 
+# Streaming form of the same request: collect every `data:` payload.
+EVENTS=$(curl -sfN -X POST -H 'Content-Type: application/json' -d "$BODY" \
+    "http://$ADDR/v1/generate?stream=1" | sed -n 's/^data: //p')
+if [ -z "$EVENTS" ]; then
+    echo "serve-smoke: empty SSE stream" >&2
+    exit 1
+fi
+
+# The final event carries the complete response body, byte-identical to
+# the non-streaming reply.
+FINAL=$(printf '%s\n' "$EVENTS" | tail -n 1)
+if [ "$FINAL" != "$A" ]; then
+    echo "serve-smoke: final stream event differs from the plain reply:" >&2
+    echo "  $FINAL" >&2
+    echo "  $A" >&2
+    exit 1
+fi
+
+# The per-token events (all but the last) assemble to exactly the reply's
+# tokens array.
+NEVENTS=$(printf '%s\n' "$EVENTS" | wc -l)
+STREAMED=$(printf '%s\n' "$EVENTS" | head -n "$((NEVENTS - 1))" \
+    | sed -n 's/.*"token":\([0-9]*\).*/\1/p' | tr '\n' ',')
+STREAMED="${STREAMED%,}"
+REPLY_TOKENS=$(printf '%s\n' "$A" | sed 's/.*"tokens":\[\([0-9,]*\)\].*/\1/')
+if [ "$STREAMED" != "$REPLY_TOKENS" ]; then
+    echo "serve-smoke: streamed tokens [$STREAMED] != reply tokens [$REPLY_TOKENS]" >&2
+    exit 1
+fi
+
 STATS=$(curl -sf "http://$ADDR/v1/stats")
 case "$STATS" in
-*'"completed":2'*) ;;
+*'"completed":3'*) ;;
 *)
     echo "serve-smoke: unexpected stats: $STATS" >&2
     exit 1
     ;;
 esac
+case "$STATS" in
+*'"itl_count":'*) ;;
+*)
+    echo "serve-smoke: stats missing inter-token latency surface: $STATS" >&2
+    exit 1
+    ;;
+esac
 
-echo "serve-smoke: OK ($A)"
+echo "serve-smoke: OK ($A; streamed $STREAMED)"
