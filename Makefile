@@ -3,7 +3,7 @@ GO ?= go
 # releases.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build test race bench bench-smoke bench-json bench-compare serve-smoke latency-smoke fmt fmt-check vet staticcheck ci
+.PHONY: all build test race bench bench-smoke bench-json bench-compare serve-smoke latency-smoke fmt fmt-check vet aptq-vet staticcheck ci
 
 # Output of `make bench-json` (benchmarks as data; CI uploads it) and the
 # committed baseline `make bench-compare` diffs it against.
@@ -89,6 +89,13 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
+# The repo's own analyzers (detlint, noalloc, foreachcapture — see
+# internal/analysis) run through the standard `go vet -vettool=` protocol,
+# so suppression, caching and exit codes behave exactly like vet.
+aptq-vet:
+	$(GO) build -o bin/aptq-vet ./cmd/aptq-vet
+	$(GO) vet -vettool=$(CURDIR)/bin/aptq-vet ./...
+
 # Runs the pinned staticcheck via `go run` (uses the local binary cache;
 # needs network on first use). CI runs the same version in its own job.
 staticcheck:
@@ -96,4 +103,4 @@ staticcheck:
 
 # Mirrors .github/workflows/ci.yml (staticcheck needs network on first
 # use to fetch the pinned binary; later runs hit the local cache).
-ci: fmt-check vet staticcheck build test race bench-smoke bench-compare serve-smoke latency-smoke
+ci: fmt-check vet aptq-vet staticcheck build test race bench-smoke bench-compare serve-smoke latency-smoke

@@ -1,0 +1,67 @@
+// Command aptq-vet runs the repository's custom static analyzers (detlint,
+// noalloc, foreachcapture — see internal/analysis) in two modes:
+//
+//	go vet -vettool=$(pwd)/bin/aptq-vet ./...
+//
+// speaks cmd/go's unit-checker protocol: one package per invocation,
+// configured by a JSON .cfg file, with cross-package facts carried in vetx
+// files and the whole run cached by the go build cache (the -V=full
+// handshake fingerprints the binary).
+//
+//	bin/aptq-vet ./...
+//
+// is the standalone whole-program mode: it loads, type-checks and analyzes
+// the matching packages in one process — no go vet orchestration — which is
+// handy for one-off runs and is what the analysistest fixtures use.
+//
+// Exit status: 0 clean, 2 when diagnostics were reported, 1 on errors.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+	// cmd/go handshakes: version fingerprint and flag discovery.
+	for _, a := range args {
+		if a == "-V=full" || a == "--V=full" {
+			analysis.PrintVersion("aptq-vet")
+			return
+		}
+		if a == "-flags" || a == "--flags" {
+			analysis.PrintFlags()
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		analysis.RunUnitchecker(args[0]) // terminates the process
+	}
+	standalone(args)
+}
+
+func standalone(patterns []string) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aptq-vet: %v\n", err)
+		os.Exit(1)
+	}
+	diags, err := analysis.RunStandalone(dir, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aptq-vet: %v\n", err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}

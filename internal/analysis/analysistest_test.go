@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseTestSource parses one in-memory file for the directive unit tests.
+func parseTestSource(t *testing.T, src string) ([]*ast.File, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing test source: %v", err)
+	}
+	return []*ast.File{f}, fset
+}
+
+// The fixture expectation syntax, analysistest-style: a `// want` comment
+// carries one or more items of the form
+//
+//	[±N] analyzer:`substring`
+//
+// Each item expects one diagnostic from that analyzer whose message
+// contains the substring, on the comment's own line shifted by the
+// optional ±N offset (for diagnostics that anchor to a directive on a
+// nearby line). Every diagnostic must match exactly one expectation and
+// every expectation exactly one diagnostic.
+var wantItemRe = regexp.MustCompile("(?:([+-][0-9]+)[ \t]+)?([a-z]+):`([^`]*)`")
+
+type expectation struct {
+	file     string
+	line     int
+	analyzer string
+	substr   string
+	matched  bool
+}
+
+// runFixtureTest loads the fixture packages, runs every registered
+// analyzer over them through the in-process driver, and reconciles the
+// diagnostics against the fixtures' want comments.
+func runFixtureTest(t *testing.T, patterns ...string) {
+	t.Helper()
+	pkgs, fset, err := Load(".", patterns)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	diags, err := RunPackages(All(), pkgs, fset)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					const marker = "// want "
+					if !strings.HasPrefix(c.Text, marker) {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					items := wantItemRe.FindAllStringSubmatch(c.Text[len(marker):], -1)
+					if len(items) == 0 {
+						t.Errorf("%s:%d: malformed want comment: %s", pos.Filename, pos.Line, c.Text)
+						continue
+					}
+					for _, m := range items {
+						offset := 0
+						if m[1] != "" {
+							offset, _ = strconv.Atoi(m[1])
+						}
+						wants = append(wants, &expectation{
+							file:     pos.Filename,
+							line:     pos.Line + offset,
+							analyzer: m[2],
+							substr:   m[3],
+						})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line &&
+				w.analyzer == d.Analyzer && strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing diagnostic: %s:%d: %s: %q", w.file, w.line, w.analyzer, w.substr)
+		}
+	}
+}
+
+func TestDetLintFixture(t *testing.T) {
+	runFixtureTest(t, "./testdata/src/detlintfix/infer")
+}
+
+func TestNoAllocFixture(t *testing.T) {
+	runFixtureTest(t,
+		"./testdata/src/noallocfix/dep",
+		"./testdata/src/noallocfix/root")
+}
+
+func TestForEachCaptureFixture(t *testing.T) {
+	runFixtureTest(t,
+		"./testdata/src/fecfix/internal/parallel",
+		"./testdata/src/fecfix/use")
+}
+
+func TestDirectiveParsing(t *testing.T) {
+	cases := []struct {
+		text               string
+		kind, analyzer, rs string
+	}{
+		{"//aptq:noalloc", directiveNoalloc, "", ""},
+		{"//aptq:wallclock", directiveWallclock, "", ""},
+		{"//aptq:ignore detlint the reason text", directiveIgnore, "detlint", "the reason text"},
+		{"//aptq:ignore detlint", directiveIgnore, "detlint", ""},
+		{"//aptq:ignore", directiveIgnore, "", ""},
+	}
+	for _, c := range cases {
+		src := "package p\n\n" + c.text + "\nvar X int\n"
+		pkgs, fset := parseTestSource(t, src)
+		ds := parseDirectives(fset, pkgs)
+		if len(ds) != 1 {
+			t.Errorf("%q: got %d directives, want 1", c.text, len(ds))
+			continue
+		}
+		d := ds[0]
+		if d.kind != c.kind || d.analyzer != c.analyzer || d.reason != c.rs {
+			t.Errorf("%q: got (%q, %q, %q), want (%q, %q, %q)",
+				c.text, d.kind, d.analyzer, d.reason, c.kind, c.analyzer, c.rs)
+		}
+	}
+}

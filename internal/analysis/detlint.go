@@ -1,0 +1,346 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetLint flags nondeterminism sources inside the bit-identity packages.
+//
+// The serving stack's north-star invariant is that output is bit-identical
+// to Sequential at any slot/worker count; that dies the moment a value on
+// the forward/decode path depends on map iteration order, the wall clock,
+// the global RNG, or a goroutine raced outside the parallel substrate.
+// The checks:
+//
+//  1. `range` over a map whose body's effects escape the loop (writes to
+//     outer state, returns, sends) — unless the loop only collects keys or
+//     values into a slice that is sorted before use (the sanctioned
+//     collect-then-sort idiom).
+//  2. Wall-clock reads (time.Now/Since/Until/After/Tick/NewTimer/
+//     NewTicker/AfterFunc) outside functions annotated //aptq:wallclock —
+//     the scheduler's TTFT/ITL stamps are the legitimate allowlist.
+//  3. Calls to math/rand's (and math/rand/v2's) package-level functions,
+//     which draw from the shared, randomly-seeded global source. Seeded
+//     streams (rand.New(rand.NewSource(seed)) and *rand.Rand methods) are
+//     deterministic and pass.
+//  4. `go` statements: goroutines belong in internal/parallel, whose
+//     fork-join shape is what keeps the fan-out schedule-independent.
+//
+// Only packages whose import path contains one of the bit-identity
+// segments (tensor, quant, nn, model, infer, serve) are checked, and
+// internal/parallel itself is exempt from the goroutine rule. Test files
+// are skipped: tests may freely race goroutines and read clocks.
+var DetLint = &Analyzer{
+	Name: "detlint",
+	Doc:  "flag nondeterminism sources (map-range effects, wall clock, global RNG, goroutines) in bit-identity packages",
+	Run:  runDetLint,
+}
+
+// detPackages are the path segments naming the packages under the
+// bit-identity contract.
+var detPackages = map[string]bool{
+	"tensor": true,
+	"quant":  true,
+	"nn":     true,
+	"model":  true,
+	"infer":  true,
+	"serve":  true,
+}
+
+// wallClockFuncs are the time-package functions that read the wall clock
+// (or schedule against it).
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+func detLintApplies(path string) bool {
+	if hasPathSuffix(path, "internal/parallel") {
+		return false
+	}
+	for _, seg := range pathSegments(path) {
+		if detPackages[seg] {
+			return true
+		}
+	}
+	return false
+}
+
+func runDetLint(pass *Pass) error {
+	if !detLintApplies(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		d := &detLinter{pass: pass}
+		ast.Inspect(f, d.visit)
+	}
+	return nil
+}
+
+type detLinter struct {
+	pass *Pass
+}
+
+func (d *detLinter) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		d.checkStmtList(n.List)
+	case *ast.CaseClause:
+		d.checkStmtList(n.Body)
+	case *ast.CommClause:
+		d.checkStmtList(n.Body)
+	case *ast.GoStmt:
+		d.pass.Reportf(n.Pos(),
+			"go statement in a bit-identity package: goroutines belong in internal/parallel, whose fork-join fan-out keeps output schedule-independent")
+	case *ast.CallExpr:
+		d.checkCall(n)
+	}
+	return true
+}
+
+// checkCall flags wall-clock reads and global-RNG draws.
+func (d *detLinter) checkCall(call *ast.CallExpr) {
+	fn := calleeFunc(d.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	// Methods (e.g. (*rand.Rand).Float64, (time.Time).Sub) operate on an
+	// explicitly owned value and are deterministic given it; only
+	// package-level functions reach shared nondeterministic state.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] && !d.inWallclockFunc(call.Pos()) {
+			d.pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock in a bit-identity package; annotate the enclosing function //aptq:wallclock if the timestamp never reaches decoded output", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructing a seeded stream is deterministic; drawing from the
+		// package-level (randomly seeded, shared) source is not.
+		if fn.Name() == "New" || fn.Name() == "NewSource" || fn.Name() == "NewPCG" || fn.Name() == "NewChaCha8" || fn.Name() == "NewZipf" {
+			return
+		}
+		d.pass.Reportf(call.Pos(),
+			"%s.%s draws from the global RNG; use an explicitly seeded *rand.Rand so the stream is reproducible", fn.Pkg().Path(), fn.Name())
+	}
+}
+
+// inWallclockFunc reports whether pos sits inside a function whose doc
+// carries //aptq:wallclock.
+func (d *detLinter) inWallclockFunc(pos token.Pos) bool {
+	fd := enclosingFuncDecl(d.pass.Files, pos)
+	return fd != nil && hasDirective(fd.Doc, directiveWallclock)
+}
+
+// checkStmtList looks for map-range loops in a statement list, keeping the
+// trailing statements so the collect-then-sort idiom can be recognized.
+func (d *detLinter) checkStmtList(list []ast.Stmt) {
+	for i, st := range list {
+		if lab, ok := st.(*ast.LabeledStmt); ok {
+			st = lab.Stmt
+		}
+		rs, ok := st.(*ast.RangeStmt)
+		if !ok {
+			continue
+		}
+		t := d.pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			continue
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			continue
+		}
+		d.checkMapRange(rs, list[i+1:])
+	}
+}
+
+// outerEffect is one way a map-range body's effects escape the loop.
+type outerEffect struct {
+	pos  token.Pos
+	desc string
+	// collectVar is non-nil when the effect is exactly `v = append(v, …)`
+	// on a loop-outer slice v — the candidate collect-then-sort pattern.
+	collectVar *types.Var
+}
+
+func (d *detLinter) checkMapRange(rs *ast.RangeStmt, after []ast.Stmt) {
+	effects := d.bodyEffects(rs)
+	if len(effects) == 0 {
+		return
+	}
+	// The collect-then-sort idiom: every escaping effect appends to a
+	// slice that a later statement in the same block sorts.
+	allCollected := true
+	for _, e := range effects {
+		if e.collectVar == nil || !sortedAfter(d.pass.TypesInfo, after, e.collectVar) {
+			allCollected = false
+			break
+		}
+	}
+	if allCollected {
+		return
+	}
+	first := effects[0]
+	for _, e := range effects {
+		if e.collectVar == nil {
+			first = e
+			break
+		}
+	}
+	d.pass.Reportf(rs.Pos(),
+		"map iteration order is nondeterministic and this loop's effects escape it (%s); iterate sorted keys, or collect into a slice and sort it", first.desc)
+}
+
+// bodyEffects walks a map-range body collecting the effects that escape
+// the loop.
+func (d *detLinter) bodyEffects(rs *ast.RangeStmt) []outerEffect {
+	info := d.pass.TypesInfo
+	var effects []outerEffect
+	isOuter := func(e ast.Expr) *types.Var {
+		id := rootIdent(e)
+		if id == nil {
+			return nil
+		}
+		obj, _ := info.Uses[id].(*types.Var)
+		if obj == nil {
+			if def, ok := info.Defs[id].(*types.Var); ok {
+				obj = def
+			}
+		}
+		if obj == nil {
+			return nil
+		}
+		if obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+			return nil // declared by / inside the loop
+		}
+		return obj
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for li, lhs := range n.Lhs {
+				v := isOuter(lhs)
+				if v == nil {
+					continue
+				}
+				e := outerEffect{pos: n.Pos(), desc: fmt.Sprintf("writes %s declared outside the loop", v.Name())}
+				if id, ok := lhs.(*ast.Ident); ok && li < len(n.Rhs) {
+					if cv := collectAppend(info, id, n.Rhs[li]); cv != nil {
+						e.collectVar = cv
+					}
+				}
+				effects = append(effects, e)
+			}
+		case *ast.IncDecStmt:
+			if v := isOuter(n.X); v != nil {
+				effects = append(effects, outerEffect{pos: n.Pos(), desc: fmt.Sprintf("updates %s declared outside the loop", v.Name())})
+			}
+		case *ast.SendStmt:
+			effects = append(effects, outerEffect{pos: n.Pos(), desc: "sends on a channel in map order"})
+		case *ast.ReturnStmt:
+			effects = append(effects, outerEffect{pos: n.Pos(), desc: "returns from inside the iteration"})
+		case *ast.CallExpr:
+			// delete(m, k) / copy(dst, …) mutate their first argument.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) > 0 {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && (id.Name == "delete" || id.Name == "copy") {
+					if v := isOuter(n.Args[0]); v != nil {
+						effects = append(effects, outerEffect{pos: n.Pos(), desc: fmt.Sprintf("%ss into %s in map order", id.Name, v.Name())})
+					}
+				}
+			}
+		}
+		return true
+	})
+	return effects
+}
+
+// collectAppend recognizes `v = append(v, …)` and returns v's object.
+func collectAppend(info *types.Info, lhs *ast.Ident, rhs ast.Expr) *types.Var {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return nil
+	}
+	if _, isBuiltin := info.Uses[fn].(*types.Builtin); !isBuiltin {
+		return nil
+	}
+	arg0, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok || arg0.Name != lhs.Name {
+		return nil
+	}
+	v, _ := info.Uses[lhs].(*types.Var)
+	return v
+}
+
+// sortedAfter reports whether any statement after the loop (in the same
+// block) calls into package sort or slices with v among the call's
+// arguments — the "then sort it" half of collect-then-sort.
+func sortedAfter(info *types.Info, after []ast.Stmt, v *types.Var) bool {
+	found := false
+	for _, st := range after {
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id := rootIdent(arg); id != nil && info.Uses[id] == v {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// rootIdent returns the leftmost identifier of an lvalue-ish expression
+// (x, x.f, x[i], *x, x.f[i].g → x).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

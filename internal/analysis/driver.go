@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// RunPackages executes the given analyzers over already-loaded packages in
+// slice order (Load returns dependency order), carrying facts in memory:
+// the blob a package exports is visible to every later package that could
+// import it. This is the whole-program driver behind the standalone CLI
+// mode and the analysistest fixture runner; `go vet -vettool=` instead
+// runs one package per process with facts in vetx files (unitchecker.go),
+// through the exact same Analyzer.Run entry points.
+func RunPackages(analyzers []*Analyzer, pkgs []*Package, fset *token.FileSet) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	// facts[analyzer][pkgpath] — blobs exported so far.
+	facts := make(map[string]map[string][]byte, len(analyzers))
+	for _, a := range analyzers {
+		facts[a.Name] = make(map[string][]byte)
+	}
+	for _, pkg := range pkgs {
+		directives := parseDirectives(fset, pkg.Files)
+		for _, a := range analyzers {
+			a := a
+			path := pkg.Path
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.Info,
+				ReadFacts: func(dep string) []byte {
+					return facts[a.Name][dep]
+				},
+				ReadAllFacts: func() [][]byte {
+					var blobs [][]byte
+					for _, dep := range pkg.Imports {
+						if blob, ok := facts[a.Name][dep]; ok {
+							blobs = append(blobs, blob)
+						}
+					}
+					return blobs
+				},
+				ExportFacts: func(blob []byte) {
+					facts[a.Name][path] = blob
+				},
+				directives: directives,
+				diags:      &diags,
+			}
+			pass.reportMalformedIgnores()
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// RunStandalone loads the packages matching patterns (relative to dir) and
+// runs every registered analyzer over them — the whole-program mode of the
+// aptq-vet CLI (`aptq-vet ./...`).
+func RunStandalone(dir string, patterns []string) ([]Diagnostic, error) {
+	pkgs, fset, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return RunPackages(All(), pkgs, fset)
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ForEachCapture inspects the closures handed to internal/parallel's
+// fork-join entry points (For, ForWorkers, ForEach, ForEachWorkers) for
+// writes to captured state that are not index-disjoint.
+//
+// The substrate runs the closure concurrently from several goroutines, so
+// the only writes that are safe by construction are ones whose destination
+// is partitioned by the loop index: dst[i] = …, copy(dst[lo:hi], …), or
+// anything addressed through a variable derived from the closure's own
+// parameters. Everything else — a captured scalar accumulator, an
+// unindexed captured slice, an append that moves the backing array, any
+// map write — is a data race that -race only catches when the schedule
+// cooperates, and a determinism hole even when it doesn't tear.
+//
+// The rule: a write inside the closure whose destination roots at a
+// variable declared outside the closure is flagged unless the write is an
+// element write whose index (or slice bounds) mentions at least one
+// variable declared inside the closure — the parameters, or a loop
+// variable derived from them. Map writes are flagged unconditionally:
+// concurrent map writes fault regardless of key disjointness.
+//
+// Deliberate exceptions (a reduction into disjoint per-worker cells
+// indexed by something the checker cannot see through) use
+// //aptq:ignore foreachcapture <reason>.
+var ForEachCapture = &Analyzer{
+	Name: "foreachcapture",
+	Doc:  "flag non-index-disjoint writes to captured variables in closures passed to internal/parallel",
+	Run:  runForEachCapture,
+}
+
+// parallelForFuncs are the internal/parallel entry points that run their
+// closure argument concurrently with an index-partitioned domain.
+var parallelForFuncs = map[string]bool{
+	"For":            true,
+	"ForWorkers":     true,
+	"ForEach":        true,
+	"ForEachWorkers": true,
+}
+
+func runForEachCapture(pass *Pass) error {
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if !hasPathSuffix(fn.Pkg().Path(), "internal/parallel") || !parallelForFuncs[fn.Name()] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					checkParallelClosure(pass, fn.Name(), lit)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkParallelClosure walks one closure body flagging writes to captured
+// destinations that are not partitioned by the closure's index domain.
+func checkParallelClosure(pass *Pass, funcName string, lit *ast.FuncLit) {
+	c := &captureChecker{pass: pass, funcName: funcName, lit: lit}
+	ast.Inspect(lit.Body, c.visit)
+}
+
+type captureChecker struct {
+	pass     *Pass
+	funcName string
+	lit      *ast.FuncLit
+}
+
+func (c *captureChecker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			c.checkWrite(lhs)
+		}
+	case *ast.IncDecStmt:
+		c.checkWrite(n.X)
+	case *ast.CallExpr:
+		// copy(dst, …) writes through its first argument.
+		if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) > 0 {
+			if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && id.Name == "copy" {
+				c.checkWrite(n.Args[0])
+			}
+		}
+	}
+	return true
+}
+
+// checkWrite classifies one write destination.
+func (c *captureChecker) checkWrite(dst ast.Expr) {
+	dst = ast.Unparen(dst)
+	root := rootIdent(dst)
+	if root == nil {
+		return
+	}
+	v := c.objectOf(root)
+	if v == nil || c.declaredInside(v) {
+		return // blank, closure-local, or not a variable at all
+	}
+	// The destination roots at captured (or global) state.
+	if ix, ok := dst.(*ast.IndexExpr); ok {
+		if t := c.pass.TypesInfo.TypeOf(ix.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				c.pass.Reportf(dst.Pos(),
+					"closure passed to parallel.%s writes captured map %s: concurrent map writes fault regardless of key disjointness",
+					c.funcName, root.Name)
+				return
+			}
+		}
+		if c.mentionsLocal(ix.Index) {
+			return // dst[i] with i derived from the closure's index domain
+		}
+		c.pass.Reportf(dst.Pos(),
+			"closure passed to parallel.%s writes %s at an index that does not depend on the loop index: concurrent iterations race on the same element",
+			c.funcName, root.Name)
+		return
+	}
+	if se, ok := dst.(*ast.SliceExpr); ok {
+		// copy(dst[lo:hi], …): disjoint when a bound tracks the domain.
+		if (se.Low != nil && c.mentionsLocal(se.Low)) || (se.High != nil && c.mentionsLocal(se.High)) {
+			return
+		}
+	}
+	c.pass.Reportf(dst.Pos(),
+		"closure passed to parallel.%s writes captured variable %s without index-disjoint access: concurrent iterations race",
+		c.funcName, root.Name)
+}
+
+// objectOf resolves an identifier to its variable object.
+func (c *captureChecker) objectOf(id *ast.Ident) *types.Var {
+	if id.Name == "_" {
+		return nil
+	}
+	if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := c.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// declaredInside reports whether the variable is declared within the
+// closure (parameters included) — writes to those are private to one
+// invocation.
+func (c *captureChecker) declaredInside(v *types.Var) bool {
+	return v.Pos() >= c.lit.Pos() && v.Pos() <= c.lit.End()
+}
+
+// mentionsLocal reports whether the expression references any variable
+// declared inside the closure — the parameters (lo, hi, i) or anything
+// derived from them, such as a for-loop variable. An index that mentions
+// only captured state cannot partition the domain.
+func (c *captureChecker) mentionsLocal(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		if v := c.objectOf(id); v != nil && c.declaredInside(v) {
+			found = true
+		}
+		return true
+	})
+	return found
+}

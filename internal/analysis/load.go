@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// A Package is one source-loaded, type-checked package of the standalone
+// driver (the in-process counterpart of a unit-checker invocation).
+type Package struct {
+	Path    string
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+	Imports []string // direct dependency import paths
+}
+
+// listPackage mirrors the `go list -json` fields the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Export     string
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` with the given extra flags and patterns in dir and
+// decodes the JSON package stream.
+func goList(dir string, extra []string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-e", "-json"}, extra...)
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// Load type-checks the packages matching patterns (interpreted relative to
+// dir) from source, resolving every dependency through the compiler export
+// data `go list -export` produces — no network, no GOPATH assumptions, and
+// testdata fixture directories work when named explicitly. The returned
+// packages are in dependency order: a package always follows the loaded
+// packages it imports, so a driver running analyzers in slice order can
+// flow facts forward.
+func Load(dir string, patterns []string) ([]*Package, *token.FileSet, error) {
+	roots, err := goList(dir, nil, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	rootSet := make(map[string]bool, len(roots))
+	for _, r := range roots {
+		if r.Error != nil {
+			return nil, nil, fmt.Errorf("go list %s: %s", r.ImportPath, r.Error.Err)
+		}
+		rootSet[r.ImportPath] = true
+	}
+
+	// One -deps -export pass supplies export data for every dependency of
+	// every root (stdlib included) plus the roots' own file lists.
+	all, err := goList(dir, []string{"-export", "-deps"}, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	exports := make(map[string]string, len(all))
+	byPath := make(map[string]*listPackage, len(all))
+	for _, p := range all {
+		byPath[p.ImportPath] = p
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	// Topologically order the roots among themselves so facts flow from
+	// dependency to dependent.
+	order := topoOrder(roots, byPath, rootSet)
+
+	var out []*Package
+	for _, lp := range order {
+		pkg, err := typeCheck(fset, lp, imp)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, fset, nil
+}
+
+// topoOrder sorts the root packages in dependency order (dependencies
+// first), restricted to edges between roots.
+func topoOrder(roots []*listPackage, byPath map[string]*listPackage, rootSet map[string]bool) []*listPackage {
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+	var order []*listPackage
+	state := make(map[string]int, len(roots)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string)
+	visit = func(path string) {
+		if !rootSet[path] || state[path] != 0 {
+			return
+		}
+		state[path] = 1
+		lp := byPath[path]
+		deps := append([]string(nil), lp.Imports...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			visit(resolveImport(lp, dep))
+		}
+		state[path] = 2
+		order = append(order, lp)
+	}
+	for _, r := range roots {
+		visit(r.ImportPath)
+	}
+	return order
+}
+
+// resolveImport applies the package's ImportMap (vendoring / test-variant
+// renames) to a source-level import path.
+func resolveImport(lp *listPackage, path string) string {
+	if lp.ImportMap != nil {
+		if mapped, ok := lp.ImportMap[path]; ok {
+			return mapped
+		}
+	}
+	return path
+}
+
+// typeCheck parses and type-checks one listed package from source.
+func typeCheck(fset *token.FileSet, lp *listPackage, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newTypesInfo()
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(error) {}, // collect via the returned error; keep going
+	}
+	pkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+	}
+	var imports []string
+	for _, dep := range lp.Imports {
+		imports = append(imports, resolveImport(lp, dep))
+	}
+	return &Package{Path: lp.ImportPath, Files: files, Pkg: pkg, Info: info, Imports: imports}, nil
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

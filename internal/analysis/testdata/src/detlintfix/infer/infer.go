@@ -1,0 +1,73 @@
+// Package infer is the detlint analysistest fixture. Its import path ends
+// in an "infer" segment, so it sits under the bit-identity rules exactly
+// like the production inference package.
+package infer
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// SumWeights folds a map into an accumulator in iteration order: the fold
+// order — and for floats the result — follows map order. True positive.
+func SumWeights(w map[string]float64) float64 {
+	total := 0.0
+	for _, v := range w { // want detlint:`map iteration order`
+		total += v
+	}
+	return total
+}
+
+// Keys uses the sanctioned collect-then-sort idiom: clean.
+func Keys(w map[string]float64) []string {
+	keys := make([]string, 0, len(w))
+	for k := range w {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Stamp reads the wall clock without the annotation. True positive.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want detlint:`reads the wall clock`
+}
+
+// StampAllowed is an allowlisted wall-clock site, like the scheduler's
+// TTFT/ITL stamps.
+//
+//aptq:wallclock
+func StampAllowed() int64 {
+	return time.Now().UnixNano()
+}
+
+// Jitter draws from the global, randomly seeded source. True positive.
+func Jitter() float64 {
+	return rand.Float64() // want detlint:`global RNG`
+}
+
+// Seeded draws from an explicitly seeded stream: deterministic, clean.
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Race spawns a goroutine outside internal/parallel. True positive.
+func Race(done chan struct{}) {
+	go func() { // want detlint:`goroutines belong in internal/parallel`
+		close(done)
+	}()
+}
+
+// Suppressed carries a justified ignore: no diagnostic.
+func Suppressed() int64 {
+	return time.Now().UnixNano() //aptq:ignore detlint fixture exercises justified suppression
+}
+
+// MissingReason's ignore lacks the mandatory reason: the directive itself
+// is a diagnostic and suppresses nothing.
+func MissingReason() int64 {
+	//aptq:ignore detlint
+	return time.Now().UnixNano() // want -1 detlint:`needs a reason` detlint:`reads the wall clock`
+}

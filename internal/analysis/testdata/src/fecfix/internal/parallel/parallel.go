@@ -1,0 +1,22 @@
+// Package parallel is a sequential stub of the real fork-join substrate.
+// The analyzer matches entry points by import-path suffix, so closures
+// passed to this stub are checked exactly like production call sites.
+package parallel
+
+// For splits [0, n) into grain-sized chunks and applies fn to each.
+func For(n, grain int, fn func(lo, hi int)) {
+	for lo := 0; lo < n; lo += grain {
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	}
+}
+
+// ForEach applies fn to every index in [0, n).
+func ForEach(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}

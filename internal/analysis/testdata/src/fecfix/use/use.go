@@ -1,0 +1,82 @@
+// Package use exercises foreachcapture against the stub substrate: the
+// index-disjoint shapes that must stay silent, the racing ones that must
+// not, and both suppression shapes.
+package use
+
+import "repro/internal/analysis/testdata/src/fecfix/internal/parallel"
+
+// Scale writes disjoint elements through the loop index: clean.
+func Scale(dst, src []float64, c float64) {
+	parallel.ForEach(len(dst), func(i int) {
+		dst[i] = src[i] * c
+	})
+}
+
+// Sum races on a captured accumulator. True positive.
+func Sum(xs []float64) float64 {
+	total := 0.0
+	parallel.ForEach(len(xs), func(i int) {
+		total += xs[i] // want foreachcapture:`captured variable total`
+	})
+	return total
+}
+
+// Fill writes each chunk through a variable derived from the closure's
+// domain parameters: clean.
+func Fill(dst []int, v int) {
+	parallel.For(len(dst), 64, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			dst[j] = v
+		}
+	})
+}
+
+// Collide writes one shared element from every iteration. True positive.
+func Collide(dst []int) {
+	parallel.ForEach(len(dst), func(i int) {
+		dst[0] = i // want foreachcapture:`does not depend on the loop index`
+	})
+}
+
+// Tally writes a captured map; concurrent map writes fault regardless of
+// key disjointness. True positive.
+func Tally(xs []int, counts map[int]int) {
+	parallel.ForEach(len(xs), func(i int) {
+		counts[xs[i]]++ // want foreachcapture:`captured map counts`
+	})
+}
+
+// Chunked copies into a bounds-disjoint window: clean.
+func Chunked(dst, src []byte) {
+	parallel.For(len(dst), 128, func(lo, hi int) {
+		copy(dst[lo:hi], src[lo:hi])
+	})
+}
+
+// Clobber copies over the whole captured slice from every chunk. True
+// positive.
+func Clobber(dst, src []byte) {
+	parallel.For(len(dst), 128, func(lo, hi int) {
+		copy(dst, src[lo:hi]) // want foreachcapture:`captured variable dst`
+	})
+}
+
+// Reduce is a deliberate sharded reduction the checker cannot see
+// through; the ignore carries its justification, so it stays clean.
+func Reduce(xs, cells []float64, w int) {
+	parallel.ForEach(len(xs), func(i int) {
+		//aptq:ignore foreachcapture cells is sharded per worker by the caller
+		cells[w] += xs[i]
+	})
+}
+
+// Hoard's ignore lacks the reason: the directive is flagged and the
+// racing append still reported.
+func Hoard(xs []int) []int {
+	var out []int
+	parallel.ForEach(len(xs), func(i int) {
+		//aptq:ignore foreachcapture
+		out = append(out, xs[i]) // want -1 foreachcapture:`needs a reason` foreachcapture:`captured variable out`
+	})
+	return out
+}

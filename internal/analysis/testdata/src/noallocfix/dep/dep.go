@@ -1,0 +1,30 @@
+// Package dep exercises noalloc's cross-package machinery: Clean and
+// Dirty export may-allocate facts, Sink.Put is an annotated interface
+// contract, and BadSink shows the unannotated-implementation diagnostic.
+package dep
+
+// Clean is allocation-free; dependents see that through the exported fact.
+func Clean(x int) int { return x * 2 }
+
+// Dirty allocates; roots calling it inherit the reason transitively.
+func Dirty(n int) []int { return make([]int, n) }
+
+// Sink consumes values on the hot path; Put is a zero-alloc contract.
+type Sink interface {
+	//aptq:noalloc
+	Put(x int)
+}
+
+// GoodSink honors the contract.
+type GoodSink struct{ last int }
+
+// Put stores the value in place.
+//
+//aptq:noalloc
+func (s *GoodSink) Put(x int) { s.last = x }
+
+// BadSink implements Sink but never declares the contract.
+type BadSink struct{ vals []int }
+
+// Put appends, and is missing its //aptq:noalloc.
+func (s *BadSink) Put(x int) { s.vals = append(s.vals, x) } // want noalloc:`implements Sink.Put`

@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+)
+
+// unitConfig mirrors the JSON config cmd/go writes for a vet tool run on
+// one package (the `-vettool=` protocol; the same schema x/tools
+// unitchecker consumes). Unknown fields are ignored, so the decoder
+// tolerates schema growth across Go releases.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetxPayload is what one aptq-vet run persists for dependents: each
+// analyzer's opaque fact blob for the analyzed package.
+type vetxPayload struct {
+	Facts map[string][]byte // analyzer name -> blob
+}
+
+// RunUnitchecker executes every registered analyzer on the single package
+// described by the cfg file cmd/go passes, reading dependency facts from
+// the vetx files of already-analyzed packages and writing this package's
+// facts for dependents. It terminates the process: exit 0 when clean,
+// 2 when diagnostics were reported (go vet surfaces stderr and fails the
+// build), 1 on operational errors.
+func RunUnitchecker(cfgPath string) {
+	code, err := unitcheck(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aptq-vet: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func unitcheck(cfgPath string) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	files, err = parseUnitFiles(fset, cfg.GoFiles)
+	if err != nil {
+		return 0, err
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(f)
+	})
+	info := newTypesInfo()
+	conf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {},
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// Std-library packages with assembly/cgo shims may not
+			// source-check; cmd/go asks us to treat that as success.
+			if cfg.VetxOutput != "" {
+				_ = writeVetx(cfg.VetxOutput, vetxPayload{Facts: map[string][]byte{}})
+			}
+			return 0, nil
+		}
+		return 0, fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+
+	depFacts := loadDepFacts(cfg.PackageVetx)
+	payload := vetxPayload{Facts: make(map[string][]byte)}
+	var diags []Diagnostic
+	directives := parseDirectives(fset, files)
+	for _, a := range All() {
+		a := a
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			ReadFacts: func(dep string) []byte {
+				if mapped, ok := cfg.ImportMap[dep]; ok {
+					dep = mapped
+				}
+				if p, ok := depFacts[dep]; ok {
+					return p.Facts[a.Name]
+				}
+				return nil
+			},
+			ReadAllFacts: func() [][]byte {
+				var blobs [][]byte
+				for _, p := range depFacts {
+					if blob, ok := p.Facts[a.Name]; ok {
+						blobs = append(blobs, blob)
+					}
+				}
+				return blobs
+			},
+			ExportFacts: func(blob []byte) {
+				payload.Facts[a.Name] = blob
+			},
+			directives: directives,
+			diags:      &diags,
+		}
+		pass.reportMalformedIgnores()
+		if err := a.Run(pass); err != nil {
+			return 0, fmt.Errorf("%s: %s: %v", a.Name, cfg.ImportPath, err)
+		}
+	}
+
+	if cfg.VetxOutput != "" {
+		if err := writeVetx(cfg.VetxOutput, payload); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly || len(diags) == 0 {
+		return 0, nil
+	}
+	sortDiagnostics(diags)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	return 2, nil
+}
+
+// loadDepFacts reads the vetx fact files of every dependency; missing or
+// unreadable files degrade to "no facts" (the analyzers' conservative
+// fallbacks take over) instead of failing the run.
+func loadDepFacts(vetx map[string]string) map[string]*vetxPayload {
+	out := make(map[string]*vetxPayload, len(vetx))
+	for path, file := range vetx {
+		f, err := os.Open(file)
+		if err != nil {
+			continue
+		}
+		var p vetxPayload
+		err = gob.NewDecoder(f).Decode(&p)
+		f.Close()
+		if err != nil {
+			continue
+		}
+		out[path] = &p
+	}
+	return out
+}
+
+func writeVetx(path string, p vetxPayload) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(p); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func parseUnitFiles(fset *token.FileSet, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// PrintVersion implements the -V=full handshake cmd/go uses to fingerprint
+// a vet tool for its build cache: the reported line must change when the
+// binary changes, so the executable's own hash is the version.
+func PrintVersion(progname string) {
+	data, err := os.ReadFile(exePath())
+	if err != nil {
+		fmt.Printf("%s version devel\n", progname)
+		return
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, sha256.Sum256(data))
+}
+
+func exePath() string {
+	p, err := os.Executable()
+	if err != nil {
+		return os.Args[0]
+	}
+	return p
+}
+
+// PrintFlags implements the -flags handshake: cmd/go asks the tool which
+// flags it supports before forwarding any. aptq-vet keeps no tool flags —
+// every analyzer always runs — so the set is empty.
+func PrintFlags() {
+	fmt.Println("[]")
+}

@@ -73,11 +73,13 @@ func (s *Session) ensureDecodeScratch() *decodeScratch {
 // Step/Append/Prefill — the same arena-owned contract as Append; clone it
 // to retain it past that. (Sampling the next token before stepping again,
 // the pattern of every decode loop in this repository, needs no clone.)
+//
+//aptq:noalloc
 func (s *Session) Step(token int) (*tensor.Mat, error) {
 	if s.pos >= s.m.Cfg.MaxSeq {
-		return nil, fmt.Errorf("infer: sequence length %d exceeds MaxSeq %d", s.pos+1, s.m.Cfg.MaxSeq)
+		return nil, fmt.Errorf("infer: sequence length %d exceeds MaxSeq %d", s.pos+1, s.m.Cfg.MaxSeq) //aptq:ignore noalloc cold error path: an out-of-budget request never reaches the decode steady state
 	}
-	sc := s.ensureDecodeScratch()
+	sc := s.ensureDecodeScratch() //aptq:ignore noalloc decode arena is allocated once per session and reused by every Step
 	sc.tok[0] = token
 	s.m.EmbedChunkInto(sc.x, sc.tok[:], s.pos)
 	for bi, b := range s.m.Blocks {

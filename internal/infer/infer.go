@@ -58,8 +58,8 @@ func (c *kvCache) vRow(t int) []float64 { return c.v[t/c.chunk].Row(t % c.chunk)
 // sequence crosses a chunk boundary.
 func (c *kvCache) grow() {
 	if c.len == len(c.k)*c.chunk {
-		c.k = append(c.k, tensor.New(c.chunk, c.dim))
-		c.v = append(c.v, tensor.New(c.chunk, c.dim))
+		c.k = append(c.k, tensor.New(c.chunk, c.dim)) //aptq:ignore noalloc KV cache grows by fixed chunks: amortized O(1/chunk) per token, pinned by the steady-state alloc tests
+		c.v = append(c.v, tensor.New(c.chunk, c.dim)) //aptq:ignore noalloc KV cache grows by fixed chunks: amortized O(1/chunk) per token, pinned by the steady-state alloc tests
 	}
 }
 
@@ -191,6 +191,8 @@ func (s *Session) Prefill(prompt []int) (*tensor.Mat, error) {
 // larger chunks amortize dispatch and weight decode better, smaller ones
 // bound how much work one call does (the serving scheduler's admission
 // knob). The rollback-on-error contract matches Prefill.
+//
+//aptq:noalloc
 func (s *Session) PrefillChunked(prompt []int, chunk int) (*tensor.Mat, error) {
 	return s.PrefillChunkedCtx(nil, prompt, chunk)
 }
@@ -213,7 +215,7 @@ func (s *Session) PrefillChunkedCtx(ctx context.Context, prompt []int, chunk int
 	var logits *tensor.Mat
 	for lo := 0; lo < len(prompt); lo += chunk {
 		if ctx != nil {
-			if err := ctx.Err(); err != nil {
+			if err := ctx.Err(); err != nil { //aptq:ignore noalloc Context.Err on std contexts is allocation-free; the dynamic call is opaque to the checker
 				s.rewind(pos0)
 				return nil, err
 			}
@@ -231,7 +233,7 @@ func (s *Session) PrefillChunkedCtx(ctx context.Context, prompt []int, chunk int
 	}
 	// The arena-owned logits row is cloned so callers may hold it across
 	// later use of the session (the contract of the pre-chunking Prefill).
-	return logits.Clone(), nil
+	return logits.Clone(), nil //aptq:ignore noalloc documented contract: the logits row is cloned out of the arena once per prefill call
 }
 
 // PrefillLoop consumes the prompt one Step at a time — the pre-chunking

@@ -116,14 +116,16 @@ func (s *Session) ensureScratch(T int) *chunkScratch {
 // Append/Prefill; clone it to retain it past that. On error the session
 // is unchanged: the length check runs before any state is touched, so a
 // failed Append never half-advances the sequence.
+//
+//aptq:noalloc
 func (s *Session) Append(tokens []int) (*tensor.Mat, error) {
 	if len(tokens) == 0 {
 		return nil, ErrEmptyPrompt
 	}
 	if s.pos+len(tokens) > s.m.Cfg.MaxSeq {
-		return nil, fmt.Errorf("infer: sequence length %d exceeds MaxSeq %d", s.pos+len(tokens), s.m.Cfg.MaxSeq)
+		return nil, fmt.Errorf("infer: sequence length %d exceeds MaxSeq %d", s.pos+len(tokens), s.m.Cfg.MaxSeq) //aptq:ignore noalloc cold error path: an out-of-budget request never reaches the prefill steady state
 	}
-	sc := s.ensureScratch(len(tokens))
+	sc := s.ensureScratch(len(tokens)) //aptq:ignore noalloc prefill arena is allocated once and regrown only when a wider chunk arrives
 	pos0 := s.pos
 	s.m.EmbedChunkInto(sc.x, tokens, pos0)
 	for bi, b := range s.m.Blocks {

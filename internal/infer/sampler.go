@@ -36,6 +36,8 @@ func (sp *Sampler) ensure(n int) {
 // 0 returns the argmax. Degenerate-input behavior matches SampleLogits
 // exactly (empty logits -> -1, all -Inf or all NaN -> uniform / index 0,
 // NaN entries masked).
+//
+//aptq:noalloc
 func (sp *Sampler) Sample(rng *rand.Rand, logits []float64, temperature float64) int {
 	if len(logits) == 0 {
 		return -1
@@ -55,7 +57,7 @@ func (sp *Sampler) Sample(rng *rand.Rand, logits []float64, temperature float64)
 		}
 		return best
 	}
-	sp.ensure(len(logits))
+	sp.ensure(len(logits)) //aptq:ignore noalloc sampler scratch grows once to vocab width, then every draw reuses it
 	scaled := sp.scaled
 	for i, v := range logits {
 		if math.IsNaN(v) {

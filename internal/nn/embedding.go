@@ -42,6 +42,8 @@ func (e *Embedding) Forward(ids []int) *tensor.Mat {
 // ForwardInto gathers the embedding rows for ids into out (len(ids) x
 // Dim) without touching the backward cache — the allocation-free gather
 // of the chunked prefill path.
+//
+//aptq:noalloc
 func (e *Embedding) ForwardInto(out *tensor.Mat, ids []int) {
 	for t, id := range ids {
 		if id < 0 || id >= e.Vocab() {

@@ -17,6 +17,8 @@ type FeedForward interface {
 	// forward caches — the allocation-free inference entry point of the
 	// chunked prefill path. Backward after ForwardInto sees the previous
 	// Forward.
+	//
+	//aptq:noalloc
 	ForwardInto(out, x, h1, h2 *tensor.Mat)
 	Backward(dy *tensor.Mat) *tensor.Mat
 	Params() []*Param
@@ -82,6 +84,8 @@ func (m *GELUMLP) Forward(x *tensor.Mat) *tensor.Mat {
 // ForwardInto computes the GELU MLP into out with h1 as the hidden
 // scratch (h2 is unused — the block has a single hidden activation).
 // Bit-identical to Forward.
+//
+//aptq:noalloc
 func (m *GELUMLP) ForwardInto(out, x, h1, _ *tensor.Mat) {
 	m.FC1.ForwardInto(h1, x)
 	for i, v := range h1.Data {

@@ -19,6 +19,8 @@ type Projection interface {
 	// without touching the layer's forward caches — the allocation-free
 	// inference entry point of the chunked prefill path. out must not
 	// alias x; Backward after ForwardInto sees the previous Forward.
+	//
+	//aptq:noalloc
 	ForwardInto(out, x *tensor.Mat)
 	Backward(dy *tensor.Mat) *tensor.Mat
 	In() int
@@ -139,8 +141,10 @@ func (l *Linear) Forward(x *tensor.Mat) *tensor.Mat {
 // input, so the chunked prefill path can reuse one scratch arena across
 // chunks. Bit-identical to Forward. Deployment-time input transforms
 // (InScale, ActQuant) still clone the input — the one allocating branch.
+//
+//aptq:noalloc
 func (l *Linear) ForwardInto(out, x *tensor.Mat) {
-	x = l.transformInput(x)
+	x = l.transformInput(x) //aptq:ignore noalloc deployment-time input transforms clone, the documented allocating branch; the float inference path takes none
 	tensor.MatMulNTInto(out, x, l.P.W)
 	l.addBias(out)
 }

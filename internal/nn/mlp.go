@@ -52,6 +52,8 @@ func (m *MLP) Forward(x *tensor.Mat) *tensor.Mat {
 // ForwardInto computes the SwiGLU MLP into out with h1/h2 as hidden
 // scratch (gate and up projections; the silu(gate)⊙up product lands in
 // h1). Bit-identical to Forward.
+//
+//aptq:noalloc
 func (m *MLP) ForwardInto(out, x, h1, h2 *tensor.Mat) {
 	m.Gate.ForwardInto(h1, x)
 	m.Up.ForwardInto(h2, x)

@@ -14,6 +14,8 @@ type Norm interface {
 	// forward caches — the allocation-free inference entry point of the
 	// chunked prefill path. Backward after ForwardInto sees the previous
 	// Forward.
+	//
+	//aptq:noalloc
 	ForwardInto(out, x *tensor.Mat)
 	Backward(dy *tensor.Mat) *tensor.Mat
 	Params() []*Param
@@ -84,6 +86,8 @@ func (l *LayerNorm) Forward(x *tensor.Mat) *tensor.Mat {
 
 // ForwardInto normalizes each row of x into out without caching —
 // bit-identical to Forward, row by row, at any batching.
+//
+//aptq:noalloc
 func (l *LayerNorm) ForwardInto(out, x *tensor.Mat) {
 	g := l.Gain.W.Row(0)
 	b := l.Bias.W.Row(0)

@@ -67,6 +67,8 @@ func (l *QuantizedLinear) Forward(x *tensor.Mat) *tensor.Mat {
 // packed codes. Multi-row inputs (the chunked prefill shape) route
 // through the LUT-accelerated matmul kernel; the result is bit-identical
 // to Forward either way.
+//
+//aptq:noalloc
 func (l *QuantizedLinear) ForwardInto(out, x *tensor.Mat) {
 	l.W.MatMulNTInto(out, x)
 	l.addBias(out)

@@ -50,6 +50,8 @@ func (r *RMSNorm) Forward(x *tensor.Mat) *tensor.Mat {
 
 // ForwardInto normalizes each row of x into out without caching —
 // bit-identical to Forward, row by row, at any batching.
+//
+//aptq:noalloc
 func (r *RMSNorm) ForwardInto(out, x *tensor.Mat) {
 	g := r.P.W.Row(0)
 	for t := 0; t < x.Rows; t++ {

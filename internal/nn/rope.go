@@ -102,7 +102,7 @@ func (r *RoPE) ApplyAt(x *tensor.Mat, pos int) {
 	if pos < 0 {
 		panic("nn: RoPE position must be non-negative")
 	}
-	cos, sin := r.tables(pos + 1)
+	cos, sin := r.tables(pos + 1) //aptq:ignore noalloc trig tables are a lazy once-per-length cache; steady-state decode hits cached rows
 	for t := 0; t < x.Rows; t++ {
 		r.rotateRow(x.Row(t), cos[pos], sin[pos], 1)
 	}
@@ -120,7 +120,7 @@ func (r *RoPE) ApplyFrom(x *tensor.Mat, pos0 int) {
 	if pos0 < 0 {
 		panic("nn: RoPE position must be non-negative")
 	}
-	cos, sin := r.tables(pos0 + x.Rows)
+	cos, sin := r.tables(pos0 + x.Rows) //aptq:ignore noalloc trig tables are a lazy once-per-length cache; steady-state prefill hits cached rows
 	for t := 0; t < x.Rows; t++ {
 		r.rotateRow(x.Row(t), cos[pos0+t], sin[pos0+t], 1)
 	}

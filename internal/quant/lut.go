@@ -75,6 +75,8 @@ func (p *PackedMatrix) LUTBytes() int64 {
 // streaming bit-accumulator as DecodeRowInto, with the affine arithmetic
 // replaced by one table load per code. The caller guarantees the row is
 // table-eligible (bits <= lutMaxBits).
+//
+//aptq:noalloc
 func (p *PackedMatrix) decodeRowLUT(dst []float64, r int, lut *dequantLUT) {
 	bits := p.bitsForRow(r)
 	data := p.Data[p.RowOff[r]:p.RowOff[r+1]]
@@ -113,6 +115,8 @@ func (p *PackedMatrix) decodeRowLUT(dst []float64, r int, lut *dequantLUT) {
 // packed decode matvec competitive per token. The decoded values are the
 // same table entries the general path loads, so the result is
 // bit-identical.
+//
+//aptq:noalloc
 func (p *PackedMatrix) decodeRowLUT4(dst []float64, r int, lut *dequantLUT) {
 	data := p.Data[p.RowOff[r]:p.RowOff[r+1]]
 	ng := p.NumGroups()

@@ -178,7 +178,7 @@ func (p *PackedMatrix) DecodeRowsInto(dst *tensor.Mat, lo int) {
 		panic(fmt.Sprintf("quant: DecodeRowsInto rows [%d,%d) of %dx%d into %dx%d",
 			lo, lo+dst.Rows, p.Rows, p.Cols, dst.Rows, dst.Cols))
 	}
-	p.EnsureLUT()
+	p.EnsureLUT() //aptq:ignore noalloc LUT build runs once per matrix behind sync.Once; steady state reads the cached tables
 	p.decodeRows(dst.Data, lo, dst.Rows, p.lut)
 }
 
@@ -220,7 +220,7 @@ func (p *PackedMatrix) getDecodeBuf() *[]float64 {
 	if v, ok := p.pool.Get().(*[]float64); ok {
 		return v
 	}
-	b := make([]float64, decodeBlockRows*p.Cols)
+	b := make([]float64, decodeBlockRows*p.Cols) //aptq:ignore noalloc pool-miss path: the buffer enters the pool and the steady state reuses it
 	return &b
 }
 
@@ -242,7 +242,7 @@ func (p *PackedMatrix) MatMulNTInto(out, x *tensor.Mat) {
 		panic(fmt.Sprintf("quant: packed MatMulNT shape mismatch %dx%d · (%dx%d)ᵀ -> %dx%d",
 			x.Rows, x.Cols, p.Rows, p.Cols, out.Rows, out.Cols))
 	}
-	p.EnsureLUT()
+	p.EnsureLUT() //aptq:ignore noalloc LUT build runs once per matrix behind sync.Once; steady state reads the cached tables
 	lut := p.lut
 	if parallel.Workers() == 1 {
 		p.matMulNTRange(out, x, lut, 0, p.Rows)

@@ -133,7 +133,7 @@ func (pc *prefixCache) touch(e *prefixEntry) {
 // incrementally), or nil. Caller holds mu.
 func (pc *prefixCache) find(h uint64, tokens []int) *prefixEntry {
 	for _, e := range pc.entries[h] {
-		if slices.Equal(e.prefix, tokens) {
+		if slices.Equal(e.prefix, tokens) { //aptq:ignore noalloc slices.Equal is allocation-free; no stdlib facts are exported for package slices
 			return e
 		}
 	}

@@ -77,7 +77,7 @@ func ctxFinishReason(ctx context.Context) FinishReason {
 	if ctx == nil {
 		return ""
 	}
-	switch ctx.Err() {
+	switch ctx.Err() { //aptq:ignore noalloc Context.Err on std contexts is allocation-free; the dynamic call is opaque to the checker
 	case nil:
 		return ""
 	case context.DeadlineExceeded:
@@ -354,8 +354,10 @@ func (sl *slot) start(req Request, ticket *Ticket, submitted time.Time) {
 // send never blocks), and stages an inter-token latency sample — the gap
 // since the previous emission (or since prefill completion for the first
 // token).
+//
+//aptq:wallclock
 func (sl *slot) emit(tok int) {
-	sl.tokens = append(sl.tokens, tok)
+	sl.tokens = append(sl.tokens, tok) //aptq:ignore noalloc per-request token accumulation: growth is amortized and the buffer is handed off in Result
 	if sl.ticket != nil && sl.ticket.tokens != nil {
 		sl.ticket.tokens <- tok
 	}
@@ -389,6 +391,13 @@ func (sl *slot) result() Result {
 // completion on one fresh session, and the scheduler fans it out across
 // live slots, so scheduled and sequential decoding are bit-identical by
 // construction.
+//
+// The latency stamps it takes (wallclock) never reach decoded output, and
+// its steady-state decode step is a zero-alloc root: the tick is the
+// serving hot path.
+//
+//aptq:noalloc
+//aptq:wallclock
 func (sl *slot) advance(eos int) {
 	if sl.done {
 		return
@@ -421,7 +430,7 @@ func (sl *slot) advance(eos int) {
 		// the freshly appended KV rows; insert de-duplicates and evicts LRU
 		// entries past the byte budget.
 		if sl.cache != nil && n == sl.chunk && lo%sl.chunk == 0 && !sl.cache.contains(sl.req.Prompt[:sl.promptPos]) {
-			sl.cache.insert(sl.req.Prompt[:sl.promptPos], sl.sess.ExportKV(lo, sl.promptPos))
+			sl.cache.insert(sl.req.Prompt[:sl.promptPos], sl.sess.ExportKV(lo, sl.promptPos)) //aptq:ignore noalloc prefix-cache admission runs per prompt chunk during prefill, never on the decode steady state
 		}
 		if sl.promptPos < len(sl.req.Prompt) {
 			return // rest of the prompt admits on later ticks
@@ -517,7 +526,7 @@ func New(m *model.Model, opts Options) *Scheduler {
 	s.stats.Slots = opts.Slots
 	s.stats.PrefillChunk = opts.PrefillChunk
 	s.stats.MaxQueue = opts.MaxQueue
-	go s.loop()
+	go s.loop() //aptq:ignore detlint the scheduler loop is the one sanctioned goroutine: requests only observe it through Ticket channels, and decode order is pinned by the admission queue, not the schedule
 	return s
 }
 
@@ -541,6 +550,8 @@ func (s *Scheduler) tokenStreamCap(maxTokens int) int {
 // Priority first. With Options.MaxQueue set, a full queue rejects with
 // ErrQueueFull instead of growing without bound; after Drain / Close,
 // Submit reports ErrDraining / ErrClosed.
+//
+//aptq:wallclock
 func (s *Scheduler) Submit(req Request) (*Ticket, error) {
 	t := &Ticket{ch: make(chan Result, 1), tokens: make(chan int, s.tokenStreamCap(req.MaxTokens))}
 	s.mu.Lock()
@@ -804,6 +815,8 @@ func (s *Scheduler) loop() {
 // ignored. The session runs on its own view of m, so concurrent
 // Sequential calls (and a live Scheduler on the same model) never race on
 // forward scratch state.
+//
+//aptq:wallclock
 func Sequential(m *model.Model, req Request, opts Options) Result {
 	v := m.View()
 	var sess *infer.Session
