@@ -7,8 +7,8 @@ STATICCHECK_VERSION ?= 2025.1.1
 
 # Output of `make bench-json` (benchmarks as data; CI uploads it) and the
 # committed baseline `make bench-compare` diffs it against.
-BENCH_JSON ?= BENCH_PR5.json
-BENCH_BASELINE ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR8.json
+BENCH_BASELINE ?= BENCH_PR8.json
 
 all: build
 
@@ -34,7 +34,7 @@ bench:
 # that keeps them compiling and running.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -short ./...
-	$(GO) test -run='^$$' -bench='MatVec|DecodeBatch|RoPEAt|DecodeLockstep|DecodeContinuous|Prefill|PrefixCache' -benchtime=1x .
+	$(GO) test -run='^$$' -bench='MatVec|DecodeBatch|RoPEAt|DecodeLockstep|DecodeContinuous|Prefill|PrefixCache|PrefixShare' -benchtime=1x .
 
 # Benchmarks as data: run the tier-1 benchmark set (the same two passes as
 # bench-smoke, with -benchmem) and emit $(BENCH_JSON) — a JSON map of
@@ -48,7 +48,7 @@ bench-smoke:
 # single-shot noisy than -benchtime=1x.
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -short -benchmem ./... > $(BENCH_JSON).txt
-	$(GO) test -run='^$$' -bench='MatVec|DecodeBatch|RoPEAt|DecodeLockstep|DecodeContinuous|Prefill|PrefixCache' -benchtime=3x -benchmem . >> $(BENCH_JSON).txt
+	$(GO) test -run='^$$' -bench='MatVec|DecodeBatch|RoPEAt|DecodeLockstep|DecodeContinuous|Prefill|PrefixCache|PrefixShare' -benchtime=3x -benchmem . >> $(BENCH_JSON).txt
 	$(GO) run ./cmd/benchjson < $(BENCH_JSON).txt > $(BENCH_JSON)
 	@rm -f $(BENCH_JSON).txt
 	@echo "wrote $(BENCH_JSON)"
@@ -57,9 +57,12 @@ bench-json:
 # path, so the committed $(BENCH_JSON) artifact is never overwritten with
 # machine-local numbers — diff it against the committed $(BENCH_BASELINE)
 # and fail on tok/s drops or allocs/op growth past the (deliberately
-# loose — single-iteration CI numbers are noisy) threshold. Catches
+# loose — single-iteration CI numbers are noisy) threshold, or on any
+# lower-is-better *_bytes residency metric growing past -bytes-threshold
+# (the PrefixShareResidentBytes pair reports kv-unique-bytes, so losing
+# the paged cache's prefix sharing fails this target). Catches
 # step-function regressions like a hot path regrowing its per-token
-# allocations.
+# allocations or every slot holding private prefix pages again.
 BENCH_CI ?= BENCH_CI.json
 bench-compare:
 	$(MAKE) bench-json BENCH_JSON=$(BENCH_CI)

@@ -18,6 +18,13 @@
 //	aptq-loadgen -url http://127.0.0.1:8080 -rate 50 -duration 5s > lat.json
 //	benchjson -compare lat_old.json lat.json -ms-threshold 0.5
 //
+// With -shared-prefix N the shared prefixes are N tokens long — size it
+// to a multiple of the server's KV page (16 rows) so whole prefix pages
+// publish into the prefix cache and later requests adopt them zero-copy —
+// and the run ends by sampling /v1/stats, folding the paged-KV sharing
+// counters (kv_unique_bytes, kv_logical_bytes, kv_sharing_ratio) into the
+// snapshot next to the latency percentiles.
+//
 // With -max-error-rate / -max-p99-ttft-ms the generator gates itself and
 // exits non-zero past the bound, so a CI job needs no JSON tooling:
 //
@@ -52,6 +59,7 @@ type config struct {
 	prefixPop  int     // distinct shared prefixes in the population
 	prefixLen  int     // tokens per shared prefix
 	prefixFrac float64 // fraction of requests drawing a shared prefix
+	sharedPref int     // page-sized shared-prefix override; also samples KV sharing
 	priorities int     // priority classes drawn uniformly from [0,n)
 	deadlineMs int64   // per-request deadline forwarded to the server (0 = none)
 
@@ -73,6 +81,7 @@ func main() {
 	flag.IntVar(&cfg.prefixPop, "prefix-pop", 4, "distinct shared prompt prefixes (0 = no sharing)")
 	flag.IntVar(&cfg.prefixLen, "prefix-len", 6, "tokens per shared prefix")
 	flag.Float64Var(&cfg.prefixFrac, "prefix-frac", 0.5, "fraction of requests reusing a shared prefix")
+	flag.IntVar(&cfg.sharedPref, "shared-prefix", 0, "shared-prefix length override, tokens; size it to a multiple of the server's KV page (16) so prefix pages are adopted zero-copy, and the run appends the server's KV sharing stats to the snapshot (0 = off)")
 	flag.IntVar(&cfg.priorities, "priorities", 1, "priority classes drawn uniformly (1 = all equal)")
 	flag.Int64Var(&cfg.deadlineMs, "deadline-ms", 0, "per-request deadline_ms forwarded to the server (0 = none)")
 	flag.Float64Var(&cfg.maxErrorRate, "max-error-rate", -1, "exit non-zero when error rate exceeds this (negative = no gate)")
@@ -99,6 +108,18 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// withPrefixOverride applies -shared-prefix to the plan shape: when set,
+// it replaces the shared-prefix length with one sized for the server's
+// paged KV cache — a page multiple means whole prefix pages publish into
+// the prefix cache and later requests adopt them zero-copy, which is what
+// makes the sharing ratio sampled after the run move.
+func (c config) withPrefixOverride() config {
+	if c.sharedPref > 0 {
+		c.prefixLen = c.sharedPref
+	}
+	return c
 }
 
 // call is one planned request: when to fire it and what to send.
@@ -205,6 +226,7 @@ func run(cfg config) (map[string]map[string]float64, []string, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("healthz: %w", err)
 	}
+	cfg = cfg.withPrefixOverride()
 	plan := buildPlan(cfg, vocab, maxSeq)
 	if len(plan) == 0 {
 		return nil, nil, fmt.Errorf("empty plan: rate %.1f over %s yields no arrivals", cfg.rate, cfg.duration)
@@ -249,6 +271,13 @@ func run(cfg config) (map[string]map[string]float64, []string, error) {
 			"tok_per_s":  float64(col.tokens) / elapsed.Seconds(),
 		},
 	}
+	if cfg.sharedPref > 0 {
+		kv, err := fetchKVSharing(cfg.url)
+		if err != nil {
+			return nil, nil, fmt.Errorf("stats: %w", err)
+		}
+		snap["LoadgenKVSharing"] = kv
+	}
 	var failures []string
 	if cfg.maxErrorRate >= 0 && errRate > cfg.maxErrorRate {
 		failures = append(failures, fmt.Sprintf("error rate %.3f > %.3f (%d/%d requests failed)",
@@ -258,6 +287,38 @@ func run(cfg config) (map[string]map[string]float64, []string, error) {
 		failures = append(failures, fmt.Sprintf("TTFT p99 %.1fms > %.1fms", p99, cfg.maxP99TTFTMs))
 	}
 	return snap, failures, nil
+}
+
+// fetchKVSharing samples the server's paged-KV sharing counters from
+// /v1/stats once the workload has drained. Slots release their pages
+// lazily (on the next admission), so the post-run numbers still reflect
+// the workload: kv_unique_bytes is resident KV with shared prefix pages
+// counted once, kv_logical_bytes what the same references would cost held
+// privately, kv_sharing_ratio their quotient (> 1 means prefix pages were
+// actually adopted). The keys land in the snapshot verbatim, so
+// `benchjson -compare` treats the *_bytes pair as lower-is-better
+// residency metrics like any other.
+func fetchKVSharing(base string) (map[string]float64, error) {
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Unique  float64 `json:"kv_unique_bytes"`
+		Logical float64 `json:"kv_logical_bytes"`
+		Pages   float64 `json:"kv_pages"`
+		Ratio   float64 `json:"kv_sharing_ratio"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return map[string]float64{
+		"kv_unique_bytes":  st.Unique,
+		"kv_logical_bytes": st.Logical,
+		"kv_pages":         st.Pages,
+		"kv_sharing_ratio": st.Ratio,
+	}, nil
 }
 
 // fetchModelShape asks /healthz for the served model's vocabulary and

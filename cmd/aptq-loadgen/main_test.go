@@ -43,6 +43,15 @@ func stubServe(t *testing.T, vocab, maxSeq int) *httptest.Server {
 		}
 		fmt.Fprintf(w, "data: {\"tokens\":[],\"text\":\"\",\"finish_reason\":\"length\"}\n\n")
 	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{
+			"kv_unique_bytes":  1 << 20,
+			"kv_logical_bytes": 5 << 20,
+			"kv_pages":         64,
+			"kv_sharing_ratio": 5.0,
+			"requests_total":   1,
+		})
+	})
 	ts := httptest.NewServer(mux)
 	t.Cleanup(ts.Close)
 	return ts
@@ -159,6 +168,50 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if sum["tok_per_s"] <= 0 {
 		t.Fatalf("tok_per_s: %v", sum)
+	}
+}
+
+// TestRunSharedPrefix: -shared-prefix overrides the prefix length (the
+// page-sized hot case for the server's paged KV cache) and folds the
+// server's KV sharing counters from /v1/stats into the snapshot.
+func TestRunSharedPrefix(t *testing.T) {
+	ts := stubServe(t, 64, 64)
+	cfg := testConfig(ts.URL)
+	cfg.sharedPref = 16
+	cfg.prefixFrac = 1
+	snap, failures, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) > 0 {
+		t.Fatalf("unexpected gate failures: %v", failures)
+	}
+	kv := snap["LoadgenKVSharing"]
+	if kv == nil {
+		t.Fatalf("KV sharing section missing from snapshot: %v", snap)
+	}
+	if kv["kv_unique_bytes"] != 1<<20 || kv["kv_logical_bytes"] != 5<<20 || kv["kv_pages"] != 64 || kv["kv_sharing_ratio"] != 5 {
+		t.Fatalf("KV sharing counters not forwarded: %v", kv)
+	}
+	// The override reshapes the plan itself: with prefixFrac=1 every prompt
+	// must now carry at least the 16-token shared prefix, not the 4-token
+	// one from testConfig.
+	cfg2 := cfg
+	cfg2.url = ""
+	for i, c := range buildPlan(cfg2.withPrefixOverride(), 64, 64) {
+		if got := len(c.body["tokens"].([]int)); got < 16 {
+			t.Fatalf("call %d: prompt %d tokens, want >= shared prefix 16", i, got)
+		}
+	}
+	// Without the knob the stats endpoint is never consulted and the
+	// section stays absent.
+	cfg.sharedPref = 0
+	snap, _, err = run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := snap["LoadgenKVSharing"]; ok {
+		t.Fatal("KV sharing section present without -shared-prefix")
 	}
 }
 

@@ -350,6 +350,15 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"prompt_tokens":    st.PromptTokens,
 		"generated_tokens": st.GeneratedTokens,
 		"kv_cache_bytes":   st.KVCacheBytes,
+		// Paged-KV accounting: unique bytes count every in-use page once
+		// however many slots and cache entries share it; logical bytes are
+		// what the same references would cost without sharing (the memcpy
+		// memory model); sharing_ratio = logical/unique; pages the unique
+		// in-use page count.
+		"kv_unique_bytes":  st.KVUniqueBytes,
+		"kv_logical_bytes": st.KVLogicalBytes,
+		"kv_pages":         st.KVPages,
+		"kv_sharing_ratio": st.KVSharingRatio(),
 		"prefill_chunk":    st.PrefillChunk,
 		"ttft_count":       st.TTFTSamples,
 		"ttft_p50_ms":      float64(st.TTFTp50) / float64(time.Millisecond),

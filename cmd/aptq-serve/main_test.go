@@ -302,8 +302,9 @@ func TestPrefixCacheEndToEnd(t *testing.T) {
 		o.PrefillChunk = 4
 		o.PrefixCacheBytes = 1 << 20
 	})
-	// A 9-token prompt spans two full cache chunks at chunk 4.
-	body := `{"tokens":[1,2,3,4,5,6,7,8,9],"max_tokens":6,"temperature":0.7,"seed":11}`
+	// A 17-token prompt spans one full 16-row KV page plus a tail token,
+	// so the repeat adopts the cached page and still prefills the tail.
+	body := `{"tokens":[1,2,3,4,5,6,7,8,9,1,2,3,4,5,6,7,8],"max_tokens":6,"temperature":0.7,"seed":11}`
 	code, first := post(t, ts.URL+"/v1/generate", body)
 	if code != http.StatusOK {
 		t.Fatalf("status %d: %s", code, first)
@@ -321,7 +322,7 @@ func TestPrefixCacheEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if stats["prefix_cache_hits"] < 1 || stats["prefix_cache_hit_tokens"] < 8 {
+	if stats["prefix_cache_hits"] < 1 || stats["prefix_cache_hit_tokens"] < 16 {
 		t.Fatalf("prefix cache saw no hits: %v", stats)
 	}
 	if stats["prefix_cache_bytes"] <= 0 || stats["prefix_cache_entries"] <= 0 {
@@ -329,5 +330,14 @@ func TestPrefixCacheEndToEnd(t *testing.T) {
 	}
 	if hr := stats["prefix_cache_hit_rate"]; hr <= 0 || hr > 1 {
 		t.Fatalf("prefix_cache_hit_rate = %v", hr)
+	}
+	if stats["kv_unique_bytes"] <= 0 || stats["kv_pages"] <= 0 {
+		t.Fatalf("paged KV reports no unique residency: %v", stats)
+	}
+	if stats["kv_logical_bytes"] < stats["kv_unique_bytes"] {
+		t.Fatalf("logical KV bytes %v below unique %v", stats["kv_logical_bytes"], stats["kv_unique_bytes"])
+	}
+	if stats["kv_sharing_ratio"] <= 1 {
+		t.Fatalf("cached slot + attached page show no sharing: ratio %v", stats["kv_sharing_ratio"])
 	}
 }

@@ -14,16 +14,22 @@
 // the prior one and exits non-zero when a shared benchmark regressed past
 // the threshold: tok/s dropping by more than -threshold (fractional),
 // allocs/op growing by more than -threshold and more than -alloc-slack
-// absolute allocations (slack absorbs sync.Pool noise), or any *_ms
-// metric — latency percentiles are lower-is-better — growing by more
-// than -ms-threshold. The *_ms rule is what lets the same -compare gate
-// diff aptq-loadgen latency snapshots (LoadgenTTFT p99_ms and friends)
-// exactly like benchmark throughput. This is the CI guardrail that keeps
-// the zero-allocation decode/prefill hot paths, the tok/s trajectory and
-// the serving latency percentiles from silently rotting; the default
-// thresholds are deliberately loose because single-iteration CI numbers
-// (and cross-machine baselines) are noisy — they catch step-function
-// regressions, not percent-level drift.
+// absolute allocations (slack absorbs sync.Pool noise), any *_ms metric
+// — latency percentiles are lower-is-better — growing by more than
+// -ms-threshold, or any *_bytes metric — resident-memory reporters like
+// the paged KV cache's kv-unique-bytes are likewise lower-is-better —
+// growing by more than -bytes-threshold (B/op from -benchmem is keyed
+// bytes_per_op and stays under the allocation rules, not this one). The
+// *_ms rule is what lets the same -compare gate diff aptq-loadgen latency
+// snapshots (LoadgenTTFT p99_ms and friends) exactly like benchmark
+// throughput; the *_bytes rule is what gates resident KV bytes in `make
+// bench-compare`. This is the CI guardrail that keeps the zero-allocation
+// decode/prefill hot paths, the tok/s trajectory, the serving latency
+// percentiles and the resident KV footprint from silently rotting; the
+// default thresholds are deliberately loose because single-iteration CI
+// numbers (and cross-machine baselines) are noisy — they catch
+// step-function regressions, not percent-level drift (byte metrics are
+// deterministic, so their default threshold is tighter).
 //
 //	make bench-json BENCH_JSON=BENCH_NEW.json
 //	benchjson -compare BENCH_PR4.json BENCH_NEW.json
@@ -47,6 +53,7 @@ func main() {
 		threshold  = flag.Float64("threshold", 0.5, "fractional regression tolerance for tok/s drops and allocs/op growth")
 		allocSlack = flag.Float64("alloc-slack", 16, "absolute allocs/op growth ignored regardless of ratio (pool noise)")
 		msThresh   = flag.Float64("ms-threshold", 2.0, "fractional growth tolerance for lower-is-better *_ms latency metrics")
+		bytesThr   = flag.Float64("bytes-threshold", 0.25, "fractional growth tolerance for lower-is-better *_bytes residency metrics")
 	)
 	flag.Parse()
 	if *compare == "" {
@@ -73,7 +80,7 @@ func main() {
 	} else if cur, err = parseBench(os.Stdin); err != nil {
 		fatal(err)
 	}
-	regressions := compareSnapshots(old, cur, *threshold, *allocSlack, *msThresh, os.Stdout)
+	regressions := compareSnapshots(old, cur, *threshold, *allocSlack, *msThresh, *bytesThr, os.Stdout)
 	if len(regressions) > 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) past threshold:\n", len(regressions))
 		for _, r := range regressions {
@@ -104,11 +111,14 @@ func readSnapshot(path string) (map[string]map[string]float64, error) {
 // compareSnapshots prints a per-benchmark diff of tok/s and allocs/op for
 // benchmarks present in both snapshots and returns a description of every
 // regression: tok/s below old*(1-threshold), allocs/op above
-// old*(1+threshold) by more than slack absolute allocations, or a
-// lower-is-better *_ms latency metric above old*(1+msThreshold).
-// Benchmarks only in one snapshot are reported informationally, never as
-// regressions (the suite is allowed to grow and retire entries).
-func compareSnapshots(old, cur map[string]map[string]float64, threshold, slack, msThreshold float64, w io.Writer) []string {
+// old*(1+threshold) by more than slack absolute allocations, a
+// lower-is-better *_ms latency metric above old*(1+msThreshold), or a
+// lower-is-better *_bytes residency metric above old*(1+bytesThreshold)
+// (bytes_per_op — B/op from -benchmem — is excluded: it falls under the
+// allocation rules). Benchmarks only in one snapshot are reported
+// informationally, never as regressions (the suite is allowed to grow and
+// retire entries).
+func compareSnapshots(old, cur map[string]map[string]float64, threshold, slack, msThreshold, bytesThreshold float64, w io.Writer) []string {
 	names := make([]string, 0, len(cur))
 	for name := range cur {
 		if _, ok := old[name]; ok {
@@ -151,6 +161,26 @@ func compareSnapshots(old, cur map[string]map[string]float64, threshold, slack, 
 			if oV > 0 && cV > oV*(1+msThreshold) {
 				regressions = append(regressions,
 					fmt.Sprintf("%s: %s %.2f -> %.2f (+%.0f%%)", name, key, oV, cV, 100*(cV/oV-1)))
+			}
+		}
+		// Residency metrics (*_bytes suffix, e.g. the paged KV cache's
+		// kv-unique-bytes) are likewise lower-is-better: growth past
+		// bytesThreshold is a regression. bytes_per_op (B/op) ends in _op
+		// and is deliberately outside this class — allocation size noise is
+		// covered by the allocs/op rule.
+		var byteKeys []string
+		for key := range o {
+			if _, ok := c[key]; ok && strings.HasSuffix(key, "_bytes") {
+				byteKeys = append(byteKeys, key)
+			}
+		}
+		sort.Strings(byteKeys)
+		for _, key := range byteKeys {
+			oV, cV := o[key], c[key]
+			fmt.Fprintf(w, "  %-32s %12.0fB %12.0fB\n", key, oV, cV)
+			if oV > 0 && cV > oV*(1+bytesThreshold) {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %s %.0f -> %.0f (+%.0f%%)", name, key, oV, cV, 100*(cV/oV-1)))
 			}
 		}
 	}

@@ -70,25 +70,25 @@ func TestCompareSnapshots(t *testing.T) {
 	var sb strings.Builder
 
 	// Identical snapshots: clean.
-	if regs := compareSnapshots(old, old, 0.25, 16, 2, &sb); len(regs) != 0 {
+	if regs := compareSnapshots(old, old, 0.25, 16, 2, 0.25, &sb); len(regs) != 0 {
 		t.Fatalf("identical snapshots regressed: %v", regs)
 	}
 	// tok/s drop past threshold on A; small drop on B stays clean; C gains.
 	cur := snap([4]float64{700, 10, 1, 1}, [4]float64{1900, 0, 1, 1}, [4]float64{800, 100, 1, 1})
-	regs := compareSnapshots(old, cur, 0.25, 16, 2, &sb)
+	regs := compareSnapshots(old, cur, 0.25, 16, 2, 0.25, &sb)
 	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkA") || !strings.Contains(regs[0], "tok/s") {
 		t.Fatalf("tok/s regression detection: %v", regs)
 	}
 	// Alloc growth within slack (0 -> 12) is pool noise, not a regression;
 	// growth past ratio and slack (10 -> 60) is.
 	cur = snap([4]float64{1000, 60, 1, 1}, [4]float64{2000, 12, 1, 1}, [4]float64{500, 100, 1, 1})
-	regs = compareSnapshots(old, cur, 0.25, 16, 2, &sb)
+	regs = compareSnapshots(old, cur, 0.25, 16, 2, 0.25, &sb)
 	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkA") || !strings.Contains(regs[0], "allocs") {
 		t.Fatalf("allocs regression detection: %v", regs)
 	}
 	// A benchmark only in one snapshot is informational, never a failure.
 	deleted := snap([4]float64{1000, 10, 1, 1})
-	if regs := compareSnapshots(old, deleted, 0.25, 16, 2, &sb); len(regs) != 0 {
+	if regs := compareSnapshots(old, deleted, 0.25, 16, 2, 0.25, &sb); len(regs) != 0 {
 		t.Fatalf("retired benchmark treated as regression: %v", regs)
 	}
 	if !strings.Contains(sb.String(), "only in old") {
@@ -115,18 +115,18 @@ func TestCompareSnapshotsMsMetrics(t *testing.T) {
 	var sb strings.Builder
 
 	// Identical and improved runs: clean.
-	if regs := compareSnapshots(old, old, 0.25, 16, 1.0, &sb); len(regs) != 0 {
+	if regs := compareSnapshots(old, old, 0.25, 16, 1.0, 0.25, &sb); len(regs) != 0 {
 		t.Fatalf("identical latency snapshots regressed: %v", regs)
 	}
-	if regs := compareSnapshots(old, latSnap(2, 6, 0.5, 1.5), 0.25, 16, 1.0, &sb); len(regs) != 0 {
+	if regs := compareSnapshots(old, latSnap(2, 6, 0.5, 1.5), 0.25, 16, 1.0, 0.25, &sb); len(regs) != 0 {
 		t.Fatalf("improved latencies regressed: %v", regs)
 	}
 	// Growth inside the threshold (12 -> 20 at msThreshold 1.0) stays clean.
-	if regs := compareSnapshots(old, latSnap(4, 20, 1, 3), 0.25, 16, 1.0, &sb); len(regs) != 0 {
+	if regs := compareSnapshots(old, latSnap(4, 20, 1, 3), 0.25, 16, 1.0, 0.25, &sb); len(regs) != 0 {
 		t.Fatalf("sub-threshold latency growth regressed: %v", regs)
 	}
 	// Injected p99-TTFT regression: 12ms -> 60ms blows a 1.0 threshold.
-	regs := compareSnapshots(old, latSnap(4, 60, 1, 3), 0.25, 16, 1.0, &sb)
+	regs := compareSnapshots(old, latSnap(4, 60, 1, 3), 0.25, 16, 1.0, 0.25, &sb)
 	if len(regs) != 1 || !strings.Contains(regs[0], "LoadgenTTFT") || !strings.Contains(regs[0], "p99_ms") {
 		t.Fatalf("injected p99 TTFT regression not caught: %v", regs)
 	}
@@ -135,17 +135,70 @@ func TestCompareSnapshotsMsMetrics(t *testing.T) {
 	// error counters are not *_ms keys).
 	slow := latSnap(4, 12, 1, 3)
 	slow["LoadgenSummary"]["tok_per_s"] = 100
-	regs = compareSnapshots(old, slow, 0.25, 16, 1.0, &sb)
+	regs = compareSnapshots(old, slow, 0.25, 16, 1.0, 0.25, &sb)
 	if len(regs) != 1 || !strings.Contains(regs[0], "tok/s") {
 		t.Fatalf("tok/s drop in a latency snapshot: %v", regs)
 	}
 	// A zero old value (no samples recorded) never divides into a fake
 	// infinite regression.
 	zero := latSnap(0, 0, 0, 0)
-	if regs := compareSnapshots(zero, latSnap(4, 12, 1, 3), 0.25, 16, 1.0, &sb); len(regs) != 0 {
+	if regs := compareSnapshots(zero, latSnap(4, 12, 1, 3), 0.25, 16, 1.0, 0.25, &sb); len(regs) != 0 {
 		t.Fatalf("zero-baseline latency treated as regression: %v", regs)
 	}
 	if !strings.Contains(sb.String(), "p99_ms") {
 		t.Fatalf("ms metrics missing from the diff output:\n%s", sb.String())
+	}
+}
+
+// bytesSnap builds a paged-KV-shaped residency snapshot (the *_bytes
+// metrics the lower-is-better bytes rule exists for).
+func bytesSnap(unique, logical, bPerOp float64) map[string]map[string]float64 {
+	return map[string]map[string]float64{
+		"BenchmarkPrefixShareResidentBytesShared": {
+			"kv_unique_bytes":  unique,
+			"kv_logical_bytes": logical,
+			"bytes_per_op":     bPerOp,
+			"ns_per_op":        1,
+			"iterations":       1,
+		},
+	}
+}
+
+// TestCompareSnapshotsBytesMetrics pins the lower-is-better *_bytes rule:
+// resident-KV growth past -bytes-threshold regresses (the sharing-ratio
+// guardrail of make bench-compare), improvements and sub-threshold growth
+// stay clean, and bytes_per_op — B/op allocation noise — never trips it.
+func TestCompareSnapshotsBytesMetrics(t *testing.T) {
+	old := bytesSnap(2e6, 9e6, 1000)
+	var sb strings.Builder
+
+	// Identical and improved residency: clean.
+	if regs := compareSnapshots(old, old, 0.25, 16, 2, 0.25, &sb); len(regs) != 0 {
+		t.Fatalf("identical bytes snapshots regressed: %v", regs)
+	}
+	if regs := compareSnapshots(old, bytesSnap(1e6, 9e6, 1000), 0.25, 16, 2, 0.25, &sb); len(regs) != 0 {
+		t.Fatalf("improved residency regressed: %v", regs)
+	}
+	// Growth inside the threshold (2e6 -> 2.4e6 at 0.25) stays clean.
+	if regs := compareSnapshots(old, bytesSnap(2.4e6, 9e6, 1000), 0.25, 16, 2, 0.25, &sb); len(regs) != 0 {
+		t.Fatalf("sub-threshold residency growth regressed: %v", regs)
+	}
+	// Losing the sharing (2e6 -> 8e6 unique: every slot private again)
+	// blows the threshold — the acceptance scenario this rule gates.
+	regs := compareSnapshots(old, bytesSnap(8e6, 9e6, 1000), 0.25, 16, 2, 0.25, &sb)
+	if len(regs) != 1 || !strings.Contains(regs[0], "kv_unique_bytes") {
+		t.Fatalf("lost sharing not caught: %v", regs)
+	}
+	// bytes_per_op is B/op, not a residency metric: a 10x jump there is
+	// the allocation rules' business, not the *_bytes rule's.
+	if regs := compareSnapshots(old, bytesSnap(2e6, 9e6, 10000), 0.25, 16, 2, 0.25, &sb); len(regs) != 0 {
+		t.Fatalf("bytes_per_op tripped the *_bytes rule: %v", regs)
+	}
+	// A zero old value never divides into a fake infinite regression.
+	if regs := compareSnapshots(bytesSnap(0, 0, 0), old, 0.25, 16, 2, 0.25, &sb); len(regs) != 0 {
+		t.Fatalf("zero-baseline residency treated as regression: %v", regs)
+	}
+	if !strings.Contains(sb.String(), "kv_unique_bytes") {
+		t.Fatalf("bytes metrics missing from the diff output:\n%s", sb.String())
 	}
 }

@@ -22,44 +22,55 @@ import (
 // with a nil check.
 var ErrEmptyPrompt = errors.New("infer: empty prompt")
 
-// kvChunkRows is the allocation granularity of the KV cache: rows are
-// allocated kvChunkRows positions at a time as the sequence grows, so a
-// warm-but-idle session (e.g. a scheduler slot between requests) holds
-// memory proportional to the longest sequence it has actually seen, not
-// MaxSeq x Dim x blocks up front.
-const kvChunkRows = 16
-
-// kvCache stores the per-block key/value history of one sequence in
-// fixed-size row chunks. Chunks are allocated on demand and never moved or
-// freed while the cache lives (Reset keeps capacity), so a row slice
-// handed out by kRow/vRow stays valid — the stability in-flight attention
-// relies on — even as later appends grow the cache.
+// kvCache stores the per-block key/value history of one sequence as a
+// list of references to fixed-size pages leased from the session's
+// KVPagePool. Pages are leased on demand and never moved while referenced,
+// so a row slice handed out by kRow/vRow stays valid — the stability
+// in-flight attention relies on — even as later appends grow the cache.
+// Pages may be shared with other holders (prefix-cache entries, other
+// sessions that adopted the same prefix): the cache only ever writes its
+// tail page, and a write into a still-shared tail page copies the owned
+// row prefix into a fresh exclusive page first (copy-on-write), so shared
+// bytes never change underneath another reader.
 type kvCache struct {
 	dim   int
-	chunk int           // rows per chunk
-	k, v  []*tensor.Mat // chunk i holds rows [i*chunk, (i+1)*chunk)
-	len   int           // valid rows
+	rows  int // rows per page (pool granularity)
+	pool  *KVPagePool
+	pages []*kvPage // page i holds rows [i*rows, (i+1)*rows)
+	len   int       // valid rows
 }
 
-func newKVCache(maxSeq, dim int) *kvCache {
-	chunk := kvChunkRows
-	if maxSeq < chunk {
-		chunk = maxSeq
-	}
-	return &kvCache{dim: dim, chunk: chunk}
+func newKVCache(pool *KVPagePool) *kvCache {
+	return &kvCache{dim: pool.dim, rows: pool.rows, pool: pool}
 }
 
 // kRow and vRow return mutable views of row t (t < len for reads; t == len
 // is valid immediately after grow).
-func (c *kvCache) kRow(t int) []float64 { return c.k[t/c.chunk].Row(t % c.chunk) }
-func (c *kvCache) vRow(t int) []float64 { return c.v[t/c.chunk].Row(t % c.chunk) }
+func (c *kvCache) kRow(t int) []float64 { return c.pages[t/c.rows].k.Row(t % c.rows) }
+func (c *kvCache) vRow(t int) []float64 { return c.pages[t/c.rows].v.Row(t % c.rows) }
 
-// grow makes row index c.len addressable, allocating a new chunk when the
-// sequence crosses a chunk boundary.
+// grow makes row index c.len writable: at a page boundary past the leased
+// pages it leases a fresh (exclusive) page from the pool, and when the
+// write would land in a page that is still shared with another holder —
+// only possible after a rollback into adopted pages — it first copies the
+// rows this cache still owns into a fresh exclusive page (copy-on-write,
+// tail page only), so a full, shared page is immutable for as long as
+// anyone else references it.
 func (c *kvCache) grow() {
-	if c.len == len(c.k)*c.chunk {
-		c.k = append(c.k, tensor.New(c.chunk, c.dim)) //aptq:ignore noalloc KV cache grows by fixed chunks: amortized O(1/chunk) per token, pinned by the steady-state alloc tests
-		c.v = append(c.v, tensor.New(c.chunk, c.dim)) //aptq:ignore noalloc KV cache grows by fixed chunks: amortized O(1/chunk) per token, pinned by the steady-state alloc tests
+	if c.len == len(c.pages)*c.rows {
+		c.pages = append(c.pages, c.pool.get()) //aptq:ignore noalloc KV cache grows by fixed pages: amortized O(1/PageRows) per token and free-list recycled, pinned by the steady-state alloc tests
+		return
+	}
+	pi := c.len / c.rows
+	tail := c.pages[pi]
+	if tail.refs.Load() > 1 {
+		fresh := c.pool.get()
+		for r := 0; r < c.len%c.rows; r++ {
+			copy(fresh.k.Row(r), tail.k.Row(r))
+			copy(fresh.v.Row(r), tail.v.Row(r))
+		}
+		c.pages[pi] = fresh
+		c.pool.release(tail)
 	}
 }
 
@@ -75,23 +86,46 @@ func (c *kvCache) appendRows(k, v *tensor.Mat) {
 	}
 }
 
-// truncate rolls the cache back to n valid rows, keeping chunk storage —
-// the Prefill error-rollback path.
+// truncate rolls the cache back to n valid rows — the Prefill
+// error-rollback path. Leased pages are kept (warm capacity; a later
+// regrow that lands in a still-shared page copies on write), so rollback
+// never invalidates concurrently shared pages.
 func (c *kvCache) truncate(n int) {
 	if n < c.len {
 		c.len = n
 	}
 }
 
-// bytes reports the resident size of the allocated chunks.
+// releaseAll returns every page reference to the pool — the Reset path. A
+// page whose last holder this was lands on the pool free list and is
+// reused by later growth, so a recycled scheduler slot leases warm pages
+// instead of allocating.
+func (c *kvCache) releaseAll() {
+	for i, pg := range c.pages {
+		c.pool.release(pg)
+		c.pages[i] = nil
+	}
+	c.pages = c.pages[:0]
+	c.len = 0
+}
+
+// bytes reports the logical size of the referenced pages — what this
+// sequence would occupy if every page were private. Shared pages are
+// counted by every referencing cache; the pool's UniqueBytes counts them
+// once.
 func (c *kvCache) bytes() int {
-	return len(c.k) * 2 * c.chunk * c.dim * 8
+	return len(c.pages) * int(c.pool.PageBytes())
 }
 
 // Session is an incremental decoding session over a fixed model. It is not
 // safe for concurrent use.
 type Session struct {
-	m      *model.Model
+	m *model.Model
+	// pool is the KV page pool the caches lease pages from. NewSession
+	// gives each session a private pool; NewSessionPooled shares one pool
+	// across sessions so full prefix pages can be adopted by reference
+	// (SharePages/AdoptPages in pagepool.go).
+	pool   *KVPagePool
 	caches []*kvCache
 	pos    int
 	// kvQuant, when non-nil, fake-quantizes each key/value row as it
@@ -109,11 +143,24 @@ type Session struct {
 	dscratch *decodeScratch
 }
 
-// NewSession creates a decoding session with empty caches.
+// NewSession creates a decoding session with empty caches over a private
+// page pool. Sessions that should share KV pages (the serving scheduler's
+// slots and its prefix cache) use NewSessionPooled instead.
 func NewSession(m *model.Model) *Session {
-	s := &Session{m: m}
+	return NewSessionPooled(m, NewPagePool(m.Cfg.Dim, m.Cfg.MaxSeq), 0)
+}
+
+// NewSessionPooled creates a decoding session whose KV caches lease pages
+// from the given shared pool; kvBits > 0 additionally stores the KV cache
+// at that bit width (see NewSessionKVQuant). All sessions over one pool
+// must share the model's Dim and MaxSeq — the pool's page shape.
+func NewSessionPooled(m *model.Model, pool *KVPagePool, kvBits int) *Session {
+	s := &Session{m: m, pool: pool}
 	for range m.Blocks {
-		s.caches = append(s.caches, newKVCache(m.Cfg.MaxSeq, m.Cfg.Dim))
+		s.caches = append(s.caches, newKVCache(pool))
+	}
+	if kvBits > 0 {
+		s.kvQuant = newKVQuantizer(kvBits)
 	}
 	return s
 }
@@ -126,6 +173,9 @@ func NewSessionKVQuant(m *model.Model, kvBits int) *Session {
 	return s
 }
 
+// Pool returns the page pool the session's KV caches lease from.
+func (s *Session) Pool() *KVPagePool { return s.pool }
+
 // newKVQuantizer builds the per-token dynamic quantizer KV-cache
 // quantization uses.
 func newKVQuantizer(kvBits int) *quant.ActQuantizer {
@@ -135,20 +185,24 @@ func newKVQuantizer(kvBits int) *quant.ActQuantizer {
 // Pos returns the number of tokens consumed so far.
 func (s *Session) Pos() int { return s.pos }
 
-// Reset clears the caches for a new sequence. Allocated KV chunks are kept
-// (content is overwritten as the next sequence grows into them), so a
+// Reset clears the caches for a new sequence, releasing every page
+// reference back to the pool. Pages this session was the last holder of
+// land on the pool's free list and are leased again by later growth, so a
 // recycled slot in a serving scheduler pays no re-allocation and decodes
 // bit-identically to a fresh session.
 func (s *Session) Reset() {
 	s.pos = 0
 	for _, c := range s.caches {
-		c.len = 0
+		c.releaseAll()
 	}
 }
 
-// KVCacheBytes reports the resident memory of the session's KV cache
-// across all blocks. It grows in kvChunkRows-row chunks with the sequence
-// instead of being MaxSeq-sized up front.
+// KVCacheBytes reports the logical KV memory of the session across all
+// blocks: the bytes of every page it references, whether or not the page
+// is shared with other sessions or the prefix cache. It grows in
+// page-sized (PageRows-row) steps with the sequence instead of being
+// MaxSeq-sized up front. For the deduplicated resident footprint across
+// all sessions of a shared pool, see KVPagePool.Stats().UniqueBytes.
 func (s *Session) KVCacheBytes() int {
 	n := 0
 	for _, c := range s.caches {
@@ -260,8 +314,8 @@ func (s *Session) PrefillLoop(prompt []int) (*tensor.Mat, error) {
 }
 
 // rewind rolls the session back to pos consumed tokens, truncating every
-// block's KV rows past it (chunk storage is kept). Valid only for pos <=
-// the current position; appended rows past pos are abandoned.
+// block's KV rows past it (page references are kept). Valid only for pos
+// <= the current position; appended rows past pos are abandoned.
 func (s *Session) rewind(pos int) {
 	s.pos = pos
 	for _, c := range s.caches {

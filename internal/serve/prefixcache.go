@@ -1,22 +1,26 @@
 // Prefix/KV cache: the scheduler-level store that eliminates repeated
 // prefill work for shared prompt prefixes (system prompts, few-shot
 // headers — the steady-state cost of real serving traffic). The cache
-// holds immutable infer.KVSpan snapshots at admission-chunk granularity:
-// entry k of a prompt covers token positions [k*chunk, (k+1)*chunk) and is
-// keyed by the *entire* prefix up to its end, so two prompts share cached
-// chunks exactly as far as their tokens agree. A request whose prompt
-// starts with cached chunks imports their KV rows (a memcpy per block)
-// instead of recomputing the prefill, which collapses time-to-first-token
-// on repeat prefixes to near zero while remaining bit-identical to a cold
-// prefill — prefill is deterministic and KV rows are position-addressed,
-// so imported bytes equal recomputed bytes (pinned by the prefix-cache
-// tests at the scheduler level).
+// holds refcounted page references (infer.PageSpan) at the page pool's
+// row granularity: entry k of a prompt covers token positions [k*rows,
+// (k+1)*rows) and is keyed by the *entire* prefix up to its end, so two
+// prompts share cached pages exactly as far as their tokens agree. A
+// request whose prompt starts with cached pages adopts them by reference
+// (a refcount bump per page — no memcpy, no extra resident bytes) instead
+// of recomputing the prefill, which collapses both time-to-first-token
+// and resident KV on repeat prefixes while remaining bit-identical to a
+// cold prefill — prefill is deterministic and KV rows are
+// position-addressed, so adopted bytes equal recomputed bytes (pinned by
+// the prefix-cache tests at the scheduler level, with ExportKV/ImportKV
+// as the memcpy oracle).
 //
-// Entries are refcounted: a lookup pins the entries it returns until the
-// importing slot releases them, and eviction — least-recently-used by a
-// byte budget — skips pinned entries, so an admission can never observe a
-// span being dropped mid-attach. Keys store the full prefix tokens, not
-// just a hash: lookups verify token equality, so a hash collision costs a
+// Eviction is least-recently-used by a byte budget over the cache's
+// logical bytes. Dropping an entry only releases the *cache's* page
+// references: pages still referenced by a live slot stay resident until
+// that slot resets (the page refcount is the pin — there is no separate
+// entry pinning to get wrong), so eviction can never free bytes out from
+// under an attached sequence. Keys store the full prefix tokens, not just
+// a hash: lookups verify token equality, so a hash collision costs a
 // miss, never a wrong prefill.
 package serve
 
@@ -27,12 +31,12 @@ import (
 	"repro/internal/infer"
 )
 
-// prefixEntry is one cached chunk of a prompt prefix.
+// prefixEntry is one cached page of a prompt prefix. The entry holds its
+// own page references (taken at insert, dropped at eviction).
 type prefixEntry struct {
 	prefix []int // full token prefix [0, span.End) — collision guard
-	span   *infer.KVSpan
+	span   *infer.PageSpan
 	bytes  int64
-	refs   int // pinned by in-flight attaches; >0 blocks eviction
 
 	// LRU list links (most recent at head).
 	prev, next *prefixEntry
@@ -40,22 +44,24 @@ type prefixEntry struct {
 
 // prefixCacheStats is the counter snapshot the scheduler folds into Stats.
 type prefixCacheStats struct {
-	// Hits / Misses count lookups (a lookup matching >= 1 chunk is a hit).
+	// Hits / Misses count lookups (a lookup matching >= 1 page is a hit).
 	Hits, Misses int64
 	// HitTokens counts prompt tokens whose prefill was skipped.
 	HitTokens int64
 	// Evictions counts entries dropped under byte pressure.
 	Evictions int64
-	// Bytes / Entries describe the current residency.
+	// Bytes / Entries describe the current residency. Bytes is logical:
+	// what the cached pages would occupy if private. Pages shared with
+	// live slots are counted once in the pool's unique bytes.
 	Bytes   int64
 	Entries int
 }
 
-// prefixCache is a byte-budgeted LRU of KV snapshots keyed by token
+// prefixCache is a byte-budgeted LRU of KV page references keyed by token
 // prefix. Safe for concurrent use (slot workers insert mid-prefill while
 // the scheduler loop looks up admissions).
 type prefixCache struct {
-	chunk  int   // token granularity of cached spans
+	rows   int   // token granularity of cached spans: the pool's page rows
 	budget int64 // byte budget; inserts evict LRU entries past it
 
 	mu         sync.Mutex
@@ -64,17 +70,17 @@ type prefixCache struct {
 	stats      prefixCacheStats
 }
 
-func newPrefixCache(chunk int, budget int64) *prefixCache {
-	return &prefixCache{chunk: chunk, budget: budget, entries: make(map[uint64][]*prefixEntry)}
+func newPrefixCache(rows int, budget int64) *prefixCache {
+	return &prefixCache{rows: rows, budget: budget, entries: make(map[uint64][]*prefixEntry)}
 }
 
 // fnvOffset is the FNV-1a 64-bit offset basis.
 const fnvOffset = uint64(14695981039346656037)
 
 // hashExtend mixes tokens into a running FNV-1a hash, so consecutive
-// prefix hashes — prompt[:chunk], prompt[:2*chunk], ... — are computed
+// prefix hashes — prompt[:rows], prompt[:2*rows], ... — are computed
 // incrementally instead of rehashing from the start (lookup walks the
-// chunks of one prompt this way, keeping admission linear in the prompt).
+// pages of one prompt this way, keeping admission linear in the prompt).
 func hashExtend(h uint64, tokens []int) uint64 {
 	for _, t := range tokens {
 		v := uint64(t)
@@ -140,74 +146,66 @@ func (pc *prefixCache) find(h uint64, tokens []int) *prefixEntry {
 	return nil
 }
 
-// lookup returns the spans of the longest run of cached chunks that
+// lookup returns the page spans of the longest run of cached pages that
 // prefix the prompt, covering at most limit tokens (the caller passes
 // len(prompt)-1 so at least one token is always left to prefill — the
-// logits of the last prompt token must be computed, not remembered). The
-// returned entries are pinned; the caller must pass them to release once
-// the spans are imported. A lookup matching at least one chunk counts as
-// a hit, anything else as a miss.
-func (pc *prefixCache) lookup(prompt []int, limit int) (spans []*infer.KVSpan, pinned []*prefixEntry, matched int) {
+// logits of the last prompt token must be computed, not remembered). Each
+// returned span is retained on the caller's behalf — the pages cannot be
+// freed even if the entries are evicted mid-attach — and the caller must
+// Release every span once adopted. A lookup matching at least one page
+// counts as a hit, anything else as a miss.
+func (pc *prefixCache) lookup(prompt []int, limit int) (spans []*infer.PageSpan, matched int) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	h := fnvOffset
-	for (matched+1)*pc.chunk <= limit {
-		h = hashExtend(h, prompt[matched*pc.chunk:(matched+1)*pc.chunk])
-		e := pc.find(h, prompt[:(matched+1)*pc.chunk])
+	for (matched+1)*pc.rows <= limit {
+		h = hashExtend(h, prompt[matched*pc.rows:(matched+1)*pc.rows])
+		e := pc.find(h, prompt[:(matched+1)*pc.rows])
 		if e == nil {
 			break
 		}
-		e.refs++
+		e.span.Retain()
 		pc.touch(e)
 		spans = append(spans, e.span)
-		pinned = append(pinned, e)
 		matched++
 	}
-	matched *= pc.chunk
+	matched *= pc.rows
 	if matched > 0 {
 		pc.stats.Hits++
 		pc.stats.HitTokens += int64(matched)
 	} else {
 		pc.stats.Misses++
 	}
-	return spans, pinned, matched
-}
-
-// release unpins entries returned by lookup, then re-runs eviction: a
-// pinned entry can carry residency past the budget while inserts skip it,
-// and without this pass the overshoot would persist until the next insert
-// (which cache-hit-only traffic might never issue).
-func (pc *prefixCache) release(pinned []*prefixEntry) {
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	for _, e := range pinned {
-		e.refs--
-	}
-	pc.evictLocked()
+	return spans, matched
 }
 
 // contains reports whether the exact prefix is cached — the cheap
-// pre-check a slot runs before paying for an ExportKV copy.
+// pre-check a slot runs before paying for a SharePages refcount walk.
 func (pc *prefixCache) contains(prefix []int) bool {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	return pc.find(hashPrefix(prefix), prefix) != nil
 }
 
-// insert stores span as the cached chunk whose full prefix is prefix
-// (len(prefix) == span.End). Re-inserting an existing prefix is a no-op
-// (the first snapshot wins; both are byte-identical by determinism). A
-// span wider than the whole budget is dropped. Inserting evicts
-// least-recently-used unpinned entries until the budget holds.
-func (pc *prefixCache) insert(prefix []int, span *infer.KVSpan) {
+// insert stores span as the cached page whose full prefix is prefix
+// (len(prefix) == span.End). The cache takes ownership of the span's page
+// references: they are dropped when the entry is evicted (or immediately,
+// when the prefix is already cached — the first snapshot wins; both are
+// byte-identical by determinism — or the span alone exceeds the whole
+// budget). Inserting evicts least-recently-used entries until the budget
+// holds; eviction is always safe because any slot still using the pages
+// holds its own references.
+func (pc *prefixCache) insert(prefix []int, span *infer.PageSpan) {
 	bytes := span.Bytes() + int64(len(prefix))*8
 	if bytes > pc.budget {
+		span.Release()
 		return
 	}
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	h := hashPrefix(prefix)
 	if pc.find(h, prefix) != nil {
+		span.Release()
 		return
 	}
 	e := &prefixEntry{prefix: append([]int(nil), prefix...), span: span, bytes: bytes}
@@ -218,15 +216,11 @@ func (pc *prefixCache) insert(prefix []int, span *infer.KVSpan) {
 	pc.evictLocked()
 }
 
-// evictLocked drops LRU-tail unpinned entries until the budget holds.
-// Caller holds mu.
+// evictLocked drops LRU-tail entries until the budget holds, releasing
+// each victim's page references. Caller holds mu.
 func (pc *prefixCache) evictLocked() {
-	for e := pc.tail; e != nil && pc.stats.Bytes > pc.budget; {
-		victim := e
-		e = e.prev
-		if victim.refs > 0 {
-			continue
-		}
+	for pc.tail != nil && pc.stats.Bytes > pc.budget {
+		victim := pc.tail
 		pc.unlink(victim)
 		h := hashPrefix(victim.prefix)
 		list := pc.entries[h]
@@ -239,10 +233,26 @@ func (pc *prefixCache) evictLocked() {
 		if len(pc.entries[h]) == 0 {
 			delete(pc.entries, h)
 		}
+		victim.span.Release()
 		pc.stats.Bytes -= victim.bytes
 		pc.stats.Entries--
 		pc.stats.Evictions++
 	}
+}
+
+// purge drops every entry and releases its pages — the scheduler Close
+// path, after which the shared pool must report zero pages in use (the
+// refcount-leak check the tests pin).
+func (pc *prefixCache) purge() {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	for e := pc.head; e != nil; e = e.next {
+		e.span.Release()
+		pc.stats.Bytes -= e.bytes
+		pc.stats.Entries--
+	}
+	pc.head, pc.tail = nil, nil
+	pc.entries = make(map[uint64][]*prefixEntry)
 }
 
 // snapshot returns the current counters.

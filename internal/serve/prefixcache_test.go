@@ -11,60 +11,78 @@ import (
 	"repro/internal/parallel"
 )
 
-// cacheTestSpan builds a real KV span for prefix[lo:hi] by prefilling a
-// throwaway session.
-func cacheTestSpan(t *testing.T, m *model.Model, prefix []int, lo, hi int) *infer.KVSpan {
+// cacheTestPool builds a pool with 4-row pages so the cache unit tests
+// stay small (the scheduler uses infer.PageRows; the cache logic is
+// granularity-agnostic).
+func cacheTestPool(m *model.Model) *infer.KVPagePool {
+	return infer.NewPagePool(m.Cfg.Dim, 4)
+}
+
+// cacheTestSpan builds a real page span for prefix[lo:hi] by prefilling a
+// throwaway session over pool. The session is reset afterwards: the span
+// holds its own page references, so the pages survive the recycle.
+func cacheTestSpan(t *testing.T, pool *infer.KVPagePool, m *model.Model, prefix []int, lo, hi int) *infer.PageSpan {
 	t.Helper()
-	sess := infer.NewSession(m.View())
+	sess := infer.NewSessionPooled(m.View(), pool, 0)
 	if _, err := sess.Prefill(prefix[:hi]); err != nil {
 		t.Fatal(err)
 	}
-	return sess.ExportKV(lo, hi)
+	ps := sess.SharePages(lo, hi)
+	sess.Reset()
+	return ps
 }
 
-// TestPrefixCacheLookupGranularity: lookups match whole cached chunks in
-// prefix order, stop at the first uncached chunk, honor the limit (at
+// releaseAll drops the caller-side references a lookup returned.
+func releaseAll(spans []*infer.PageSpan) {
+	for _, sp := range spans {
+		sp.Release()
+	}
+}
+
+// TestPrefixCacheLookupGranularity: lookups match whole cached pages in
+// prefix order, stop at the first uncached page, honor the limit (at
 // least one token is always left to prefill), and verify tokens — a
-// prompt differing inside a chunk misses even when hashes were primed
+// prompt differing inside a page misses even when hashes were primed
 // with a sibling.
 func TestPrefixCacheLookupGranularity(t *testing.T) {
 	m := model.New(model.Tiny(), 1)
+	pool := cacheTestPool(m)
 	prompt := []int{5, 6, 7, 8, 9, 10, 11, 12, 13}
 	pc := newPrefixCache(4, 1<<20)
-	pc.insert(prompt[:4], cacheTestSpan(t, m, prompt, 0, 4))
-	pc.insert(prompt[:8], cacheTestSpan(t, m, prompt, 4, 8))
+	pc.insert(prompt[:4], cacheTestSpan(t, pool, m, prompt, 0, 4))
+	pc.insert(prompt[:8], cacheTestSpan(t, pool, m, prompt, 4, 8))
 
-	spans, pinned, matched := pc.lookup(prompt, len(prompt)-1)
+	spans, matched := pc.lookup(prompt, len(prompt)-1)
 	if matched != 8 || len(spans) != 2 {
 		t.Fatalf("matched %d tokens over %d spans, want 8 over 2", matched, len(spans))
 	}
 	if spans[0].Start != 0 || spans[0].End != 4 || spans[1].Start != 4 || spans[1].End != 8 {
 		t.Fatalf("span ranges [%d,%d) [%d,%d)", spans[0].Start, spans[0].End, spans[1].Start, spans[1].End)
 	}
-	pc.release(pinned)
+	releaseAll(spans)
 
-	// A prompt of exactly 8 tokens may import at most 7: the final token's
-	// logits must be computed, so only the first chunk matches.
-	_, pinned, matched = pc.lookup(prompt[:8], 7)
+	// A prompt of exactly 8 tokens may adopt at most 7: the final token's
+	// logits must be computed, so only the first page matches.
+	spans, matched = pc.lookup(prompt[:8], 7)
 	if matched != 4 {
 		t.Fatalf("limit 7 matched %d tokens, want 4", matched)
 	}
-	pc.release(pinned)
+	releaseAll(spans)
 
-	// Same first chunk, different second chunk: only the shared part hits.
+	// Same first page, different second page: only the shared part hits.
 	diverged := append(append([]int(nil), prompt[:4]...), 30, 31, 30, 31, 30)
-	_, pinned, matched = pc.lookup(diverged, len(diverged)-1)
+	spans, matched = pc.lookup(diverged, len(diverged)-1)
 	if matched != 4 {
 		t.Fatalf("diverged prompt matched %d tokens, want 4", matched)
 	}
-	pc.release(pinned)
+	releaseAll(spans)
 
-	// A prompt shorter than one chunk never matches and counts as a miss.
-	_, pinned, matched = pc.lookup(prompt[:3], 2)
+	// A prompt shorter than one page never matches and counts as a miss.
+	spans, matched = pc.lookup(prompt[:3], 2)
 	if matched != 0 {
 		t.Fatalf("short prompt matched %d tokens", matched)
 	}
-	pc.release(pinned)
+	releaseAll(spans)
 
 	st := pc.snapshot()
 	if st.Hits != 3 || st.Misses != 1 || st.HitTokens != 16 {
@@ -73,13 +91,23 @@ func TestPrefixCacheLookupGranularity(t *testing.T) {
 	if st.Entries != 2 || st.Bytes <= 0 {
 		t.Fatalf("stats entries=%d bytes=%d", st.Entries, st.Bytes)
 	}
+
+	// Cache entries are the only remaining holders; purging must return
+	// every page to the pool (the refcount-leak invariant).
+	pc.purge()
+	if ps := pool.Stats(); ps.PagesInUse != 0 {
+		t.Fatalf("%d pages still in use after purge", ps.PagesInUse)
+	}
 }
 
-// TestPrefixCacheEvictionLRUAndPinning: inserts past the byte budget
-// evict least-recently-used entries; pinned entries survive eviction
-// until released.
-func TestPrefixCacheEvictionLRUAndPinning(t *testing.T) {
+// TestPrefixCacheEvictionLRUAndRefcounts: inserts past the byte budget
+// evict least-recently-used entries; eviction only drops the cache's page
+// references, so spans handed to an in-flight attach stay valid — the
+// page refcount is the pin — and the pages free only when the last holder
+// releases.
+func TestPrefixCacheEvictionLRUAndRefcounts(t *testing.T) {
 	m := model.New(model.Tiny(), 1)
+	pool := cacheTestPool(m)
 	mkPrompt := func(seed int) []int {
 		p := make([]int, 8)
 		for i := range p {
@@ -87,74 +115,88 @@ func TestPrefixCacheEvictionLRUAndPinning(t *testing.T) {
 		}
 		return p
 	}
-	one := cacheTestSpan(t, m, mkPrompt(0), 0, 4)
+	one := cacheTestSpan(t, pool, m, mkPrompt(0), 0, 4)
 	perEntry := one.Bytes() + 4*8
+	one.Release()
 	pc := newPrefixCache(4, 2*perEntry) // room for two entries
 
 	a, b, c := mkPrompt(0), mkPrompt(5), mkPrompt(11)
-	pc.insert(a[:4], cacheTestSpan(t, m, a, 0, 4))
-	pc.insert(b[:4], cacheTestSpan(t, m, b, 0, 4))
+	pc.insert(a[:4], cacheTestSpan(t, pool, m, a, 0, 4))
+	pc.insert(b[:4], cacheTestSpan(t, pool, m, b, 0, 4))
 	// Touch a so b is the LRU tail, then overflow with c.
-	_, pinned, matched := pc.lookup(a, len(a)-1)
+	spans, matched := pc.lookup(a, len(a)-1)
 	if matched != 4 {
 		t.Fatalf("warm lookup matched %d", matched)
 	}
-	pc.release(pinned)
-	pc.insert(c[:4], cacheTestSpan(t, m, c, 0, 4))
+	releaseAll(spans)
+	pc.insert(c[:4], cacheTestSpan(t, pool, m, c, 0, 4))
 
 	st := pc.snapshot()
 	if st.Entries != 2 || st.Evictions != 1 || st.Bytes > 2*perEntry {
 		t.Fatalf("after overflow: entries=%d evictions=%d bytes=%d budget=%d",
 			st.Entries, st.Evictions, st.Bytes, 2*perEntry)
 	}
-	if _, p2, mB := pc.lookup(b, len(b)-1); mB != 0 {
+	if spans, mB := pc.lookup(b, len(b)-1); mB != 0 {
 		t.Fatal("LRU entry b survived eviction")
 	} else {
-		pc.release(p2)
+		releaseAll(spans)
 	}
 	for _, keep := range [][]int{a, c} {
-		if _, p2, mk := pc.lookup(keep, len(keep)-1); mk != 4 {
+		if spans, mk := pc.lookup(keep, len(keep)-1); mk != 4 {
 			t.Fatalf("recently used entry evicted (matched %d)", mk)
 		} else {
-			pc.release(p2)
+			releaseAll(spans)
 		}
 	}
 
-	// Pin a, then overflow twice: a must survive while pinned, residency
-	// must stay within budget throughout (eviction may drop even a
-	// just-inserted entry when everything older is pinned), and release —
-	// which re-runs eviction itself, so cache-hit-only traffic cannot
-	// leave an overshoot behind — keeps the budget after unpinning.
-	_, pinnedA, _ := pc.lookup(a, len(a)-1)
+	// Hold a's span as an in-flight attach would, then evict a under
+	// pressure: the entry may go, but the held span's pages must survive
+	// until the holder releases them.
+	heldSpans, mA := pc.lookup(a, len(a)-1)
+	if mA != 4 {
+		t.Fatal("a not cached before pressure")
+	}
 	d, e := mkPrompt(17), mkPrompt(23)
-	pc.insert(d[:4], cacheTestSpan(t, m, d, 0, 4))
-	pc.insert(e[:4], cacheTestSpan(t, m, e, 0, 4))
-	if _, p2, mA := pc.lookup(a, len(a)-1); mA != 4 {
-		t.Fatal("pinned entry evicted under pressure")
-	} else {
-		pc.release(p2)
-	}
+	pc.insert(d[:4], cacheTestSpan(t, pool, m, d, 0, 4))
+	pc.insert(e[:4], cacheTestSpan(t, pool, m, e, 0, 4))
 	if st := pc.snapshot(); st.Bytes > 2*perEntry {
-		t.Fatalf("pinned pressure exceeded the byte budget: bytes=%d budget=%d", st.Bytes, 2*perEntry)
+		t.Fatalf("pressure exceeded the byte budget: bytes=%d budget=%d", st.Bytes, 2*perEntry)
 	}
-	pc.release(pinnedA)
-	if st := pc.snapshot(); st.Bytes > 2*perEntry {
-		t.Fatalf("release did not keep the byte budget: bytes=%d budget=%d", st.Bytes, 2*perEntry)
+	// The held pages are alive regardless of what eviction did to the
+	// entry: in-use pages must cover at least the held span.
+	if got := pool.Stats().PagesInUse; got < int64(heldSpans[0].Pages()) {
+		t.Fatalf("held span's pages freed under eviction pressure (in use: %d)", got)
+	}
+	releaseAll(heldSpans)
+
+	// After purging the cache nothing holds pages: the pool must drain.
+	pc.purge()
+	if ps := pool.Stats(); ps.PagesInUse != 0 {
+		t.Fatalf("%d pages leaked after purge", ps.PagesInUse)
 	}
 
-	// A span wider than the whole budget is never admitted.
+	// A span wider than the whole budget is never admitted, and insert
+	// releases it — no leak.
 	tiny := newPrefixCache(4, 1)
-	tiny.insert(a[:4], cacheTestSpan(t, m, a, 0, 4))
+	tiny.insert(a[:4], cacheTestSpan(t, pool, m, a, 0, 4))
 	if st := tiny.snapshot(); st.Entries != 0 {
 		t.Fatalf("over-budget span admitted (%d entries)", st.Entries)
+	}
+	if ps := pool.Stats(); ps.PagesInUse != 0 {
+		t.Fatalf("over-budget insert leaked %d pages", ps.PagesInUse)
 	}
 }
 
 // prefixRequests builds a workload where every request shares one of two
-// system-prompt prefixes, followed by a per-request tail.
+// page-sized (infer.PageRows-token) system-prompt prefixes, followed by a
+// per-request tail. Prompt plus generation stays within Tiny's MaxSeq.
 func prefixRequests(vocab, n int) []Request {
-	sysA := []int{1, 2, 3, 4, 5, 6, 7, 8}
-	sysB := []int{9, 10, 11, 12, 9, 10, 11, 12}
+	sysA := make([]int, infer.PageRows)
+	sysB := make([]int, infer.PageRows)
+	for i := range sysA {
+		sysA[i] = 1 + i%7
+		sysB[i] = 9 + i%4
+	}
 	rng := rand.New(rand.NewSource(23))
 	reqs := make([]Request, n)
 	for i := range reqs {
@@ -244,7 +286,7 @@ func TestSchedulerPrefixCacheBitIdentical(t *testing.T) {
 }
 
 // TestSchedulerPrefixCacheKVQuant: the identity holds with a quantized KV
-// cache too (spans carry the quantized rows).
+// cache too (pages carry the quantized rows).
 func TestSchedulerPrefixCacheKVQuant(t *testing.T) {
 	m := model.New(model.Tiny(), 1)
 	reqs := prefixRequests(m.Cfg.Vocab, 6)
@@ -271,18 +313,20 @@ func TestSchedulerPrefixCacheKVQuant(t *testing.T) {
 }
 
 // TestSchedulerPrefixCacheEvictionPressure: a budget that holds only a
-// couple of chunks keeps evicting mid-traffic; results stay correct and
-// the residency never exceeds the budget by more than the pinned slack.
+// couple of pages keeps evicting mid-traffic; results stay correct and
+// the residency never exceeds the budget (eviction is always safe — live
+// slots hold their own page references).
 func TestSchedulerPrefixCacheEvictionPressure(t *testing.T) {
 	m := model.New(model.Tiny(), 1)
 	reqs := prefixRequests(m.Cfg.Vocab, 12)
 	opts := DefaultOptions()
 	opts.Slots = 3
 	opts.PrefillChunk = 4
-	// One 4-token chunk costs blocks * 2 * 4 * dim * 8 bytes plus key
-	// overhead; budget two of them.
-	chunkBytes := int64(len(m.Blocks) * 2 * 4 * m.Cfg.Dim * 8)
-	opts.PrefixCacheBytes = 2*chunkBytes + 128
+	// One page costs blocks * 2 * PageRows * dim * 8 bytes plus key
+	// overhead; budget exactly one entry, so the workload's two distinct
+	// prefix pages keep evicting each other.
+	pageBytes := int64(len(m.Blocks) * 2 * infer.PageRows * m.Cfg.Dim * 8)
+	opts.PrefixCacheBytes = pageBytes + 512
 	s := New(m, opts)
 	defer s.Close()
 	want := make([]Result, len(reqs))
@@ -304,6 +348,102 @@ func TestSchedulerPrefixCacheEvictionPressure(t *testing.T) {
 	}
 	if st.PrefixCacheBytes > opts.PrefixCacheBytes {
 		t.Fatalf("resident %d bytes exceeds budget %d", st.PrefixCacheBytes, opts.PrefixCacheBytes)
+	}
+}
+
+// TestSchedulerKVAccountingAndPageRelease: unique KV bytes count shared
+// pages once (logical > unique under shared-prefix traffic), and after
+// Drain + Close every page reference — slots and prefix-cache entries —
+// returns to the pool: the refcount-leak invariant.
+func TestSchedulerKVAccountingAndPageRelease(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	reqs := prefixRequests(m.Cfg.Vocab, 12)
+	opts := DefaultOptions()
+	opts.Slots = 4
+	opts.PrefixCacheBytes = 1 << 20
+	s := New(m, opts)
+	if _, err := s.GenerateAll(reqs); err != nil { // prime the cache
+		s.Close()
+		t.Fatal(err)
+	}
+	if _, err := s.GenerateAll(reqs); err != nil { // hit it
+		s.Close()
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.KVUniqueBytes <= 0 || st.KVPages <= 0 {
+		t.Fatalf("no unique KV residency reported: %+v", st)
+	}
+	if st.KVLogicalBytes <= st.KVUniqueBytes {
+		t.Fatalf("shared-prefix traffic shows no sharing: logical %d <= unique %d",
+			st.KVLogicalBytes, st.KVUniqueBytes)
+	}
+	if r := st.KVSharingRatio(); r <= 1 {
+		t.Fatalf("sharing ratio %v, want > 1", r)
+	}
+	if st.KVUniqueBytes != st.KVPages*s.pool.PageBytes() {
+		t.Fatalf("unique bytes %d != %d pages x %d page bytes",
+			st.KVUniqueBytes, st.KVPages, s.pool.PageBytes())
+	}
+	s.Drain()
+	s.Close()
+	if ps := s.pool.Stats(); ps.PagesInUse != 0 {
+		t.Fatalf("%d pages still referenced after Close — refcount leak", ps.PagesInUse)
+	}
+}
+
+// TestSchedulerPrefixCacheEvictionRace: concurrent submitters against a
+// one-entry cache budget force attach, decode and eviction to race on the
+// page pool; under -race this is the COW/refcount synchronization stress,
+// and every result must still match its sequential reference. The pool
+// must drain after Close.
+func TestSchedulerPrefixCacheEvictionRace(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	reqs := prefixRequests(m.Cfg.Vocab, 24)
+	want := make([]Result, len(reqs))
+	var refWG sync.WaitGroup
+	for i, r := range reqs {
+		refWG.Add(1)
+		go func(i int, r Request) {
+			defer refWG.Done()
+			want[i] = Sequential(m, r, DefaultOptions())
+		}(i, r)
+	}
+	refWG.Wait()
+	opts := DefaultOptions()
+	opts.Slots = 4
+	opts.PrefillChunk = 4
+	// Room for one entry: the two shared prefixes keep evicting each other
+	// while slots still hold the evicted entries' pages.
+	opts.PrefixCacheBytes = int64(len(m.Blocks)*2*infer.PageRows*m.Cfg.Dim*8) + 512
+	s := New(m, opts)
+	results := make([]Result, len(reqs))
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(reqs); i += 6 {
+				ticket, err := s.Submit(reqs[i])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[i] = ticket.Wait()
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	s.Close()
+	for i := range want {
+		assertSameResult(t, fmt.Sprintf("req %d", i), results[i], want[i])
+	}
+	if st.PrefixCacheEvictions == 0 {
+		t.Fatalf("no evictions under the one-entry budget (%+v)", st)
+	}
+	if ps := s.pool.Stats(); ps.PagesInUse != 0 {
+		t.Fatalf("%d pages leaked through the eviction race", ps.PagesInUse)
 	}
 }
 

@@ -177,14 +177,16 @@ type Options struct {
 	// prefill is bit-identical to the token loop at every chunk size.
 	PrefillChunk int
 	// PrefixCacheBytes, when positive, enables the shared prefix/KV cache
-	// with that byte budget: completed prefill chunks are snapshotted at
-	// PrefillChunk granularity, and a request whose prompt starts with
-	// cached chunks imports their KV rows instead of recomputing the
-	// prefill — near-zero time-to-first-token on repeat system prompts.
-	// Output is unaffected: an imported prefix is byte-identical to a
-	// recomputed one (prefill is deterministic), so scheduled output stays
-	// bit-identical to Sequential with or without the cache. 0 disables
-	// caching.
+	// with that byte budget: completed prefill pages are published at
+	// infer.PageRows granularity, and a request whose prompt starts with
+	// cached pages adopts them by reference — a refcount bump per page, no
+	// memcpy, no extra resident bytes — instead of recomputing the prefill:
+	// near-zero time-to-first-token on repeat system prompts, and resident
+	// KV that scales with unique tokens instead of slot count. Output is
+	// unaffected: an adopted prefix references the very bytes a recomputed
+	// one would produce (prefill is deterministic), so scheduled output
+	// stays bit-identical to Sequential with or without the cache. 0
+	// disables caching.
 	PrefixCacheBytes int64
 	// MaxQueue bounds the admission queue depth: Submit returns
 	// ErrQueueFull once MaxQueue requests are waiting, so overload sheds
@@ -210,9 +212,20 @@ type Stats struct {
 	// PromptTokens / GeneratedTokens count tokens over the scheduler's
 	// lifetime (completed requests only).
 	PromptTokens, GeneratedTokens int64
-	// KVCacheBytes is the resident KV memory across all slots, including
-	// warm recycled capacity.
+	// KVCacheBytes is the resident KV memory of the shared page pool:
+	// every allocated page — referenced by slots and/or the prefix cache,
+	// plus warm free-list capacity — counted exactly once.
 	KVCacheBytes int64
+	// KVUniqueBytes is the resident size of the pages currently referenced
+	// by at least one holder (slot or prefix-cache entry), each counted
+	// once regardless of how many holders share it. KVLogicalBytes is what
+	// the same references would occupy without sharing — every slot's and
+	// cache entry's pages counted per holder, the pre-paging memcpy memory
+	// model. KVLogicalBytes / KVUniqueBytes is the sharing ratio; KVPages
+	// counts the unique in-use pages.
+	KVUniqueBytes  int64
+	KVLogicalBytes int64
+	KVPages        int64
 	// PrefillChunk is the admission chunk size in effect.
 	PrefillChunk int
 	// TTFTSamples counts completed prefills; TTFTp50/TTFTp99 are
@@ -258,6 +271,16 @@ func (st Stats) PrefixCacheHitRate() float64 {
 	return float64(st.PrefixCacheHits) / float64(total)
 }
 
+// KVSharingRatio returns logical over unique KV bytes — how many times
+// over the resident pages are referenced. 1 means no sharing; N slots
+// fully sharing one prefix approach N. 0 when no pages are in use.
+func (st Stats) KVSharingRatio() float64 {
+	if st.KVUniqueBytes == 0 {
+		return 0
+	}
+	return float64(st.KVLogicalBytes) / float64(st.KVUniqueBytes)
+}
+
 // ttftWindow is the number of recent time-to-first-token samples the
 // percentile stats are computed over.
 const ttftWindow = 512
@@ -278,15 +301,17 @@ type pending struct {
 // goroutine (or, inside a tick, by exactly one parallel worker); cache is
 // internally synchronized.
 type slot struct {
-	sess    *infer.Session
-	maxSeq  int
-	chunk   int          // prompt tokens admitted per tick
-	cache   *prefixCache // nil when prefix caching is disabled
-	sampler infer.Sampler
+	sess     *infer.Session
+	maxSeq   int
+	chunk    int          // prompt tokens admitted per tick
+	pageRows int          // KV page granularity (the session pool's rows)
+	cache    *prefixCache // nil when prefix caching is disabled
+	sampler  infer.Sampler
 
 	active      bool
 	prefilled   bool
 	promptPos   int // prompt tokens consumed so far
+	published   int // prompt pages offered to the prefix cache so far
 	req         Request
 	ticket      *Ticket
 	rng         *rand.Rand
@@ -305,33 +330,41 @@ type slot struct {
 
 // newSlot wraps a session as an idle slot.
 func newSlot(sess *infer.Session, maxSeq, chunk int, cache *prefixCache) *slot {
-	return &slot{sess: sess, maxSeq: maxSeq, chunk: chunk, cache: cache}
+	return &slot{sess: sess, maxSeq: maxSeq, chunk: chunk, pageRows: sess.Pool().Rows(), cache: cache}
 }
 
 // start admits a request into an idle slot. The session is recycled with
-// Reset — warm KV chunks and the decode/prefill scratch arenas are kept —
-// which decodes bit-identically to a fresh session. With prefix caching
-// enabled, the longest run of cached chunks prefixing the prompt is
-// imported into the recycled KV cache (a memcpy per block per chunk) and
-// prefill resumes after it; at least the final prompt token is always
-// prefilled for real, because its logits must be computed.
+// Reset — its page references return to the shared pool and the
+// decode/prefill scratch arenas are kept — which decodes bit-identically
+// to a fresh session. With prefix caching enabled, the longest run of
+// cached pages prefixing the prompt is adopted by reference into the
+// recycled KV cache (a refcount bump per page, no copy) and prefill
+// resumes after it; at least the final prompt token is always prefilled
+// for real, because its logits must be computed.
 func (sl *slot) start(req Request, ticket *Ticket, submitted time.Time) {
 	sl.sess.Reset()
 	sl.active = true
 	sl.prefilled = false
 	sl.promptPos = 0
+	sl.published = 0
 	if sl.cache != nil && len(req.Prompt) > 0 {
-		spans, pinned, _ := sl.cache.lookup(req.Prompt, len(req.Prompt)-1)
+		spans, _ := sl.cache.lookup(req.Prompt, len(req.Prompt)-1)
 		for _, sp := range spans {
-			if err := sl.sess.ImportKV(sp); err != nil {
-				// Impossible by construction (spans are consecutive and
-				// shape-checked before any state changes); stop importing
-				// and prefill the rest from the last good position.
+			if err := sl.sess.AdoptPages(sp); err != nil {
+				// Impossible by construction (spans are consecutive,
+				// page-aligned, from the shared pool, and validated before
+				// any state changes); stop adopting and prefill the rest
+				// from the last good position.
 				break
 			}
 		}
-		sl.cache.release(pinned)
+		// The lookup retained each span for this attach; the session now
+		// holds its own page references, so drop the lookup's.
+		for _, sp := range spans {
+			sp.Release()
+		}
 		sl.promptPos = sl.sess.Pos()
+		sl.published = sl.promptPos / sl.pageRows
 	}
 	sl.req = req
 	sl.ticket = ticket
@@ -425,12 +458,21 @@ func (sl *slot) advance(eos int) {
 			return
 		}
 		sl.promptPos += n
-		// Snapshot every full chunk-aligned prefix into the cache so the
-		// next request sharing it skips this chunk's prefill. Export copies
-		// the freshly appended KV rows; insert de-duplicates and evicts LRU
+		// Publish every newly completed prompt page into the cache so the
+		// next request sharing the prefix adopts it by reference. Publishing
+		// is decoupled from the admission chunk size: the published cursor
+		// walks full pages regardless of how prefill ticks chop the prompt.
+		// SharePages bumps refcounts on the pages already resident in this
+		// slot — no bytes are copied; insert de-duplicates and evicts LRU
 		// entries past the byte budget.
-		if sl.cache != nil && n == sl.chunk && lo%sl.chunk == 0 && !sl.cache.contains(sl.req.Prompt[:sl.promptPos]) {
-			sl.cache.insert(sl.req.Prompt[:sl.promptPos], sl.sess.ExportKV(lo, sl.promptPos)) //aptq:ignore noalloc prefix-cache admission runs per prompt chunk during prefill, never on the decode steady state
+		if sl.cache != nil {
+			for (sl.published+1)*sl.pageRows <= sl.promptPos {
+				hi := (sl.published + 1) * sl.pageRows
+				if !sl.cache.contains(sl.req.Prompt[:hi]) {
+					sl.cache.insert(sl.req.Prompt[:hi], sl.sess.SharePages(sl.published*sl.pageRows, hi)) //aptq:ignore noalloc prefix-cache publication runs per prompt page during prefill, never on the decode steady state
+				}
+				sl.published++
+			}
 		}
 		if sl.promptPos < len(sl.req.Prompt) {
 			return // rest of the prompt admits on later ticks
@@ -480,7 +522,9 @@ type Scheduler struct {
 	maxSeq   int
 	maxQueue int
 	slots    []*slot
-	prefix   *prefixCache // nil when Options.PrefixCacheBytes is 0
+	pool     *infer.KVPagePool // shared by every slot session and the prefix cache
+	prefix   *prefixCache      // nil when Options.PrefixCacheBytes is 0
+	released sync.Once         // Close's one-time page teardown
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -511,17 +555,15 @@ func New(m *model.Model, opts Options) *Scheduler {
 	}
 	s := &Scheduler{eos: opts.EOS, maxSeq: m.Cfg.MaxSeq, maxQueue: opts.MaxQueue, loopDone: make(chan struct{})}
 	s.cond = sync.NewCond(&s.mu)
+	// One page pool spans every slot and the prefix cache: pages published
+	// by one slot are adopted by reference in any other, and pool stats
+	// give the deduplicated resident KV footprint of the whole scheduler.
+	s.pool = infer.NewPagePool(m.Cfg.Dim, m.Cfg.MaxSeq)
 	if opts.PrefixCacheBytes > 0 {
-		s.prefix = newPrefixCache(opts.PrefillChunk, opts.PrefixCacheBytes)
+		s.prefix = newPrefixCache(s.pool.Rows(), opts.PrefixCacheBytes)
 	}
 	for _, v := range m.Views(opts.Slots) {
-		var sess *infer.Session
-		if opts.KVQuantBits > 0 {
-			sess = infer.NewSessionKVQuant(v, opts.KVQuantBits)
-		} else {
-			sess = infer.NewSession(v)
-		}
-		s.slots = append(s.slots, newSlot(sess, m.Cfg.MaxSeq, opts.PrefillChunk, s.prefix))
+		s.slots = append(s.slots, newSlot(infer.NewSessionPooled(v, s.pool, opts.KVQuantBits), m.Cfg.MaxSeq, opts.PrefillChunk, s.prefix))
 	}
 	s.stats.Slots = opts.Slots
 	s.stats.PrefillChunk = opts.PrefillChunk
@@ -685,7 +727,10 @@ func (s *Scheduler) Drain() {
 }
 
 // Close stops admission, drains every queued and in-flight request (their
-// tickets still resolve), and joins the decode loop. Idempotent.
+// tickets still resolve), joins the decode loop, and releases every KV
+// page reference — slot sessions and prefix-cache entries both — back to
+// the shared pool, after which the pool reports zero pages in use (the
+// refcount-leak invariant the tests pin). Idempotent.
 func (s *Scheduler) Close() {
 	s.mu.Lock()
 	if !s.closed {
@@ -694,6 +739,14 @@ func (s *Scheduler) Close() {
 	}
 	s.mu.Unlock()
 	<-s.loopDone
+	s.released.Do(func() {
+		if s.prefix != nil {
+			s.prefix.purge()
+		}
+		for _, sl := range s.slots {
+			sl.sess.Reset()
+		}
+	})
 }
 
 // loop is the decode loop: admit into free slots, advance all live slots
@@ -773,10 +826,16 @@ func (s *Scheduler) loop() {
 		// any worker count (the internal/parallel contract).
 		parallel.ForEach(len(live), func(i int) { live[i].advance(s.eos) })
 
-		var kvBytes int64
+		// KV accounting, shared pages counted once: logical bytes sum every
+		// holder's references (slots here; the prefix cache's own logical
+		// bytes are added under the lock below), unique bytes come from the
+		// pool, which sees each page exactly once however many holders
+		// share it.
+		var logicalBytes int64
 		for _, sl := range s.slots {
-			kvBytes += int64(sl.sess.KVCacheBytes())
+			logicalBytes += int64(sl.sess.KVCacheBytes())
 		}
+		ps := s.pool.Stats()
 		s.mu.Lock()
 		for _, sl := range live {
 			if sl.ttftPending {
@@ -800,7 +859,13 @@ func (s *Scheduler) loop() {
 			nActive--
 		}
 		s.stats.Active = nActive
-		s.stats.KVCacheBytes = kvBytes
+		if s.prefix != nil {
+			logicalBytes += s.prefix.snapshot().Bytes
+		}
+		s.stats.KVCacheBytes = ps.UniqueBytes + ps.FreePages*s.pool.PageBytes()
+		s.stats.KVUniqueBytes = ps.UniqueBytes
+		s.stats.KVLogicalBytes = logicalBytes
+		s.stats.KVPages = ps.PagesInUse
 		if nActive == 0 && len(s.queue) == 0 {
 			s.cond.Broadcast() // wake Drain waiters: the scheduler is idle
 		}

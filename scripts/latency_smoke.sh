@@ -1,14 +1,18 @@
 #!/bin/sh
 # CI latency smoke: build aptq-serve and aptq-loadgen, boot the server on
-# the built-in demo model, and drive it open-loop for a few seconds of
-# mixed streaming traffic (skewed prompt/output lengths, shared prefixes,
-# priority classes). The loadgen gates itself: any failed request, or a
-# p99 TTFT past the (deliberately absurd) bound, exits non-zero and fails
-# the job. The latency percentiles land in a benchjson-schema snapshot
-# (default LATENCY_CI.json, override with $LATENCY_JSON) that CI uploads
-# as an artifact, so the serving latency trajectory is diffable with
-# `benchjson -compare old.json new.json -ms-threshold ...` exactly like
-# the throughput snapshots. Used by `make latency-smoke` and CI.
+# the built-in demo model with the prefix cache enabled, and drive it
+# open-loop for a few seconds of mixed streaming traffic (skewed
+# prompt/output lengths, page-sized shared prefixes, priority classes).
+# The loadgen gates itself: any failed request, or a p99 TTFT past the
+# (deliberately absurd) bound, exits non-zero and fails the job. The
+# latency percentiles — plus the paged-KV sharing counters sampled from
+# /v1/stats after the run (-shared-prefix is a multiple of the 16-row KV
+# page, so prefix pages are adopted zero-copy and kv_sharing_ratio > 1) —
+# land in a benchjson-schema snapshot (default LATENCY_CI.json, override
+# with $LATENCY_JSON) that CI uploads as an artifact, so the serving
+# latency and residency trajectory is diffable with `benchjson -compare
+# old.json new.json -ms-threshold ...` exactly like the throughput
+# snapshots. Used by `make latency-smoke` and CI.
 set -eu
 
 ADDR="${APTQ_SERVE_ADDR:-127.0.0.1:8798}"
@@ -28,7 +32,7 @@ trap cleanup EXIT
 go build -o "$BINDIR/aptq-serve" ./cmd/aptq-serve
 go build -o "$BINDIR/aptq-loadgen" ./cmd/aptq-loadgen
 
-"$BINDIR/aptq-serve" -addr "$ADDR" -slots 4 -max-queue 4096 >"$LOG" 2>&1 &
+"$BINDIR/aptq-serve" -addr "$ADDR" -slots 4 -max-queue 4096 -prefix-cache 67108864 >"$LOG" 2>&1 &
 PID=$!
 
 ok=0
@@ -51,7 +55,7 @@ fi
 "$BINDIR/aptq-loadgen" \
     -url "http://$ADDR" \
     -rate "$RATE" -duration "$DURATION" -seed 1 \
-    -prefix-pop 4 -prefix-len 6 -prefix-frac 0.5 \
+    -prefix-pop 2 -shared-prefix 32 -prefix-frac 0.9 \
     -priorities 3 \
     -max-error-rate 0 -max-p99-ttft-ms 5000 \
     -out "$OUT"

@@ -140,6 +140,119 @@ func benchPrefixTTFT(b *testing.B, cacheBytes int64) {
 func BenchmarkPrefixCacheHit(b *testing.B)  { benchPrefixTTFT(b, 1<<26) }
 func BenchmarkPrefixCacheCold(b *testing.B) { benchPrefixTTFT(b, 0) }
 
+// --- Paged KV: resident bytes under shared-prefix traffic ---
+//
+// Both variants run the same 8-slot workload — eight requests with an
+// identical 120-token prompt, two generated tokens each — after one
+// priming request. With the prefix cache on (Shared), every slot adopts
+// the full prefix pages by reference, so the pool holds the prefix once
+// plus one private tail page per slot; with it off (Private), every slot
+// recomputes and privately holds the whole prompt — the pre-paging memcpy
+// memory model. kv-unique-bytes is the pool's deduplicated residency
+// after the workload (deterministic, so `benchjson -compare` gates it as
+// a lower-is-better bytes metric); kv-logical-bytes is what the same
+// references would cost without sharing. The acceptance bar is Shared
+// holding >= 4x fewer unique bytes than Private at 8 slots.
+//
+//	go test -run='^$' -bench=PrefixShareResidentBytes -benchtime=1x .
+
+func benchPrefixShareResident(b *testing.B, cacheBytes int64) {
+	skipUnderShort(b)
+	m := model.New(prefillBenchConfig(), 1)
+	rng := rand.New(rand.NewSource(6))
+	prompt := make([]int, prefixBenchPrompt)
+	for i := range prompt {
+		prompt[i] = rng.Intn(m.Cfg.Vocab)
+	}
+	const slots = 8
+	opts := serve.Options{Slots: slots, EOS: -1, PrefillChunk: 8, PrefixCacheBytes: cacheBytes}
+	s := serve.New(m, opts)
+	defer s.Close()
+	// Prime: one request publishes the prefix pages (with the cache on),
+	// so the measured batch adopts them instead of racing cold.
+	prime, err := s.Submit(serve.Request{ID: "prime", Prompt: prompt, MaxTokens: 1, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res := prime.Wait(); res.Err != nil {
+		b.Fatal(res.Err)
+	}
+	reqs := make([]serve.Request, slots)
+	for i := range reqs {
+		reqs[i] = serve.Request{ID: fmt.Sprintf("share%d", i), Prompt: prompt, MaxTokens: 2, Seed: int64(i)}
+	}
+	b.ResetTimer()
+	var st serve.Stats
+	for i := 0; i < b.N; i++ {
+		results, err := s.GenerateAll(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+		st = s.Stats()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(st.KVUniqueBytes), "kv-unique-bytes")
+	b.ReportMetric(float64(st.KVLogicalBytes), "kv-logical-bytes")
+}
+
+func BenchmarkPrefixShareResidentBytesShared(b *testing.B)  { benchPrefixShareResident(b, 1<<26) }
+func BenchmarkPrefixShareResidentBytesPrivate(b *testing.B) { benchPrefixShareResident(b, 0) }
+
+// TestPrefixShareResidentBytesRatio pins the benchmark pair's acceptance
+// bar as a test: at 8 slots sharing a 120-token prefix, the paged cache
+// holds at least 4x fewer unique KV bytes than the private memcpy model.
+func TestPrefixShareResidentBytesRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro workload; skipped under -short")
+	}
+	m := model.New(prefillBenchConfig(), 1)
+	rng := rand.New(rand.NewSource(6))
+	prompt := make([]int, prefixBenchPrompt)
+	for i := range prompt {
+		prompt[i] = rng.Intn(m.Cfg.Vocab)
+	}
+	const slots = 8
+	run := func(cacheBytes int64) int64 {
+		s := serve.New(m, serve.Options{Slots: slots, EOS: -1, PrefillChunk: 8, PrefixCacheBytes: cacheBytes})
+		defer s.Close()
+		prime, err := s.Submit(serve.Request{ID: "prime", Prompt: prompt, MaxTokens: 1, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := prime.Wait(); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		reqs := make([]serve.Request, slots)
+		for i := range reqs {
+			reqs[i] = serve.Request{ID: fmt.Sprintf("share%d", i), Prompt: prompt, MaxTokens: 2, Seed: int64(i)}
+		}
+		results, err := s.GenerateAll(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+		}
+		return s.Stats().KVUniqueBytes
+	}
+	shared := run(1 << 26)
+	private := run(0)
+	if shared <= 0 || private <= 0 {
+		t.Fatalf("no residency reported: shared=%d private=%d", shared, private)
+	}
+	if ratio := float64(private) / float64(shared); ratio < 4 {
+		t.Fatalf("unique KV bytes only %.2fx lower with sharing (shared=%d private=%d), want >= 4x",
+			ratio, shared, private)
+	}
+}
+
 func BenchmarkDecodeContinuous(b *testing.B) {
 	skipUnderShort(b)
 	m, _ := floatBenchModel()
