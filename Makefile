@@ -3,7 +3,7 @@ GO ?= go
 # releases.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build test race bench bench-smoke bench-json bench-compare serve-smoke latency-smoke fmt fmt-check vet aptq-vet staticcheck ci
+.PHONY: all build test race bench bench-smoke bench-json bench-compare serve-smoke latency-smoke router-smoke fmt fmt-check vet aptq-vet staticcheck ci
 
 # Output of `make bench-json` (benchmarks as data; CI uploads it) and the
 # committed baseline `make bench-compare` diffs it against.
@@ -83,6 +83,14 @@ serve-smoke:
 latency-smoke:
 	./scripts/latency_smoke.sh
 
+# Fault-tolerance gate: three aptq-serve replicas behind aptq-router with
+# seeded chaos injection on the upstream path; one replica is SIGKILLed
+# mid-load. Zero client-visible errors, byte-identical replies across the
+# kill, and the dead replica ejected — or the target fails. Router
+# counters and latency percentiles land in ROUTER_CI.json.
+router-smoke:
+	./scripts/router_smoke.sh
+
 fmt:
 	gofmt -w .
 
@@ -106,4 +114,4 @@ staticcheck:
 
 # Mirrors .github/workflows/ci.yml (staticcheck needs network on first
 # use to fetch the pinned binary; later runs hit the local cache).
-ci: fmt-check vet aptq-vet staticcheck build test race bench-smoke bench-compare serve-smoke latency-smoke
+ci: fmt-check vet aptq-vet staticcheck build test race bench-smoke bench-compare serve-smoke latency-smoke router-smoke

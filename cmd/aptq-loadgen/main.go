@@ -29,6 +29,19 @@
 // exits non-zero past the bound, so a CI job needs no JSON tooling:
 //
 //	aptq-loadgen -rate 40 -duration 3s -max-error-rate 0 -max-p99-ttft-ms 5000
+//
+// Multi-replica targeting: -replicas takes a comma-separated URL list and
+// spreads the planned requests across them round-robin (the naive
+// affinity-free baseline — compare against pointing -url at aptq-router,
+// which routes the same workload by prefix affinity). Either way, when
+// the stats endpoint the run samples turns out to be a router (its
+// /v1/stats carries router_* counters), the retry/failover/spill/ejection
+// counters are folded into the snapshot as LoadgenRouter, so a latency CI
+// artifact records how hard the fault-tolerance machinery worked during
+// the run:
+//
+//	aptq-loadgen -url http://127.0.0.1:8090 -rate 50 -duration 5s   # router
+//	aptq-loadgen -replicas http://127.0.0.1:8081,http://127.0.0.1:8082
 package main
 
 import (
@@ -42,12 +55,14 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
 
 type config struct {
 	url        string
+	replicas   string        // comma-separated URL list; round-robin targeting
 	rate       float64       // mean request arrivals per second
 	duration   time.Duration // plan horizon (arrivals past it are dropped)
 	requests   int           // hard cap on planned requests (0 = rate*duration)
@@ -69,7 +84,8 @@ type config struct {
 
 func main() {
 	var cfg config
-	flag.StringVar(&cfg.url, "url", "http://127.0.0.1:8080", "aptq-serve base URL")
+	flag.StringVar(&cfg.url, "url", "http://127.0.0.1:8080", "aptq-serve (or aptq-router) base URL")
+	flag.StringVar(&cfg.replicas, "replicas", "", "comma-separated replica URLs; requests round-robin across them (overrides -url for request traffic)")
 	flag.Float64Var(&cfg.rate, "rate", 20, "mean arrival rate, requests/second (open loop)")
 	flag.DurationVar(&cfg.duration, "duration", 5*time.Second, "arrival window to plan")
 	flag.IntVar(&cfg.requests, "requests", 0, "cap on planned requests (0 = rate*duration)")
@@ -222,7 +238,17 @@ func (c *collector) record(ttft time.Duration, itl []time.Duration, tokens int, 
 // run executes the planned workload against cfg.url and returns the
 // latency snapshot plus any violated self-gates.
 func run(cfg config) (map[string]map[string]float64, []string, error) {
-	vocab, maxSeq, err := fetchModelShape(cfg.url)
+	// The target set: -replicas spreads requests round-robin (the
+	// affinity-free baseline); otherwise everything goes to -url, which may
+	// be a single replica or a router. Shape and post-run stats come from
+	// the first target — replicas are identical by contract.
+	targets := splitURLs(cfg.replicas)
+	if len(targets) == 0 {
+		targets = []string{cfg.url}
+	}
+	statsURL := targets[0]
+
+	vocab, maxSeq, err := fetchModelShape(statsURL)
 	if err != nil {
 		return nil, nil, fmt.Errorf("healthz: %w", err)
 	}
@@ -236,16 +262,17 @@ func run(cfg config) (map[string]map[string]float64, []string, error) {
 	var wg sync.WaitGroup
 	client := &http.Client{}
 	start := time.Now()
-	for _, c := range plan {
+	for i, c := range plan {
 		if d := c.at - time.Since(start); d > 0 {
 			time.Sleep(d) // open loop: fire on schedule, never on reply
 		}
+		target := targets[i%len(targets)]
 		wg.Add(1)
-		go func(c call) {
+		go func(c call, target string) {
 			defer wg.Done()
-			ttft, itl, tokens, failed := doRequest(client, cfg.url, c.body)
+			ttft, itl, tokens, failed := doRequest(client, target, c.body)
 			col.record(ttft, itl, tokens, failed)
-		}(c)
+		}(c, target)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -272,11 +299,18 @@ func run(cfg config) (map[string]map[string]float64, []string, error) {
 		},
 	}
 	if cfg.sharedPref > 0 {
-		kv, err := fetchKVSharing(cfg.url)
+		kv, err := fetchKVSharing(statsURL)
 		if err != nil {
 			return nil, nil, fmt.Errorf("stats: %w", err)
 		}
 		snap["LoadgenKVSharing"] = kv
+	}
+	// If the stats endpoint is a router (its /v1/stats carries router_*
+	// counters), fold the fault-tolerance counters into the snapshot: a
+	// latency artifact should say how many retries/failovers/spills the
+	// run's percentiles absorbed.
+	if rc, ok := fetchRouterCounters(statsURL); ok {
+		snap["LoadgenRouter"] = rc
 	}
 	var failures []string
 	if cfg.maxErrorRate >= 0 && errRate > cfg.maxErrorRate {
@@ -319,6 +353,45 @@ func fetchKVSharing(base string) (map[string]float64, error) {
 		"kv_pages":         st.Pages,
 		"kv_sharing_ratio": st.Ratio,
 	}, nil
+}
+
+// fetchRouterCounters samples router_* counters from /v1/stats; ok is
+// false when the endpoint has none (a plain replica). The keys land in
+// the snapshot with the router_ prefix stripped.
+func fetchRouterCounters(base string) (map[string]float64, bool) {
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, false
+	}
+	out := map[string]float64{}
+	for k, v := range st {
+		f, isNum := v.(float64)
+		if isNum && strings.HasPrefix(k, "router_") {
+			out[strings.TrimPrefix(k, "router_")] = f
+		}
+	}
+	if len(out) == 0 {
+		return nil, false
+	}
+	return out, true
+}
+
+// splitURLs parses a comma-separated URL list, trimming blanks and
+// trailing slashes.
+func splitURLs(s string) []string {
+	var urls []string
+	for _, part := range strings.Split(s, ",") {
+		u := strings.TrimRight(strings.TrimSpace(part), "/")
+		if u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
 }
 
 // fetchModelShape asks /healthz for the served model's vocabulary and

@@ -3,8 +3,10 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 )
@@ -258,6 +260,141 @@ func TestDoRequestParsesSSE(t *testing.T) {
 	}
 	if _, _, _, failed := doRequest(http.DefaultClient, ts.URL, map[string]any{"tokens": []int{}}); !failed {
 		t.Fatal("bad request not reported as failed")
+	}
+}
+
+// TestSplitURLs: the -replicas parser drops blanks and canonicalises
+// trailing slashes, so target URLs concatenate cleanly with paths.
+func TestSplitURLs(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"http://a:1", []string{"http://a:1"}},
+		{" http://a:1/ ,, http://b:2 ", []string{"http://a:1", "http://b:2"}},
+	}
+	for _, c := range cases {
+		got := splitURLs(c.in)
+		if len(got) != len(c.want) {
+			t.Fatalf("splitURLs(%q) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("splitURLs(%q)[%d] = %q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+// TestRunReplicasRoundRobin: -replicas spreads the plan across every
+// target (the affinity-free baseline the router tests compare against),
+// while shape and stats sampling stick to the first target.
+func TestRunReplicasRoundRobin(t *testing.T) {
+	var mu sync.Mutex
+	hits := map[string]int{}
+	a := stubServeCounting(t, 64, 64, func() { mu.Lock(); hits["a"]++; mu.Unlock() })
+	b := stubServeCounting(t, 64, 64, func() { mu.Lock(); hits["b"]++; mu.Unlock() })
+	cfg := testConfig("")
+	cfg.replicas = a.URL + "," + b.URL
+	snap, failures, err := run(cfg)
+	if err != nil || len(failures) > 0 {
+		t.Fatalf("run: failures=%v err=%v", failures, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	total := hits["a"] + hits["b"]
+	if float64(total) != snap["LoadgenSummary"]["requests"] {
+		t.Fatalf("replicas saw %d generates, summary says %v", total, snap["LoadgenSummary"]["requests"])
+	}
+	if hits["a"] == 0 || hits["b"] == 0 {
+		t.Fatalf("round-robin left a replica idle: %v", hits)
+	}
+	if diff := hits["a"] - hits["b"]; diff < -1 || diff > 1 {
+		t.Fatalf("round-robin imbalance: %v", hits)
+	}
+}
+
+// stubServeCounting is stubServe with a per-generate callback.
+func stubServeCounting(t *testing.T, vocab, maxSeq int, onGenerate func()) *httptest.Server {
+	t.Helper()
+	inner := stubServe(t, vocab, maxSeq)
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/generate" {
+			onGenerate()
+		}
+		req, err := http.NewRequest(r.Method, inner.URL+r.URL.String(), r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+	}))
+	t.Cleanup(proxy.Close)
+	return proxy
+}
+
+// TestRunRouterCounters: pointing the loadgen at a router-shaped stats
+// endpoint folds router_* counters into the snapshot (prefix stripped);
+// a plain replica's stats map leaves the section absent.
+func TestRunRouterCounters(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"status": "ok", "vocab": 64, "maxseq": 64})
+	})
+	mux.HandleFunc("/v1/generate", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprintf(w, "data: {\"token\":1,\"text\":\"w\",\"index\":0}\n\n")
+		fmt.Fprintf(w, "data: {\"tokens\":[],\"text\":\"\",\"finish_reason\":\"length\"}\n\n")
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{
+			"requests_total":  9,
+			"router_requests": 9,
+			"router_retries":  2,
+			"router_spills":   1,
+			"replicas":        []map[string]any{{"id": 0}}, // non-numeric: must be ignored
+		})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	snap, _, err := run(testConfig(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := snap["LoadgenRouter"]
+	if rc == nil {
+		t.Fatalf("router counters missing from snapshot: %v", snap)
+	}
+	if rc["requests"] != 9 || rc["retries"] != 2 || rc["spills"] != 1 {
+		t.Fatalf("router counters mangled: %v", rc)
+	}
+	if _, ok := rc["requests_total"]; ok {
+		t.Fatalf("non-router key leaked into the router section: %v", rc)
+	}
+
+	// A plain replica (stubServe's stats carry no router_* keys) must not
+	// grow the section.
+	plain := stubServe(t, 64, 64)
+	snap, _, err = run(testConfig(plain.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := snap["LoadgenRouter"]; ok {
+		t.Fatal("LoadgenRouter section present against a plain replica")
 	}
 }
 

@@ -1,0 +1,149 @@
+// Command aptq-router is the fault-tolerant multi-replica front-end over
+// a fleet of aptq-serve processes (internal/router): consistent-hash
+// routing on token-prefix affinity, per-replica health-checked circuit
+// breakers, and transparent retry/failover — safe because every replica
+// is bit-identical for a given request, so a retried or resumed request
+// yields the same bytes a single healthy replica would have sent.
+//
+// Usage:
+//
+//	aptq-router -replicas http://127.0.0.1:8081,http://127.0.0.1:8082
+//	aptq-router -replicas ... -probe-interval 500ms -eject-after 3
+//	aptq-router -replicas ... -chaos-refuse 0.05 -chaos-seed 7   # fault drill
+//
+// The HTTP surface is identical to a single replica's (POST /v1/generate,
+// GET /v1/stats, GET /healthz), so clients — including aptq-loadgen —
+// point at the router unchanged. /v1/stats additionally carries the fleet
+// aggregate, router_* counters (retries, failovers, spills, ejections)
+// and a per-replica health array.
+//
+// Like aptq-serve, the first stdout line is "ADDR=<host:port>" with the
+// actually bound address (-addr :0 asks the kernel for a free port), and
+// SIGINT/SIGTERM drains: /healthz goes 503, new requests are rejected,
+// in-flight proxied requests finish.
+//
+// The -chaos-* flags wrap the upstream transport with seeded fault
+// injection (internal/router/chaos): refused connections, delayed
+// forwards, responses cut mid-stream. They exist to drill the failover
+// machinery — the router-smoke CI job runs with them on and still
+// requires zero client-visible errors and bit-identical replies.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/router"
+	"repro/internal/router/chaos"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aptq-router: ")
+
+	var (
+		addr          = flag.String("addr", "127.0.0.1:8090", "listen address (:0 picks a free port; the bound address is printed as ADDR=... on stdout)")
+		replicas      = flag.String("replicas", "", "comma-separated replica base URLs (required)")
+		probeInterval = flag.Duration("probe-interval", time.Second, "healthz probe cadence for healthy replicas")
+		probeTimeout  = flag.Duration("probe-timeout", 2*time.Second, "per-probe (and per-stats-fanout) timeout")
+		ejectAfter    = flag.Int("eject-after", 3, "consecutive failures that open a replica's circuit breaker")
+		backoffMin    = flag.Duration("backoff-min", 250*time.Millisecond, "initial ejection backoff")
+		backoffMax    = flag.Duration("backoff-max", 8*time.Second, "ejection backoff ceiling")
+		reqTimeout    = flag.Duration("request-timeout", 60*time.Second, "per-attempt bound on proxied requests")
+		passes        = flag.Int("passes", 2, "full ring walks per request before giving up")
+		seed          = flag.Int64("seed", 1, "seed for probe jitter")
+
+		chaosSeed        = flag.Int64("chaos-seed", 1, "seed for injected faults (reproducible chaos)")
+		chaosRefuse      = flag.Float64("chaos-refuse", 0, "probability an upstream call fails as connection-refused")
+		chaosDelay       = flag.Float64("chaos-delay", 0, "probability an upstream call is delayed")
+		chaosDelayDur    = flag.Duration("chaos-delay-dur", 50*time.Millisecond, "injected delay duration")
+		chaosHangup      = flag.Float64("chaos-hangup", 0, "probability an upstream response is cut mid-body")
+		chaosHangupAfter = flag.Int("chaos-hangup-after", 256, "bytes delivered before an injected hangup")
+	)
+	flag.Parse()
+
+	urls := splitReplicas(*replicas)
+	if len(urls) == 0 {
+		log.Fatal("-replicas is required (comma-separated base URLs)")
+	}
+
+	opts := router.Options{
+		Replicas:       urls,
+		ProbeInterval:  *probeInterval,
+		ProbeTimeout:   *probeTimeout,
+		EjectAfter:     *ejectAfter,
+		BackoffMin:     *backoffMin,
+		BackoffMax:     *backoffMax,
+		RequestTimeout: *reqTimeout,
+		Passes:         *passes,
+		Seed:           *seed,
+	}
+	if *chaosRefuse > 0 || *chaosDelay > 0 || *chaosHangup > 0 {
+		opts.Transport = chaos.New(nil, chaos.Config{
+			Seed:        *chaosSeed,
+			RefuseProb:  *chaosRefuse,
+			DelayProb:   *chaosDelay,
+			Delay:       *chaosDelayDur,
+			HangupProb:  *chaosHangup,
+			HangupAfter: *chaosHangupAfter,
+		})
+		log.Printf("chaos enabled: refuse=%.2f delay=%.2f hangup=%.2f seed=%d",
+			*chaosRefuse, *chaosDelay, *chaosHangup, *chaosSeed)
+	}
+
+	rt, err := router.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound := ln.Addr().String()
+	// Same machine-parseable contract as aptq-serve: first stdout line.
+	fmt.Printf("ADDR=%s\n", bound)
+	log.Printf("routing %d replicas, listening on %s", len(urls), bound)
+
+	httpSrv := &http.Server{Handler: rt.Handler()}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		// Mirror the replica drain order at the routing tier: healthz goes
+		// unhealthy, new requests get 503, in-flight proxied requests
+		// finish, then the listener closes.
+		log.Printf("signal received, draining")
+		rt.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+	}()
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}
+
+// splitReplicas parses the -replicas flag: comma-separated URLs, blanks
+// dropped, trailing slashes trimmed so ring identities are canonical.
+func splitReplicas(s string) []string {
+	var urls []string
+	for _, part := range strings.Split(s, ",") {
+		u := strings.TrimRight(strings.TrimSpace(part), "/")
+		if u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestSplitReplicas(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"", 0},
+		{"http://a:1", 1},
+		{"http://a:1,http://b:2", 2},
+		{" http://a:1 , http://b:2/ ,", 2},
+	}
+	for _, c := range cases {
+		got := splitReplicas(c.in)
+		if len(got) != c.want {
+			t.Fatalf("splitReplicas(%q) = %v, want %d entries", c.in, got, c.want)
+		}
+		for _, u := range got {
+			if u[len(u)-1] == '/' || u[0] == ' ' {
+				t.Fatalf("splitReplicas(%q) left an uncanonical URL %q", c.in, u)
+			}
+		}
+	}
+}

@@ -2,14 +2,24 @@
 // continuous-batching scheduler (internal/serve): a pool of KV-cached
 // decoding slots on one shared model copy — float or packed — with
 // per-request seeds, stop tokens and token budgets, so mixed-length
-// traffic keeps every slot busy instead of decoding in lockstep.
+// traffic keeps every slot busy instead of decoding in lockstep. The
+// handler itself lives in internal/serve (serve.Server); this command
+// binds it to flags, a listener and signal handling.
 //
 // Usage:
 //
 //	aptq-serve -ckpt nano7b-q.packed.ckpt -packed -slots 8
 //	aptq-serve -prefix-cache 67108864   # 64 MiB shared prefix/KV cache
 //	aptq-serve -max-queue 256           # shed load with 429 past 256 queued
+//	aptq-serve -addr :0                 # kernel-assigned port (see below)
 //	aptq-serve                      # built-in deterministic demo model
+//
+// The first line on stdout is always "ADDR=<host:port>" with the
+// *actually bound* listen address — with -addr :0 the kernel picks a free
+// port, so multi-process harnesses (the router smoke test boots three
+// replicas at once) parse that line instead of racing each other for
+// hardcoded ports. Logs go to stderr; stdout carries only the address
+// line.
 //
 // Endpoints:
 //
@@ -18,46 +28,38 @@
 //	                    "priority":5, "deadline_ms":2000, "stream":true}
 //	                   With ?stream=1 (or "stream":true) the reply is a
 //	                   Server-Sent-Events stream: one `data:` event per
-//	                   generated token as it decodes, then a final event
-//	                   carrying the complete non-streaming response body.
+//	                   generated token, then a final event carrying the
+//	                   complete non-streaming response body.
 //	GET  /v1/stats     scheduler counters (slots, queue, tokens, KV bytes,
 //	                   prefill chunk, TTFT + inter-token latency p50/p99,
 //	                   cancellations, rejections, prefix-cache hits)
 //	GET  /healthz      liveness + model identity; 503 while draining
 //
-// Interactive-latency contract: a client disconnect or an exceeded
-// "deadline_ms" cancels the request's context, and the scheduler frees
-// its slot at the next decode tick — an abandoned request never decodes
-// to its full token budget. "priority" orders admission when slots are
-// contended; -max-queue bounds the admission queue, returning 429 under
-// overload. On SIGINT/SIGTERM the server drains: /healthz goes unhealthy,
-// new requests get 503, in-flight requests finish (graceful redeploys).
-//
-// With -prefix-cache N, completed prefill chunks are snapshotted into a
-// shared N-byte KV cache and requests whose prompts repeat a cached
-// prefix (system prompts, few-shot headers) skip that part of the
-// prefill entirely — near-zero time-to-first-token on repeats, with
-// replies bit-identical to the uncached path.
+// On SIGINT/SIGTERM the server drains: /healthz goes unhealthy, new
+// requests get 503, in-flight requests finish. The drain is bounded by
+// -drain-timeout (default 30s): past it, remaining requests are
+// force-closed with an error instead of hanging the shutdown forever, and
+// the scheduler reports it in drain_timeouts.
 //
 // Determinism: the same request body always yields the same reply — output
 // depends only on the model and the request (prompt, seed, temperature,
 // stop set), never on slot assignment, worker count, streaming, priority,
 // or concurrent traffic (including co-scheduled cancellations). The CI
-// smoke test asserts this end to end, for both reply forms.
+// smoke test asserts this end to end, for both reply forms; the
+// multi-replica router (cmd/aptq-router) leans on the same contract to
+// retry and fail over between replicas transparently.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
-	"strings"
-	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -74,7 +76,7 @@ func main() {
 	log.SetPrefix("aptq-serve: ")
 
 	var (
-		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (:0 picks a free port; the bound address is printed as ADDR=... on stdout)")
 		ckpt       = flag.String("ckpt", "", "checkpoint to serve (empty: built-in demo model)")
 		packed     = flag.Bool("packed", false, "serve straight from the packed low-bit representation (compressed checkpoints only)")
 		slots      = flag.Int("slots", 4, "concurrent decoding slots")
@@ -84,6 +86,7 @@ func main() {
 		prefill    = flag.Int("prefill-chunk", 0, "prompt tokens admitted per decode tick (0 = default chunking)")
 		prefixCach = flag.Int64("prefix-cache", 0, "shared prefix/KV cache byte budget (0 = disabled); repeat prompt prefixes skip prefill")
 		maxQueue   = flag.Int("max-queue", 0, "admission queue depth bound; overflow is rejected with 429 (0 = unbounded)")
+		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on SIGTERM; expired drains force-close remaining requests (0 = wait forever)")
 		trainSteps = flag.Int("train-steps", 0, "pretraining steps for the demo model (0 = raw seeded init, instant startup)")
 	)
 	flag.Parse()
@@ -100,28 +103,42 @@ func main() {
 	opts.PrefillChunk = *prefill
 	opts.PrefixCacheBytes = *prefixCach
 	opts.MaxQueue = *maxQueue
-	srv := newServer(m, opts)
-	defer srv.sched.Close()
-	log.Printf("model %s (vocab %d, maxseq %d), %d slots, listening on %s",
-		m.Cfg.Name, m.Cfg.Vocab, m.Cfg.MaxSeq, *slots, *addr)
+	srv := serve.NewServer(m, opts)
+	defer srv.Close()
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.mux()}
+	// Bind before announcing: with -addr :0 the kernel assigns the port, so
+	// the flag value and the bound address differ — everything downstream
+	// (the printed ADDR line, the log) reports the listener's truth, never
+	// the flag's assumption.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound := ln.Addr().String()
+	// The machine-parseable contract: first stdout line is ADDR=<host:port>.
+	fmt.Printf("ADDR=%s\n", bound)
+	log.Printf("model %s (vocab %d, maxseq %d), %d slots, listening on %s",
+		m.Cfg.Name, m.Cfg.Vocab, m.Cfg.MaxSeq, *slots, bound)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		// Graceful redeploy order: flip /healthz unhealthy so load
 		// balancers stop routing here, drain the scheduler (new Submits
-		// rejected, queued + in-flight requests run to completion), then
-		// shut the HTTP listener down.
-		log.Printf("signal received, draining")
-		srv.draining.Store(true)
-		srv.sched.Drain()
+		// rejected, queued + in-flight requests run to completion, bounded
+		// by -drain-timeout), then shut the HTTP listener down.
+		log.Printf("signal received, draining (timeout %s)", *drainTO)
+		srv.SetDraining(true)
+		if !srv.Scheduler().DrainFor(*drainTO) {
+			log.Printf("drain timeout expired; remaining requests force-closed")
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(ctx)
 	}()
-	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
 }
@@ -142,277 +159,4 @@ func loadModel(ckpt string, packed bool, trainSteps int) (*model.Model, error) {
 	}
 	m, _, err := core.LoadModelFile(ckpt, packed)
 	return m, err
-}
-
-// server binds the scheduler to the HTTP surface.
-type server struct {
-	m        *model.Model
-	vocab    *data.Vocabulary
-	sched    *serve.Scheduler
-	draining atomic.Bool // set before Drain; /healthz reports 503
-}
-
-func newServer(m *model.Model, opts serve.Options) *server {
-	return &server{m: m, vocab: data.NewVocabulary(m.Cfg.Vocab), sched: serve.New(m, opts)}
-}
-
-func (s *server) mux() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/generate", s.handleGenerate)
-	mux.HandleFunc("/v1/stats", s.handleStats)
-	mux.HandleFunc("/healthz", s.handleHealth)
-	return mux
-}
-
-// generateRequest is the JSON body of POST /v1/generate. Exactly one of
-// Prompt (whitespace-tokenized words of the synthetic vocabulary) or
-// Tokens (raw ids) supplies the prompt.
-type generateRequest struct {
-	ID          string  `json:"id,omitempty"`
-	Prompt      string  `json:"prompt,omitempty"`
-	Tokens      []int   `json:"tokens,omitempty"`
-	MaxTokens   int     `json:"max_tokens"`
-	Temperature float64 `json:"temperature"`
-	Seed        int64   `json:"seed"`
-	Stop        []int   `json:"stop,omitempty"`
-	// Stream switches the reply to Server-Sent Events (same as ?stream=1):
-	// one event per generated token, then a final event with the complete
-	// response. Streaming never changes the generated tokens.
-	Stream bool `json:"stream,omitempty"`
-	// Priority orders admission under contention (higher first); it never
-	// affects the reply's content.
-	Priority int `json:"priority,omitempty"`
-	// DeadlineMs bounds the request's total latency: past the deadline the
-	// scheduler stops decoding, frees the slot, and the reply carries
-	// finish_reason "deadline_exceeded" with the tokens generated so far.
-	DeadlineMs int64 `json:"deadline_ms,omitempty"`
-}
-
-// generateResponse is the JSON reply of POST /v1/generate.
-type generateResponse struct {
-	ID           string `json:"id,omitempty"`
-	Tokens       []int  `json:"tokens"`
-	Text         string `json:"text"`
-	FinishReason string `json:"finish_reason"`
-	Error        string `json:"error,omitempty"`
-}
-
-// streamEvent is one per-token SSE event of a streaming generate.
-type streamEvent struct {
-	Token int    `json:"token"`
-	Text  string `json:"text"`
-	Index int    `json:"index"`
-}
-
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-func (s *server) handleGenerate(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
-	var req generateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad json: %v", err)
-		return
-	}
-	prompt := req.Tokens
-	if req.Prompt != "" {
-		if len(prompt) != 0 {
-			httpError(w, http.StatusBadRequest, "give either prompt or tokens, not both")
-			return
-		}
-		ids, err := s.vocab.Encode(strings.Fields(req.Prompt))
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		prompt = ids
-	}
-	if len(prompt) == 0 {
-		httpError(w, http.StatusBadRequest, "empty prompt")
-		return
-	}
-	for _, tok := range append(append([]int{}, prompt...), req.Stop...) {
-		if tok < 0 || tok >= s.m.Cfg.Vocab {
-			httpError(w, http.StatusBadRequest, "token %d outside vocabulary [0,%d)", tok, s.m.Cfg.Vocab)
-			return
-		}
-	}
-	if len(prompt) > s.m.Cfg.MaxSeq {
-		httpError(w, http.StatusBadRequest, "prompt of %d tokens exceeds context %d", len(prompt), s.m.Cfg.MaxSeq)
-		return
-	}
-	maxTokens := req.MaxTokens
-	if maxTokens <= 0 {
-		maxTokens = 16
-	}
-	// The request context carries both cancellation signals: the client
-	// disconnecting (r.Context) and the optional per-request deadline.
-	// Either one cancels decoding at the next scheduler tick, freeing the
-	// slot instead of decoding the abandoned request to its budget.
-	ctx := r.Context()
-	if req.DeadlineMs > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMs)*time.Millisecond)
-		defer cancel()
-	}
-	ticket, err := s.sched.Submit(serve.Request{
-		ID:          req.ID,
-		Prompt:      prompt,
-		MaxTokens:   maxTokens,
-		Temperature: req.Temperature,
-		Seed:        req.Seed,
-		Stop:        req.Stop,
-		Ctx:         ctx,
-		Priority:    req.Priority,
-	})
-	switch {
-	case errors.Is(err, serve.ErrQueueFull):
-		httpError(w, http.StatusTooManyRequests, "%v", err)
-		return
-	case err != nil:
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	}
-	if req.Stream || r.URL.Query().Get("stream") == "1" {
-		s.streamGenerate(w, ticket)
-		return
-	}
-	// The ticket always resolves — on completion, or within one tick of the
-	// context dying — so a plain wait cannot leak the handler.
-	res := ticket.Wait()
-	if res.Err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", res.Err)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(s.response(res))
-}
-
-// response renders a scheduler result as the generate reply body.
-func (s *server) response(res serve.Result) generateResponse {
-	tokens := res.Tokens
-	if tokens == nil {
-		tokens = []int{}
-	}
-	out := generateResponse{
-		ID:           res.ID,
-		Tokens:       tokens,
-		Text:         s.vocab.Decode(tokens),
-		FinishReason: string(res.FinishReason),
-	}
-	if res.Err != nil {
-		out.Error = res.Err.Error()
-	}
-	return out
-}
-
-// streamGenerate writes the SSE form of a generate reply: one `data:`
-// event per token as the scheduler decodes it, then a final `data:` event
-// whose payload is byte-identical to the non-streaming response body —
-// so a client (or the CI smoke test) can assemble the stream and check it
-// against the plain reply.
-func (s *server) streamGenerate(w http.ResponseWriter, ticket *serve.Ticket) {
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	flusher, _ := w.(http.Flusher)
-	i := 0
-	for tok := range ticket.Tokens() {
-		b, _ := json.Marshal(streamEvent{Token: tok, Text: s.vocab.Word(tok), Index: i})
-		fmt.Fprintf(w, "data: %s\n\n", b)
-		if flusher != nil {
-			flusher.Flush()
-		}
-		i++
-	}
-	res := ticket.Wait()
-	b, _ := json.Marshal(s.response(res))
-	fmt.Fprintf(w, "data: %s\n\n", b)
-	if flusher != nil {
-		flusher.Flush()
-	}
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := s.sched.Stats()
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(map[string]any{
-		"slots":            st.Slots,
-		"active":           st.Active,
-		"queued":           st.Queued,
-		"submitted":        st.Submitted,
-		"completed":        st.Completed,
-		"prompt_tokens":    st.PromptTokens,
-		"generated_tokens": st.GeneratedTokens,
-		"kv_cache_bytes":   st.KVCacheBytes,
-		// Paged-KV accounting: unique bytes count every in-use page once
-		// however many slots and cache entries share it; logical bytes are
-		// what the same references would cost without sharing (the memcpy
-		// memory model); sharing_ratio = logical/unique; pages the unique
-		// in-use page count.
-		"kv_unique_bytes":  st.KVUniqueBytes,
-		"kv_logical_bytes": st.KVLogicalBytes,
-		"kv_pages":         st.KVPages,
-		"kv_sharing_ratio": st.KVSharingRatio(),
-		"prefill_chunk":    st.PrefillChunk,
-		"ttft_count":       st.TTFTSamples,
-		"ttft_p50_ms":      float64(st.TTFTp50) / float64(time.Millisecond),
-		"ttft_p99_ms":      float64(st.TTFTp99) / float64(time.Millisecond),
-		// Inter-token latency: the gap between consecutively streamed
-		// tokens of a request — the cadence an interactive client sees.
-		"itl_count":  st.ITLSamples,
-		"itl_p50_ms": float64(st.ITLp50) / float64(time.Millisecond),
-		"itl_p99_ms": float64(st.ITLp99) / float64(time.Millisecond),
-		// Admission-control counters: requests finished by context
-		// cancellation / deadline expiry, Submits shed with 429 under the
-		// -max-queue bound, and whether the scheduler is draining (1/0).
-		"cancelled":         st.Cancelled,
-		"deadline_exceeded": st.DeadlineExceeded,
-		"rejected":          st.Rejected,
-		"max_queue":         st.MaxQueue,
-		"draining":          boolToInt(st.Draining),
-		// Prefix/KV cache counters (all zero unless -prefix-cache is set):
-		// hits/misses count admissions whose prompt did/did not start with a
-		// cached chunk, hit_rate their ratio, hit_tokens the prompt tokens
-		// whose prefill was skipped, bytes/entries the current residency and
-		// evictions the entries dropped under byte pressure.
-		"prefix_cache_hits":       st.PrefixCacheHits,
-		"prefix_cache_misses":     st.PrefixCacheMisses,
-		"prefix_cache_hit_rate":   st.PrefixCacheHitRate(),
-		"prefix_cache_hit_tokens": st.PrefixCacheHitTokens,
-		"prefix_cache_bytes":      st.PrefixCacheBytes,
-		"prefix_cache_entries":    st.PrefixCacheEntries,
-		"prefix_cache_evictions":  st.PrefixCacheEvictions,
-	})
-}
-
-// boolToInt renders a flag as 0/1 so /v1/stats stays a flat numeric map
-// (clients decode it into map[string]float64).
-func boolToInt(b bool) int {
-	if b {
-		return 1
-	}
-	return 0
-}
-
-func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	status, code := "ok", http.StatusOK
-	if s.draining.Load() {
-		// Unhealthy while draining, so load balancers stop routing here
-		// during a graceful redeploy.
-		status, code = "draining", http.StatusServiceUnavailable
-	}
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]any{
-		"status": status,
-		"model":  s.m.Cfg.Name,
-		"vocab":  s.m.Cfg.Vocab,
-		"maxseq": s.m.Cfg.MaxSeq,
-	})
 }

@@ -31,7 +31,7 @@ import (
 //     fork-join shape is what keeps the fan-out schedule-independent.
 //
 // Only packages whose import path contains one of the bit-identity
-// segments (tensor, quant, nn, model, infer, serve) are checked, and
+// segments (tensor, quant, nn, model, infer, serve, router) are checked, and
 // internal/parallel itself is exempt from the goroutine rule. Test files
 // are skipped: tests may freely race goroutines and read clocks.
 var DetLint = &Analyzer{
@@ -49,6 +49,11 @@ var detPackages = map[string]bool{
 	"model":  true,
 	"infer":  true,
 	"serve":  true,
+	// The router is upstream of the bit-identity contract rather than
+	// inside it, but its failover correctness *rests* on it — and its own
+	// reply bytes must not depend on probe timing or unseeded randomness,
+	// so it (and its chaos fault injector) submit to the same checks.
+	"router": true,
 }
 
 // wallClockFuncs are the time-package functions that read the wall clock

@@ -1,0 +1,60 @@
+// Package prefixkey is the one definition of the token-prefix hash the
+// serving stack keys caches and routing on. serve's prefix/KV cache keys
+// cached KV pages by the hash of the full token prefix they cover, and the
+// multi-replica router (internal/router) consistent-hashes the same prefix
+// to pick the replica whose cache already holds those pages — the two only
+// agree (and prefix-affinity routing only preserves the single-replica
+// cache hit rate) because both sides hash identical token spans with this
+// package.
+//
+// The hash is FNV-1a over the token values, 8 bytes per token,
+// little-endian. It is incremental: Extend mixes more tokens into a
+// running hash, so the k consecutive page-aligned prefix hashes of one
+// prompt — prompt[:rows], prompt[:2*rows], ... — cost one pass over the
+// prompt, not k. Hashes are only ever hints: every consumer must compare
+// the actual tokens before trusting a match (the cache treats a collision
+// as a miss, never a wrong prefill), so a 64-bit non-cryptographic hash is
+// exactly strong enough.
+package prefixkey
+
+// Offset is the FNV-1a 64-bit offset basis — the running-hash seed Extend
+// starts from.
+const Offset = uint64(14695981039346656037)
+
+// prime is the FNV-1a 64-bit prime.
+const prime = uint64(1099511628211)
+
+// Extend mixes tokens into a running FNV-1a hash. Extending h by a, then
+// by b, equals extending h by the concatenation of a and b — the property
+// that makes consecutive prefix hashes computable in one pass.
+func Extend(h uint64, tokens []int) uint64 {
+	for _, t := range tokens {
+		v := uint64(t)
+		for b := 0; b < 8; b++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	return h
+}
+
+// Hash is FNV-1a over the token values: Extend from the Offset basis.
+func Hash(tokens []int) uint64 { return Extend(Offset, tokens) }
+
+// AlignedLen returns the length of the routable/cacheable prefix of an
+// n-token prompt at a rows-token page granularity: the longest
+// page-aligned prefix that still leaves at least one token to prefill
+// (the final prompt token's logits must always be computed, never
+// remembered, so a whole-prompt page run is trimmed by one page). This is
+// exactly the span serve's prefix cache can serve from cached pages, which
+// is why the router hashes prompt[:AlignedLen] to pick a replica: requests
+// that can share cached pages share a routing key. 0 means no page-aligned
+// prefix exists (the prompt fits within one page plus the mandatory
+// prefill token).
+func AlignedLen(n, rows int) int {
+	if rows <= 0 || n <= rows {
+		return 0
+	}
+	return (n - 1) / rows * rows
+}

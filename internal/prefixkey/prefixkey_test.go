@@ -1,0 +1,107 @@
+package prefixkey
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestExtendIsIncremental: extending a hash chunk by chunk — any chunking,
+// including odd lengths straddling page boundaries — equals hashing the
+// whole prefix at once. This is the property the serve prefix cache and
+// the router ring both lean on when they walk a prompt page by page.
+func TestExtendIsIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tokens := make([]int, 257) // odd length, > 16 pages of 16
+	for i := range tokens {
+		tokens[i] = rng.Intn(1 << 20)
+	}
+	for _, chunk := range []int{1, 3, 7, 16, 17, 64, 256, 257} {
+		h := Offset
+		for lo := 0; lo < len(tokens); lo += chunk {
+			hi := lo + chunk
+			if hi > len(tokens) {
+				hi = len(tokens)
+			}
+			h = Extend(h, tokens[lo:hi])
+			if want := Hash(tokens[:hi]); h != want {
+				t.Fatalf("chunk %d: incremental hash %x at %d != full hash %x", chunk, h, hi, want)
+			}
+		}
+	}
+}
+
+// TestHashDiscriminates: the hash must see every token and its position —
+// permutations, off-by-one values and truncations all produce different
+// keys (probabilistically; these fixed cases must never collide, or the
+// cache would rely on its token-equality guard far too often).
+func TestHashDiscriminates(t *testing.T) {
+	base := []int{5, 9, 2, 14, 7}
+	variants := [][]int{
+		{9, 5, 2, 14, 7},    // swap
+		{5, 9, 2, 14, 8},    // last token off by one
+		{5, 9, 2, 14},       // truncated
+		{5, 9, 2, 14, 7, 0}, // extended
+		{},                  // empty
+	}
+	h := Hash(base)
+	if h == Offset {
+		t.Fatal("non-empty hash equals the offset basis")
+	}
+	if Hash(nil) != Offset || Hash([]int{}) != Offset {
+		t.Fatal("empty prefix must hash to the offset basis")
+	}
+	for _, v := range variants {
+		if Hash(v) == h {
+			t.Fatalf("collision between %v and %v", base, v)
+		}
+	}
+	// Negative token values (invalid upstream, but the hash must still be
+	// total and stable): distinct from their positive counterparts.
+	if Hash([]int{-1}) == Hash([]int{1}) {
+		t.Fatal("sign-blind hash")
+	}
+}
+
+// TestHashDeterministic: same tokens, same hash — across fresh slices.
+func TestHashDeterministic(t *testing.T) {
+	a := []int{1, 2, 3, 4}
+	b := append([]int(nil), a...)
+	if Hash(a) != Hash(b) {
+		t.Fatal("hash depends on slice identity")
+	}
+}
+
+// TestAlignedLen pins the page-alignment rule shared by the cache and the
+// router: the longest page-aligned prefix that leaves at least one token
+// to prefill.
+func TestAlignedLen(t *testing.T) {
+	const rows = 16
+	cases := []struct{ n, want int }{
+		{0, 0},   // empty prompt
+		{1, 0},   // single token: nothing cacheable
+		{15, 0},  // shy of one page
+		{16, 0},  // exactly one page: the last token must prefill
+		{17, 16}, // one page + mandatory tail
+		{31, 16},
+		{32, 16}, // two exact pages: second page trimmed for the tail
+		{33, 32},
+		{160, 144}, // ten exact pages: nine routable
+		{161, 160},
+	}
+	for _, c := range cases {
+		if got := AlignedLen(c.n, rows); got != c.want {
+			t.Errorf("AlignedLen(%d, %d) = %d, want %d", c.n, rows, got, c.want)
+		}
+	}
+	// Degenerate granularities never divide by zero or go negative.
+	if AlignedLen(100, 0) != 0 || AlignedLen(100, -3) != 0 {
+		t.Error("non-positive rows must yield 0")
+	}
+	// Odd granularity: alignment follows rows, not a power-of-two guess.
+	if got := AlignedLen(22, 7); got != 21 {
+		t.Errorf("AlignedLen(22, 7) = %d, want 21", got)
+	}
+	if got := AlignedLen(21, 7); got != 14 {
+		t.Errorf("AlignedLen(21, 7) = %d, want 14", got)
+	}
+}

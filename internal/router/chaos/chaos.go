@@ -1,0 +1,153 @@
+// Package chaos is the fault-injection layer of the routing stack: an
+// http.RoundTripper wrapper that makes upstream calls fail in the ways
+// real replicas fail — connections refused, responses delayed, streams
+// cut mid-body — under an explicitly seeded RNG, so a chaotic run is
+// exactly reproducible. The router takes it through Options.Transport
+// (cmd/aptq-router wires the -chaos-* flags there), and the -race test
+// suite uses it to prove the failover path delivers byte-identical
+// replies while faults fire.
+//
+// Seeding is the point: a chaos test that cannot be replayed is a flake
+// generator, not a test. Every probability draw comes from one
+// mutex-guarded *rand.Rand constructed from Config.Seed — aptq-vet's
+// detlint enforces that no draw touches the global RNG.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Config sets the fault mix. Probabilities are per-request in [0,1];
+// zero values inject nothing of that kind.
+type Config struct {
+	// Seed drives every probability draw. Same seed + same request
+	// sequence = same faults.
+	Seed int64
+	// RefuseProb is the chance a request fails as a refused connection
+	// (the replica looks dead before a byte is exchanged).
+	RefuseProb float64
+	// DelayProb is the chance a request is held for Delay before being
+	// forwarded (a slow replica; exercises timeouts and tail latency).
+	DelayProb float64
+	Delay     time.Duration
+	// HangupProb is the chance a response body is cut after HangupAfter
+	// bytes (the replica dies mid-reply — the case that forces the
+	// router's buffered retry and mid-stream resume paths).
+	HangupProb  float64
+	HangupAfter int
+}
+
+// Transport injects Config's faults around an inner RoundTripper.
+type Transport struct {
+	inner http.RoundTripper
+	cfg   Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	stats Stats
+}
+
+// Stats counts injected faults, so tests can assert chaos actually fired.
+type Stats struct {
+	Requests int64
+	Refusals int64
+	Delays   int64
+	Hangups  int64
+}
+
+// New wraps inner (nil: http.DefaultTransport) with seeded fault
+// injection.
+func New(inner http.RoundTripper, cfg Config) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if cfg.HangupAfter <= 0 {
+		cfg.HangupAfter = 256
+	}
+	return &Transport{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats returns a snapshot of the fault counters.
+func (t *Transport) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// draw rolls the three fault dice under the lock; the RNG is shared
+// state, and a deterministic stream requires serialized draws.
+func (t *Transport) draw() (refuse, delay, hangup bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats.Requests++
+	refuse = t.cfg.RefuseProb > 0 && t.rng.Float64() < t.cfg.RefuseProb
+	delay = t.cfg.DelayProb > 0 && t.rng.Float64() < t.cfg.DelayProb
+	hangup = t.cfg.HangupProb > 0 && t.rng.Float64() < t.cfg.HangupProb
+	if refuse {
+		t.stats.Refusals++
+	} else {
+		if delay {
+			t.stats.Delays++
+		}
+		if hangup {
+			t.stats.Hangups++
+		}
+	}
+	return refuse, delay, hangup
+}
+
+// RoundTrip applies the drawn faults: refusal preempts the call entirely;
+// delay sleeps before forwarding; hangup wraps the response body to die
+// after HangupAfter bytes. Faults never rewrite bytes — a fault either
+// blocks, slows, or truncates, so anything that does get through is
+// genuine, which is what lets the chaos tests assert bit-identity.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	refuse, delay, hangup := t.draw()
+	if refuse {
+		return nil, fmt.Errorf("chaos: connection refused (%s %s)", req.Method, req.URL.Path)
+	}
+	if delay {
+		// time.Sleep, not a timer select: the net/http client already
+		// watches the request context at its own layer, so a delayed
+		// RoundTrip past the caller's deadline just finishes into the void.
+		time.Sleep(t.cfg.Delay)
+	}
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if hangup {
+		resp.Body = &hangupBody{inner: resp.Body, remaining: t.cfg.HangupAfter}
+	}
+	return resp, nil
+}
+
+// hangupBody cuts the response after remaining bytes: reads pass through
+// until the budget is spent, then fail like a dropped connection.
+type hangupBody struct {
+	inner     io.ReadCloser
+	remaining int
+}
+
+func (b *hangupBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.inner.Read(p)
+	b.remaining -= n
+	if b.remaining <= 0 && err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *hangupBody) Close() error { return b.inner.Close() }

@@ -1,0 +1,121 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// faultPattern runs n requests through a seeded Transport against a stub
+// backend and records which fault (if any) hit each request.
+func faultPattern(t *testing.T, cfg Config, n int) []string {
+	t.Helper()
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(strings.Repeat("x", 512)))
+	}))
+	defer backend.Close()
+	tr := New(nil, cfg)
+	client := &http.Client{Transport: tr}
+	pattern := make([]string, n)
+	for i := range pattern {
+		resp, err := client.Get(backend.URL)
+		if err != nil {
+			pattern[i] = "refused"
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case err != nil || len(body) < 512:
+			pattern[i] = "hangup"
+		default:
+			pattern[i] = "ok"
+		}
+	}
+	return pattern
+}
+
+// TestSeededFaultsReproduce: the chaos layer's whole value is that a
+// fault sequence can be replayed — same seed, same request order, same
+// faults; a different seed, a different pattern.
+func TestSeededFaultsReproduce(t *testing.T) {
+	cfg := Config{Seed: 7, RefuseProb: 0.3, HangupProb: 0.3, HangupAfter: 100}
+	a := faultPattern(t, cfg, 40)
+	b := faultPattern(t, cfg, 40)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d: %q vs %q\na=%v\nb=%v", i, a[i], b[i], a, b)
+		}
+	}
+	kinds := map[string]int{}
+	for _, k := range a {
+		kinds[k]++
+	}
+	if kinds["refused"] == 0 || kinds["hangup"] == 0 || kinds["ok"] == 0 {
+		t.Fatalf("fault mix did not exercise all outcomes: %v", kinds)
+	}
+
+	cfg.Seed = 8
+	c := faultPattern(t, cfg, 40)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced an identical fault pattern")
+	}
+}
+
+// TestHangupCutsBody: a hangup response delivers exactly HangupAfter
+// bytes, then fails like a dropped connection — never silently truncates
+// with a clean EOF (which a client could mistake for a complete reply).
+func TestHangupCutsBody(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(strings.Repeat("y", 1000)))
+	}))
+	defer backend.Close()
+	tr := New(nil, Config{Seed: 1, HangupProb: 1, HangupAfter: 64})
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("cut body read cleanly (%d bytes); want an error", len(body))
+	}
+	if len(body) != 64 {
+		t.Fatalf("cut body delivered %d bytes, want exactly 64", len(body))
+	}
+	if st := tr.Stats(); st.Hangups != 1 || st.Requests != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestStatsCounts: counters track what was actually injected.
+func TestStatsCounts(t *testing.T) {
+	cfg := Config{Seed: 3, RefuseProb: 0.5}
+	_ = faultPattern(t, cfg, 20)
+	tr := New(nil, cfg)
+	client := &http.Client{Transport: tr}
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer backend.Close()
+	refused := 0
+	for i := 0; i < 20; i++ {
+		resp, err := client.Get(backend.URL)
+		if err != nil {
+			refused++
+			continue
+		}
+		resp.Body.Close()
+	}
+	st := tr.Stats()
+	if int(st.Refusals) != refused || st.Requests != 20 {
+		t.Fatalf("stats %+v, observed %d refusals", st, refused)
+	}
+}

@@ -1,0 +1,174 @@
+// Per-replica health: a small circuit breaker fed by two signals — passive
+// (real requests failing) and active (background /healthz probes) — so the
+// router both reacts instantly to a dying replica under load and notices
+// recovery without sacrificing live traffic to test it.
+//
+// State machine:
+//
+//	Healthy ──(EjectAfter consecutive failures)──▶ Ejected
+//	Ejected ──(backoff expires)──▶ HalfOpen          (breaker cracks open)
+//	HalfOpen ──(one trial request succeeds, or a probe sees 200)──▶ Healthy
+//	HalfOpen ──(trial fails)──▶ Ejected              (backoff doubled)
+//	any ──(/healthz says "draining")──▶ Draining     (alive, not admitting)
+//
+// Ejection backoff grows exponentially between BackoffMin and BackoffMax
+// with seeded jitter on the probe cadence, so a crashed replica is probed
+// gently instead of hammered, and a fleet of routers doesn't probe in
+// lockstep. 429/503 responses never feed the breaker: a saturated or
+// draining replica is healthy, just not admitting — that's spill, not
+// failure.
+package router
+
+import (
+	"sync"
+	"time"
+)
+
+// health is a replica's admission state.
+type health int
+
+const (
+	stateHealthy health = iota
+	stateEjected
+	stateHalfOpen
+	stateDraining
+)
+
+func (h health) String() string {
+	switch h {
+	case stateHealthy:
+		return "healthy"
+	case stateEjected:
+		return "ejected"
+	case stateHalfOpen:
+		return "half-open"
+	case stateDraining:
+		return "draining"
+	}
+	return "unknown"
+}
+
+// replica is one backend server: its identity, breaker state, and
+// counters. All mutable state sits under mu; the prober goroutine and
+// every request handler share it.
+type replica struct {
+	id  int
+	url string
+
+	mu          sync.Mutex
+	state       health
+	consecFails int           // consecutive failures (probe or request) since last success
+	backoff     time.Duration // current ejection backoff; doubles per re-ejection
+	reopenAt    time.Time     // when an Ejected breaker cracks to HalfOpen
+	trial       bool          // HalfOpen trial request currently in flight
+
+	// Counters, all under mu, surfaced in /v1/stats.
+	requests  int64 // generate attempts routed here
+	failures  int64 // attempts that failed (transport error / 5xx / broken stream)
+	spills    int64 // attempts diverted away (unadmitted, or 429/503 answers)
+	ejections int64 // Healthy/HalfOpen → Ejected transitions
+	probes    int64 // active /healthz probes sent
+}
+
+// admit decides whether this replica may take a request right now, and is
+// where the breaker cracks open: an Ejected replica whose backoff has
+// expired admits exactly one trial (HalfOpen); its outcome — reported via
+// reportSuccess/reportFailure — closes or re-opens the breaker.
+func (rep *replica) admit(now time.Time) bool {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	switch rep.state {
+	case stateHealthy:
+		return true
+	case stateDraining:
+		return false
+	case stateEjected:
+		if now.Before(rep.reopenAt) {
+			return false
+		}
+		rep.state = stateHalfOpen
+		rep.trial = true
+		return true
+	case stateHalfOpen:
+		if rep.trial {
+			return false // one trial at a time
+		}
+		rep.trial = true
+		return true
+	}
+	return false
+}
+
+// reportSuccess closes the breaker: any successful response (including
+// 4xx — the replica answered) resets the failure streak.
+func (rep *replica) reportSuccess() {
+	rep.mu.Lock()
+	rep.consecFails = 0
+	rep.backoff = 0
+	rep.trial = false
+	rep.state = stateHealthy
+	rep.mu.Unlock()
+}
+
+// reportFailure counts a failed attempt (transport error, 5xx, or a
+// stream that died mid-body) and ejects the replica when the streak
+// reaches ejectAfter — immediately if the failure was a HalfOpen trial,
+// with the backoff doubled for the re-ejection.
+func (rep *replica) reportFailure(now time.Time, ejectAfter int, backoffMin, backoffMax time.Duration) {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	rep.failures++
+	rep.consecFails++
+	switch rep.state {
+	case stateHalfOpen:
+		rep.trial = false
+		rep.ejectLocked(now, backoffMin, backoffMax)
+	case stateHealthy, stateDraining:
+		if rep.consecFails >= ejectAfter {
+			rep.ejectLocked(now, backoffMin, backoffMax)
+		}
+	case stateEjected:
+		// Already out; a probe failure just pushes the reopen further.
+		rep.ejectLocked(now, backoffMin, backoffMax)
+	}
+}
+
+// ejectLocked opens the breaker with exponential backoff. Caller holds mu.
+func (rep *replica) ejectLocked(now time.Time, backoffMin, backoffMax time.Duration) {
+	if rep.state != stateEjected {
+		rep.ejections++
+	}
+	rep.state = stateEjected
+	if rep.backoff == 0 {
+		rep.backoff = backoffMin
+	} else if rep.backoff < backoffMax {
+		rep.backoff *= 2
+		if rep.backoff > backoffMax {
+			rep.backoff = backoffMax
+		}
+	}
+	rep.reopenAt = now.Add(rep.backoff)
+}
+
+// markDraining records a replica that answered 503/"draining": alive and
+// honest about shutting down, so it leaves rotation without ejection
+// mechanics. The prober flips it back when /healthz recovers.
+func (rep *replica) markDraining() {
+	rep.mu.Lock()
+	if rep.state == stateHealthy || rep.state == stateHalfOpen {
+		rep.state = stateDraining
+		rep.trial = false
+	}
+	rep.mu.Unlock()
+}
+
+// snapshot returns the state and counters for /v1/stats.
+func (rep *replica) snapshot() (st health, consec int, requests, failures, spills, ejections, probes int64) {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	return rep.state, rep.consecFails, rep.requests, rep.failures, rep.spills, rep.ejections, rep.probes
+}
+
+func (rep *replica) countRequest() { rep.mu.Lock(); rep.requests++; rep.mu.Unlock() }
+func (rep *replica) countSpill()   { rep.mu.Lock(); rep.spills++; rep.mu.Unlock() }
+func (rep *replica) countProbe()   { rep.mu.Lock(); rep.probes++; rep.mu.Unlock() }

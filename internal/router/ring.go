@@ -1,0 +1,142 @@
+// Consistent-hash ring: the data structure that turns a prompt's token
+// prefix into a replica preference order. Each replica owns many virtual
+// nodes (points on the 64-bit hash circle), a request's routing key is the
+// shared prefixkey hash of its page-aligned token prefix, and the replica
+// owning the first virtual node clockwise of the key is the affinity
+// target — the replica whose prefix/KV cache already holds (or will come
+// to hold) that prefix's pages. The ring's two properties carry the whole
+// design:
+//
+//   - Stability: adding or removing one replica only remaps the keys whose
+//     nearest virtual node changed (~1/N of traffic), so a replica crash
+//     does not reshuffle every prompt's cache home the way modular hashing
+//     would.
+//   - Spill order: the distinct replicas encountered walking clockwise
+//     from the key form a deterministic failover sequence. When the
+//     affinity target is down or saturated, traffic spills to the next
+//     ring successor — losing cache warmth for that prefix, never
+//     availability — and every router instance computes the same order.
+package router
+
+import (
+	"sort"
+
+	"repro/internal/prefixkey"
+)
+
+// vnodesPerReplica is the virtual-node count per replica — enough that
+// load and key ownership spread evenly at small replica counts (the
+// classic consistent-hashing variance fix).
+const vnodesPerReplica = 64
+
+// vnode is one point on the hash circle.
+type vnode struct {
+	hash    uint64
+	replica int
+}
+
+// ring is an immutable consistent-hash ring over replica indices.
+// Liveness is not the ring's business: Order returns the full preference
+// sequence and the caller skips unhealthy replicas, so health flaps never
+// rebuild the ring (which would remap keys and dump cache warmth exactly
+// when the fleet is least able to re-prefill).
+type ring struct {
+	vnodes []vnode
+	n      int
+}
+
+// hashString is FNV-1a over the bytes of s — the replica-identity hash
+// that places virtual nodes on the circle. Deliberately the same FNV
+// construction as prefixkey, but over bytes, so replica placement and
+// routing keys draw from one hash family.
+func hashString(s string) uint64 {
+	h := prefixkey.Offset
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// newRing places vnodesPerReplica virtual nodes per replica id on the
+// circle. ids must be the replicas' stable identities (their URLs): the
+// placement — and therefore every key's affinity target — depends only on
+// the id set, so routers restart onto the same assignment and independent
+// routers agree.
+func newRing(ids []string) *ring {
+	r := &ring{n: len(ids)}
+	r.vnodes = make([]vnode, 0, len(ids)*vnodesPerReplica)
+	for i, id := range ids {
+		h := hashString(id)
+		for v := 0; v < vnodesPerReplica; v++ {
+			// Each vnode re-mixes the previous hash: cheap, stable, and
+			// well-spread (FNV over the running value's bytes).
+			h = mix(h, uint64(v))
+			r.vnodes = append(r.vnodes, vnode{hash: h, replica: i})
+		}
+	}
+	sort.Slice(r.vnodes, func(a, b int) bool {
+		if r.vnodes[a].hash != r.vnodes[b].hash {
+			return r.vnodes[a].hash < r.vnodes[b].hash
+		}
+		// Hash ties (vanishingly rare) break by replica index so the ring
+		// is a deterministic function of the id list.
+		return r.vnodes[a].replica < r.vnodes[b].replica
+	})
+	return r
+}
+
+// mix folds v into h with FNV-1a over v's bytes.
+func mix(h, v uint64) uint64 {
+	for b := 0; b < 8; b++ {
+		h ^= v & 0xff
+		h *= 1099511628211
+		v >>= 8
+	}
+	return h
+}
+
+// Order returns every replica index exactly once, in the deterministic
+// preference order for key: the affinity target first (owner of the first
+// vnode clockwise of key), then each spill successor in the order the
+// clockwise walk first encounters it. len(result) == n always — the last
+// resorts stay in the list so a degraded fleet still serves.
+func (r *ring) order(key uint64) []int {
+	out := make([]int, 0, r.n)
+	if r.n == 0 {
+		return out
+	}
+	seen := make([]bool, r.n)
+	// First vnode with hash >= key (wrapping).
+	start := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= key })
+	for i := 0; len(out) < r.n && i < len(r.vnodes); i++ {
+		v := r.vnodes[(start+i)%len(r.vnodes)]
+		if !seen[v.replica] {
+			seen[v.replica] = true
+			out = append(out, v.replica)
+		}
+	}
+	return out
+}
+
+// routeKey derives the routing key for a token prompt: the prefixkey hash
+// of its page-aligned prefix (the very span serve's prefix cache can hold
+// pages for — router key and replica cache key agree by construction,
+// both sides calling the same internal/prefixkey functions at the same
+// PageRows granularity). Prompts too short to have a cacheable page hash
+// in full: they gain nothing from page affinity, but identical prompts
+// still co-locate, which keeps them byte-identical cheaply and spreads
+// distinct short prompts across the fleet.
+func routeKey(tokens []int, rows int) uint64 {
+	if n := prefixkey.AlignedLen(len(tokens), rows); n > 0 {
+		return prefixkey.Hash(tokens[:n])
+	}
+	return prefixkey.Hash(tokens)
+}
+
+// routeKeyString is the routing key for a text prompt the router cannot
+// tokenize (no replica vocabulary yet): affinity falls back to the raw
+// prompt bytes. Same-prompt traffic still co-locates; only the router-key
+// == cache-key alignment for *partial* prefix overlap is lost, costing
+// warmth, never correctness.
+func routeKeyString(prompt string) uint64 { return hashString(prompt) }

@@ -1,0 +1,198 @@
+package router
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/prefixkey"
+)
+
+func sampleKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	h := prefixkey.Offset
+	for i := range keys {
+		h = mix(h, uint64(i)*2654435761)
+		keys[i] = h
+	}
+	return keys
+}
+
+// TestRingOrderCoversAllOnce: for any key, the preference order is a
+// permutation of the replica set — every replica appears exactly once, the
+// affinity target first.
+func TestRingOrderCoversAllOnce(t *testing.T) {
+	ids := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	r := newRing(ids)
+	for _, key := range sampleKeys(200) {
+		order := r.order(key)
+		if len(order) != len(ids) {
+			t.Fatalf("order(%d) has %d entries, want %d", key, len(order), len(ids))
+		}
+		seen := map[int]bool{}
+		for _, idx := range order {
+			if idx < 0 || idx >= len(ids) || seen[idx] {
+				t.Fatalf("order(%d) = %v: not a permutation", key, order)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+// TestRingDeterministic: the ring is a pure function of the id list — two
+// independently built rings agree on every key, which is what lets
+// restarted (or multiple) routers keep the same affinity map.
+func TestRingDeterministic(t *testing.T) {
+	ids := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r1, r2 := newRing(ids), newRing(ids)
+	for _, key := range sampleKeys(100) {
+		o1, o2 := r1.order(key), r2.order(key)
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatalf("rings disagree at key %d: %v vs %v", key, o1, o2)
+			}
+		}
+	}
+}
+
+// TestRingStabilityUnderRemoval is the consistent-hashing property: drop
+// one replica and every key whose affinity target survives keeps it. Only
+// the dead replica's keys move (to their next successor), so a crash
+// invalidates ~1/N of the fleet's cache warmth, not all of it.
+func TestRingStabilityUnderRemoval(t *testing.T) {
+	ids := []string{"http://a:1", "http://b:2", "http://c:3"}
+	full := newRing(ids)
+	const removed = 1
+	survivors := []string{ids[0], ids[2]} // indices renumber: 0→0, 2→1
+	reduced := newRing(survivors)
+	renumber := map[int]int{0: 0, 2: 1}
+
+	moved := 0
+	for _, key := range sampleKeys(300) {
+		before := full.order(key)[0]
+		after := reduced.order(key)[0]
+		if before == removed {
+			moved++
+			// The displaced key must land on its former first successor.
+			var successor int
+			for _, idx := range full.order(key)[1:] {
+				if idx != removed {
+					successor = idx
+					break
+				}
+			}
+			if after != renumber[successor] {
+				t.Fatalf("displaced key %d went to %d, want former successor %d", key, after, renumber[successor])
+			}
+			continue
+		}
+		if after != renumber[before] {
+			t.Fatalf("key %d moved from surviving replica %d to %d", key, before, after)
+		}
+	}
+	if moved == 0 || moved == 300 {
+		t.Fatalf("removal moved %d/300 keys; want a ~1/3 fraction", moved)
+	}
+}
+
+// TestRouteKeyPageAlignment: prompts sharing a page-aligned prefix share a
+// routing key — the alignment the replicas' prefix caches use, so the
+// router sends cache-mates to the same replica even when their tails
+// differ.
+func TestRouteKeyPageAlignment(t *testing.T) {
+	const rows = 16
+	base := make([]int, 20)
+	for i := range base {
+		base[i] = i + 1
+	}
+	other := append(append([]int{}, base[:16]...), 99, 98, 97) // same first page, different tail
+	if routeKey(base, rows) != routeKey(other, rows) {
+		t.Fatal("prompts sharing a full page must share a routing key")
+	}
+	diverged := append([]int{}, base...)
+	diverged[3] = 42 // differs inside the first page
+	if routeKey(base, rows) == routeKey(diverged, rows) {
+		t.Fatal("prompts differing inside the first page must not share a routing key")
+	}
+	// Sub-page prompts hash in full: identical prompts co-locate, different
+	// ones (even sharing all but the last token) need not.
+	short := []int{1, 2, 3}
+	if routeKey(short, rows) != routeKey([]int{1, 2, 3}, rows) {
+		t.Fatal("identical short prompts must share a key")
+	}
+}
+
+// TestBreakerLifecycle drives the circuit breaker through its whole state
+// machine with an explicit clock: healthy → ejected after the failure
+// streak, closed to traffic during backoff, half-open (single trial) at
+// expiry, re-ejected with doubled backoff on a failed trial, healthy again
+// on a successful one.
+func TestBreakerLifecycle(t *testing.T) {
+	const ejectAfter = 3
+	min, max := 100*time.Millisecond, 800*time.Millisecond
+	now := time.Unix(1000, 0)
+	rep := &replica{url: "http://x"}
+
+	if !rep.admit(now) {
+		t.Fatal("fresh replica must admit")
+	}
+	for i := 0; i < ejectAfter-1; i++ {
+		rep.reportFailure(now, ejectAfter, min, max)
+		if !rep.admit(now) {
+			t.Fatalf("replica ejected after only %d failures", i+1)
+		}
+	}
+	rep.reportFailure(now, ejectAfter, min, max)
+	if rep.admit(now) {
+		t.Fatal("replica must be ejected after the failure streak")
+	}
+	if _, _, _, _, _, ejections, _ := rep.snapshot(); ejections != 1 {
+		t.Fatalf("ejections = %d, want 1", ejections)
+	}
+
+	// Backoff holds the breaker open…
+	if rep.admit(now.Add(min / 2)) {
+		t.Fatal("breaker admitted before backoff expiry")
+	}
+	// …then cracks to half-open: exactly one trial.
+	at := now.Add(min)
+	if !rep.admit(at) {
+		t.Fatal("breaker must crack open at backoff expiry")
+	}
+	if rep.admit(at) {
+		t.Fatal("half-open breaker must admit exactly one trial")
+	}
+
+	// Failed trial: re-ejected, backoff doubled.
+	rep.reportFailure(at, ejectAfter, min, max)
+	if rep.admit(at.Add(min)) {
+		t.Fatal("re-ejected breaker must hold for the doubled backoff")
+	}
+	at = at.Add(2 * min)
+	if !rep.admit(at) {
+		t.Fatal("breaker must re-open after the doubled backoff")
+	}
+
+	// Successful trial closes it for good.
+	rep.reportSuccess()
+	if !rep.admit(at) || !rep.admit(at) {
+		t.Fatal("closed breaker must admit freely")
+	}
+}
+
+// TestBreakerDraining: a draining replica leaves rotation without breaker
+// mechanics, and a success (the prober seeing 200 again) restores it.
+func TestBreakerDraining(t *testing.T) {
+	now := time.Unix(1000, 0)
+	rep := &replica{url: "http://x"}
+	rep.markDraining()
+	if rep.admit(now) {
+		t.Fatal("draining replica must not admit")
+	}
+	if st, _, _, _, _, ejections, _ := rep.snapshot(); st != stateDraining || ejections != 0 {
+		t.Fatalf("state=%v ejections=%d, want draining/0", st, ejections)
+	}
+	rep.reportSuccess()
+	if !rep.admit(now) {
+		t.Fatal("recovered replica must admit again")
+	}
+}

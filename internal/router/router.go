@@ -1,0 +1,310 @@
+// Package router is the fault-tolerant, prefix-affinity front-end over a
+// fleet of aptq-serve replicas. One Router speaks the exact same HTTP
+// surface as a single replica (POST /v1/generate, GET /v1/stats,
+// GET /healthz) so clients — including cmd/aptq-loadgen — cannot tell N
+// replicas from one, except that the fleet survives any single replica
+// dying mid-request.
+//
+// Three ideas compose:
+//
+//   - Affinity (ring.go): requests route by consistent hashing on the
+//     page-aligned token prefix, using the same internal/prefixkey hash the
+//     replicas' prefix caches key on — so prompts sharing a prefix land on
+//     the replica already holding that prefix's KV pages, and the fleet's
+//     aggregate cache hit rate matches a single replica's instead of
+//     collapsing by 1/N.
+//   - Health (replica.go): per-replica circuit breakers fed by passive
+//     request failures and an active /healthz prober with exponential
+//     backoff and seeded jitter.
+//   - Determinism makes failover safe (proxy.go): every replica produces
+//     byte-identical output for a given request, so a failed attempt can be
+//     retried on any ring successor and the client receives the same bytes
+//     a single healthy replica would have sent — including mid-stream,
+//     where the resumed stream replays and dedups already-delivered tokens
+//     by index.
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/infer"
+)
+
+// Options configures a Router. Zero values take the documented defaults.
+type Options struct {
+	// Replicas are the backend base URLs (e.g. "http://127.0.0.1:8081").
+	// Their strings are the ring identities: keep them stable across router
+	// restarts and key affinity stays stable too.
+	Replicas []string
+	// PageRows is the KV page granularity the routing key aligns prefixes
+	// to; it must match the replicas' (default infer.PageRows).
+	PageRows int
+	// ProbeInterval is the /healthz cadence for healthy replicas (default
+	// 1s). Unhealthy replicas are probed on their ejection backoff instead.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each probe and stats fan-out call (default 2s).
+	ProbeTimeout time.Duration
+	// EjectAfter is the consecutive-failure streak that opens a replica's
+	// breaker (default 3).
+	EjectAfter int
+	// BackoffMin/BackoffMax bound the exponential ejection backoff
+	// (defaults 250ms / 8s).
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// RequestTimeout bounds each proxied attempt, streaming included
+	// (default 60s). A hung replica costs one timeout, then failover.
+	RequestTimeout time.Duration
+	// Passes is how many times a request may walk the full ring order
+	// before the router gives up (default 2). The second pass is what
+	// turns a transient fault on every replica — injected chaos, a probe
+	// racing an ejection — into a retry instead of a client error.
+	Passes int
+	// Seed drives the probe jitter (and nothing on any reply path).
+	Seed int64
+	// Transport overrides the upstream transport — the hook the chaos
+	// fault-injection layer wraps (default http.DefaultTransport).
+	Transport http.RoundTripper
+}
+
+func (o Options) withDefaults() Options {
+	if o.PageRows == 0 {
+		o.PageRows = infer.PageRows
+	}
+	if o.ProbeInterval == 0 {
+		o.ProbeInterval = time.Second
+	}
+	if o.ProbeTimeout == 0 {
+		o.ProbeTimeout = 2 * time.Second
+	}
+	if o.EjectAfter == 0 {
+		o.EjectAfter = 3
+	}
+	if o.BackoffMin == 0 {
+		o.BackoffMin = 250 * time.Millisecond
+	}
+	if o.BackoffMax == 0 {
+		o.BackoffMax = 8 * time.Second
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 60 * time.Second
+	}
+	if o.Passes == 0 {
+		o.Passes = 2
+	}
+	if o.Transport == nil {
+		o.Transport = http.DefaultTransport
+	}
+	return o
+}
+
+// modelInfo is the replica identity /healthz reports; the router caches
+// the first one seen and serves it from its own /healthz so clients that
+// read model shape (loadgen does) work unchanged through the router.
+type modelInfo struct {
+	Model  string `json:"model"`
+	Vocab  int    `json:"vocab"`
+	MaxSeq int    `json:"maxseq"`
+}
+
+// routerStats are the router's own counters, separate from anything the
+// replicas report.
+type routerStats struct {
+	requests      int64 // generate requests accepted
+	retries       int64 // failed attempts retried on another replica
+	failovers     int64 // requests answered by a non-affinity replica after a failure
+	spills        int64 // attempts diverted off a saturated/draining/unadmitted replica
+	streamResumes int64 // SSE streams resumed mid-flight on another replica
+	errors        int64 // requests that exhausted every replica (client-visible failure)
+	rejected      int64 // requests refused because the router itself is draining
+}
+
+// Router routes, health-checks and fails over across a replica fleet.
+// Construct with New, expose Handler, stop with Close.
+type Router struct {
+	opts     Options
+	ring     *ring
+	replicas []*replica
+	client   *http.Client
+
+	model    atomic.Pointer[modelInfo]
+	vocab    atomic.Pointer[data.Vocabulary]
+	draining atomic.Bool
+	inflight sync.WaitGroup
+
+	statsMu sync.Mutex
+	stats   routerStats
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+}
+
+// New builds a Router over the given replica URLs, performs one
+// synchronous probe round (so /healthz has a model identity and breaker
+// state reflects reality from the first request), and starts the
+// background probers.
+func New(opts Options) (*Router, error) {
+	opts = opts.withDefaults()
+	if len(opts.Replicas) == 0 {
+		return nil, fmt.Errorf("router: no replicas configured")
+	}
+	rt := &Router{
+		opts:   opts,
+		ring:   newRing(opts.Replicas),
+		client: &http.Client{Transport: opts.Transport},
+		stopCh: make(chan struct{}),
+	}
+	for i, u := range opts.Replicas {
+		rt.replicas = append(rt.replicas, &replica{id: i, url: u})
+	}
+	for _, rep := range rt.replicas {
+		rt.probe(rep)
+		rng := rand.New(rand.NewSource(opts.Seed + int64(rep.id)))
+		rep := rep
+		//aptq:ignore detlint prober goroutine never touches request/reply bytes; joined via stopCh on Close
+		go rt.probeLoop(rep, rng)
+	}
+	return rt, nil
+}
+
+// Handler returns the router's HTTP surface — intentionally identical in
+// shape to a single replica's.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/generate", rt.handleGenerate)
+	mux.HandleFunc("/v1/stats", rt.handleStats)
+	mux.HandleFunc("/healthz", rt.handleHealth)
+	return mux
+}
+
+// Drain mirrors the replica drain semantics at the routing tier: /healthz
+// goes unhealthy, new generate requests get 503, and Drain returns once
+// every in-flight proxied request has completed. It does not drain the
+// replicas — they have their own lifecycle.
+func (rt *Router) Drain() {
+	rt.draining.Store(true)
+	rt.inflight.Wait()
+}
+
+// Draining reports whether Drain has begun.
+func (rt *Router) Draining() bool { return rt.draining.Load() }
+
+// Close stops the background probers and releases idle connections. It
+// does not wait for in-flight requests; call Drain first for that.
+func (rt *Router) Close() {
+	rt.stopOnce.Do(func() { close(rt.stopCh) })
+	rt.client.CloseIdleConnections()
+}
+
+// probeLoop probes one replica forever: on the steady ProbeInterval while
+// it is healthy, on its (exponentially growing) ejection backoff while it
+// is not, always with seeded ±20% jitter so probers never synchronize.
+//
+//aptq:wallclock
+func (rt *Router) probeLoop(rep *replica, rng *rand.Rand) {
+	for {
+		interval := rt.opts.ProbeInterval
+		rep.mu.Lock()
+		if (rep.state == stateEjected || rep.state == stateHalfOpen) && rep.backoff > interval {
+			interval = rep.backoff
+		}
+		rep.mu.Unlock()
+		jittered := time.Duration(float64(interval) * (0.8 + 0.4*rng.Float64()))
+		timer := time.NewTimer(jittered)
+		select {
+		case <-rt.stopCh:
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+		rt.probe(rep)
+	}
+}
+
+// probe sends one /healthz and feeds the result into the breaker: 200
+// closes it outright (recovery), 503/"draining" parks the replica in
+// Draining, anything else counts as a failure.
+//
+//aptq:wallclock
+func (rt *Router) probe(rep *replica) {
+	rep.countProbe()
+	ctx, cancel := context.WithTimeout(context.Background(), rt.opts.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.url+"/healthz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rep.reportFailure(time.Now(), rt.opts.EjectAfter, rt.opts.BackoffMin, rt.opts.BackoffMax)
+		return
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Status string `json:"status"`
+		modelInfo
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&body)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		if body.Model != "" {
+			rt.model.CompareAndSwap(nil, &modelInfo{Model: body.Model, Vocab: body.Vocab, MaxSeq: body.MaxSeq})
+		}
+		rep.reportSuccess()
+	case resp.StatusCode == http.StatusServiceUnavailable && body.Status == "draining":
+		rep.markDraining()
+	default:
+		rep.reportFailure(time.Now(), rt.opts.EjectAfter, rt.opts.BackoffMin, rt.opts.BackoffMax)
+	}
+}
+
+// handleHealth reports the fleet's health in the same shape as a replica's
+// /healthz — plus fleet fields — so anything that health-checks a replica
+// can health-check the router.
+//
+//aptq:wallclock
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	healthy := 0
+	for _, rep := range rt.replicas {
+		rep.mu.Lock()
+		ok := rep.state == stateHealthy || (rep.state == stateEjected && !now.Before(rep.reopenAt)) || rep.state == stateHalfOpen
+		rep.mu.Unlock()
+		if ok {
+			healthy++
+		}
+	}
+	status, code := "ok", http.StatusOK
+	switch {
+	case rt.draining.Load():
+		status, code = "draining", http.StatusServiceUnavailable
+	case healthy == 0:
+		status, code = "no healthy replicas", http.StatusServiceUnavailable
+	}
+	out := map[string]any{
+		"status":   status,
+		"replicas": len(rt.replicas),
+		"healthy":  healthy,
+	}
+	if info := rt.model.Load(); info != nil {
+		out["model"] = info.Model
+		out["vocab"] = info.Vocab
+		out["maxseq"] = info.MaxSeq
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+func (rt *Router) count(f func(*routerStats)) {
+	rt.statsMu.Lock()
+	f(&rt.stats)
+	rt.statsMu.Unlock()
+}

@@ -1,0 +1,173 @@
+// Fleet stats: GET /v1/stats on the router fans out to every replica's
+// /v1/stats and aggregates the numeric maps into one fleet view with the
+// same flat key set a single replica reports — counters summed, derived
+// ratios (prefix_cache_hit_rate, kv_sharing_ratio) recomputed from the
+// summed numerators/denominators, and non-additive keys (latency
+// percentiles, configuration) taken as the fleet max. Clients that read a
+// replica's stats (cmd/aptq-loadgen folds kv_sharing_ratio into its
+// latency snapshot) therefore work unchanged against the router.
+//
+// On top of the fleet view sit the router's own counters (router_*) and a
+// "replicas" array carrying each backend's health state, breaker
+// counters, and raw stats — the observability surface the chaos tests and
+// the smoke script assert on.
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// nonAdditiveKeys are replica-stat keys where summing across the fleet is
+// wrong: percentiles and configuration take the max instead.
+var nonAdditiveKeys = map[string]bool{
+	"ttft_p50_ms":   true,
+	"ttft_p99_ms":   true,
+	"itl_p50_ms":    true,
+	"itl_p99_ms":    true,
+	"prefill_chunk": true,
+	"max_queue":     true,
+	"draining":      true, // the fleet's draining flag is the router's own
+}
+
+// replicaView is one backend's entry in the "replicas" array.
+type replicaView struct {
+	URL              string             `json:"url"`
+	State            string             `json:"state"`
+	ConsecutiveFails int                `json:"consecutive_fails"`
+	Requests         int64              `json:"requests"`
+	Failures         int64              `json:"failures"`
+	Spills           int64              `json:"spills"`
+	Ejections        int64              `json:"ejections"`
+	Probes           int64              `json:"probes"`
+	Stats            map[string]float64 `json:"stats,omitempty"`
+}
+
+// sortedKeys returns m's keys in sorted order — the deterministic-iteration
+// idiom every map walk in this package goes through.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// fetchReplicaStats pulls one replica's /v1/stats; nil on any failure
+// (the replica's health state already tells that story).
+func (rt *Router) fetchReplicaStats(rep *replica) map[string]float64 {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.opts.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.url+"/v1/stats", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var m map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil
+	}
+	return m
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	// Fan the stats calls out concurrently — a dead replica must cost one
+	// timeout, not serialize the whole endpoint. Results land in a slice
+	// indexed by replica, so aggregation order is fixed regardless of
+	// completion order.
+	perReplica := make([]map[string]float64, len(rt.replicas))
+	var wg sync.WaitGroup
+	for i, rep := range rt.replicas {
+		i, rep := i, rep
+		wg.Add(1)
+		//aptq:ignore detlint stats fan-out goroutines write disjoint slice slots and join before any read
+		go func() {
+			defer wg.Done()
+			perReplica[i] = rt.fetchReplicaStats(rep)
+		}()
+	}
+	wg.Wait()
+
+	fleet := map[string]float64{}
+	for _, stats := range perReplica {
+		for _, k := range sortedKeys(stats) {
+			if nonAdditiveKeys[k] {
+				if stats[k] > fleet[k] {
+					fleet[k] = stats[k]
+				}
+				continue
+			}
+			fleet[k] += stats[k]
+		}
+	}
+	// Ratios cannot be summed: recompute them from the fleet-level sums.
+	if hits, misses := fleet["prefix_cache_hits"], fleet["prefix_cache_misses"]; hits+misses > 0 {
+		fleet["prefix_cache_hit_rate"] = hits / (hits + misses)
+	} else {
+		fleet["prefix_cache_hit_rate"] = 0
+	}
+	if unique := fleet["kv_unique_bytes"]; unique > 0 {
+		fleet["kv_sharing_ratio"] = fleet["kv_logical_bytes"] / unique
+	} else {
+		fleet["kv_sharing_ratio"] = 0
+	}
+	fleet["draining"] = 0
+	if rt.draining.Load() {
+		fleet["draining"] = 1
+	}
+
+	out := map[string]any{}
+	for _, k := range sortedKeys(fleet) {
+		out[k] = fleet[k]
+	}
+
+	views := make([]replicaView, len(rt.replicas))
+	for i, rep := range rt.replicas {
+		st, consec, requests, failures, spills, ejections, probes := rep.snapshot()
+		views[i] = replicaView{
+			URL:              rep.url,
+			State:            st.String(),
+			ConsecutiveFails: consec,
+			Requests:         requests,
+			Failures:         failures,
+			Spills:           spills,
+			Ejections:        ejections,
+			Probes:           probes,
+			Stats:            perReplica[i],
+		}
+	}
+	rt.statsMu.Lock()
+	rs := rt.stats
+	rt.statsMu.Unlock()
+	out["router_requests"] = rs.requests
+	out["router_retries"] = rs.retries
+	out["router_failovers"] = rs.failovers
+	out["router_spills"] = rs.spills
+	out["router_stream_resumes"] = rs.streamResumes
+	out["router_errors"] = rs.errors
+	out["router_rejected"] = rs.rejected
+	out["router_ejections"] = sumEjections(views)
+	out["replicas"] = views
+
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+func sumEjections(views []replicaView) int64 {
+	var n int64
+	for _, v := range views {
+		n += v.Ejections
+	}
+	return n
+}

@@ -1,0 +1,93 @@
+package serve_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+// TestDrainForGraceful: with room in the timeout, DrainFor behaves exactly
+// like Drain — everything finishes on its own, no force-closures, no
+// DrainTimeouts counted.
+func TestDrainForGraceful(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	opts := serve.DefaultOptions()
+	opts.Slots = 2
+	s := serve.New(m, opts)
+	defer s.Close()
+
+	tickets := make([]*serve.Ticket, 4)
+	for i := range tickets {
+		tk, err := s.Submit(serve.Request{ID: "g", Prompt: []int{1, 2}, MaxTokens: 4, Seed: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets[i] = tk
+	}
+	if !s.DrainFor(30 * time.Second) {
+		t.Fatal("graceful drain reported a timeout")
+	}
+	for _, tk := range tickets {
+		if res := tk.Wait(); res.FinishReason != serve.FinishLength {
+			t.Fatalf("drained request finished %q (%v), want length", res.FinishReason, res.Err)
+		}
+	}
+	if st := s.Stats(); st.DrainTimeouts != 0 || !st.Draining {
+		t.Fatalf("after graceful drain: timeouts=%d draining=%v", st.DrainTimeouts, st.Draining)
+	}
+	// Draining schedulers admit nothing new.
+	if _, err := s.Submit(serve.Request{Prompt: []int{1}, MaxTokens: 1}); !errors.Is(err, serve.ErrDraining) {
+		t.Fatalf("post-drain Submit: %v, want ErrDraining", err)
+	}
+}
+
+// TestDrainForTimeoutForceCloses: a drain whose deadline expires with work
+// still queued and in flight force-closes everything — every ticket still
+// resolves (with FinishError / ErrDrainTimeout), the scheduler empties,
+// and Stats reports the expired drain. A wedged or oversubscribed shutdown
+// is bounded by the timeout instead of hanging SIGTERM forever.
+func TestDrainForTimeoutForceCloses(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	opts := serve.DefaultOptions()
+	opts.Slots = 1 // one slot + deep queue: the drain cannot finish in time
+	s := serve.New(m, opts)
+	defer s.Close()
+
+	// Enough long requests that the grace period cannot possibly complete
+	// them all: a nanosecond is spent acquiring the scheduler lock alone,
+	// while the queued work is hundreds of microseconds of decode.
+	tickets := make([]*serve.Ticket, 8)
+	for i := range tickets {
+		tk, err := s.Submit(serve.Request{ID: "f", Prompt: []int{1, 2, 3}, MaxTokens: m.Cfg.MaxSeq - 4, Seed: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets[i] = tk
+	}
+	if s.DrainFor(time.Nanosecond) {
+		t.Fatal("overloaded drain reported graceful completion")
+	}
+	forced := 0
+	for _, tk := range tickets {
+		res := tk.Wait()
+		if res.FinishReason == serve.FinishError {
+			if !errors.Is(res.Err, serve.ErrDrainTimeout) {
+				t.Fatalf("force-closed request carries %v, want ErrDrainTimeout", res.Err)
+			}
+			forced++
+		}
+	}
+	if forced == 0 {
+		t.Fatal("no request was force-closed by the expired drain")
+	}
+	st := s.Stats()
+	if st.DrainTimeouts != 1 {
+		t.Fatalf("DrainTimeouts = %d, want 1", st.DrainTimeouts)
+	}
+	if st.Active != 0 || st.Queued != 0 {
+		t.Fatalf("scheduler not empty after forced drain: active=%d queued=%d", st.Active, st.Queued)
+	}
+}

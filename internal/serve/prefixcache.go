@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"repro/internal/infer"
+	"repro/internal/prefixkey"
 )
 
 // prefixEntry is one cached page of a prompt prefix. The entry holds its
@@ -74,27 +75,14 @@ func newPrefixCache(rows int, budget int64) *prefixCache {
 	return &prefixCache{rows: rows, budget: budget, entries: make(map[uint64][]*prefixEntry)}
 }
 
-// fnvOffset is the FNV-1a 64-bit offset basis.
-const fnvOffset = uint64(14695981039346656037)
-
-// hashExtend mixes tokens into a running FNV-1a hash, so consecutive
+// The prefix hash is the shared internal/prefixkey FNV-1a: the router's
+// consistent-hash ring keys on the very same function over the very same
+// page-aligned spans, which is what lets prefix-affinity routing land a
+// request on the replica whose cache already holds its pages. Consecutive
 // prefix hashes — prompt[:rows], prompt[:2*rows], ... — are computed
-// incrementally instead of rehashing from the start (lookup walks the
-// pages of one prompt this way, keeping admission linear in the prompt).
-func hashExtend(h uint64, tokens []int) uint64 {
-	for _, t := range tokens {
-		v := uint64(t)
-		for b := 0; b < 8; b++ {
-			h ^= v & 0xff
-			h *= 1099511628211
-			v >>= 8
-		}
-	}
-	return h
-}
-
-// hashPrefix is FNV-1a over the token values.
-func hashPrefix(tokens []int) uint64 { return hashExtend(fnvOffset, tokens) }
+// incrementally with prefixkey.Extend instead of rehashing from the start
+// (lookup walks the pages of one prompt this way, keeping admission
+// linear in the prompt).
 
 // unlink removes e from the LRU list. Caller holds mu.
 func (pc *prefixCache) unlink(e *prefixEntry) {
@@ -135,7 +123,7 @@ func (pc *prefixCache) touch(e *prefixEntry) {
 }
 
 // find returns the entry whose full prefix equals tokens (h =
-// hashPrefix(tokens), precomputed by callers that carry it
+// prefixkey.Hash(tokens), precomputed by callers that carry it
 // incrementally), or nil. Caller holds mu.
 func (pc *prefixCache) find(h uint64, tokens []int) *prefixEntry {
 	for _, e := range pc.entries[h] {
@@ -157,9 +145,9 @@ func (pc *prefixCache) find(h uint64, tokens []int) *prefixEntry {
 func (pc *prefixCache) lookup(prompt []int, limit int) (spans []*infer.PageSpan, matched int) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	h := fnvOffset
+	h := prefixkey.Offset
 	for (matched+1)*pc.rows <= limit {
-		h = hashExtend(h, prompt[matched*pc.rows:(matched+1)*pc.rows])
+		h = prefixkey.Extend(h, prompt[matched*pc.rows:(matched+1)*pc.rows])
 		e := pc.find(h, prompt[:(matched+1)*pc.rows])
 		if e == nil {
 			break
@@ -184,7 +172,7 @@ func (pc *prefixCache) lookup(prompt []int, limit int) (spans []*infer.PageSpan,
 func (pc *prefixCache) contains(prefix []int) bool {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	return pc.find(hashPrefix(prefix), prefix) != nil
+	return pc.find(prefixkey.Hash(prefix), prefix) != nil
 }
 
 // insert stores span as the cached page whose full prefix is prefix
@@ -203,7 +191,7 @@ func (pc *prefixCache) insert(prefix []int, span *infer.PageSpan) {
 	}
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	h := hashPrefix(prefix)
+	h := prefixkey.Hash(prefix)
 	if pc.find(h, prefix) != nil {
 		span.Release()
 		return
@@ -222,7 +210,7 @@ func (pc *prefixCache) evictLocked() {
 	for pc.tail != nil && pc.stats.Bytes > pc.budget {
 		victim := pc.tail
 		pc.unlink(victim)
-		h := hashPrefix(victim.prefix)
+		h := prefixkey.Hash(victim.prefix)
 		list := pc.entries[h]
 		for i, le := range list {
 			if le == victim {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/infer"
 	"repro/internal/model"
 	"repro/internal/parallel"
+	"repro/internal/prefixkey"
 )
 
 // cacheTestPool builds a pool with 4-row pages so the cache unit tests
@@ -490,5 +491,30 @@ func TestSchedulerPrefixCacheConcurrentAdmissions(t *testing.T) {
 	wg.Wait()
 	for i := range want {
 		assertSameResult(t, fmt.Sprintf("req %d", i), results[i], want[i])
+	}
+}
+
+// TestPrefixCacheHashCollisionIsMiss: a forged entry occupying the probe
+// prefix's hash bucket with *different* tokens must never match — the
+// token-equality guard in find turns hash collisions into misses, never
+// wrong prefills. The forged entry carries a nil span, so a guard
+// regression fails loudly (nil-span Retain) instead of silently serving
+// the wrong KV pages.
+func TestPrefixCacheHashCollisionIsMiss(t *testing.T) {
+	pc := newPrefixCache(4, 1<<20)
+	probe := []int{1, 2, 3, 4, 5}
+	imposter := []int{9, 9, 9, 9}
+	h := prefixkey.Hash(probe[:4])
+	pc.entries[h] = append(pc.entries[h], &prefixEntry{prefix: imposter})
+
+	spans, matched := pc.lookup(probe, len(probe)-1)
+	if matched != 0 || len(spans) != 0 {
+		t.Fatalf("collision matched %d tokens over %d spans, want 0", matched, len(spans))
+	}
+	if pc.contains(probe[:4]) {
+		t.Fatal("contains matched a colliding entry with different tokens")
+	}
+	if st := pc.snapshot(); st.Hits != 0 || st.Misses != 1 {
+		t.Fatalf("collision counted as a hit: %+v", st)
 	}
 }

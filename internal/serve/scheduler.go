@@ -42,6 +42,11 @@ var ErrDraining = errors.New("serve: scheduler draining")
 // front-end maps to 429 instead of queueing without bound.
 var ErrQueueFull = errors.New("serve: admission queue full")
 
+// ErrDrainTimeout is the error carried by requests force-closed when a
+// bounded drain (DrainFor) expires before the scheduler empties: the
+// shutdown deadline won, not the request.
+var ErrDrainTimeout = errors.New("serve: drain timeout expired")
+
 // FinishReason tells why a request stopped decoding.
 type FinishReason string
 
@@ -243,6 +248,11 @@ type Stats struct {
 	// cancellation or deadline expiry; Rejected counts Submit calls
 	// refused with ErrQueueFull under the MaxQueue bound.
 	Cancelled, DeadlineExceeded, Rejected int64
+	// DrainTimeouts counts bounded drains (DrainFor) that expired before
+	// the scheduler emptied and force-closed the remaining work — a
+	// non-zero value means some SIGTERM hit the shutdown deadline instead
+	// of finishing gracefully.
+	DrainTimeouts int64
 	// MaxQueue echoes Options.MaxQueue; Draining reports a scheduler
 	// between Drain and Close.
 	MaxQueue int
@@ -526,12 +536,13 @@ type Scheduler struct {
 	prefix   *prefixCache      // nil when Options.PrefixCacheBytes is 0
 	released sync.Once         // Close's one-time page teardown
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queue    []pending
-	closed   bool
-	draining bool
-	stats    Stats
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queue      []pending
+	closed     bool
+	draining   bool
+	forceDrain bool // expired DrainFor: fail queued + in-flight at the next tick
+	stats      Stats
 	// ttft is a ring of the most recent time-to-first-token samples
 	// (capacity ttftWindow); ttftNext is the ring write cursor. itl is the
 	// analogous ring of inter-token latency samples.
@@ -717,13 +728,57 @@ func (s *Scheduler) countFinish(r FinishReason) {
 // turns /healthz unhealthy) while accepted work runs to completion. The
 // decode loop and Stats stay alive until Close. Idempotent and safe for
 // concurrent use.
-func (s *Scheduler) Drain() {
+func (s *Scheduler) Drain() { s.DrainFor(0) }
+
+// DrainFor is Drain with a shutdown deadline: admission stops immediately,
+// and queued + in-flight requests get up to timeout to finish on their
+// own. If the scheduler empties in time it returns true — byte-for-byte
+// the graceful Drain. Past the deadline it force-closes: every queued
+// request resolves immediately and every in-flight request finishes at its
+// next tick boundary, all with FinishError and ErrDrainTimeout (their
+// tickets still resolve — no client is left hanging on a wedged shutdown),
+// Stats.DrainTimeouts is bumped, and DrainFor returns false once the last
+// forced request has been delivered. timeout <= 0 means no deadline. The
+// force path fires at a tick boundary, so it bounds scheduling delay
+// (slots that never free, a queue that never empties), not the duration of
+// a single mid-flight kernel call.
+//
+//aptq:wallclock
+func (s *Scheduler) DrainFor(timeout time.Duration) bool {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.draining = true
+	if timeout <= 0 {
+		for s.stats.Active > 0 || len(s.queue) > 0 {
+			s.cond.Wait()
+		}
+		return true
+	}
+	// The loop only broadcasts when it goes idle, so arm a one-shot waker
+	// to bound the cond wait at the deadline.
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer timer.Stop()
+	for (s.stats.Active > 0 || len(s.queue) > 0) && time.Now().Before(deadline) {
+		s.cond.Wait()
+	}
+	if s.stats.Active == 0 && len(s.queue) == 0 {
+		return true
+	}
+	// Deadline expired with work still in flight: force-close. The decode
+	// loop applies forceDrain at its next tick top (it is ticking, not
+	// waiting — Active > 0), then the idle broadcast below releases us.
+	s.stats.DrainTimeouts++
+	s.forceDrain = true
+	s.cond.Broadcast()
 	for s.stats.Active > 0 || len(s.queue) > 0 {
 		s.cond.Wait()
 	}
-	s.mu.Unlock()
+	return false
 }
 
 // Close stops admission, drains every queued and in-flight request (their
@@ -780,6 +835,22 @@ func (s *Scheduler) loop() {
 				s.queue[i] = pending{} // drop ticket references past the kept run
 			}
 			s.queue = kept
+		}
+		// An expired bounded drain (DrainFor) force-closes at the tick
+		// boundary: queued requests resolve immediately, in-flight slots are
+		// marked finished and delivered by this tick's post-advance sweep.
+		if s.forceDrain {
+			for i, p := range s.queue {
+				p.ticket.deliver(Result{ID: p.req.ID, FinishReason: FinishError, Err: ErrDrainTimeout})
+				s.stats.Completed++
+				s.queue[i] = pending{}
+			}
+			s.queue = s.queue[:0]
+			for _, sl := range s.slots {
+				if sl.active && !sl.done {
+					sl.finish(FinishError, ErrDrainTimeout)
+				}
+			}
 		}
 		for _, sl := range s.slots {
 			if sl.active || len(s.queue) == 0 {

@@ -1,0 +1,184 @@
+#!/bin/sh
+# End-to-end fault-tolerance smoke for aptq-router: boot three aptq-serve
+# replicas on kernel-assigned ports, front them with the router (with
+# seeded chaos fault injection on the upstream path: refused connections
+# and responses cut mid-body), and drive mixed streaming traffic through
+# it with aptq-loadgen under a zero-error gate. Mid-run, one replica is
+# SIGKILLed. The run must finish with zero client-visible errors, the
+# router must converge to 2 healthy replicas with the dead one ejected,
+# and a pinned generate request must return byte-identical replies
+# before the kill, after the kill, and from a surviving replica directly
+# — the determinism contract is what makes failover invisible. Latency
+# and router counters land in a benchjson-schema snapshot (default
+# ROUTER_CI.json, override with $ROUTER_JSON) that CI uploads as an
+# artifact. Used by `make router-smoke` and CI.
+set -eu
+
+OUT="${ROUTER_JSON:-ROUTER_CI.json}"
+RATE="${LOADGEN_RATE:-40}"
+DURATION="${LOADGEN_DURATION:-4s}"
+BINDIR="$(mktemp -d)"
+LOGDIR="$(mktemp -d)"
+PIDS=""
+cleanup() {
+    for p in $PIDS; do
+        kill "$p" 2>/dev/null || true
+    done
+    for p in $PIDS; do
+        wait "$p" 2>/dev/null || true
+    done
+    rm -rf "$BINDIR" "$LOGDIR"
+}
+trap cleanup EXIT
+
+go build -o "$BINDIR/aptq-serve" ./cmd/aptq-serve
+go build -o "$BINDIR/aptq-router" ./cmd/aptq-router
+go build -o "$BINDIR/aptq-loadgen" ./cmd/aptq-loadgen
+
+# wait_addr LOGFILE: block until the process has printed its ADDR= line
+# (the machine-parseable first-stdout-line contract of both binaries) and
+# echo the bound host:port.
+wait_addr() {
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/^ADDR=//p' "$1" | head -n 1)
+        if [ -n "$addr" ]; then
+            echo "$addr"
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "router-smoke: no ADDR= line in $1; log:" >&2
+    cat "$1" >&2
+    return 1
+}
+
+# Three identical replicas on kernel-assigned ports; the prefix cache is
+# on so routing affinity has something to pay off into.
+i=1
+while [ "$i" -le 3 ]; do
+    "$BINDIR/aptq-serve" -addr 127.0.0.1:0 -slots 2 -max-queue 4096 \
+        -prefix-cache 67108864 >"$LOGDIR/serve$i.log" 2>&1 &
+    PIDS="$PIDS $!"
+    eval "SERVE${i}_PID=$!"
+    i=$((i + 1))
+done
+R1=$(wait_addr "$LOGDIR/serve1.log")
+R2=$(wait_addr "$LOGDIR/serve2.log")
+R3=$(wait_addr "$LOGDIR/serve3.log")
+
+# The router, with modest seeded chaos on the upstream path: ~3% refused
+# connections, ~3% responses cut after 200 bytes. The failover machinery
+# must absorb all of it — the loadgen gate below is zero errors.
+"$BINDIR/aptq-router" -addr 127.0.0.1:0 \
+    -replicas "http://$R1,http://$R2,http://$R3" \
+    -probe-interval 100ms -probe-timeout 1s \
+    -eject-after 2 -backoff-min 100ms -backoff-max 1s \
+    -seed 1 \
+    -chaos-seed 7 -chaos-refuse 0.03 -chaos-hangup 0.03 -chaos-hangup-after 200 \
+    >"$LOGDIR/router.log" 2>&1 &
+ROUTER_PID=$!
+PIDS="$PIDS $ROUTER_PID"
+ROUTER=$(wait_addr "$LOGDIR/router.log")
+
+ok=0
+for _ in $(seq 1 50); do
+    if curl -sf "http://$ROUTER/healthz" >/dev/null 2>&1; then
+        ok=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "$ok" != 1 ]; then
+    echo "router-smoke: router did not come up; log:" >&2
+    cat "$LOGDIR/router.log" >&2
+    exit 1
+fi
+
+# Pin one request's bytes before any fault: via the router, and directly
+# against replica 1 (which survives the kill). Identical replicas mean
+# identical bytes — the property every retry and failover below leans on.
+BODY='{"tokens":[1,2,3],"max_tokens":8,"temperature":0.8,"seed":7}'
+A=$(curl -sf -X POST -H 'Content-Type: application/json' -d "$BODY" "http://$ROUTER/v1/generate")
+DIRECT=$(curl -sf -X POST -H 'Content-Type: application/json' -d "$BODY" "http://$R1/v1/generate")
+if [ "$A" != "$DIRECT" ]; then
+    echo "router-smoke: routed reply differs from a direct replica reply:" >&2
+    echo "  $A" >&2
+    echo "  $DIRECT" >&2
+    exit 1
+fi
+
+# Mixed streaming traffic through the router, gated at zero errors; the
+# p99 TTFT bound is deliberately loose (it catches hangs, not drift).
+"$BINDIR/aptq-loadgen" \
+    -url "http://$ROUTER" \
+    -rate "$RATE" -duration "$DURATION" -seed 1 \
+    -prefix-pop 2 -shared-prefix 32 -prefix-frac 0.9 \
+    -priorities 3 \
+    -max-error-rate 0 -max-p99-ttft-ms 5000 \
+    -out "$OUT" >"$LOGDIR/loadgen.log" 2>&1 &
+LOADGEN_PID=$!
+
+# Kill replica 3 outright mid-run — no drain, no goodbye. The router has
+# to notice via failed requests/probes, eject it, and re-route its keys
+# to ring successors without a single client-visible error.
+sleep 1.5
+kill -9 "$SERVE3_PID" 2>/dev/null || true
+
+if ! wait "$LOADGEN_PID"; then
+    echo "router-smoke: loadgen gates tripped after replica kill; log:" >&2
+    cat "$LOGDIR/loadgen.log" >&2
+    echo "router log:" >&2
+    cat "$LOGDIR/router.log" >&2
+    exit 1
+fi
+
+# The pinned request must still produce the pre-kill bytes: failover is
+# byte-invisible, not merely "still up".
+B=$(curl -sf -X POST -H 'Content-Type: application/json' -d "$BODY" "http://$ROUTER/v1/generate")
+if [ "$A" != "$B" ]; then
+    echo "router-smoke: reply changed after replica kill:" >&2
+    echo "  before: $A" >&2
+    echo "  after:  $B" >&2
+    exit 1
+fi
+
+# The fleet must converge: 2 healthy replicas, the dead one ejected.
+converged=0
+for _ in $(seq 1 50); do
+    HEALTH=$(curl -s "http://$ROUTER/healthz" || true)
+    case "$HEALTH" in
+    *'"healthy":2'*)
+        converged=1
+        break
+        ;;
+    esac
+    sleep 0.1
+done
+if [ "$converged" != 1 ]; then
+    echo "router-smoke: router never converged to 2 healthy replicas: $HEALTH" >&2
+    exit 1
+fi
+
+STATS=$(curl -sf "http://$ROUTER/v1/stats")
+case "$STATS" in
+*'"router_requests":'*) ;;
+*)
+    echo "router-smoke: stats missing router counters: $STATS" >&2
+    exit 1
+    ;;
+esac
+case "$STATS" in
+*'"router_errors":0'*) ;;
+*)
+    echo "router-smoke: router reported client-visible errors: $STATS" >&2
+    exit 1
+    ;;
+esac
+EJECTIONS=$(printf '%s' "$STATS" | sed -n 's/.*"router_ejections":\([0-9]*\).*/\1/p')
+if [ -z "$EJECTIONS" ] || [ "$EJECTIONS" -lt 1 ]; then
+    echo "router-smoke: killed replica was never ejected: $STATS" >&2
+    exit 1
+fi
+
+echo "router-smoke: OK (replica kill absorbed; ejections=$EJECTIONS; $A)"
+cat "$OUT"
