@@ -3,7 +3,7 @@ GO ?= go
 # releases.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build test race bench bench-smoke bench-json bench-compare serve-smoke latency-smoke router-smoke fmt fmt-check vet aptq-vet staticcheck ci
+.PHONY: all build test race bench bench-smoke bench-json bench-compare serve-smoke latency-smoke router-smoke pressure-smoke fmt fmt-check vet aptq-vet staticcheck ci
 
 # Output of `make bench-json` (benchmarks as data; CI uploads it) and the
 # committed baseline `make bench-compare` diffs it against.
@@ -91,6 +91,14 @@ latency-smoke:
 router-smoke:
 	./scripts/router_smoke.sh
 
+# Memory-pressure gate: aptq-serve under a deliberately tiny KV budget
+# (-kv-budget-mb 1) is overloaded with a seeded burst. Graceful
+# degradation or bust: zero client-visible errors, at least one
+# preemption, pool high-water within budget, zero panics. Counters land
+# in PRESSURE_CI.json.
+pressure-smoke:
+	./scripts/pressure_smoke.sh
+
 fmt:
 	gofmt -w .
 
@@ -114,4 +122,4 @@ staticcheck:
 
 # Mirrors .github/workflows/ci.yml (staticcheck needs network on first
 # use to fetch the pinned binary; later runs hit the local cache).
-ci: fmt-check vet aptq-vet staticcheck build test race bench-smoke bench-compare serve-smoke latency-smoke router-smoke
+ci: fmt-check vet aptq-vet staticcheck build test race bench-smoke bench-compare serve-smoke latency-smoke router-smoke pressure-smoke

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestRateAtRampShape pins the time-varying intensity: constant without
+// -burst-rps, immediate burst without a ramp, and a linear interpolation
+// capped at the burst rate with one.
+func TestRateAtRampShape(t *testing.T) {
+	base := config{rate: 10}
+	if got := rateAt(base, time.Second); got != 10 {
+		t.Fatalf("no burst: rateAt = %v, want 10", got)
+	}
+	burst := config{rate: 10, burstRPS: 100}
+	if got := rateAt(burst, 0); got != 100 {
+		t.Fatalf("no ramp: rateAt(0) = %v, want 100 immediately", got)
+	}
+	ramp := config{rate: 10, burstRPS: 100, rampS: 2}
+	if got := rateAt(ramp, 0); got != 10 {
+		t.Fatalf("ramp start: rateAt(0) = %v, want 10", got)
+	}
+	if got := rateAt(ramp, time.Second); got != 55 {
+		t.Fatalf("ramp midpoint: rateAt(1s) = %v, want 55", got)
+	}
+	if got := rateAt(ramp, 3*time.Second); got != 100 {
+		t.Fatalf("past ramp: rateAt(3s) = %v, want 100 (capped)", got)
+	}
+}
+
+// TestBuildPlanBurstDensifiesArrivals: the same seed and horizon plan
+// strictly more arrivals under a burst than at the base rate, and the
+// burst plan stays deterministic.
+func TestBuildPlanBurstDensifiesArrivals(t *testing.T) {
+	cfg := testConfig("")
+	cfg.requests = 0
+	cfg.rate = 20
+	cfg.duration = time.Second
+	flat := buildPlan(cfg, 64, 64)
+	cfg.burstRPS = 200
+	cfg.rampS = 0.5
+	burst := buildPlan(cfg, 64, 64)
+	if len(burst) <= len(flat) {
+		t.Fatalf("burst plan has %d arrivals, flat plan %d: the ramp added none", len(burst), len(flat))
+	}
+	again := buildPlan(cfg, 64, 64)
+	if len(again) != len(burst) {
+		t.Fatalf("burst plan not deterministic: %d vs %d arrivals", len(again), len(burst))
+	}
+	for i := range burst {
+		if burst[i].at != again[i].at {
+			t.Fatalf("burst arrival %d differs across identical builds", i)
+		}
+	}
+}
+
+// TestRunPressureCounters: a stats endpoint exposing the pressure surface
+// (the `preemptions` key is the sentinel) gets its counters folded into
+// the snapshot as LoadgenPressure; one without it does not.
+func TestRunPressureCounters(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"status": "ok", "vocab": 64, "maxseq": 64})
+	})
+	mux.HandleFunc("/v1/generate", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprintf(w, "data: {\"token\":1,\"text\":\"w\",\"index\":0}\n\n")
+		fmt.Fprintf(w, "data: {\"tokens\":[1],\"text\":\"w\",\"finish_reason\":\"length\"}\n\n")
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{
+			"preemptions":         3,
+			"admission_deferred":  7,
+			"panics":              0,
+			"rejected":            2,
+			"kv_budget_bytes":     1 << 20,
+			"kv_high_water_bytes": 1<<20 - 4096,
+		})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	snap, _, err := run(testConfig(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := snap["LoadgenPressure"]
+	if pc == nil {
+		t.Fatalf("pressure counters missing from snapshot: %v", snap)
+	}
+	if pc["preemptions"] != 3 || pc["admission_deferred"] != 7 || pc["kv_budget_bytes"] != 1<<20 {
+		t.Fatalf("pressure counters mangled: %v", pc)
+	}
+
+	// stubServe's stats have no pressure surface: no section.
+	plain := stubServe(t, 64, 64)
+	snap, _, err = run(testConfig(plain.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, present := snap["LoadgenPressure"]; present {
+		t.Fatal("LoadgenPressure section present against a server without the pressure surface")
+	}
+}

@@ -25,6 +25,13 @@
 // counters (kv_unique_bytes, kv_logical_bytes, kv_sharing_ratio) into the
 // snapshot next to the latency percentiles.
 //
+// With -burst-rps the arrival rate ramps linearly from -rate to the burst
+// rate over -ramp-s seconds (immediately when -ramp-s is 0) — the overload
+// shape that drives a -kv-budget-mb-bounded server through its degradation
+// ladder. When the sampled /v1/stats exposes the memory-pressure surface,
+// the run folds preemptions, admission_deferred, panics, rejected and the
+// budget/high-water bytes into the snapshot as LoadgenPressure.
+//
 // With -max-error-rate / -max-p99-ttft-ms the generator gates itself and
 // exits non-zero past the bound, so a CI job needs no JSON tooling:
 //
@@ -77,6 +84,8 @@ type config struct {
 	sharedPref int     // page-sized shared-prefix override; also samples KV sharing
 	priorities int     // priority classes drawn uniformly from [0,n)
 	deadlineMs int64   // per-request deadline forwarded to the server (0 = none)
+	burstRPS   float64 // peak arrival rate the plan ramps to (0 = constant -rate)
+	rampS      float64 // seconds to ramp linearly from -rate to -burst-rps (<=0 = immediate)
 
 	maxErrorRate float64 // self-gate: fail past this error rate (<0 = off)
 	maxP99TTFTMs float64 // self-gate: fail past this TTFT p99 (0 = off)
@@ -100,6 +109,8 @@ func main() {
 	flag.IntVar(&cfg.sharedPref, "shared-prefix", 0, "shared-prefix length override, tokens; size it to a multiple of the server's KV page (16) so prefix pages are adopted zero-copy, and the run appends the server's KV sharing stats to the snapshot (0 = off)")
 	flag.IntVar(&cfg.priorities, "priorities", 1, "priority classes drawn uniformly (1 = all equal)")
 	flag.Int64Var(&cfg.deadlineMs, "deadline-ms", 0, "per-request deadline_ms forwarded to the server (0 = none)")
+	flag.Float64Var(&cfg.burstRPS, "burst-rps", 0, "peak arrival rate the plan ramps to; the burst regime that exercises admission deferral and preemption (0 = constant -rate)")
+	flag.Float64Var(&cfg.rampS, "ramp-s", 0, "seconds to ramp linearly from -rate to -burst-rps (<=0 with -burst-rps set = burst immediately)")
 	flag.Float64Var(&cfg.maxErrorRate, "max-error-rate", -1, "exit non-zero when error rate exceeds this (negative = no gate)")
 	flag.Float64Var(&cfg.maxP99TTFTMs, "max-p99-ttft-ms", 0, "exit non-zero when TTFT p99 exceeds this many ms (0 = no gate)")
 	out := flag.String("out", "", "write the latency snapshot JSON here (empty = stdout)")
@@ -169,8 +180,12 @@ func buildPlan(cfg config, vocab, maxSeq int) []call {
 	var plan []call
 	var at time.Duration
 	for i := 0; cfg.requests == 0 || i < cfg.requests; i++ {
-		// Exponential interarrival: open-loop Poisson process.
-		at += time.Duration(rng.ExpFloat64() / cfg.rate * float64(time.Second))
+		// Exponential interarrival: open-loop Poisson process. With
+		// -burst-rps the intensity is time-varying (rateAt), which makes the
+		// plan a stepwise nonhomogeneous Poisson process — each gap drawn at
+		// the instantaneous rate of the previous arrival — still fully
+		// determined by the seed.
+		at += time.Duration(rng.ExpFloat64() / rateAt(cfg, at) * float64(time.Second))
 		if at > cfg.duration {
 			break
 		}
@@ -211,6 +226,25 @@ func buildPlan(cfg config, vocab, maxSeq int) []call {
 		plan = append(plan, call{at: at, body: body})
 	}
 	return plan
+}
+
+// rateAt is the plan's arrival intensity at offset t: the base -rate,
+// ramped linearly to -burst-rps over the first -ramp-s seconds (with no
+// ramp, the burst rate applies from t=0). The burst shape is what drives
+// a budgeted server into its degradation ladder — admission deferral,
+// cache reclaim, preemption — while staying replayable from the seed.
+func rateAt(cfg config, t time.Duration) float64 {
+	if cfg.burstRPS <= 0 {
+		return cfg.rate
+	}
+	if cfg.rampS <= 0 {
+		return cfg.burstRPS
+	}
+	frac := t.Seconds() / cfg.rampS
+	if frac >= 1 {
+		return cfg.burstRPS
+	}
+	return cfg.rate + frac*(cfg.burstRPS-cfg.rate)
 }
 
 // collector accumulates latency samples and error counts across the
@@ -312,6 +346,14 @@ func run(cfg config) (map[string]map[string]float64, []string, error) {
 	if rc, ok := fetchRouterCounters(statsURL); ok {
 		snap["LoadgenRouter"] = rc
 	}
+	// Likewise for the memory-pressure counters: when the server exposes
+	// them (any scheduler with the pressure surface), the snapshot records
+	// how much degradation — preemptions, deferred admissions, sheds,
+	// panics — the run's percentiles were measured under, plus the budget
+	// and the pool's high-water mark.
+	if pc, ok := fetchPressureCounters(statsURL); ok {
+		snap["LoadgenPressure"] = pc
+	}
 	var failures []string
 	if cfg.maxErrorRate >= 0 && errRate > cfg.maxErrorRate {
 		failures = append(failures, fmt.Sprintf("error rate %.3f > %.3f (%d/%d requests failed)",
@@ -377,6 +419,33 @@ func fetchRouterCounters(base string) (map[string]float64, bool) {
 	}
 	if len(out) == 0 {
 		return nil, false
+	}
+	return out, true
+}
+
+// fetchPressureCounters samples the memory-pressure counters from
+// /v1/stats; ok is false when the endpoint has no pressure surface (the
+// `preemptions` key is the sentinel). The counters are cumulative since
+// server start, so a CI job that wants per-run deltas boots a fresh
+// server per run — which the smoke scripts do anyway.
+func fetchPressureCounters(base string) (map[string]float64, bool) {
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, false
+	}
+	if _, hasPressure := st["preemptions"]; !hasPressure {
+		return nil, false
+	}
+	out := map[string]float64{}
+	for _, k := range []string{"preemptions", "admission_deferred", "panics", "rejected", "kv_budget_bytes", "kv_high_water_bytes"} {
+		if f, isNum := st[k].(float64); isNum {
+			out[k] = f
+		}
 	}
 	return out, true
 }

@@ -11,6 +11,7 @@
 //	aptq-serve -ckpt nano7b-q.packed.ckpt -packed -slots 8
 //	aptq-serve -prefix-cache 67108864   # 64 MiB shared prefix/KV cache
 //	aptq-serve -max-queue 256           # shed load with 429 past 256 queued
+//	aptq-serve -kv-budget-mb 64         # hard KV memory bound; preempt, never grow
 //	aptq-serve -addr :0                 # kernel-assigned port (see below)
 //	aptq-serve                      # built-in deterministic demo model
 //
@@ -34,6 +35,15 @@
 //	                   prefill chunk, TTFT + inter-token latency p50/p99,
 //	                   cancellations, rejections, prefix-cache hits)
 //	GET  /healthz      liveness + model identity; 503 while draining
+//
+// With -kv-budget-mb the KV page pool is hard-bounded: slots and the
+// prefix cache share the budget, the cache is the sacrificial tier, and
+// under exhaustion the scheduler defers admissions and deterministically
+// preempts the weakest slot (lowest priority, then youngest) rather than
+// allocating past the bound. Preempted requests resume bit-identically;
+// load shed with 429/503 carries a Retry-After header. The /v1/stats
+// counters preemptions, admission_deferred, panics, kv_budget_bytes and
+// kv_high_water_bytes expose the pressure behavior.
 //
 // On SIGINT/SIGTERM the server drains: /healthz goes unhealthy, new
 // requests get 503, in-flight requests finish. The drain is bounded by
@@ -86,6 +96,7 @@ func main() {
 		prefill    = flag.Int("prefill-chunk", 0, "prompt tokens admitted per decode tick (0 = default chunking)")
 		prefixCach = flag.Int64("prefix-cache", 0, "shared prefix/KV cache byte budget (0 = disabled); repeat prompt prefixes skip prefill")
 		maxQueue   = flag.Int("max-queue", 0, "admission queue depth bound; overflow is rejected with 429 (0 = unbounded)")
+		kvBudget   = flag.Int("kv-budget-mb", 0, "hard KV page-pool budget in MiB shared by slots and the prefix cache (0 = unbounded); under pressure the server degrades via cache eviction, admission deferral and slot preemption instead of growing")
 		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on SIGTERM; expired drains force-close remaining requests (0 = wait forever)")
 		trainSteps = flag.Int("train-steps", 0, "pretraining steps for the demo model (0 = raw seeded init, instant startup)")
 	)
@@ -103,6 +114,7 @@ func main() {
 	opts.PrefillChunk = *prefill
 	opts.PrefixCacheBytes = *prefixCach
 	opts.MaxQueue = *maxQueue
+	opts.KVBudgetBytes = int64(*kvBudget) << 20
 	srv := serve.NewServer(m, opts)
 	defer srv.Close()
 

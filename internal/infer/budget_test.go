@@ -1,0 +1,357 @@
+// Budgeted page pool tests: the memory-bound contract under the serving
+// stack's graceful degradation. A pool with a byte budget must (a) never
+// allocate past it — leases fail with ErrPoolExhausted instead, after one
+// round of reclaim per retry; (b) keep its high-water mark at or below
+// the budget at all times; and (c) surface exhaustion only through
+// Session.Step/Append/ImportKV *before any state changes*, so the exact
+// same call retried after pages free up produces bit-identical output to
+// a never-starved run. These are the invariants the scheduler's
+// preemption and admission layers are built on.
+package infer
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func tinyPool(budgetPages int64) *KVPagePool {
+	cfg := model.Tiny()
+	p := NewPagePool(cfg.Dim, cfg.MaxSeq)
+	if budgetPages > 0 {
+		p.SetBudget(budgetPages * p.PageBytes())
+	}
+	return p
+}
+
+// TestPoolBudgetLeaseExhaustion pins the hard bound: a pool budgeted at N
+// pages hands out exactly N, fails the N+1st with ErrPoolExhausted, and
+// recovers as soon as a page is released — with the high-water mark never
+// exceeding the budget through the whole episode.
+func TestPoolBudgetLeaseExhaustion(t *testing.T) {
+	p := tinyPool(3)
+	var pages []*kvPage
+	for i := 0; i < 3; i++ {
+		pg, err := p.lease()
+		if err != nil {
+			t.Fatalf("lease %d within budget failed: %v", i, err)
+		}
+		pages = append(pages, pg)
+	}
+	if _, err := p.lease(); !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("lease past budget: err = %v, want ErrPoolExhausted", err)
+	}
+	p.release(pages[0])
+	pg, err := p.lease()
+	if err != nil {
+		t.Fatalf("lease after release failed: %v", err)
+	}
+	p.release(pg)
+	for _, pg := range pages[1:] {
+		p.release(pg)
+	}
+	st := p.Stats()
+	if st.PagesInUse != 0 {
+		t.Fatalf("PagesInUse = %d after releasing everything, want 0", st.PagesInUse)
+	}
+	if st.HighWaterPages != 3 || st.HighWaterBytes > st.BudgetBytes {
+		t.Fatalf("high water %d pages / %d bytes exceeds budget %d bytes", st.HighWaterPages, st.HighWaterBytes, st.BudgetBytes)
+	}
+}
+
+// TestPoolBudgetFloorAndUnset: a budget below one page still admits one
+// page (a pool that can never lease serves nothing), and a non-positive
+// budget means unbounded.
+func TestPoolBudgetFloorAndUnset(t *testing.T) {
+	p := tinyPool(0)
+	p.SetBudget(p.PageBytes() - 1)
+	if got := p.BudgetPages(); got != 1 {
+		t.Fatalf("sub-page budget floored to %d pages, want 1", got)
+	}
+	p.SetBudget(0)
+	if p.Budgeted() {
+		t.Fatal("SetBudget(0) left the pool budgeted")
+	}
+	var pages []*kvPage
+	for i := 0; i < 8; i++ {
+		pg, err := p.lease()
+		if err != nil {
+			t.Fatalf("unbounded lease %d failed: %v", i, err)
+		}
+		pages = append(pages, pg)
+	}
+	for _, pg := range pages {
+		p.release(pg)
+	}
+}
+
+// TestPoolReclaimerEscalation: an exhausted lease asks the reclaimer (the
+// prefix cache's sacrificial-eviction hook) to free a page, one round per
+// retry, and only fails once the reclaimer reports it has nothing left.
+func TestPoolReclaimerEscalation(t *testing.T) {
+	p := tinyPool(2)
+	held := make([]*kvPage, 0, 2)
+	for i := 0; i < 2; i++ {
+		pg, err := p.lease()
+		if err != nil {
+			t.Fatalf("lease %d: %v", i, err)
+		}
+		held = append(held, pg)
+	}
+	calls := 0
+	p.SetReclaimer(func() bool {
+		calls++
+		if len(held) == 0 {
+			return false
+		}
+		p.release(held[len(held)-1])
+		held = held[:len(held)-1]
+		return true
+	})
+	// Two leases succeed via reclaim; the third finds the reclaimer dry.
+	for i := 0; i < 2; i++ {
+		pg, err := p.lease()
+		if err != nil {
+			t.Fatalf("lease %d with reclaimable pages failed: %v", i, err)
+		}
+		defer p.release(pg)
+	}
+	if _, err := p.lease(); !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("lease with dry reclaimer: err = %v, want ErrPoolExhausted", err)
+	}
+	if calls != 3 {
+		t.Fatalf("reclaimer called %d times, want 3 (two frees + one dry)", calls)
+	}
+	if st := p.Stats(); st.HighWaterBytes > st.BudgetBytes {
+		t.Fatalf("high water %d > budget %d", st.HighWaterBytes, st.BudgetBytes)
+	}
+}
+
+// TestStepExhaustionRetryBitIdentical is the preemption-resume contract at
+// the session level: a Step that fails with ErrPoolExhausted leaves the
+// session bit-for-bit unchanged — position, KV bytes, pool residency — and
+// the exact same Step retried after the budget frees up produces logits
+// identical to a session that never starved.
+func TestStepExhaustionRetryBitIdentical(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	prompt := []int{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3} // exactly one page
+	if len(prompt) != PageRows {
+		t.Fatalf("prompt must fill one page (%d rows), has %d", PageRows, len(prompt))
+	}
+
+	// Budget: exactly the pages the prompt needs (1 page x Layers blocks),
+	// so the first decode Step — which needs a second page per block — hits
+	// the bound.
+	pool := tinyPool(int64(len(m.Blocks)))
+	s := NewSessionPooled(m, pool, 0)
+	if _, err := s.Prefill(prompt); err != nil {
+		t.Fatalf("prefill within budget: %v", err)
+	}
+	pos, kvBytes := s.Pos(), s.KVCacheBytes()
+	inUse := pool.Stats().PagesInUse
+	const tok = 7
+	if _, err := s.Step(tok); !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("Step past budget: err = %v, want ErrPoolExhausted", err)
+	}
+	if s.Pos() != pos || s.KVCacheBytes() != kvBytes {
+		t.Fatalf("failed Step changed the session: pos %d->%d, kv %d->%d", pos, s.Pos(), kvBytes, s.KVCacheBytes())
+	}
+	if got := pool.Stats().PagesInUse; got != inUse {
+		t.Fatalf("failed Step leaked pool pages: %d -> %d in use", inUse, got)
+	}
+
+	// Free the budget and retry the very same call.
+	pool.SetBudget(2 * int64(len(m.Blocks)) * pool.PageBytes())
+	logits, err := s.Step(tok)
+	if err != nil {
+		t.Fatalf("retried Step: %v", err)
+	}
+
+	ref := NewSession(m) // private unbounded pool, never starved
+	if _, err := ref.Prefill(prompt); err != nil {
+		t.Fatalf("reference prefill: %v", err)
+	}
+	want, err := ref.Step(tok)
+	if err != nil {
+		t.Fatalf("reference Step: %v", err)
+	}
+	for i := range want.Data {
+		if logits.Data[i] != want.Data[i] {
+			t.Fatalf("retried logits[%d] = %g, reference %g: retry is not bit-identical", i, logits.Data[i], want.Data[i])
+		}
+	}
+	if st := pool.Stats(); st.HighWaterBytes > st.BudgetBytes {
+		t.Fatalf("high water %d > budget %d", st.HighWaterBytes, st.BudgetBytes)
+	}
+}
+
+// TestAppendReserveRollback: a multi-page reservation that fails midway —
+// some blocks (and some pages of the failing block) already leased —
+// releases everything it took, so the starved session holds no budget it
+// cannot use and the verbatim retry is bit-identical.
+func TestAppendReserveRollback(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	prompt := make([]int, 20) // needs 2 pages per block = 4 pages total
+	for i := range prompt {
+		prompt[i] = 1 + i%(m.Cfg.Vocab-1)
+	}
+	pool := tinyPool(3) // one page short of the demand
+	s := NewSessionPooled(m, pool, 0)
+	if _, err := s.Append(prompt); !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("Append past budget: err = %v, want ErrPoolExhausted", err)
+	}
+	if s.Pos() != 0 {
+		t.Fatalf("failed Append advanced the session to %d", s.Pos())
+	}
+	if st := pool.Stats(); st.PagesInUse != 0 {
+		t.Fatalf("failed Append left %d pages in use, want 0 (partial reservation not rolled back)", st.PagesInUse)
+	}
+
+	pool.SetBudget(4 * pool.PageBytes())
+	logits, err := s.Append(prompt)
+	if err != nil {
+		t.Fatalf("retried Append: %v", err)
+	}
+	ref := NewSession(m)
+	want, err := ref.Append(prompt)
+	if err != nil {
+		t.Fatalf("reference Append: %v", err)
+	}
+	for i := range want.Data {
+		if logits.Data[i] != want.Data[i] {
+			t.Fatalf("retried Append logits[%d] = %g, reference %g", i, logits.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestImportKVExhaustionClean: an ImportKV that cannot reserve its rows
+// fails with the session unchanged and zero pages leaked, and succeeds
+// verbatim once the budget allows — the prefix-restore path a preempted
+// slot depends on.
+func TestImportKVExhaustionClean(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	prompt := make([]int, 20)
+	for i := range prompt {
+		prompt[i] = 1 + i%(m.Cfg.Vocab-1)
+	}
+	donor := NewSession(m)
+	if _, err := donor.Prefill(prompt); err != nil {
+		t.Fatalf("donor prefill: %v", err)
+	}
+	span := donor.ExportKV(0, len(prompt))
+
+	pool := tinyPool(3) // span needs 4 pages
+	s := NewSessionPooled(m, pool, 0)
+	if err := s.ImportKV(span); !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("ImportKV past budget: err = %v, want ErrPoolExhausted", err)
+	}
+	if s.Pos() != 0 {
+		t.Fatalf("failed ImportKV advanced the session to %d", s.Pos())
+	}
+	if st := pool.Stats(); st.PagesInUse != 0 {
+		t.Fatalf("failed ImportKV left %d pages in use", st.PagesInUse)
+	}
+	pool.SetBudget(6 * pool.PageBytes())
+	if err := s.ImportKV(span); err != nil {
+		t.Fatalf("retried ImportKV: %v", err)
+	}
+	// Decode after the import matches the donor bit for bit.
+	const tok = 5
+	got, err := s.Step(tok)
+	if err != nil {
+		t.Fatalf("Step after import: %v", err)
+	}
+	want, err := donor.Step(tok)
+	if err != nil {
+		t.Fatalf("donor Step: %v", err)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("post-import logits[%d] = %g, donor %g", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestAdoptPagesFailureLeavesRefcounts: every AdoptPages error path
+// validates before touching refcounts, so a failed adoption leaks nothing
+// — after releasing the span and resetting the sessions the pool is empty.
+func TestAdoptPagesFailureLeavesRefcounts(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	pool := NewPagePool(m.Cfg.Dim, m.Cfg.MaxSeq)
+	src := NewSessionPooled(m, pool, 0)
+	prompt := make([]int, PageRows)
+	for i := range prompt {
+		prompt[i] = 1 + i%(m.Cfg.Vocab-1)
+	}
+	if _, err := src.Prefill(prompt); err != nil {
+		t.Fatalf("source prefill: %v", err)
+	}
+	span := src.SharePages(0, PageRows)
+
+	// Mispositioned receiver: the session sits at 1, the span starts at 0.
+	dst := NewSessionPooled(m, pool, 0)
+	if _, err := dst.Prefill(prompt[:1]); err != nil {
+		t.Fatalf("receiver prefill: %v", err)
+	}
+	before := pool.Stats().PagesInUse
+	if err := dst.AdoptPages(span); err == nil {
+		t.Fatal("mispositioned AdoptPages succeeded")
+	}
+	if got := pool.Stats().PagesInUse; got != before {
+		t.Fatalf("failed AdoptPages changed pages in use %d -> %d", before, got)
+	}
+	// Foreign-pool receiver: same shape, different pool.
+	other := NewSession(m)
+	if err := other.AdoptPages(span); err == nil {
+		t.Fatal("cross-pool AdoptPages succeeded")
+	}
+	if got := pool.Stats().PagesInUse; got != before {
+		t.Fatalf("cross-pool AdoptPages changed pages in use %d -> %d", before, got)
+	}
+
+	span.Release()
+	src.Reset()
+	dst.Reset()
+	if st := pool.Stats(); st.PagesInUse != 0 {
+		t.Fatalf("pool holds %d pages after releasing every holder, want 0", st.PagesInUse)
+	}
+}
+
+// TestBudgetHighWaterAcrossChurn hammers a budgeted pool with sessions
+// that fill to exhaustion and reset, asserting the high-water mark never
+// crosses the budget at any point — the smoke-test invariant, pinned
+// deterministically.
+func TestBudgetHighWaterAcrossChurn(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	pool := tinyPool(5)
+	prompt := make([]int, 20)
+	for i := range prompt {
+		prompt[i] = 1 + i%(m.Cfg.Vocab-1)
+	}
+	for round := 0; round < 4; round++ {
+		sessions := make([]*Session, 0, 4)
+		for i := 0; i < 4; i++ {
+			s := NewSessionPooled(m, pool, 0)
+			if _, err := s.Append(prompt); err != nil {
+				if !errors.Is(err, ErrPoolExhausted) {
+					t.Fatalf("round %d session %d: %v", round, i, err)
+				}
+				break
+			}
+			sessions = append(sessions, s)
+		}
+		if len(sessions) == 0 {
+			t.Fatalf("round %d admitted nothing: budget of 5 pages fits one 4-page sequence", round)
+		}
+		if st := pool.Stats(); st.HighWaterBytes > st.BudgetBytes {
+			t.Fatalf("round %d: high water %d > budget %d", round, st.HighWaterBytes, st.BudgetBytes)
+		}
+		for _, s := range sessions {
+			s.Reset()
+		}
+	}
+	if st := pool.Stats(); st.PagesInUse != 0 {
+		t.Fatalf("churn left %d pages in use", st.PagesInUse)
+	}
+}

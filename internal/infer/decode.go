@@ -79,6 +79,13 @@ func (s *Session) Step(token int) (*tensor.Mat, error) {
 	if s.pos >= s.m.Cfg.MaxSeq {
 		return nil, fmt.Errorf("infer: sequence length %d exceeds MaxSeq %d", s.pos+1, s.m.Cfg.MaxSeq) //aptq:ignore noalloc cold error path: an out-of-budget request never reaches the decode steady state
 	}
+	// Reserve this position's KV row in every block before any compute: on
+	// a budgeted pool this is where ErrPoolExhausted surfaces, with the
+	// session untouched so the same Step can be retried after the scheduler
+	// frees pages.
+	if err := s.reserveKV(1); err != nil {
+		return nil, err
+	}
 	sc := s.ensureDecodeScratch() //aptq:ignore noalloc decode arena is allocated once per session and reused by every Step
 	sc.tok[0] = token
 	s.m.EmbedChunkInto(sc.x, sc.tok[:], s.pos)

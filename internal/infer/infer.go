@@ -74,6 +74,73 @@ func (c *kvCache) grow() {
 	}
 }
 
+// reserve makes rows [c.len, c.len+n) writable up front: it leases every
+// page the write range needs and copy-on-writes any still-shared page in
+// that range, so the grow calls issued later by the forward pass are
+// guaranteed no-ops. All budget failures therefore surface here — before
+// any compute runs or any row is written — which is what makes
+// ErrPoolExhausted retryable: a failed reserve releases the pages it
+// leased in this call and leaves the cache exactly as it found it.
+//
+//aptq:noalloc
+func (c *kvCache) reserve(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	// Copy-on-write every shared page the write range touches. Only the
+	// first page can hold rows this cache still owns (c.len % rows of
+	// them); later shared pages (warm capacity left by a rollback into
+	// adopted pages) are replaced outright.
+	first := c.len / c.rows
+	last := (c.len + n - 1) / c.rows
+	for pi := first; pi <= last && pi < len(c.pages); pi++ {
+		pg := c.pages[pi]
+		if pg.refs.Load() == 1 {
+			continue
+		}
+		fresh, err := c.pool.lease()
+		if err != nil {
+			return err // already-copied pages hold identical bytes; nothing to undo
+		}
+		if pi == first {
+			for r := 0; r < c.len%c.rows; r++ {
+				copy(fresh.k.Row(r), pg.k.Row(r))
+				copy(fresh.v.Row(r), pg.v.Row(r))
+			}
+		}
+		c.pages[pi] = fresh
+		c.pool.release(pg)
+	}
+	leased0 := len(c.pages)
+	for len(c.pages)*c.rows < c.len+n {
+		pg, err := c.pool.lease()
+		if err != nil {
+			for _, p := range c.pages[leased0:] {
+				c.pool.release(p)
+			}
+			c.pages = c.pages[:leased0]
+			return err
+		}
+		c.pages = append(c.pages, pg) //aptq:ignore noalloc KV cache grows by fixed pages: amortized O(1/PageRows) per token and free-list recycled, pinned by the steady-state alloc tests
+	}
+	return nil
+}
+
+// releaseWarm returns pages holding no valid rows (reserved or left warm
+// by a rollback) to the pool — the cross-block cleanup of a reservation
+// that failed in a later block, so a starved session does not sit on
+// budget it cannot use.
+func (c *kvCache) releaseWarm() {
+	keep := (c.len + c.rows - 1) / c.rows
+	for _, pg := range c.pages[keep:] {
+		c.pool.release(pg)
+	}
+	for i := keep; i < len(c.pages); i++ {
+		c.pages[i] = nil
+	}
+	c.pages = c.pages[:keep]
+}
+
 // appendRows bulk-appends the corresponding rows of k and v (T x dim) —
 // the chunked-prefill form of the grow/copy/len++ sequence Step runs per
 // token, writing the exact same bytes to the exact same rows.
@@ -195,6 +262,30 @@ func (s *Session) Reset() {
 	for _, c := range s.caches {
 		c.releaseAll()
 	}
+}
+
+// reserveKV reserves n more rows of KV capacity in every block's cache,
+// leasing (and copy-on-writing) all pages the next n appended rows will
+// touch. It is the single point where a budgeted pool's ErrPoolExhausted
+// surfaces: Step, Append and ImportKV reserve before running any compute,
+// so a failed call leaves the session bit-for-bit unchanged and the exact
+// same call can be retried once the scheduler frees pages. On failure the
+// reservations already made (including pre-existing warm capacity in
+// earlier blocks) are released back to the pool, so a starved session
+// never sits on budget it cannot use.
+//
+//aptq:noalloc
+func (s *Session) reserveKV(n int) error {
+	for i, c := range s.caches {
+		if err := c.reserve(n); err != nil {
+			for _, done := range s.caches[:i] {
+				done.releaseWarm()
+			}
+			c.releaseWarm()
+			return err
+		}
+	}
+	return nil
 }
 
 // KVCacheBytes reports the logical KV memory of the session across all

@@ -86,6 +86,12 @@ func (s *Session) ImportKV(sp *KVSpan) error {
 			return fmt.Errorf("infer: ImportKV span dim %d, cache dim %d", sp.k[bi].Cols, c.dim)
 		}
 	}
+	// Reserve the span's rows in every block before copying any: on a
+	// budgeted pool ErrPoolExhausted surfaces here with the session
+	// unchanged (the same retryability contract as Step/Append).
+	if err := s.reserveKV(sp.Tokens()); err != nil {
+		return err
+	}
 	for bi, c := range s.caches {
 		for t := 0; t < sp.Tokens(); t++ {
 			c.grow()

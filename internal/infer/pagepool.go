@@ -22,12 +22,22 @@
 package infer
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/tensor"
 )
+
+// ErrPoolExhausted is returned by page leases (surfaced through
+// Session.Step / Append / ImportKV) when the pool has a byte budget, every
+// budgeted page is referenced, and the reclaimer (if any) cannot free one.
+// The pool never allocates past its budget: callers see this error instead
+// of the replica seeing the OOM killer. The serving scheduler reacts by
+// preempting a slot; the session that got the error is unchanged and may
+// retry the exact same call once pages free up.
+var ErrPoolExhausted = errors.New("infer: KV page pool exhausted (budget reached)")
 
 // PageRows is the row granularity of the paged KV cache: pages hold
 // PageRows sequence positions of keys and values per block, the prefix
@@ -63,6 +73,19 @@ type KVPagePool struct {
 	mu      sync.Mutex
 	free    []*kvPage
 	created int64 // pages ever allocated
+	// budgetPages caps created when > 0: the pool will never hold more
+	// than budgetPages pages alive at once (in use + free list), so its
+	// resident KV bytes never exceed budgetPages*PageBytes().
+	budgetPages int64
+	// highWater is the maximum pages-in-use ever observed — the number the
+	// budget invariant is asserted against (highWater <= budgetPages).
+	highWater int64
+	// reclaim, when set, is asked to free one reclaimable page reference
+	// (the prefix cache evicting an unpinned entry) when a lease finds the
+	// budget exhausted. It reports whether it freed anything; it is invoked
+	// WITHOUT the pool lock held, because freeing routes back through
+	// release().
+	reclaim func() bool
 }
 
 // NewPagePool builds a pool of maxSeq-clamped PageRows x dim pages. Every
@@ -83,6 +106,55 @@ func (p *KVPagePool) Rows() int { return p.rows }
 // PageBytes reports the resident size of one page (keys plus values).
 func (p *KVPagePool) PageBytes() int64 { return int64(2 * p.rows * p.dim * 8) }
 
+// SetBudget caps the pool at floor(bytes / PageBytes()) pages; bytes <= 0
+// removes the cap. With a budget in place leases fail with
+// ErrPoolExhausted instead of allocating past it — the pool's resident
+// bytes are a hard guarantee, not a soft target. Set the budget before
+// serving traffic; it is not meant to shrink below pages already created.
+func (p *KVPagePool) SetBudget(bytes int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if bytes <= 0 {
+		p.budgetPages = 0
+		return
+	}
+	p.budgetPages = bytes / p.PageBytes()
+	if p.budgetPages < 1 {
+		p.budgetPages = 1 // a budget below one page could never serve anything
+	}
+}
+
+// BudgetPages reports the page cap (0 = unbounded).
+func (p *KVPagePool) BudgetPages() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.budgetPages
+}
+
+// BudgetBytes reports the byte form of the cap (0 = unbounded).
+func (p *KVPagePool) BudgetBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.budgetPages * p.PageBytes()
+}
+
+// Budgeted reports whether the pool has a byte budget.
+func (p *KVPagePool) Budgeted() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.budgetPages > 0
+}
+
+// SetReclaimer registers the sacrificial tier: a callback asked to free
+// one page reference when a lease finds the budget exhausted (the serving
+// scheduler registers its prefix cache's unpinned-LRU eviction). It must
+// return false when it cannot free anything, or leases would spin.
+func (p *KVPagePool) SetReclaimer(f func() bool) {
+	p.mu.Lock()
+	p.reclaim = f
+	p.mu.Unlock()
+}
+
 // PoolStats is a point-in-time snapshot of pool residency.
 type PoolStats struct {
 	// PagesInUse counts pages currently referenced by at least one holder;
@@ -93,6 +165,13 @@ type PoolStats struct {
 	// FreePages counts recycled pages parked on the free list (warm
 	// capacity retained for reuse, not referenced by anyone).
 	FreePages int64
+	// HighWaterPages / HighWaterBytes record the maximum pages-in-use ever
+	// observed; with a budget set, HighWaterBytes <= BudgetBytes is the
+	// memory guarantee (test- and smoke-enforced). BudgetBytes is 0 for an
+	// unbounded pool.
+	HighWaterPages int64
+	HighWaterBytes int64
+	BudgetBytes    int64
 }
 
 // Stats snapshots the pool counters.
@@ -101,31 +180,64 @@ func (p *KVPagePool) Stats() PoolStats {
 	defer p.mu.Unlock()
 	inUse := p.created - int64(len(p.free))
 	return PoolStats{
-		PagesInUse:  inUse,
-		UniqueBytes: inUse * p.PageBytes(),
-		FreePages:   int64(len(p.free)),
+		PagesInUse:     inUse,
+		UniqueBytes:    inUse * p.PageBytes(),
+		FreePages:      int64(len(p.free)),
+		HighWaterPages: p.highWater,
+		HighWaterBytes: p.highWater * p.PageBytes(),
+		BudgetBytes:    p.budgetPages * p.PageBytes(),
 	}
 }
 
-// get leases an exclusively owned page (refcount 1), recycling a freed
-// page when one is parked and allocating otherwise.
-func (p *KVPagePool) get() *kvPage {
-	p.mu.Lock()
-	if n := len(p.free); n > 0 {
-		pg := p.free[n-1]
-		p.free[n-1] = nil
-		p.free = p.free[:n-1]
+// lease hands out an exclusively owned page (refcount 1): a recycled page
+// when the free list has one, a fresh allocation while the budget (if any)
+// permits, and otherwise one round of reclaim (cache eviction) per retry
+// until the reclaimer gives up — then ErrPoolExhausted. The reclaimer runs
+// outside the pool lock: the pages it frees arrive through release().
+func (p *KVPagePool) lease() (*kvPage, error) {
+	for {
+		p.mu.Lock()
+		if n := len(p.free); n > 0 {
+			pg := p.free[n-1]
+			p.free[n-1] = nil
+			p.free = p.free[:n-1]
+			if inUse := p.created - int64(len(p.free)); inUse > p.highWater {
+				p.highWater = inUse
+			}
+			p.mu.Unlock()
+			pg.refs.Store(1)
+			return pg, nil
+		}
+		if p.budgetPages <= 0 || p.created < p.budgetPages {
+			p.created++
+			if p.created > p.highWater { // free list is empty: all created pages are in use
+				p.highWater = p.created
+			}
+			p.mu.Unlock()
+			pg := &kvPage{ //aptq:ignore noalloc page allocation is amortized O(1/PageRows) per token and disappears entirely once the pool's free list is warm
+				k: tensor.New(p.rows, p.dim), //aptq:ignore noalloc see above: cold-pool page allocation, recycled forever after
+				v: tensor.New(p.rows, p.dim), //aptq:ignore noalloc see above: cold-pool page allocation, recycled forever after
+			}
+			pg.refs.Store(1)
+			return pg, nil
+		}
+		reclaim := p.reclaim
 		p.mu.Unlock()
-		pg.refs.Store(1)
-		return pg
+		if reclaim == nil || !reclaim() { //aptq:ignore noalloc the reclaimer runs only on the exhausted-pool path, never in steady-state decode; eviction bookkeeping there may allocate
+			return nil, ErrPoolExhausted
+		}
 	}
-	p.created++
-	p.mu.Unlock()
-	pg := &kvPage{ //aptq:ignore noalloc page allocation is amortized O(1/PageRows) per token and disappears entirely once the pool's free list is warm
-		k: tensor.New(p.rows, p.dim), //aptq:ignore noalloc see above: cold-pool page allocation, recycled forever after
-		v: tensor.New(p.rows, p.dim), //aptq:ignore noalloc see above: cold-pool page allocation, recycled forever after
+}
+
+// get is lease for paths that reserved capacity up front (kvCache.grow)
+// or run on unbounded pools: exhaustion here is a reservation-protocol bug,
+// not an operational condition, so it panics instead of plumbing an error
+// through the zero-alloc forward pass.
+func (p *KVPagePool) get() *kvPage {
+	pg, err := p.lease()
+	if err != nil {
+		panic("infer: page lease without reservation on a budgeted pool: " + err.Error())
 	}
-	pg.refs.Store(1)
 	return pg
 }
 
@@ -184,6 +296,24 @@ func (ps *PageSpan) Release() {
 			ps.pool.release(pg)
 		}
 	}
+}
+
+// SoleHolder reports whether the span's holder owns the only reference on
+// every page — i.e. releasing the span would actually return pages to the
+// pool. The prefix cache uses it to pick sacrificial entries under memory
+// pressure: evicting an entry whose pages are still adopted by live slots
+// frees nothing. The answer is advisory under concurrency (a slot may
+// adopt between the check and the release); that race only makes an
+// eviction free less than hoped, never unsafe.
+func (ps *PageSpan) SoleHolder() bool {
+	for _, pgs := range ps.pages {
+		for _, pg := range pgs {
+			if pg.refs.Load() != 1 {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // SharePages returns a refcounted reference to the full pages covering

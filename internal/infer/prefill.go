@@ -114,8 +114,10 @@ func (s *Session) ensureScratch(T int) *chunkScratch {
 //
 // The returned matrix is owned by the session and overwritten by its next
 // Append/Prefill; clone it to retain it past that. On error the session
-// is unchanged: the length check runs before any state is touched, so a
-// failed Append never half-advances the sequence.
+// is unchanged: the length check and the KV reservation both run before
+// any state is touched, so a failed Append never half-advances the
+// sequence — an ErrPoolExhausted Append may be retried verbatim once the
+// scheduler frees pages.
 //
 //aptq:noalloc
 func (s *Session) Append(tokens []int) (*tensor.Mat, error) {
@@ -124,6 +126,9 @@ func (s *Session) Append(tokens []int) (*tensor.Mat, error) {
 	}
 	if s.pos+len(tokens) > s.m.Cfg.MaxSeq {
 		return nil, fmt.Errorf("infer: sequence length %d exceeds MaxSeq %d", s.pos+len(tokens), s.m.Cfg.MaxSeq) //aptq:ignore noalloc cold error path: an out-of-budget request never reaches the prefill steady state
+	}
+	if err := s.reserveKV(len(tokens)); err != nil {
+		return nil, err
 	}
 	sc := s.ensureScratch(len(tokens)) //aptq:ignore noalloc prefill arena is allocated once and regrown only when a wider chunk arrives
 	pos0 := s.pos

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -56,6 +57,23 @@ func writeUpstream(w http.ResponseWriter, code int, contentType string, body []b
 	_, _ = w.Write(body)
 }
 
+// noteRetryAfter records a replica's Retry-After back-off hint (seconds)
+// and folds it into the fleet-wide max the stats surface reports. Returns
+// the header value unchanged so callers can relay it.
+func (rt *Router) noteRetryAfter(h string) string {
+	if h == "" {
+		return ""
+	}
+	if s, err := strconv.ParseInt(strings.TrimSpace(h), 10, 64); err == nil && s > 0 {
+		rt.count(func(st *routerStats) {
+			if s > st.retryAfterHintS {
+				st.retryAfterHintS = s
+			}
+		})
+	}
+	return h
+}
+
 func (rt *Router) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
@@ -65,6 +83,7 @@ func (rt *Router) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	defer rt.inflight.Done()
 	if rt.draining.Load() {
 		rt.count(func(s *routerStats) { s.rejected++ })
+		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "router draining")
 		return
 	}
@@ -136,6 +155,7 @@ func (rt *Router) vocabulary() *data.Vocabulary {
 func (rt *Router) proxyBuffered(w http.ResponseWriter, r *http.Request, body []byte, order []int) {
 	var lastCode int
 	var lastBody []byte
+	var lastRetryAfter string
 	failedOver := false
 	for _, idx := range order {
 		if r.Context().Err() != nil {
@@ -148,7 +168,7 @@ func (rt *Router) proxyBuffered(w http.ResponseWriter, r *http.Request, body []b
 			continue
 		}
 		rep.countRequest()
-		code, contentType, respBody, err := rt.attempt(r.Context(), rep, body)
+		code, contentType, respBody, retryAfter, err := rt.attempt(r.Context(), rep, body)
 		if err != nil {
 			rep.reportFailure(time.Now(), rt.opts.EjectAfter, rt.opts.BackoffMin, rt.opts.BackoffMax)
 			rt.count(func(s *routerStats) { s.retries++ })
@@ -158,13 +178,16 @@ func (rt *Router) proxyBuffered(w http.ResponseWriter, r *http.Request, body []b
 		switch {
 		case code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable:
 			// Saturated or draining: spill to the next ring successor. The
-			// replica answered, so its breaker stays closed.
+			// replica answered, so its breaker stays closed. Its Retry-After
+			// hint is kept: if the whole fleet turns out to be shedding, the
+			// client gets the replicas' own back-off advice, not a router guess.
 			if code == http.StatusServiceUnavailable {
 				rep.markDraining()
 			}
 			rep.countSpill()
 			rt.count(func(s *routerStats) { s.spills++ })
 			lastCode, lastBody = code, respBody
+			lastRetryAfter = rt.noteRetryAfter(retryAfter)
 			continue
 		case code >= 500:
 			rep.reportFailure(time.Now(), rt.opts.EjectAfter, rt.opts.BackoffMin, rt.opts.BackoffMax)
@@ -184,7 +207,11 @@ func (rt *Router) proxyBuffered(w http.ResponseWriter, r *http.Request, body []b
 	rt.count(func(s *routerStats) { s.errors++ })
 	if lastCode != 0 {
 		// Every replica is saturated/draining/broken: relay the most recent
-		// upstream verdict (e.g. a fleet-wide 429) rather than inventing one.
+		// upstream verdict (e.g. a fleet-wide 429) rather than inventing one,
+		// Retry-After hint included.
+		if lastRetryAfter != "" {
+			w.Header().Set("Retry-After", lastRetryAfter)
+		}
 		writeUpstream(w, lastCode, "application/json", lastBody)
 		return
 	}
@@ -194,24 +221,24 @@ func (rt *Router) proxyBuffered(w http.ResponseWriter, r *http.Request, body []b
 // attempt performs one fully-buffered upstream call. A response cut
 // mid-body returns an error (not a partial reply), which is what keeps
 // mid-response replica death retryable.
-func (rt *Router) attempt(parent context.Context, rep *replica, body []byte) (code int, contentType string, respBody []byte, err error) {
+func (rt *Router) attempt(parent context.Context, rep *replica, body []byte) (code int, contentType string, respBody []byte, retryAfter string, err error) {
 	ctx, cancel := context.WithTimeout(parent, rt.opts.RequestTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.url+"/v1/generate", bytes.NewReader(body))
 	if err != nil {
-		return 0, "", nil, err
+		return 0, "", nil, "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := rt.client.Do(req)
 	if err != nil {
-		return 0, "", nil, err
+		return 0, "", nil, "", err
 	}
 	defer resp.Body.Close()
 	b, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return 0, "", nil, err
+		return 0, "", nil, "", err
 	}
-	return resp.StatusCode, resp.Header.Get("Content-Type"), b, nil
+	return resp.StatusCode, resp.Header.Get("Content-Type"), b, resp.Header.Get("Retry-After"), nil
 }
 
 // proxyStream serves a streaming generate with mid-stream failover. Token
@@ -229,6 +256,7 @@ func (rt *Router) proxyStream(w http.ResponseWriter, r *http.Request, body []byt
 	headersSent := false
 	var lastCode int
 	var lastBody []byte
+	var lastRetryAfter string
 	failedOver := false
 	for _, idx := range order {
 		if r.Context().Err() != nil {
@@ -272,6 +300,7 @@ func (rt *Router) proxyStream(w http.ResponseWriter, r *http.Request, body []byt
 				rep.countSpill()
 				rt.count(func(s *routerStats) { s.spills++ })
 				lastCode, lastBody = resp.StatusCode, b
+				lastRetryAfter = rt.noteRetryAfter(resp.Header.Get("Retry-After"))
 				continue
 			case resp.StatusCode >= 500:
 				rep.reportFailure(time.Now(), rt.opts.EjectAfter, rt.opts.BackoffMin, rt.opts.BackoffMax)
@@ -324,6 +353,9 @@ func (rt *Router) proxyStream(w http.ResponseWriter, r *http.Request, body []byt
 		return
 	}
 	if lastCode != 0 {
+		if lastRetryAfter != "" {
+			w.Header().Set("Retry-After", lastRetryAfter)
+		}
 		writeUpstream(w, lastCode, "application/json", lastBody)
 		return
 	}

@@ -1,0 +1,78 @@
+// Retry-After relay tests: when the whole fleet sheds a request, the
+// router passes the replicas' back-off hint through to the client — on
+// both reply forms — and surfaces the largest observed hint in its stats.
+package router_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// overBudgetServeOpts bounds every replica's KV pool to 2 pages of the
+// Tiny model, so a 4-prompt/20-output request exceeds each replica's
+// whole budget and is shed deterministically with 429 + Retry-After.
+func overBudgetServeOpts() serve.Options {
+	opts := serve.DefaultOptions()
+	opts.KVBudgetBytes = 2 * 2 * 16 * 16 * 8
+	return opts
+}
+
+const overBudgetBody = `{"tokens":[1,2,3,4],"max_tokens":20,"seed":1}`
+
+func TestRouterRelaysFleetWideRetryAfter(t *testing.T) {
+	f := newFleet(t, 3, overBudgetServeOpts(), nil)
+	defer f.close()
+
+	for _, form := range []string{"", "?stream=1"} {
+		resp, err := http.Post(f.front.URL+"/v1/generate"+form, "application/json",
+			strings.NewReader(overBudgetBody))
+		if err != nil {
+			t.Fatalf("form %q: %v", form, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("form %q: fleet-wide shed answered %d, want 429", form, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Retry-After"); got != "1" {
+			t.Fatalf("form %q: relayed Retry-After = %q, want \"1\"", form, got)
+		}
+	}
+
+	// A request that fits still serves: shedding is per-request, not
+	// per-router.
+	ok, err := http.Post(f.front.URL+"/v1/generate", "application/json",
+		strings.NewReader(`{"tokens":[1,2],"max_tokens":6,"seed":2}`))
+	if err != nil {
+		t.Fatalf("in-budget request: %v", err)
+	}
+	ok.Body.Close()
+	if ok.StatusCode != http.StatusOK {
+		t.Fatalf("in-budget request answered %d, want 200", ok.StatusCode)
+	}
+
+	// The fleet stats surface the hint and the per-replica memory bounds
+	// (max across the fleet, not a meaningless sum).
+	resp, err := http.Get(f.front.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	if hint, _ := st["router_retry_after_hint_s"].(float64); hint != 1 {
+		t.Fatalf("router_retry_after_hint_s = %v, want 1", st["router_retry_after_hint_s"])
+	}
+	budget, _ := st["kv_budget_bytes"].(float64)
+	if want := float64(overBudgetServeOpts().KVBudgetBytes); budget != want {
+		t.Fatalf("fleet kv_budget_bytes = %v, want per-replica max %v", budget, want)
+	}
+	if hw, _ := st["kv_high_water_bytes"].(float64); hw <= 0 || hw > budget {
+		t.Fatalf("fleet kv_high_water_bytes = %v outside (0, %v]", hw, budget)
+	}
+}

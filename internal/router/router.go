@@ -124,6 +124,10 @@ type routerStats struct {
 	streamResumes int64 // SSE streams resumed mid-flight on another replica
 	errors        int64 // requests that exhausted every replica (client-visible failure)
 	rejected      int64 // requests refused because the router itself is draining
+	// retryAfterHintS is the largest Retry-After (seconds) any replica
+	// attached to a 429/503 — the fleet's current back-off advice, surfaced
+	// in stats and relayed to clients on fleet-wide saturation.
+	retryAfterHintS int64
 }
 
 // Router routes, health-checks and fails over across a replica fleet.

@@ -31,6 +31,11 @@ var nonAdditiveKeys = map[string]bool{
 	"prefill_chunk": true,
 	"max_queue":     true,
 	"draining":      true, // the fleet's draining flag is the router's own
+	// Per-replica memory bounds: a fleet "budget" sum would suggest one
+	// request could use it all, which no single replica allows — report the
+	// largest per-replica figure instead.
+	"kv_budget_bytes":     true,
+	"kv_high_water_bytes": true,
 }
 
 // replicaView is one backend's entry in the "replicas" array.
@@ -157,6 +162,7 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	out["router_stream_resumes"] = rs.streamResumes
 	out["router_errors"] = rs.errors
 	out["router_rejected"] = rs.rejected
+	out["router_retry_after_hint_s"] = rs.retryAfterHintS
 	out["router_ejections"] = sumEjections(views)
 	out["replicas"] = views
 

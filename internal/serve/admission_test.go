@@ -23,7 +23,7 @@ func TestAdmissionChunkBoundsPerTickWork(t *testing.T) {
 		long[i] = 1 + i%(m.Cfg.Vocab-1)
 	}
 	sl := newSlot(infer.NewSession(m.View()), m.Cfg.MaxSeq, chunk, nil)
-	sl.start(Request{ID: "long", Prompt: long, MaxTokens: 2, Seed: 1}, nil, time.Now())
+	sl.start(Request{ID: "long", Prompt: long, MaxTokens: 2, Seed: 1}, nil, time.Now(), nil)
 	ticks := 0
 	for !sl.prefilled {
 		before := sl.sess.Pos()
@@ -64,7 +64,7 @@ func TestSlotCancelStopsTicks(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	sl := newSlot(infer.NewSession(m.View()), m.Cfg.MaxSeq, 4, nil)
-	sl.start(Request{ID: "c", Prompt: []int{3, 1}, MaxTokens: 20, Seed: 2, Ctx: ctx}, nil, time.Now())
+	sl.start(Request{ID: "c", Prompt: []int{3, 1}, MaxTokens: 20, Seed: 2, Ctx: ctx}, nil, time.Now(), nil)
 	for len(sl.tokens) < 3 {
 		sl.advance(-1)
 		if sl.done {
@@ -97,7 +97,7 @@ func TestSlotDeadlineReason(t *testing.T) {
 	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer cancel()
 	sl := newSlot(infer.NewSession(m.View()), m.Cfg.MaxSeq, 4, nil)
-	sl.start(Request{ID: "d", Prompt: []int{1}, MaxTokens: 4, Ctx: expired}, nil, time.Now())
+	sl.start(Request{ID: "d", Prompt: []int{1}, MaxTokens: 4, Ctx: expired}, nil, time.Now(), nil)
 	sl.advance(-1)
 	if !sl.done || sl.reason != FinishDeadline {
 		t.Fatalf("expired-deadline slot: done=%v reason=%s, want %s", sl.done, sl.reason, FinishDeadline)

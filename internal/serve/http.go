@@ -71,7 +71,8 @@ type Server struct {
 	m        *model.Model
 	vocab    *data.Vocabulary
 	sched    *Scheduler
-	draining atomic.Bool // set before Drain; /healthz reports 503
+	draining atomic.Bool  // set before Drain; /healthz reports 503
+	panics   atomic.Int64 // handler panics caught by the recover middleware
 }
 
 // NewServer builds a Server over a fresh Scheduler on m.
@@ -102,13 +103,33 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 func (s *Server) Close() { s.sched.Close() }
 
 // Handler returns the HTTP mux: POST /v1/generate, GET /v1/stats,
-// GET /healthz.
+// GET /healthz. Every route runs under the panic-isolation middleware:
+// a handler panic is confined to its own request — 500 to that client,
+// the `panics` stat bumped — and never takes down the listener or any
+// concurrent request.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/generate", s.handleGenerate)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealth)
-	return mux
+	return s.recovered(mux)
+}
+
+// recovered wraps h so a panic in any handler is caught, counted, and
+// answered with a 500 instead of crashing the process. If the handler
+// already wrote its status line (e.g. a panic mid-stream), the recovery
+// can only close the connection — net/http does that when the handler
+// returns after a partial write without Content-Length.
+func (s *Server) recovered(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panics.Add(1)
+				httpError(w, http.StatusInternalServerError, "internal error: %v", rec)
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
 }
 
 // httpError writes a JSON error body with the given status.
@@ -180,10 +201,17 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		Priority:    req.Priority,
 	})
 	switch {
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrOverBudget):
+		// Shed load with an explicit retry hint: a full queue drains within
+		// about a tick's worth of completions, so "1" second is an honest
+		// earliest-retry for well-behaved clients (the router relays it).
+		// An over-budget request can never be admitted, but the same hint
+		// keeps the shed path uniform for clients that resubmit smaller.
+		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "%v", err)
 		return
 	case err != nil:
+		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
@@ -298,6 +326,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"prefix_cache_bytes":      st.PrefixCacheBytes,
 		"prefix_cache_entries":    st.PrefixCacheEntries,
 		"prefix_cache_evictions":  st.PrefixCacheEvictions,
+		// Memory-pressure counters (all zero unless -kv-budget-mb bounds the
+		// pool): preemptions is slots evicted mid-decode to unstarve others,
+		// admission_deferred is queue entries skipped for lack of page
+		// headroom, kv_budget_bytes the configured bound (0 = unbounded) and
+		// kv_high_water_bytes the pool's peak residency — never above the
+		// budget, the invariant the pressure tests pin. panics counts
+		// recovered per-request panics (scheduler slots + HTTP handlers).
+		"preemptions":         st.Preemptions,
+		"admission_deferred":  st.AdmissionDeferred,
+		"panics":              st.Panics + s.panics.Load(),
+		"kv_budget_bytes":     st.KVBudgetBytes,
+		"kv_high_water_bytes": st.KVHighWaterBytes,
 	})
 }
 
@@ -315,8 +355,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	status, code := "ok", http.StatusOK
 	if s.draining.Load() {
 		// Unhealthy while draining, so load balancers stop routing here
-		// during a graceful redeploy.
+		// during a graceful redeploy. Retry-After tells pollers when to
+		// probe again.
 		status, code = "draining", http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
 	}
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(map[string]any{

@@ -1,0 +1,155 @@
+// HTTP surface of the memory-pressure ladder: shed responses carry a
+// Retry-After hint, over-budget demand maps to 429, and the stats
+// endpoint exposes the pressure counters.
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/infer"
+	"repro/internal/model"
+)
+
+// TestOverBudgetRequestGets429RetryAfter: a request whose worst-case KV
+// demand exceeds the whole budget is shed deterministically with 429 and
+// a Retry-After hint (the header the router relays fleet-wide).
+func TestOverBudgetRequestGets429RetryAfter(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	opts := DefaultOptions()
+	opts.KVBudgetBytes = 2 * 2 * 16 * 16 * 8 // 2 pages: one per block
+	srv := NewServer(m, opts)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/generate", "application/json",
+		strings.NewReader(`{"tokens":[1,2,3,4],"max_tokens":20,"seed":1}`))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget request answered %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("429 Retry-After = %q, want \"1\"", got)
+	}
+
+	// A request that fits the budget still serves, and the stats surface
+	// carries the pressure keys.
+	ok, err := http.Post(ts.URL+"/v1/generate", "application/json",
+		strings.NewReader(`{"tokens":[1,2],"max_tokens":8,"seed":2}`))
+	if err != nil {
+		t.Fatalf("in-budget generate: %v", err)
+	}
+	defer ok.Body.Close()
+	if ok.StatusCode != http.StatusOK {
+		t.Fatalf("in-budget request answered %d, want 200", ok.StatusCode)
+	}
+	st := fetchStats(t, ts.URL)
+	if st["kv_budget_bytes"] <= 0 {
+		t.Fatalf("kv_budget_bytes = %v, want > 0", st["kv_budget_bytes"])
+	}
+	if st["kv_high_water_bytes"] <= 0 || st["kv_high_water_bytes"] > st["kv_budget_bytes"] {
+		t.Fatalf("kv_high_water_bytes = %v outside (0, budget=%v]", st["kv_high_water_bytes"], st["kv_budget_bytes"])
+	}
+	for _, key := range []string{"preemptions", "admission_deferred", "panics"} {
+		if _, present := st[key]; !present {
+			t.Fatalf("stats missing %q", key)
+		}
+	}
+}
+
+// TestDrainingCarriesRetryAfter: both the health probe and a shed
+// generate carry the back-off hint while draining.
+func TestDrainingCarriesRetryAfter(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	srv := NewServer(m, DefaultOptions())
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	srv.SetDraining(true)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") != "1" {
+		t.Fatalf("draining healthz: code=%d Retry-After=%q, want 503 with \"1\"", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	srv.Scheduler().Drain()
+	gen, err := http.Post(ts.URL+"/v1/generate", "application/json",
+		strings.NewReader(`{"tokens":[1],"max_tokens":2,"seed":1}`))
+	if err != nil {
+		t.Fatalf("generate while draining: %v", err)
+	}
+	gen.Body.Close()
+	if gen.StatusCode != http.StatusServiceUnavailable || gen.Header.Get("Retry-After") != "1" {
+		t.Fatalf("draining generate: code=%d Retry-After=%q, want 503 with \"1\"", gen.StatusCode, gen.Header.Get("Retry-After"))
+	}
+}
+
+func fetchStats(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var st map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	return st
+}
+
+// TestReclaimOneEvictsOnlySoleHeldLRU pins the sacrificial tier's
+// selection rule: reclaimOne frees the least-recently-used entry whose
+// pages nothing else references, skips entries pinned by live adoptions,
+// and reports false when everything left is pinned.
+func TestReclaimOneEvictsOnlySoleHeldLRU(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	pool := infer.NewPagePool(m.Cfg.Dim, m.Cfg.MaxSeq)
+	pc := newPrefixCache(pool.Rows(), 1<<20)
+
+	makeEntry := func(first int) (*infer.Session, []int) {
+		prompt := make([]int, pool.Rows())
+		for i := range prompt {
+			prompt[i] = (first + i) % m.Cfg.Vocab
+		}
+		sess := infer.NewSessionPooled(m, pool, 0)
+		if _, err := sess.Prefill(prompt); err != nil {
+			t.Fatalf("prefill: %v", err)
+		}
+		pc.insert(prompt, sess.SharePages(0, pool.Rows()))
+		return sess, prompt
+	}
+
+	// Entry A (older, will be sole-held once its session resets), entry B
+	// (newer, stays pinned by its live session).
+	sessA, _ := makeEntry(1)
+	_, promptB := makeEntry(9)
+	sessA.Reset() // A's pages now referenced only by the cache
+
+	if !pc.reclaimOne() {
+		t.Fatal("reclaimOne found nothing with a sole-held entry present")
+	}
+	snap := pc.snapshot()
+	if snap.Entries != 1 || snap.Evictions != 1 {
+		t.Fatalf("after reclaim: %d entries, %d evictions, want 1 and 1", snap.Entries, snap.Evictions)
+	}
+	if !pc.contains(promptB) {
+		t.Fatal("reclaimOne evicted the pinned entry instead of the sole-held one")
+	}
+	// Everything remaining is pinned: the reclaimer must report dry so the
+	// pool escalates to preemption instead of spinning.
+	if pc.reclaimOne() {
+		t.Fatal("reclaimOne claimed to free a pinned entry")
+	}
+}

@@ -1,0 +1,130 @@
+// Panic-isolation tests: a panic anywhere in per-request work — a slot's
+// tick or an HTTP handler — must be confined to that one request: it
+// finishes with FinishError (or a 500), the panics counter moves, and
+// every other request, the scheduler loop, and the listener keep working.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestSlotPanicIsolatedToRequest injects a panic into one request's tick
+// work and asserts the blast radius: that request errors, its neighbors
+// are bit-identical to an undisturbed run, the panics counter reads 1,
+// and no page leaks survive Close.
+func TestSlotPanicIsolatedToRequest(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	opts := DefaultOptions()
+	opts.Slots = 3
+	reqs := make([]Request, 6)
+	for i := range reqs {
+		reqs[i] = Request{
+			ID:          fmt.Sprintf("r-%d", i),
+			Prompt:      []int{1 + i%(m.Cfg.Vocab-1), 2, 3},
+			MaxTokens:   8,
+			Temperature: 0.7,
+			Seed:        int64(10 + i),
+		}
+	}
+	want := make([]Result, len(reqs))
+	for i, r := range reqs {
+		want[i] = Sequential(m, r, opts)
+	}
+
+	s := New(m, opts)
+	defer s.Close()
+	s.panicHook = func(r Request) bool { return r.ID == "r-3" }
+	got, err := s.GenerateAll(reqs)
+	if err != nil {
+		t.Fatalf("GenerateAll: %v", err)
+	}
+	for i, r := range reqs {
+		if r.ID == "r-3" {
+			if got[i].FinishReason != FinishError || got[i].Err == nil {
+				t.Fatalf("panicked request finished (%s, err=%v), want (%s, non-nil)", got[i].FinishReason, got[i].Err, FinishError)
+			}
+			if !strings.Contains(got[i].Err.Error(), "panicked") {
+				t.Fatalf("panicked request error %q does not say so", got[i].Err)
+			}
+			continue
+		}
+		assertPanicNeighbors(t, r.ID, got[i], want[i])
+	}
+	if st := s.Stats(); st.Panics != 1 {
+		t.Fatalf("Panics = %d, want 1", st.Panics)
+	}
+
+	// The scheduler still serves after the panic.
+	s.panicHook = nil
+	ticket, err := s.Submit(reqs[0])
+	if err != nil {
+		t.Fatalf("Submit after panic: %v", err)
+	}
+	res := ticket.Wait()
+	assertPanicNeighbors(t, "post-panic", res, want[0])
+
+	s.Drain()
+	s.Close()
+	if ps := s.PoolStats(); ps.PagesInUse != 0 {
+		t.Fatalf("%d pages in use after a panicked request and Close, want 0", ps.PagesInUse)
+	}
+}
+
+func assertPanicNeighbors(t *testing.T, label string, got, want Result) {
+	t.Helper()
+	if got.FinishReason != want.FinishReason || len(got.Tokens) != len(want.Tokens) {
+		t.Fatalf("%s: (%s, %d tokens), want (%s, %d)", label, got.FinishReason, len(got.Tokens), want.FinishReason, len(want.Tokens))
+	}
+	for j := range want.Tokens {
+		if got.Tokens[j] != want.Tokens[j] {
+			t.Fatalf("%s: token %d = %d, want %d", label, j, got.Tokens[j], want.Tokens[j])
+		}
+	}
+}
+
+// TestHandlerPanicRecovered: the HTTP middleware converts a handler panic
+// into a 500 for that request, counts it, and keeps the server answering.
+func TestHandlerPanicRecovered(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	srv := NewServer(m, DefaultOptions())
+	defer srv.Close()
+
+	boom := srv.recovered(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	}))
+	rec := httptest.NewRecorder()
+	boom.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/generate", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler answered %d, want 500", rec.Code)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "kaboom") {
+		t.Fatalf("500 body %q does not carry the panic value", body)
+	}
+	if got := srv.panics.Load(); got != 1 {
+		t.Fatalf("handler panics counter = %d, want 1", got)
+	}
+
+	// The real mux still serves, and /v1/stats folds the handler panic into
+	// the panics key.
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("stats after panic: %v", err)
+	}
+	defer resp.Body.Close()
+	var st map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	if st["panics"] != 1 {
+		t.Fatalf("stats panics = %v, want 1", st["panics"])
+	}
+}

@@ -204,28 +204,74 @@ func (pc *prefixCache) insert(prefix []int, span *infer.PageSpan) {
 	pc.evictLocked()
 }
 
+// removeLocked unlinks victim from the LRU list and the hash map and
+// releases its page references. Caller holds mu.
+func (pc *prefixCache) removeLocked(victim *prefixEntry) {
+	pc.unlink(victim)
+	h := prefixkey.Hash(victim.prefix)
+	list := pc.entries[h]
+	for i, le := range list {
+		if le == victim {
+			pc.entries[h] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(pc.entries[h]) == 0 {
+		delete(pc.entries, h)
+	}
+	victim.span.Release()
+	pc.stats.Bytes -= victim.bytes
+	pc.stats.Entries--
+	pc.stats.Evictions++
+}
+
 // evictLocked drops LRU-tail entries until the budget holds, releasing
 // each victim's page references. Caller holds mu.
 func (pc *prefixCache) evictLocked() {
 	for pc.tail != nil && pc.stats.Bytes > pc.budget {
-		victim := pc.tail
-		pc.unlink(victim)
-		h := prefixkey.Hash(victim.prefix)
-		list := pc.entries[h]
-		for i, le := range list {
-			if le == victim {
-				pc.entries[h] = append(list[:i], list[i+1:]...)
-				break
-			}
-		}
-		if len(pc.entries[h]) == 0 {
-			delete(pc.entries, h)
-		}
-		victim.span.Release()
-		pc.stats.Bytes -= victim.bytes
-		pc.stats.Entries--
-		pc.stats.Evictions++
+		pc.removeLocked(pc.tail)
 	}
+}
+
+// reclaimOne is the page pool's sacrificial-tier hook (registered via
+// infer.KVPagePool.SetReclaimer): under budget pressure it evicts the
+// least-recently-used entry whose pages nothing else references — evicting
+// a pinned entry would free no memory — and reports whether it freed one.
+// A false return tells the pool the cache has nothing left to give, so the
+// lease fails and the scheduler escalates to preemption. Called without
+// the pool lock held (release routes back into the pool), and safe against
+// concurrent slot inserts: both take pc.mu before any pool-lock work, the
+// repo-wide lock order.
+func (pc *prefixCache) reclaimOne() bool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	for e := pc.tail; e != nil; e = e.prev {
+		if e.span.SoleHolder() {
+			pc.removeLocked(e)
+			return true
+		}
+	}
+	return false
+}
+
+// reclaimableBytes reports the page bytes admission may count as
+// evictable headroom: entries whose pages nothing else references.
+// Pinned entries — pages adopted by a live slot — would free nothing if
+// evicted, so counting them overstates headroom; under sustained
+// pressure that phantom headroom re-admits every preempted request into
+// a still-full pool and the scheduler thrashes preemption instead of
+// deferring. Sole-holdership reads the pages' atomic refcounts, so no
+// pool lock is needed (lock order: pc.mu before any pool work).
+func (pc *prefixCache) reclaimableBytes() int64 {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	var total int64
+	for e := pc.head; e != nil; e = e.next {
+		if e.span.SoleHolder() {
+			total += e.span.Bytes()
+		}
+	}
+	return total
 }
 
 // purge drops every entry and releases its pages — the scheduler Close

@@ -19,6 +19,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"sort"
 	"sync"
@@ -46,6 +47,13 @@ var ErrQueueFull = errors.New("serve: admission queue full")
 // bounded drain (DrainFor) expires before the scheduler empties: the
 // shutdown deadline won, not the request.
 var ErrDrainTimeout = errors.New("serve: drain timeout expired")
+
+// ErrOverBudget is returned by Submit when Options.KVBudgetBytes is set
+// and the request's worst-case KV demand (prompt + MaxTokens across every
+// block) exceeds the entire budget: the request could never run to
+// completion on this replica, so it is refused up front (429 at the HTTP
+// layer) instead of being admitted into guaranteed starvation.
+var ErrOverBudget = errors.New("serve: request's worst-case KV demand exceeds the memory budget")
 
 // FinishReason tells why a request stopped decoding.
 type FinishReason string
@@ -199,6 +207,20 @@ type Options struct {
 	// queueing without bound and blowing every request's latency. <= 0
 	// leaves the queue unbounded.
 	MaxQueue int
+	// KVBudgetBytes, when positive, caps the shared KV page pool — slots
+	// and the prefix cache together — at that many resident bytes (rounded
+	// down to whole pages). The budget is a hard guarantee, not a target:
+	// the pool never allocates past it (PoolStats.HighWaterBytes <=
+	// BudgetBytes always). Under pressure the scheduler degrades in order:
+	// unpinned prefix-cache entries are evicted first (the sacrificial
+	// tier), then admission of new requests is deferred until worst-case
+	// headroom exists, and as a last resort a decoding slot is preempted —
+	// its request re-queued carrying the tokens generated so far and
+	// restored later by re-prefilling prompt+generated, which by the
+	// determinism contract yields output bit-identical to an uninterrupted
+	// run. 0 disables the budget (pages allocate on demand, the pre-budget
+	// behavior).
+	KVBudgetBytes int64
 }
 
 // DefaultOptions returns the baseline scheduler configuration: 4 slots, no
@@ -253,6 +275,26 @@ type Stats struct {
 	// non-zero value means some SIGTERM hit the shutdown deadline instead
 	// of finishing gracefully.
 	DrainTimeouts int64
+	// Preemptions counts slots evicted under KV memory pressure: their
+	// requests were re-queued with their generated-so-far tokens and later
+	// restored bit-identically (the KVBudgetBytes degradation ladder).
+	Preemptions int64
+	// AdmissionDeferred counts admission opportunities skipped because a
+	// queued request's worst-case KV demand exceeded the pool headroom —
+	// one count per queued request per tick with a free slot, so it grows
+	// while memory-aware admission is actively holding work back.
+	AdmissionDeferred int64
+	// Panics counts requests whose per-slot tick work panicked; each was
+	// isolated to a FinishError for that request (the slot recovered and
+	// kept serving). The HTTP layer adds its own handler-recover count on
+	// top in /v1/stats.
+	Panics int64
+	// KVBudgetBytes echoes Options.KVBudgetBytes rounded to whole pages (0
+	// = unbounded); KVHighWaterBytes is the maximum resident KV the pool
+	// ever held — with a budget set, KVHighWaterBytes <= KVBudgetBytes is
+	// the enforced invariant.
+	KVBudgetBytes    int64
+	KVHighWaterBytes int64
 	// MaxQueue echoes Options.MaxQueue; Draining reports a scheduler
 	// between Drain and Close.
 	MaxQueue int
@@ -300,11 +342,26 @@ const ttftWindow = 512
 // generated token contributes a sample, not every request.
 const itlWindow = 2048
 
-// pending is a queued request with its delivery ticket.
+// resumeState carries what a preempted request needs to continue exactly
+// where it stopped: the tokens already generated (and already streamed to
+// the client — restore must not re-emit them) and the request's private
+// RNG object, whose stream position reflects every sample drawn so far.
+// Restoring re-prefills prompt+tokens — deterministic prefill reproduces
+// the KV rows bit-for-bit — and then decoding continues with the carried
+// RNG, so the final output is bit-identical to a run that was never
+// preempted (the property TestPreemption* pins against Sequential).
+type resumeState struct {
+	tokens []int
+	rng    *rand.Rand
+}
+
+// pending is a queued request with its delivery ticket. resume is non-nil
+// only for a preempted request awaiting re-admission.
 type pending struct {
 	req       Request
 	ticket    *Ticket
 	submitted time.Time
+	resume    *resumeState
 }
 
 // slot is one decoding lane. All fields are owned by the scheduler loop
@@ -318,24 +375,30 @@ type slot struct {
 	cache    *prefixCache // nil when prefix caching is disabled
 	sampler  infer.Sampler
 
-	active      bool
-	prefilled   bool
-	promptPos   int // prompt tokens consumed so far
-	published   int // prompt pages offered to the prefix cache so far
-	req         Request
-	ticket      *Ticket
-	rng         *rand.Rand
-	logits      []float64
-	tokens      []int
-	done        bool
-	reason      FinishReason
-	err         error
-	submitted   time.Time
-	ttft        time.Duration
-	ttftPending bool // a fresh TTFT sample awaits collection
-	lastEmit    time.Time
-	itl         time.Duration
-	itlPending  bool // a fresh inter-token latency sample awaits collection
+	active       bool
+	prefilled    bool
+	promptPos    int // effective-prompt tokens consumed so far
+	published    int // prompt pages offered to the prefix cache so far
+	req          Request
+	ticket       *Ticket
+	rng          *rand.Rand
+	logits       []float64
+	tokens       []int
+	done         bool
+	reason       FinishReason
+	err          error
+	submitted    time.Time
+	resume       *resumeState // non-nil while restoring a preempted request
+	effPrompt    []int        // req.Prompt plus resume tokens: what prefill consumes
+	starved      bool         // last tick hit ErrPoolExhausted; retrying
+	retryPending bool         // a sampled token awaits its Step retry
+	retryTok     int
+	panicked     bool // this tick's work panicked (isolated to FinishError)
+	ttft         time.Duration
+	ttftPending  bool // a fresh TTFT sample awaits collection
+	lastEmit     time.Time
+	itl          time.Duration
+	itlPending   bool // a fresh inter-token latency sample awaits collection
 }
 
 // newSlot wraps a session as an idle slot.
@@ -351,20 +414,37 @@ func newSlot(sess *infer.Session, maxSeq, chunk int, cache *prefixCache) *slot {
 // recycled KV cache (a refcount bump per page, no copy) and prefill
 // resumes after it; at least the final prompt token is always prefilled
 // for real, because its logits must be computed.
-func (sl *slot) start(req Request, ticket *Ticket, submitted time.Time) {
+//
+// A non-nil resume restores a preempted request: prefill consumes
+// prompt+generated (deterministic prefill reproduces the evicted KV rows
+// bit-for-bit), the already-streamed tokens are NOT re-emitted, the
+// carried RNG continues its stream where preemption stopped it, and no
+// second TTFT sample is recorded — the client-visible behavior is exactly
+// an uninterrupted (if slower) request.
+func (sl *slot) start(req Request, ticket *Ticket, submitted time.Time, resume *resumeState) {
 	sl.sess.Reset()
 	sl.active = true
 	sl.prefilled = false
 	sl.promptPos = 0
 	sl.published = 0
+	sl.resume = resume
+	sl.effPrompt = req.Prompt
+	if resume != nil {
+		eff := make([]int, 0, len(req.Prompt)+len(resume.tokens))
+		eff = append(eff, req.Prompt...)
+		eff = append(eff, resume.tokens...)
+		sl.effPrompt = eff
+	}
 	if sl.cache != nil && len(req.Prompt) > 0 {
-		spans, _ := sl.cache.lookup(req.Prompt, len(req.Prompt)-1)
+		// Cache lookup stays over the original prompt (generated tokens are
+		// per-request, never shared), capped so at least the effective
+		// prompt's final token is prefilled for real.
+		spans, _ := sl.cache.lookup(req.Prompt, len(sl.effPrompt)-1)
 		for _, sp := range spans {
 			if err := sl.sess.AdoptPages(sp); err != nil {
-				// Impossible by construction (spans are consecutive,
-				// page-aligned, from the shared pool, and validated before
-				// any state changes); stop adopting and prefill the rest
-				// from the last good position.
+				// Stop adopting (ErrPoolExhausted from the reservation, or a
+				// misaligned span — impossible by construction) and prefill
+				// the rest from the last good position.
 				break
 			}
 		}
@@ -378,9 +458,14 @@ func (sl *slot) start(req Request, ticket *Ticket, submitted time.Time) {
 	}
 	sl.req = req
 	sl.ticket = ticket
-	sl.rng = rand.New(rand.NewSource(req.Seed))
+	if resume != nil {
+		sl.rng = resume.rng
+		sl.tokens = resume.tokens
+	} else {
+		sl.rng = rand.New(rand.NewSource(req.Seed))
+		sl.tokens = nil
+	}
 	sl.logits = nil
-	sl.tokens = nil
 	sl.done = false
 	sl.reason = ""
 	sl.err = nil
@@ -390,6 +475,10 @@ func (sl *slot) start(req Request, ticket *Ticket, submitted time.Time) {
 	sl.lastEmit = time.Time{}
 	sl.itl = 0
 	sl.itlPending = false
+	sl.starved = false
+	sl.retryPending = false
+	sl.retryTok = 0
+	sl.panicked = false
 }
 
 // emit appends one generated token, streams it to the ticket (nil for
@@ -452,21 +541,49 @@ func (sl *slot) advance(eos int) {
 		sl.finish(r, nil)
 		return
 	}
+	// A token sampled (and already emitted) whose feed-back Step starved on
+	// the KV budget last tick: retry just the Step — the RNG already
+	// advanced, so re-sampling would corrupt the stream. ErrPoolExhausted
+	// leaves the session unchanged, so the retry is exact.
+	if sl.retryPending {
+		logits, err := sl.sess.Step(sl.retryTok)
+		if err != nil {
+			if errors.Is(err, infer.ErrPoolExhausted) { //aptq:ignore noalloc errors.Is walks a static chain; cold pressure path, no allocation on the decode steady state
+				sl.starved = true
+				return
+			}
+			sl.finish(FinishError, err)
+			return
+		}
+		sl.retryPending = false
+		sl.starved = false
+		sl.logits = logits.Row(0)
+		return
+	}
 	if !sl.prefilled {
 		if len(sl.req.Prompt) == 0 {
 			sl.finish(FinishError, infer.ErrEmptyPrompt)
 			return
 		}
+		// Prefill consumes the effective prompt: the request's prompt, plus
+		// — when restoring a preempted request — the tokens generated before
+		// preemption, whose KV rows deterministic prefill reproduces
+		// bit-for-bit.
 		n := sl.chunk
-		if rem := len(sl.req.Prompt) - sl.promptPos; n > rem {
+		if rem := len(sl.effPrompt) - sl.promptPos; n > rem {
 			n = rem
 		}
 		lo := sl.promptPos
-		logits, err := sl.sess.Append(sl.req.Prompt[lo : lo+n])
+		logits, err := sl.sess.Append(sl.effPrompt[lo : lo+n])
 		if err != nil {
+			if errors.Is(err, infer.ErrPoolExhausted) { //aptq:ignore noalloc errors.Is walks a static chain; cold pressure path, no allocation on the decode steady state
+				sl.starved = true // same chunk retries next tick; scheduler frees pages meanwhile
+				return
+			}
 			sl.finish(FinishError, err)
 			return
 		}
+		sl.starved = false
 		sl.promptPos += n
 		// Publish every newly completed prompt page into the cache so the
 		// next request sharing the prefix adopts it by reference. Publishing
@@ -474,9 +591,11 @@ func (sl *slot) advance(eos int) {
 		// walks full pages regardless of how prefill ticks chop the prompt.
 		// SharePages bumps refcounts on the pages already resident in this
 		// slot — no bytes are copied; insert de-duplicates and evicts LRU
-		// entries past the byte budget.
+		// entries past the byte budget. Only pages fully inside the original
+		// prompt are published: generated tokens are per-request, never a
+		// shareable prefix.
 		if sl.cache != nil {
-			for (sl.published+1)*sl.pageRows <= sl.promptPos {
+			for (sl.published+1)*sl.pageRows <= sl.promptPos && (sl.published+1)*sl.pageRows <= len(sl.req.Prompt) {
 				hi := (sl.published + 1) * sl.pageRows
 				if !sl.cache.contains(sl.req.Prompt[:hi]) {
 					sl.cache.insert(sl.req.Prompt[:hi], sl.sess.SharePages(sl.published*sl.pageRows, hi)) //aptq:ignore noalloc prefix-cache publication runs per prompt page during prefill, never on the decode steady state
@@ -484,12 +603,16 @@ func (sl *slot) advance(eos int) {
 				sl.published++
 			}
 		}
-		if sl.promptPos < len(sl.req.Prompt) {
+		if sl.promptPos < len(sl.effPrompt) {
 			return // rest of the prompt admits on later ticks
 		}
 		sl.prefilled = true
-		sl.ttft = time.Since(sl.submitted)
-		sl.ttftPending = true
+		if sl.resume == nil {
+			// First prefill of this request: stamp TTFT. A restore records no
+			// second sample — the client saw its first token long ago.
+			sl.ttft = time.Since(sl.submitted)
+			sl.ttftPending = true
+		}
 		sl.lastEmit = time.Now() // first token's inter-token gap starts here
 		sl.logits = logits.Row(0)
 		if sl.req.MaxTokens <= 0 {
@@ -519,6 +642,12 @@ func (sl *slot) advance(eos int) {
 	}
 	logits, err := sl.sess.Step(tok)
 	if err != nil {
+		if errors.Is(err, infer.ErrPoolExhausted) { //aptq:ignore noalloc errors.Is walks a static chain; cold pressure path, no allocation on the decode steady state
+			sl.starved = true
+			sl.retryPending = true
+			sl.retryTok = tok
+			return
+		}
 		sl.finish(FinishError, err)
 		return
 	}
@@ -535,6 +664,13 @@ type Scheduler struct {
 	pool     *infer.KVPagePool // shared by every slot session and the prefix cache
 	prefix   *prefixCache      // nil when Options.PrefixCacheBytes is 0
 	released sync.Once         // Close's one-time page teardown
+
+	blocks      int   // model depth: pages-per-sequence multiplier in demand estimates
+	budgetPages int64 // pool page budget (0 = unbounded), cached from the pool
+	// panicHook, when set (tests only, before any Submit), forces a panic
+	// in the tick of any slot whose request it matches — the injection
+	// point for the panic-isolation tests.
+	panicHook func(Request) bool
 
 	mu         sync.Mutex
 	cond       *sync.Cond
@@ -570,15 +706,24 @@ func New(m *model.Model, opts Options) *Scheduler {
 	// by one slot are adopted by reference in any other, and pool stats
 	// give the deduplicated resident KV footprint of the whole scheduler.
 	s.pool = infer.NewPagePool(m.Cfg.Dim, m.Cfg.MaxSeq)
+	if opts.KVBudgetBytes > 0 {
+		s.pool.SetBudget(opts.KVBudgetBytes)
+		s.budgetPages = s.pool.BudgetPages()
+	}
 	if opts.PrefixCacheBytes > 0 {
 		s.prefix = newPrefixCache(s.pool.Rows(), opts.PrefixCacheBytes)
+		// The cache is the budget's sacrificial tier: a starved page lease
+		// evicts unpinned cache entries (LRU-first) before giving up.
+		s.pool.SetReclaimer(s.prefix.reclaimOne)
 	}
+	s.blocks = len(m.Blocks)
 	for _, v := range m.Views(opts.Slots) {
 		s.slots = append(s.slots, newSlot(infer.NewSessionPooled(v, s.pool, opts.KVQuantBits), m.Cfg.MaxSeq, opts.PrefillChunk, s.prefix))
 	}
 	s.stats.Slots = opts.Slots
 	s.stats.PrefillChunk = opts.PrefillChunk
 	s.stats.MaxQueue = opts.MaxQueue
+	s.stats.KVBudgetBytes = s.pool.BudgetBytes()
 	go s.loop() //aptq:ignore detlint the scheduler loop is the one sanctioned goroutine: requests only observe it through Ticket channels, and decode order is pinned by the admission queue, not the schedule
 	return s
 }
@@ -618,6 +763,10 @@ func (s *Scheduler) Submit(req Request) (*Ticket, error) {
 	if s.maxQueue > 0 && len(s.queue) >= s.maxQueue {
 		s.stats.Rejected++
 		return nil, ErrQueueFull
+	}
+	if s.budgetPages > 0 && s.demandPages(req) > s.budgetPages {
+		s.stats.Rejected++
+		return nil, ErrOverBudget
 	}
 	s.queue = append(s.queue, pending{req: req, ticket: t, submitted: time.Now()})
 	s.stats.Submitted++
@@ -663,6 +812,9 @@ func (s *Scheduler) Stats() Stats {
 		st.ITLp99 = percentile(sorted, 99)
 	}
 	st.Draining = s.draining
+	ps := s.pool.Stats()
+	st.KVBudgetBytes = ps.BudgetBytes
+	st.KVHighWaterBytes = ps.HighWaterBytes
 	if s.prefix != nil {
 		pc := s.prefix.snapshot()
 		st.PrefixCacheHits = pc.Hits
@@ -721,6 +873,86 @@ func (s *Scheduler) countFinish(r FinishReason) {
 		s.stats.DeadlineExceeded++
 	}
 }
+
+// demandPages estimates a request's worst-case KV page demand across all
+// blocks: the prompt plus every generated token except the last (which is
+// emitted but never fed back), clamped to the context limit, rounded up to
+// whole pages. Memory-aware admission compares this against pool headroom,
+// and Submit rejects requests whose demand exceeds the entire budget.
+func (s *Scheduler) demandPages(req Request) int64 {
+	rows := len(req.Prompt)
+	if req.MaxTokens > 0 {
+		rows += req.MaxTokens - 1
+	}
+	if rows > s.maxSeq {
+		rows = s.maxSeq
+	}
+	pageRows := s.pool.Rows()
+	pages := (rows + pageRows - 1) / pageRows
+	return int64(pages) * int64(s.blocks)
+}
+
+// tickSlot advances one slot inside a recover barrier: a panic anywhere in
+// the per-request tick work — forward pass, sampling, cache publication —
+// is isolated to a FinishError for that request; the slot delivers the
+// error and keeps serving (its session is recycled with a full Reset on
+// the next admission, and immediately under a budget). Without this, one
+// poisoned request would kill the decode loop and with it every request on
+// the replica.
+func (s *Scheduler) tickSlot(sl *slot) {
+	defer func() {
+		if r := recover(); r != nil {
+			sl.finish(FinishError, fmt.Errorf("serve: request panicked: %v", r))
+			sl.panicked = true
+		}
+	}()
+	if s.panicHook != nil && s.panicHook(sl.req) {
+		panic("serve: injected test panic")
+	}
+	sl.advance(s.eos)
+}
+
+// weaker orders slots for victim selection: lower priority first, then the
+// youngest (latest-submitted) of a class, then the higher slot index —
+// a total deterministic order, so a preemption storm converges instead of
+// thrashing, and the oldest surviving request always makes progress.
+func weaker(a, b *slot) bool {
+	if a.req.Priority != b.req.Priority {
+		return a.req.Priority < b.req.Priority
+	}
+	if !a.submitted.Equal(b.submitted) {
+		return a.submitted.After(b.submitted)
+	}
+	return false // equal keys: keep the earlier-indexed candidate
+}
+
+// preemptLocked evicts victim under KV pressure: its pages return to the
+// pool (Reset), and its request re-queues at the front carrying the tokens
+// generated so far plus its RNG, to be restored by start() on re-admission
+// bit-identically to a run that was never preempted. Caller holds mu; the
+// caller decrements nActive.
+func (s *Scheduler) preemptLocked(victim *slot) {
+	p := pending{req: victim.req, ticket: victim.ticket, submitted: victim.submitted, resume: victim.resume}
+	if len(victim.tokens) > 0 {
+		p.resume = &resumeState{tokens: victim.tokens, rng: victim.rng}
+	}
+	victim.sess.Reset()
+	victim.active = false
+	victim.ticket = nil
+	victim.resume = nil
+	victim.effPrompt = nil
+	victim.starved = false
+	victim.retryPending = false
+	s.queue = append(s.queue, pending{})
+	copy(s.queue[1:], s.queue)
+	s.queue[0] = p
+	s.stats.Preemptions++
+}
+
+// PoolStats exposes the shared KV page pool's residency counters — unique
+// bytes, free pages, and the high-watermark the budget invariant
+// (HighWaterBytes <= BudgetBytes) is asserted against.
+func (s *Scheduler) PoolStats() infer.PoolStats { return s.pool.Stats() }
 
 // Drain stops admission and blocks until every queued and in-flight
 // request has finished — the graceful-redeploy half of shutdown: a load
@@ -824,7 +1056,11 @@ func (s *Scheduler) loop() {
 			kept := s.queue[:0]
 			for _, p := range s.queue {
 				if r := ctxFinishReason(p.req.Ctx); r != "" {
-					p.ticket.deliver(Result{ID: p.req.ID, FinishReason: r})
+					res := Result{ID: p.req.ID, FinishReason: r}
+					if p.resume != nil {
+						res.Tokens = p.resume.tokens // preempted mid-flight: deliver what was generated
+					}
+					p.ticket.deliver(res)
 					s.countFinish(r)
 					s.stats.Completed++
 					continue
@@ -841,7 +1077,11 @@ func (s *Scheduler) loop() {
 		// marked finished and delivered by this tick's post-advance sweep.
 		if s.forceDrain {
 			for i, p := range s.queue {
-				p.ticket.deliver(Result{ID: p.req.ID, FinishReason: FinishError, Err: ErrDrainTimeout})
+				res := Result{ID: p.req.ID, FinishReason: FinishError, Err: ErrDrainTimeout}
+				if p.resume != nil {
+					res.Tokens = p.resume.tokens
+				}
+				p.ticket.deliver(res)
 				s.stats.Completed++
 				s.queue[i] = pending{}
 			}
@@ -852,23 +1092,63 @@ func (s *Scheduler) loop() {
 				}
 			}
 		}
+		// Memory-aware admission: with a budget, a request is only admitted
+		// while the pool has worst-case headroom for it — budget minus pages
+		// in use, plus what evicting the reclaimable (sole-held) part of the
+		// prefix cache could free: it is the sacrificial tier, but entries
+		// pinned by live slots free nothing, and crediting them would
+		// re-admit preempted requests into a still-full pool and thrash.
+		// Headroom is a point-in-time estimate, not a reservation:
+		// already-admitted slots keep growing after the check, which is
+		// exactly what preemption backstops.
+		headroom := int64(-1) // sentinel: unbudgeted, everything admits
+		if s.budgetPages > 0 {
+			ps := s.pool.Stats()
+			headroom = s.budgetPages - ps.PagesInUse
+			if s.prefix != nil {
+				headroom += s.prefix.reclaimableBytes() / s.pool.PageBytes()
+			}
+		}
 		for _, sl := range s.slots {
 			if sl.active || len(s.queue) == 0 {
 				continue
 			}
-			// Admit the highest-priority queued request; the queue is in
-			// arrival order, so the first maximum is the oldest of its class.
-			best := 0
-			for i := 1; i < len(s.queue); i++ {
-				if s.queue[i].req.Priority > s.queue[best].req.Priority {
+			// Admit the highest-priority queued request that fits the
+			// headroom; the queue is in arrival order, so the first maximum
+			// is the oldest of its class.
+			best := -1
+			for i := range s.queue {
+				if headroom >= 0 && s.demandPages(s.queue[i].req) > headroom {
+					s.stats.AdmissionDeferred++
+					continue
+				}
+				if best < 0 || s.queue[i].req.Priority > s.queue[best].req.Priority {
 					best = i
+				}
+			}
+			if best < 0 {
+				// Every queued request was deferred on memory. If nothing is
+				// running, defer no further — admit the best candidate anyway
+				// (reclaim and preemption bound its actual usage) so the
+				// scheduler always makes progress.
+				if nActive > 0 {
+					break
+				}
+				best = 0
+				for i := 1; i < len(s.queue); i++ {
+					if s.queue[i].req.Priority > s.queue[best].req.Priority {
+						best = i
+					}
 				}
 			}
 			p := s.queue[best]
 			copy(s.queue[best:], s.queue[best+1:])
 			s.queue[len(s.queue)-1] = pending{}
 			s.queue = s.queue[:len(s.queue)-1]
-			sl.start(p.req, p.ticket, p.submitted)
+			if headroom >= 0 {
+				headroom -= s.demandPages(p.req) // may go negative on a forced admission
+			}
+			sl.start(p.req, p.ticket, p.submitted, p.resume)
 			nActive++
 		}
 		s.stats.Queued = len(s.queue)
@@ -894,8 +1174,10 @@ func (s *Scheduler) loop() {
 		}
 		// The per-tick fan-out: each live slot advances exactly one token,
 		// touching only its own state, so the tick is bit-deterministic at
-		// any worker count (the internal/parallel contract).
-		parallel.ForEach(len(live), func(i int) { live[i].advance(s.eos) })
+		// any worker count (the internal/parallel contract). tickSlot wraps
+		// the advance in a recover barrier: a panicking request finishes
+		// with FinishError and frees its slot instead of killing the loop.
+		parallel.ForEach(len(live), func(i int) { s.tickSlot(live[i]) })
 
 		// KV accounting, shared pages counted once: logical bytes sum every
 		// holder's references (slots here; the prefix cache's own logical
@@ -909,6 +1191,10 @@ func (s *Scheduler) loop() {
 		ps := s.pool.Stats()
 		s.mu.Lock()
 		for _, sl := range live {
+			if sl.panicked {
+				s.stats.Panics++
+				sl.panicked = false
+			}
 			if sl.ttftPending {
 				s.recordTTFT(sl.ttft)
 				sl.ttftPending = false
@@ -928,8 +1214,53 @@ func (s *Scheduler) loop() {
 			sl.active = false
 			sl.ticket = nil
 			nActive--
+			if s.budgetPages > 0 {
+				// Under a budget, a finished slot's pages return to the pool
+				// now instead of lazily on its next admission: idle slots must
+				// not hoard budget other slots are starving for.
+				sl.sess.Reset()
+			}
+		}
+		// Preemption, the budget's last resort: a slot that could not lease
+		// a page this tick (reclaim included) frees memory by evicting the
+		// weakest active slot — lowest priority, then youngest — whose
+		// request re-queues at the front carrying its generated tokens, to
+		// be restored bit-identically later. One victim per tick: freeing
+		// one slot's pages typically unstarves several, and survivors retry
+		// next tick. If the starved slot is the only one running, there is
+		// nothing left to preempt or reclaim — it fails with the pool error
+		// (unreachable when admission is on: Submit rejects any request
+		// whose worst case exceeds the whole budget).
+		if s.budgetPages > 0 {
+			var starved *slot
+			for _, sl := range s.slots {
+				if sl.active && sl.starved {
+					starved = sl
+					break
+				}
+			}
+			if starved != nil {
+				var victim *slot
+				actives := 0
+				for _, sl := range s.slots {
+					if !sl.active {
+						continue
+					}
+					actives++
+					if victim == nil || weaker(sl, victim) {
+						victim = sl
+					}
+				}
+				if actives <= 1 {
+					starved.finish(FinishError, infer.ErrPoolExhausted) // delivered next tick
+				} else {
+					s.preemptLocked(victim)
+					nActive--
+				}
+			}
 		}
 		s.stats.Active = nActive
+		s.stats.Queued = len(s.queue)
 		if s.prefix != nil {
 			logicalBytes += s.prefix.snapshot().Bytes
 		}
@@ -966,7 +1297,7 @@ func Sequential(m *model.Model, req Request, opts Options) Result {
 		chunk = infer.DefaultPrefillChunk
 	}
 	sl := newSlot(sess, m.Cfg.MaxSeq, chunk, nil)
-	sl.start(req, nil, time.Now())
+	sl.start(req, nil, time.Now(), nil)
 	for !sl.done {
 		sl.advance(opts.EOS)
 	}

@@ -1,0 +1,108 @@
+#!/bin/sh
+# CI memory-pressure smoke: boot aptq-serve on the built-in demo model
+# with a deliberately tiny KV budget (-kv-budget-mb 1 = 128 pages of the
+# demo model's 8 KiB pages) and far more slots than the budget can hold
+# resident at once, then drive it through a seeded burst (aptq-loadgen
+# -burst-rps) that overloads admission. The run must degrade gracefully,
+# not fail:
+#
+#   - zero client-visible errors (the loadgen gates itself with
+#     -max-error-rate 0 — every preempted request still finishes, with
+#     bit-identical output per the scheduler's contract),
+#   - at least one preemption (the ladder was actually exercised; a run
+#     that never preempted proves nothing about degradation),
+#   - the pool's high-water mark at or below the budget (the hard memory
+#     guarantee), and
+#   - zero panics.
+#
+# The latency percentiles plus the LoadgenPressure counters land in a
+# benchjson-schema snapshot (default PRESSURE_CI.json, override with
+# $PRESSURE_JSON) that CI uploads as an artifact. Used by
+# `make pressure-smoke` and CI.
+set -eu
+
+ADDR="${APTQ_SERVE_ADDR:-127.0.0.1:8799}"
+OUT="${PRESSURE_JSON:-PRESSURE_CI.json}"
+RATE="${LOADGEN_RATE:-100}"
+BURST="${LOADGEN_BURST_RPS:-2000}"
+RAMP="${LOADGEN_RAMP_S:-0.5}"
+DURATION="${LOADGEN_DURATION:-2s}"
+BINDIR="$(mktemp -d)"
+LOG="$(mktemp)"
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    [ -n "$PID" ] && wait "$PID" 2>/dev/null || true
+    rm -rf "$BINDIR" "$LOG"
+}
+trap cleanup EXIT
+
+go build -o "$BINDIR/aptq-serve" ./cmd/aptq-serve
+go build -o "$BINDIR/aptq-loadgen" ./cmd/aptq-loadgen
+
+# 24 slots of up-to-12-page sequences against a 128-page budget: admission
+# over-commits across ticks (headroom is an estimate, not a reservation),
+# so a sustained burst must trigger preemption. The demo model decodes in
+# microseconds, so the burst has to be steep (2000 rps) to build enough
+# concurrency to fill the pool. The prefix cache shares the same pool as
+# the sacrificial tier.
+"$BINDIR/aptq-serve" -addr "$ADDR" -slots 24 -kv-budget-mb 1 \
+    -max-queue 4096 -prefix-cache 262144 >"$LOG" 2>&1 &
+PID=$!
+
+ok=0
+for _ in $(seq 1 50); do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then
+        ok=1
+        break
+    fi
+    sleep 0.2
+done
+if [ "$ok" != 1 ]; then
+    echo "pressure-smoke: server did not come up; log:" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+
+# Long prompts and outputs (up to 63 of the demo model's 64-token context)
+# maximize per-slot page demand; -max-error-rate 0 is the graceful-
+# degradation gate — overload may slow requests down, never fail them. No
+# TTFT gate: queueing delay under deliberate overload is unbounded by
+# design.
+"$BINDIR/aptq-loadgen" \
+    -url "http://$ADDR" \
+    -rate "$RATE" -burst-rps "$BURST" -ramp-s "$RAMP" -duration "$DURATION" -seed 1 \
+    -prompt-min 16 -prompt-max 40 -out-min 16 -out-max 24 \
+    -prefix-pop 2 -prefix-len 16 -prefix-frac 0.5 \
+    -max-error-rate 0 \
+    -out "$OUT"
+
+# Assert the pressure ladder actually engaged, from the snapshot's
+# LoadgenPressure section (the only section carrying these keys).
+val() {
+    sed -n "s/^ *\"$1\": \([0-9.e+-]*\),*\$/\1/p" "$OUT" | head -1
+}
+PREEMPTIONS="$(val preemptions)"
+PANICS="$(val panics)"
+BUDGET="$(val kv_budget_bytes)"
+HIGHWATER="$(val kv_high_water_bytes)"
+if [ -z "$PREEMPTIONS" ] || [ -z "$PANICS" ] || [ -z "$BUDGET" ] || [ -z "$HIGHWATER" ]; then
+    echo "pressure-smoke: snapshot missing pressure counters:" >&2
+    cat "$OUT" >&2
+    exit 1
+fi
+awk "BEGIN { exit !($PREEMPTIONS >= 1) }" || {
+    echo "pressure-smoke: preemptions = $PREEMPTIONS, want >= 1 (overload never engaged the ladder)" >&2
+    exit 1
+}
+awk "BEGIN { exit !($PANICS == 0) }" || {
+    echo "pressure-smoke: panics = $PANICS, want 0" >&2
+    exit 1
+}
+awk "BEGIN { exit !($BUDGET > 0 && $HIGHWATER <= $BUDGET) }" || {
+    echo "pressure-smoke: kv_high_water_bytes $HIGHWATER exceeds kv_budget_bytes $BUDGET" >&2
+    exit 1
+}
+
+echo "pressure-smoke: OK (preemptions=$PREEMPTIONS high_water=$HIGHWATER budget=$BUDGET)"
+cat "$OUT"
